@@ -1,0 +1,283 @@
+// Top-level benchmarks: one per table/figure of the paper's evaluation
+// (regenerating the comparison each iteration), plus substrate throughput
+// benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks report the reproduced headline quantities via
+// b.ReportMetric: normalized metrics (x100 of MESI), latency gaps, and
+// bit error rates, so `go test -bench` output documents the reproduction.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/experiments"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+}
+
+func BenchmarkDRAMAccess(b *testing.B) {
+	m := dram.New(dram.DDR3_1600_8x8())
+	now := sim.Cycle(0)
+	for i := 0; i < b.N; i++ {
+		now = m.AccessAt(now, uint64(i)*64, false)
+	}
+}
+
+func BenchmarkCacheArrayProbe(b *testing.B) {
+	a := cache.NewArray(cache.Params{Name: "L1", SizeBytes: 32 << 10, Ways: 4, BlockSize: 64})
+	for i := 0; i < 512; i++ {
+		ad := cache.Addr(i * 64)
+		a.Install(a.Victim(ad), ad, cache.Shared)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Probe(cache.Addr(i%512) * 64)
+	}
+}
+
+// benchAccess measures raw coherent accesses per second for a protocol
+// (an ablation axis: protocol logic overhead).
+func benchAccess(b *testing.B, p coherence.Policy) {
+	m := core.MustNewMachine(core.DefaultConfig(2, p))
+	proc := m.NewProcess()
+	ctx := proc.AttachContext(0)
+	heap := proc.MmapAnon(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.MustAccessSync(heap+mmu.VAddr(i%8192)*64, i%4 == 0, uint64(i))
+	}
+}
+
+func BenchmarkAccessMESI(b *testing.B)     { benchAccess(b, coherence.MESI) }
+func BenchmarkAccessSwiftDir(b *testing.B) { benchAccess(b, coherence.SwiftDir) }
+func BenchmarkAccessSMESI(b *testing.B)    { benchAccess(b, coherence.SMESI) }
+
+// --- Table and figure reproductions --------------------------------------
+
+func BenchmarkTable4_QualitativeMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table4()
+		if len(rows) != 3 {
+			b.Fatal("table IV incomplete")
+		}
+	}
+}
+
+func BenchmarkFig6_LatencyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.Fig6(200)
+		b.ReportMetric(d.LoadWP.Mean(), "LoadWP-cycles")
+		b.ReportMetric(d.LoadS.Mean(), "LoadS-cycles")
+		b.ReportMetric(d.LoadE.Mean(), "LoadE-cycles")
+	}
+}
+
+func BenchmarkSecurity_CovertChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var mesiBER, swiftBER, gap float64
+		for _, p := range []coherence.Policy{coherence.MESI, coherence.SwiftDir} {
+			ch, err := attack.NewChannel(core.DefaultConfig(4, p), 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := ch.Run(256, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p == coherence.MESI {
+				mesiBER, gap = r.BER, r.Gap
+			} else {
+				swiftBER = r.BER
+			}
+		}
+		b.ReportMetric(mesiBER, "MESI-BER")
+		b.ReportMetric(swiftBER, "SwiftDir-BER")
+		b.ReportMetric(gap, "MESI-ES-gap-cycles")
+	}
+}
+
+func BenchmarkSecurity_SideChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := attack.NewSideChannel(core.DefaultConfig(4, coherence.SwiftDir), 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := sc.Run(128, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Accuracy, "SwiftDir-inference-accuracy")
+	}
+}
+
+func BenchmarkFig7_SPEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig7(0.02)
+		var sw, sm float64
+		for _, r := range rows {
+			sw += r.SwiftDir
+			sm += r.SMESI
+		}
+		b.ReportMetric(sw/float64(len(rows)), "SwiftDir-normIPC")
+		b.ReportMetric(sm/float64(len(rows)), "SMESI-normIPC")
+	}
+}
+
+func BenchmarkFig8_PARSEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig8(0.02)
+		var sw, sm float64
+		for _, r := range rows {
+			sw += r.SwiftDir
+			sm += r.SMESI
+		}
+		b.ReportMetric(sw/float64(len(rows)), "SwiftDir-normTime")
+		b.ReportMetric(sm/float64(len(rows)), "SMESI-normTime")
+	}
+}
+
+func BenchmarkFig9_ReadOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig9([]int{1000, 3000, 5000})
+		var sw float64
+		for _, r := range rows {
+			sw += r.SwiftDir
+		}
+		b.ReportMetric(sw/float64(len(rows)), "SwiftDir-normTime")
+	}
+}
+
+func BenchmarkFig10a_WAR_InOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig10(workload.TimingSimpleCPU, 1)
+		var sm float64
+		for _, r := range rows {
+			sm += r.SMESI
+		}
+		b.ReportMetric(sm/float64(len(rows)), "SMESI-normTime")
+	}
+}
+
+func BenchmarkFig5_CacheArchitectures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig5(); len(out) == 0 {
+			b.Fatal("empty Fig5")
+		}
+	}
+}
+
+func BenchmarkTraffic_MessageBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Traffic(); len(out) == 0 {
+			b.Fatal("empty traffic report")
+		}
+	}
+}
+
+func BenchmarkAblation_Ewp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.AblationEwp(64); len(out) == 0 {
+			b.Fatal("empty ablation")
+		}
+	}
+}
+
+func BenchmarkFutureWork_FastCoW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.FutureWork(64); len(out) == 0 {
+			b.Fatal("empty future-work report")
+		}
+	}
+}
+
+func BenchmarkStudy_MOESIFamilies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.MOESIStudy(64, 1); len(out) == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
+func BenchmarkStudy_Snoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.SnoopStudy(64); len(out) == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
+func BenchmarkStudy_Prefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Prefetch(64); len(out) == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
+func BenchmarkStudy_Multiprogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Multiprogram(0.02)
+		if len(rows) != 5 {
+			b.Fatal("mix count")
+		}
+	}
+}
+
+func BenchmarkFig10b_WAR_OoO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig10(workload.DerivO3CPU, 1)
+		var sm float64
+		for _, r := range rows {
+			sm += r.SMESI
+		}
+		b.ReportMetric(sm/float64(len(rows)), "SMESI-normTime")
+	}
+}
+
+func BenchmarkStudy_TimingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.TimingSweep(); len(out) == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
+func BenchmarkStudy_MSI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.MSIStudy(64, 1); len(out) == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
+func BenchmarkStudy_Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.HardwareCosts(4)) != 7 {
+			b.Fatal("cost table incomplete")
+		}
+	}
+}

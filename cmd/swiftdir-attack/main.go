@@ -1,0 +1,70 @@
+// Command swiftdir-attack demonstrates the E/S coherence timing-channel
+// attacks against all three protocols: the covert channel leaks on MESI
+// and collapses to guessing under SwiftDir and S-MESI; likewise the
+// access-detection side channel.
+//
+// Usage:
+//
+//	swiftdir-attack [-bits n] [-trials n] [-secret text]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	bits := flag.Int("bits", 1024, "covert-channel bits")
+	trials := flag.Int("trials", 512, "side-channel trials")
+	secret := flag.String("secret", "SwiftDir", "ASCII secret to exfiltrate in the demo")
+	flag.Parse()
+
+	_, _, report := experiments.Security(*bits, *trials)
+	fmt.Println(report)
+
+	// Bonus demo: exfiltrate an actual ASCII secret through the channel.
+	fmt.Printf("Exfiltrating %q through the covert channel:\n", *secret)
+	payload := []byte(*secret)
+	for _, p := range []coherence.Policy{coherence.MESI, coherence.SwiftDir} {
+		ch, err := attack.NewChannel(core.DefaultConfig(4, p), len(payload)*8)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swiftdir-attack: %v\n", err)
+			os.Exit(1)
+		}
+		out := make([]byte, len(payload))
+		for i := 0; i < len(payload)*8; i++ {
+			bit := payload[i/8]>>(7-uint(i%8))&1 == 1
+			if err := ch.Transmit(i, bit); err != nil {
+				fmt.Fprintf(os.Stderr, "swiftdir-attack: %v\n", err)
+				os.Exit(1)
+			}
+			got, _, err := ch.Probe(i)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "swiftdir-attack: %v\n", err)
+				os.Exit(1)
+			}
+			if got {
+				out[i/8] |= 1 << (7 - uint(i%8))
+			}
+		}
+		fmt.Printf("  %-9s receiver decoded: %q\n", p.Name(), printable(out))
+	}
+}
+
+func printable(b []byte) string {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if c >= 32 && c < 127 {
+			out[i] = c
+		} else {
+			out[i] = '.'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,88 @@
+// Command swiftdir-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	swiftdir-bench [-exp all|table4|table5|fig6|security|fig7|fig8|fig9|fig10a|fig10b]
+//	               [-scale f] [-samples n] [-bits n] [-passes n]
+//
+// -scale shrinks the SPEC/PARSEC instruction budgets (1.0 = the default
+// 200k/120k instructions per thread); the protocol comparison is stable
+// well below that.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table4, table5, fig4, fig5, fig6, fig6jitter, security, fig7, fig8, fig9, fig10a, fig10b, ablation, traffic, futurework, moesi, snoop, multiprogram, lru, prefetch, numa, kernels, sweep, msi, overhead)")
+	scale := flag.Float64("scale", 0.25, "instruction-budget scale for fig7/fig8")
+	samples := flag.Int("samples", 2000, "latency samples for fig6")
+	bits := flag.Int("bits", 1024, "covert-channel bits for security")
+	passes := flag.Int("passes", 4, "measured passes for fig10")
+	outPath := flag.String("out", "", "also append the report to this file")
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swiftdir-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	run := func(name string, fn func() string) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Fprintln(out, fn())
+		fmt.Fprintln(out, strings.Repeat("=", 78))
+	}
+
+	run("table5", experiments.Table5)
+	run("table4", func() string { _, s := experiments.Table4(); return s })
+	run("fig4", experiments.Fig4)
+	run("fig5", experiments.Fig5)
+	run("fig6", func() string { return experiments.Fig6(*samples).Rendered })
+	run("fig6jitter", func() string { return experiments.Fig6Jitter(*samples / 4).Rendered })
+	run("security", func() string { _, _, s := experiments.Security(*bits, *bits); return s })
+	run("fig7", func() string { _, s := experiments.Fig7(*scale); return s })
+	run("fig8", func() string { _, s := experiments.Fig8(*scale); return s })
+	run("fig9", func() string { _, s := experiments.Fig9(experiments.Fig9Amounts); return s })
+	run("fig10a", func() string { _, s := experiments.Fig10(workload.TimingSimpleCPU, *passes); return s })
+	run("fig10b", func() string { _, s := experiments.Fig10(workload.DerivO3CPU, *passes); return s })
+	run("ablation", func() string {
+		return experiments.AblationEwp(*bits) + "\n" + experiments.AblationWAR(*passes)
+	})
+	run("traffic", experiments.Traffic)
+	run("futurework", func() string { return experiments.FutureWork(*bits / 4) })
+	run("moesi", func() string { return experiments.MOESIStudy(*bits/4, *passes) })
+	run("snoop", func() string { return experiments.SnoopStudy(*bits / 4) })
+	run("multiprogram", func() string { _, s := experiments.Multiprogram(*scale); return s })
+	run("lru", func() string { return experiments.AblationLRU(*scale) })
+	run("prefetch", func() string { return experiments.Prefetch(*bits / 4) })
+	run("numa", experiments.NUMA)
+	run("kernels", func() string { return experiments.KernelStudy(512) })
+	run("sweep", experiments.TimingSweep)
+	run("msi", func() string { return experiments.MSIStudy(*bits/4, *passes) })
+	run("overhead", func() string { return experiments.Overhead(4) })
+
+	switch *exp {
+	case "all", "table4", "table5", "fig4", "fig5", "fig6", "security",
+		"fig6jitter", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablation", "traffic", "futurework", "moesi", "snoop", "multiprogram", "lru", "prefetch", "numa", "kernels", "sweep", "msi", "overhead":
+	default:
+		fmt.Fprintf(os.Stderr, "swiftdir-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,155 @@
+// Command swiftdir-sim runs one benchmark on one protocol and prints the
+// measured result with detailed hierarchy statistics.
+//
+// Usage:
+//
+//	swiftdir-sim -list
+//	swiftdir-sim -bench mcf -protocol SwiftDir -cpu DerivO3CPU [-scale f]
+//	swiftdir-sim -bench dedup -config machine.json
+//	swiftdir-sim -dumpconfig machine.json -protocol S-MESI -cores 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	bench := flag.String("bench", "mcf", "benchmark name (see -list)")
+	kernel := flag.String("kernel", "", "memory kernel to run instead of a benchmark (stream-triad, gups, pointer-chase)")
+	kernelKB := flag.Int("kernelkb", 512, "kernel working-set size in KB")
+	protoName := flag.String("protocol", "SwiftDir", "MESI, SwiftDir, S-MESI, SwiftDir-Ewp, MOESI, SwiftDir-MOESI")
+	cpuKind := flag.String("cpu", "DerivO3CPU", "TimingSimpleCPU or DerivO3CPU")
+	scale := flag.Float64("scale", 1.0, "instruction-budget scale")
+	configPath := flag.String("config", "", "machine configuration JSON (overrides -protocol)")
+	dumpConfig := flag.String("dumpconfig", "", "write the default machine configuration to this file and exit")
+	cores := flag.Int("cores", 4, "core count for -dumpconfig")
+	verbose := flag.Bool("v", true, "print hierarchy statistics")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SPEC CPU 2017 (single-threaded):")
+		for _, p := range workload.SPEC2017() {
+			fmt.Printf("  %-12s mem=%.2f store=%.2f WAR=%.2f ws=%dKB\n",
+				p.Name, p.MemFrac, p.StoreFrac, p.WARFrac, p.WorkingSetKB)
+		}
+		fmt.Println("Memory kernels (-kernel):")
+		for _, k := range workload.Kernels() {
+			fmt.Printf("  %s\n", k.Name)
+		}
+		fmt.Println("PARSEC 3.0 (4 threads):")
+		for _, p := range workload.PARSEC3() {
+			fmt.Printf("  %-14s mem=%.2f shared=%.2f sharedKB=%d barrierEvery=%d\n",
+				p.Name, p.MemFrac, p.SharedFrac, p.SharedKB, p.BarrierEvery)
+		}
+		return
+	}
+
+	if *dumpConfig != "" {
+		proto := coherence.PolicyByName(*protoName)
+		if proto == nil {
+			fatal("unknown protocol %q", *protoName)
+		}
+		if err := core.SaveConfig(*dumpConfig, core.DefaultConfig(*cores, proto)); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *dumpConfig)
+		return
+	}
+
+	if *kernel != "" {
+		k, ok := workload.KernelByName(*kernel)
+		if !ok {
+			fatal("unknown kernel %q", *kernel)
+		}
+		proto := coherence.PolicyByName(*protoName)
+		if proto == nil {
+			fatal("unknown protocol %q", *protoName)
+		}
+		res, err := workload.RunKernel(k, proto, workload.CPUKind(*cpuKind), *kernelKB<<10)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("kernel       : %s (%d KB working set)\n", res.Benchmark, *kernelKB)
+		fmt.Printf("protocol     : %s on %s\n", res.Protocol, res.CPU)
+		fmt.Printf("instructions : %d in %d cycles (IPC %.4f)\n", res.Instrs, res.ExecCycles, res.IPC)
+		return
+	}
+
+	prof, ok := workload.ProfileByName(*bench)
+	if !ok {
+		fatal("unknown benchmark %q (try -list)", *bench)
+	}
+	prof = prof.Scale(*scale)
+
+	var cfg core.Config
+	if *configPath != "" {
+		var err error
+		cfg, err = core.LoadConfig(*configPath)
+		if err != nil {
+			fatal("config: %v", err)
+		}
+	} else {
+		proto := coherence.PolicyByName(*protoName)
+		if proto == nil {
+			fatal("unknown protocol %q", *protoName)
+		}
+		n := 1
+		for n < prof.Threads {
+			n *= 2
+		}
+		cfg = core.DefaultConfig(n, proto)
+	}
+
+	res, m, err := workload.RunDetailed(prof, cfg, workload.CPUKind(*cpuKind))
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("benchmark    : %s (%s)\n", res.Benchmark, prof.Suite)
+	fmt.Printf("protocol     : %s\n", res.Protocol)
+	fmt.Printf("cpu model    : %s (L1 %s)\n", res.CPU, cfg.L1Arch)
+	fmt.Printf("threads      : %d on %d cores\n", prof.Threads, cfg.Cores)
+	fmt.Printf("instructions : %d\n", res.Instrs)
+	fmt.Printf("cycles       : %d\n", res.ExecCycles)
+	fmt.Printf("IPC/thread   : %.4f\n", res.IPC)
+	for i, s := range res.PerThread {
+		fmt.Printf("  thread %d   : %d instrs, %d loads, %d stores, %d cycles (IPC %.4f)\n",
+			i, s.Instructions, s.Loads, s.Stores, s.Cycles(), s.IPC())
+	}
+	if !*verbose {
+		return
+	}
+
+	fmt.Println("\nhierarchy statistics:")
+	for _, l1 := range m.Sys.L1s {
+		st := l1.Stats
+		if st.Loads+st.Stores == 0 {
+			continue
+		}
+		missRate := 1 - float64(st.LoadHits+st.StoreHits+st.SilentUpgrades)/float64(st.Loads+st.Stores)
+		fmt.Printf("  L1 %-2d      : %d loads, %d stores, miss rate %.2f%%, %d silent upgrades, %d explicit upgrades, %d writebacks\n",
+			l1.ID, st.Loads, st.Stores, 100*missRate, st.SilentUpgrades, st.ExplicitUpgrades, st.Writebacks)
+	}
+	bs := m.Sys.BankStatsTotal()
+	fmt.Printf("  directory  : %d requests, %d LLC-served, %d forwards (3-hop), %d invalidations, %d upgrade acks, %d recalls\n",
+		bs.Requests, bs.LLCServed, bs.Forwards, bs.Invals, bs.UpgradeAcks, bs.Recalls)
+	fmt.Printf("  memory     : %d reads, %d writes, row hits/misses/conflicts %d/%d/%d, avg latency %.1f cycles\n",
+		m.Sys.Mem.Reads, m.Sys.Mem.Writes, m.Sys.Mem.RowHits, m.Sys.Mem.RowMisses, m.Sys.Mem.RowConflicts, m.Sys.Mem.AvgLatency())
+	fmt.Printf("  messages   : %d coherence messages total (GETS %d, GETS_WP %d, GETX %d, Upgrade %d, Fwd %d)\n",
+		m.Sys.TotalMessages(),
+		m.Sys.MsgCount(coherence.MsgGETS), m.Sys.MsgCount(coherence.MsgGETSWP),
+		m.Sys.MsgCount(coherence.MsgGETX), m.Sys.MsgCount(coherence.MsgUpgrade),
+		m.Sys.MsgCount(coherence.MsgFwdGETS)+m.Sys.MsgCount(coherence.MsgFwdGETX))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "swiftdir-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command swiftdir-trace records benchmark instruction traces to a
+// compact binary file, inspects them, and replays them on any protocol and
+// CPU model — so a workload can be captured once and compared across
+// configurations bit-for-bit.
+//
+// Usage:
+//
+//	swiftdir-trace -record mcf -o mcf.swtr [-scale f]
+//	swiftdir-trace -info mcf.swtr
+//	swiftdir-trace -replay mcf.swtr [-protocol SwiftDir] [-cpu DerivO3CPU]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+func main() {
+	record := flag.String("record", "", "benchmark to record (see swiftdir-sim -list)")
+	out := flag.String("o", "trace.swtr", "output file for -record")
+	info := flag.String("info", "", "trace file to summarize")
+	replay := flag.String("replay", "", "trace file to replay")
+	protoName := flag.String("protocol", "SwiftDir", "protocol for -replay")
+	cpuKind := flag.String("cpu", "DerivO3CPU", "CPU model for -replay")
+	scale := flag.Float64("scale", 0.25, "instruction-budget scale for -record")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		prof, ok := workload.ProfileByName(*record)
+		if !ok {
+			fatal("unknown benchmark %q", *record)
+		}
+		threads, err := workload.Record(prof.Scale(*scale))
+		if err != nil {
+			fatal("record: %v", err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("create: %v", err)
+		}
+		defer f.Close()
+		if err := workload.WriteTraces(f, threads); err != nil {
+			fatal("write: %v", err)
+		}
+		st, _ := f.Stat()
+		var n int
+		for _, t := range threads {
+			n += len(t)
+		}
+		fmt.Printf("recorded %s: %d threads, %d instructions, %d bytes -> %s\n",
+			prof.Name, len(threads), n, st.Size(), *out)
+
+	case *info != "":
+		threads := load(*info)
+		fmt.Printf("%s: %d thread(s)\n", *info, len(threads))
+		for t, instrs := range threads {
+			var loads, stores, barriers int
+			for _, ins := range instrs {
+				switch ins.Op {
+				case cpu.OpLoad:
+					loads++
+				case cpu.OpStore:
+					stores++
+				case cpu.OpBarrier:
+					barriers++
+				}
+			}
+			fmt.Printf("  thread %d: %d instrs (%d loads, %d stores, %d barriers)\n",
+				t, len(instrs), loads, stores, barriers)
+		}
+
+	case *replay != "":
+		threads := load(*replay)
+		proto := coherence.PolicyByName(*protoName)
+		if proto == nil {
+			fatal("unknown protocol %q", *protoName)
+		}
+		res, err := workload.Replay(threads, proto, workload.CPUKind(*cpuKind))
+		if err != nil {
+			fatal("replay: %v", err)
+		}
+		fmt.Printf("replayed %s on %s/%s: %d instructions in %d cycles (IPC/thread %.4f)\n",
+			*replay, res.Protocol, res.CPU, res.Instrs, res.ExecCycles, res.IPC)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func load(path string) [][]cpu.Instr {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("open: %v", err)
+	}
+	defer f.Close()
+	threads, err := workload.ReadTraces(f)
+	if err != nil {
+		fatal("read: %v", err)
+	}
+	return threads
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "swiftdir-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

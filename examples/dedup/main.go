@@ -1,0 +1,72 @@
+// Memory deduplication: kernel same-page merging turns identical private
+// pages into shared, write-protected pages — the second source of
+// exploitable shared memory in the paper (§IV-A). This example shows the
+// pages merging, the R/W bit clearing, SwiftDir pinning the merged data
+// in state S, and copy-on-write isolating a subsequent writer.
+//
+//	go run ./examples/dedup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mmu"
+)
+
+func main() {
+	m, err := core.NewMachine(core.DefaultConfig(2, coherence.SwiftDir))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two processes fill anonymous pages with identical content (say,
+	// the same JIT-generated code or zero pages).
+	p1, p2 := m.NewProcess(), m.NewProcess()
+	t1, t2 := p1.AttachContext(0), p2.AttachContext(1)
+	b1 := p1.MmapAnon(4 * mmu.PageSize)
+	b2 := p2.MmapAnon(4 * mmu.PageSize)
+	for i := 0; i < 4; i++ {
+		content := uint64(0x1D) // identical across processes
+		if i == 3 {
+			content = uint64(0x100 + i) // last page unique per process
+		}
+		if err := p1.AS.WritePage(b1+mmu.VAddr(i)*mmu.PageSize, content); err != nil {
+			log.Fatal(err)
+		}
+		if err := p2.AS.WritePage(b2+mmu.VAddr(i)*mmu.PageSize, content+uint64(i%4/3)*7); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("before KSM: %d live physical pages\n", m.PM.LivePages())
+
+	merged := m.KSM.Scan()
+	fmt.Printf("KSM scan   : merged %d pages; %d live physical pages remain\n",
+		merged, m.PM.LivePages())
+
+	// The kernel shoots down stale TLB entries after write-protecting.
+	t1.DTLB.Flush()
+	t2.DTLB.Flush()
+
+	// The merged page is now write-protected; SwiftDir serves every
+	// cross-core read from the LLC in constant time.
+	r1 := t1.MustAccessSync(b1, false, 0)
+	r2 := t2.MustAccessSync(b2, false, 0)
+	fmt.Printf("p1 read    : write-protected=%v, served from %v (%d cycles)\n", r1.WP, r1.Served, r1.Latency)
+	fmt.Printf("p2 read    : write-protected=%v, served from %v (%d cycles)\n", r2.WP, r2.Served, r2.Latency)
+
+	// A write triggers copy-on-write: p1 gets a private frame; p2 keeps
+	// reading the original value.
+	w := t1.MustAccessSync(b1, true, 0xD1FF)
+	c2, _ := p2.AS.ReadPage(b2)
+	fmt.Printf("p1 write   : CoW fault -> private frame (write-protected now %v)\n", w.WP)
+	fmt.Printf("p2 content : %#x (unchanged by p1's write)\n", c2)
+
+	m.Quiesce()
+	if err := m.CheckInvariants(); err != nil {
+		log.Fatalf("invariants: %v", err)
+	}
+	fmt.Println("coherence invariants hold")
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a SwiftDir machine, map a shared library into two
+// processes, and watch the write-protection bit flow from the page table
+// through the TLB into the coherence protocol.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mmu"
+)
+
+func main() {
+	// A 2-core machine with the paper's Table V configuration, running
+	// the SwiftDir protocol.
+	m, err := core.NewMachine(core.DefaultConfig(2, coherence.SwiftDir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Cfg.Describe())
+
+	// Two processes map the same shared library (read-only, MAP_SHARED):
+	// classic exploitable shared memory.
+	libc := mmu.NewFile("libc.so.6", 0xC)
+	p1, p2 := m.NewProcess(), m.NewProcess()
+	t1, t2 := p1.AttachContext(0), p2.AttachContext(1)
+	b1 := p1.MmapLibrary(libc, 1<<20)
+	b2 := p2.MmapLibrary(libc, 1<<20)
+
+	// Process 1 touches a library line: under SwiftDir the GETS_WP
+	// request installs it directly in state S (I->S), never E.
+	r1 := t1.MustAccessSync(b1+0x2000, false, 0)
+	fmt.Printf("p1 cold load   : write-protected=%v, served from %v, %d cycles\n",
+		r1.WP, r1.Served, r1.Latency)
+
+	// Process 2 re-reads the same physical line cross-core: always the
+	// constant LLC round trip -- the E/S timing channel does not exist.
+	t2.MustAccessSync(b2+0x2040, false, 0) // warm p2's TLB on this page
+	r2 := t2.MustAccessSync(b2+0x2000, false, 0)
+	fmt.Printf("p2 remote load : write-protected=%v, served from %v, %d cycles\n",
+		r2.WP, r2.Served, r2.Latency)
+
+	// Private data keep MESI's fast path: read-then-write upgrades E->M
+	// silently inside the L1, in one cycle.
+	heap := p1.MmapAnon(1 << 16)
+	t1.MustAccessSync(heap, false, 0)
+	w := t1.MustAccessSync(heap, true, 42)
+	fmt.Printf("p1 heap store  : write-protected=%v, served from %v, %d cycle(s) (silent E->M)\n",
+		w.WP, w.Served, w.Latency)
+
+	m.Quiesce()
+	if err := m.CheckInvariants(); err != nil {
+		log.Fatalf("coherence invariants violated: %v", err)
+	}
+	fmt.Println("\ncoherence invariants hold (SWMR, inclusion, WP-never-exclusive)")
+}

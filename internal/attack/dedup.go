@@ -1,0 +1,60 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mmu"
+)
+
+// NewDedupChannel builds the covert channel over the paper's second
+// source of exploitable shared memory: memory deduplication. The two
+// colluding processes fill anonymous private pages with identical
+// (pre-agreed) content; the KSM daemon merges them into shared,
+// write-protected frames; the E/S channel then runs over the merged
+// lines exactly as over a shared library.
+func NewDedupChannel(cfg core.Config, capacityBits int) (*Channel, error) {
+	if cfg.Cores < 3 {
+		return nil, fmt.Errorf("attack: covert channel needs >=3 cores, have %d", cfg.Cores)
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	pages := (capacityBits + linesPerPage - 1) / linesPerPage
+	length := (pages + 1) * mmu.PageSize
+
+	sender := m.NewProcess()
+	receiver := m.NewProcess()
+	ch := &Channel{
+		m:         &Machine{M: m},
+		senderA:   sender.AttachContext(0),
+		senderB:   sender.AttachContext(1),
+		receiver:  receiver.AttachContext(2),
+		Threshold: (cfg.Timing.LLCLoadLatency() + cfg.Timing.RemoteLoadLatency()) / 2,
+	}
+	ch.senderABase = sender.MmapAnon(length)
+	ch.senderBBase = ch.senderABase
+	ch.receiverBase = receiver.MmapAnon(length)
+
+	// Both processes fill their pages with the same pre-agreed content.
+	for pg := 0; pg <= pages; pg++ {
+		content := 0xDED0_0000 + uint64(pg)
+		if err := sender.AS.WritePage(ch.senderABase+mmu.VAddr(pg)*mmu.PageSize, content); err != nil {
+			return nil, err
+		}
+		if err := receiver.AS.WritePage(ch.receiverBase+mmu.VAddr(pg)*mmu.PageSize, content); err != nil {
+			return nil, err
+		}
+	}
+	// The KSM daemon merges and write-protects; stale writable TLB
+	// entries are shot down (as write_protect_page does via the kernel).
+	if merged := m.KSM.Scan(); merged < pages {
+		return nil, fmt.Errorf("attack: KSM merged only %d of %d pages", merged, pages)
+	}
+	ch.senderA.DTLB.Flush()
+	ch.senderB.DTLB.Flush()
+	ch.receiver.DTLB.Flush()
+	return ch, nil
+}

@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// TextChannel is the covert channel built over instruction fetches of
+// shared library CODE rather than data loads. Library text is mapped
+// PROT_READ|PROT_EXEC / MAP_SHARED — write-protected — and instruction
+// cache lines are coherent peers of the hierarchy, so executing (fetching)
+// a library function drives the same E/S state machine the data channel
+// exploits. SwiftDir's GETS_WP applies to instruction fetches unchanged:
+// text lines are pinned in S and the fetch-timing channel closes with the
+// same constant LLC latency.
+type TextChannel struct {
+	senderA, senderB *core.Context
+	receiver         *core.Context
+
+	senderBase, receiverBase mmu.VAddr
+	Threshold                sim.Cycle
+	m                        *core.Machine
+}
+
+// NewTextChannel builds the instruction-fetch channel (needs >=3 cores).
+func NewTextChannel(cfg core.Config, capacityBits int) (*TextChannel, error) {
+	if cfg.Cores < 3 {
+		return nil, fmt.Errorf("attack: text channel needs >=3 cores, have %d", cfg.Cores)
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lib := mmu.NewFile("libcrypto.so.text", 0x7E)
+	pages := (capacityBits + linesPerPage - 1) / linesPerPage
+	length := (pages + 1) * mmu.PageSize
+
+	sender := m.NewProcess()
+	receiver := m.NewProcess()
+	tc := &TextChannel{
+		senderA:   sender.AttachContext(0),
+		senderB:   sender.AttachContext(1),
+		receiver:  receiver.AttachContext(2),
+		Threshold: (cfg.Timing.LLCLoadLatency() + cfg.Timing.RemoteLoadLatency()) / 2,
+		m:         m,
+	}
+	tc.senderBase = sender.MmapLibrary(lib, length)
+	tc.receiverBase = receiver.MmapLibrary(lib, length)
+	return tc, nil
+}
+
+// fetchSync runs an instruction fetch to completion and returns its
+// latency.
+func fetchSync(m *core.Machine, ctx *core.Context, v mmu.VAddr) (sim.Cycle, error) {
+	var lat sim.Cycle
+	done := false
+	if err := ctx.Fetch(v, func(r coherence.AccessResult) {
+		lat = r.Latency
+		done = true
+	}); err != nil {
+		return 0, err
+	}
+	m.Engine().RunWhile(func() bool { return !done })
+	if !done {
+		panic("attack: fetch did not complete")
+	}
+	return lat, nil
+}
+
+// Run transmits nBits random bits by executing (bit 1: one sender core;
+// bit 0: two sender cores) distinct code lines, and decodes them from the
+// receiver's fetch latencies.
+func (c *TextChannel) Run(nBits int, seed uint64) (Result, error) {
+	rng := sim.NewRNG(seed)
+	res := Result{Protocol: c.m.Cfg.Protocol.Name() + "/ifetch", Bits: nBits}
+	var sum1, sum0 float64
+	var n1, n0 int
+	for i := 0; i < nBits; i++ {
+		sent := rng.Bool(0.5)
+		sAddr := lineAddr(c.senderBase, i)
+		if _, err := fetchSync(c.m, c.senderA, sAddr); err != nil {
+			return res, err
+		}
+		if !sent {
+			if _, err := fetchSync(c.m, c.senderB, sAddr); err != nil {
+				return res, err
+			}
+		}
+		// Warm the receiver's I-TLB on this page, then probe.
+		if _, err := fetchSync(c.m, c.receiver, pageAddr(c.receiverBase, i)); err != nil {
+			return res, err
+		}
+		lat, err := fetchSync(c.m, c.receiver, lineAddr(c.receiverBase, i))
+		if err != nil {
+			return res, err
+		}
+		got := lat > c.Threshold
+		if got != sent {
+			res.Errors++
+		}
+		if sent {
+			sum1 += float64(lat)
+			n1++
+		} else {
+			sum0 += float64(lat)
+			n0++
+		}
+	}
+	if n1 > 0 {
+		res.MeanLatency1 = sum1 / float64(n1)
+	}
+	if n0 > 0 {
+		res.MeanLatency0 = sum0 / float64(n0)
+	}
+	res.BER = float64(res.Errors) / float64(nBits)
+	res.Gap = res.MeanLatency1 - res.MeanLatency0
+	res.Leaked = res.BER < 0.25
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mmu"
+)
+
+// The dedup write-timing channel works on a stock machine regardless of
+// the coherence protocol (it is an MMU-level channel, orthogonal to E/S).
+func TestWriteChannelWorksWithoutDefense(t *testing.T) {
+	for _, p := range []coherence.Policy{coherence.MESI, coherence.SwiftDir} {
+		w, err := NewWriteChannel(core.DefaultConfig(2, p), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := w.Run(11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Accuracy != 1.0 {
+			t.Fatalf("%s: write-channel accuracy %v, want 1.0", p.Name(), r.Accuracy)
+		}
+		if !r.Works {
+			t.Fatal("channel reported defended without defense")
+		}
+	}
+}
+
+// The paper's future-work defense closes it: with FastCoWWrites the store
+// latency is constant and inference collapses to chance.
+func TestWriteChannelClosedByFastCoW(t *testing.T) {
+	cfg := core.DefaultConfig(2, coherence.SwiftDir)
+	cfg.FastCoWWrites = true
+	w, err := NewWriteChannel(cfg, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.Run(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Works {
+		t.Fatalf("write channel still works under FastCoW (accuracy %v)", r.Accuracy)
+	}
+	if r.Accuracy < 0.3 || r.Accuracy > 0.7 {
+		t.Fatalf("accuracy %v, want ~0.5", r.Accuracy)
+	}
+	if r.Protocol != "SwiftDir+FastCoW" {
+		t.Fatalf("protocol label %q", r.Protocol)
+	}
+}
+
+// FastCoW also speeds up CoW-write-intensive execution: the functional
+// result is identical, only cheaper.
+func TestFastCoWSpeedsUpCoWWrites(t *testing.T) {
+	run := func(fast bool) (total int64) {
+		cfg := core.DefaultConfig(1, coherence.SwiftDir)
+		cfg.FastCoWWrites = fast
+		m := core.MustNewMachine(cfg)
+		lib := mmuFile()
+		p := m.NewProcess()
+		ctx := p.AttachContext(0)
+		base := p.MmapLibraryData(lib, 64*4096, 0)
+		for i := 0; i < 64; i++ {
+			r := ctx.MustAccessSync(base+mmuPage(i), true, uint64(i))
+			total += int64(r.Latency)
+		}
+		return total
+	}
+	slow := run(false)
+	fast := run(true)
+	if fast*2 >= slow {
+		t.Fatalf("FastCoW writes %d not much cheaper than %d", fast, slow)
+	}
+}
+
+func mmuFile() *mmu.File      { return mmu.NewFile("cow.so", 3) }
+func mmuPage(i int) mmu.VAddr { return mmu.VAddr(i) * mmu.PageSize }

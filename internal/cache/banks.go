@@ -1,0 +1,33 @@
+package cache
+
+// BankMapper distributes block addresses across LLC banks. The paper's
+// setup (Table V) uses one 2-MB L2 bank per core; blocks interleave across
+// banks by low-order block-address bits, matching common commercial
+// designs.
+type BankMapper struct {
+	banks     int
+	blockBits uint
+}
+
+// NewBankMapper builds a mapper for a power-of-two bank count.
+func NewBankMapper(banks, blockSize int) *BankMapper {
+	if banks <= 0 || banks&(banks-1) != 0 {
+		panic("cache: bank count must be a positive power of two")
+	}
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		panic("cache: block size must be a positive power of two")
+	}
+	bits := uint(0)
+	for b := blockSize; b > 1; b >>= 1 {
+		bits++
+	}
+	return &BankMapper{banks: banks, blockBits: bits}
+}
+
+// Banks returns the number of banks.
+func (m *BankMapper) Banks() int { return m.banks }
+
+// Bank returns the bank index the block containing addr maps to.
+func (m *BankMapper) Bank(addr Addr) int {
+	return int((addr >> m.blockBits) & Addr(m.banks-1))
+}

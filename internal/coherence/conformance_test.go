@@ -1,0 +1,244 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// Protocol conformance: a table-driven specification of the stable-state
+// transitions each protocol must produce for canonical scenarios. Each
+// scenario is a sequence of (core, op) steps; the expectation pins the
+// final L1 states, the directory state, and the full message-kind
+// sequence. This is the executable analogue of a Ruby/SLICC protocol
+// table.
+
+type step struct {
+	core  int
+	write bool
+	wp    bool
+	value uint64
+}
+
+type conformanceCase struct {
+	name     string
+	policy   Policy
+	steps    []step
+	l1States map[int]cache.LineState // final, per core
+	dirState DirState
+	msgs     string // full message sequence over all steps
+}
+
+func conformanceTable() []conformanceCase {
+	ld := func(core int, wp bool) step { return step{core: core, wp: wp} }
+	st := func(core int, v uint64) step { return step{core: core, write: true, value: v} }
+
+	return []conformanceCase{
+		// --- MESI ---
+		{
+			name: "MESI cold load", policy: MESI,
+			steps:    []step{ld(0, false)},
+			l1States: map[int]cache.LineState{0: cache.Exclusive},
+			dirState: DirExclusive,
+			msgs:     "GETS Data_Exclusive Exclusive_Unblock",
+		},
+		{
+			name: "MESI read-read", policy: MESI,
+			steps:    []step{ld(0, false), ld(1, false)},
+			l1States: map[int]cache.LineState{0: cache.Shared, 1: cache.Shared},
+			dirState: DirShared,
+			msgs: "GETS Data_Exclusive Exclusive_Unblock " +
+				"GETS Fwd_GETS Data_From_Owner WB_Data Unblock",
+		},
+		{
+			name: "MESI read-write same core", policy: MESI,
+			steps:    []step{ld(0, false), st(0, 1)},
+			l1States: map[int]cache.LineState{0: cache.Modified},
+			dirState: DirExclusive, // the silent upgrade is invisible to the directory
+			msgs:     "GETS Data_Exclusive Exclusive_Unblock",
+		},
+		{
+			name: "MESI write-write cross core", policy: MESI,
+			steps:    []step{st(0, 1), st(1, 2)},
+			l1States: map[int]cache.LineState{0: cache.Invalid, 1: cache.Modified},
+			dirState: DirModifiedL1,
+			msgs: "GETX Data_Exclusive Exclusive_Unblock " +
+				"GETX Fwd_GETX Data_From_Owner Exclusive_Unblock",
+		},
+		{
+			name: "MESI read-read-write", policy: MESI,
+			steps:    []step{ld(0, false), ld(1, false), st(0, 3)},
+			l1States: map[int]cache.LineState{0: cache.Modified, 1: cache.Invalid},
+			dirState: DirModifiedL1,
+			msgs: "GETS Data_Exclusive Exclusive_Unblock " +
+				"GETS Fwd_GETS Data_From_Owner WB_Data Unblock " +
+				"Upgrade Inv Inv_Ack Upgrade_ACK",
+		},
+
+		// --- SwiftDir ---
+		{
+			name: "SwiftDir cold WP load", policy: SwiftDir,
+			steps:    []step{ld(0, true)},
+			l1States: map[int]cache.LineState{0: cache.Shared},
+			dirState: DirShared,
+			msgs:     "GETS_WP Data Unblock",
+		},
+		{
+			name: "SwiftDir WP read-read", policy: SwiftDir,
+			steps:    []step{ld(0, true), ld(1, true)},
+			l1States: map[int]cache.LineState{0: cache.Shared, 1: cache.Shared},
+			dirState: DirShared,
+			msgs:     "GETS_WP Data Unblock GETS_WP Data Unblock",
+		},
+		{
+			name: "SwiftDir non-WP unchanged from MESI", policy: SwiftDir,
+			steps:    []step{ld(0, false), st(0, 1)},
+			l1States: map[int]cache.LineState{0: cache.Modified},
+			dirState: DirExclusive,
+			msgs:     "GETS Data_Exclusive Exclusive_Unblock",
+		},
+		{
+			name: "SwiftDir mixed WP then non-WP writer", policy: SwiftDir,
+			steps:    []step{ld(0, true), ld(1, true), st(1, 9)},
+			l1States: map[int]cache.LineState{0: cache.Invalid, 1: cache.Modified},
+			dirState: DirModifiedL1,
+			msgs: "GETS_WP Data Unblock GETS_WP Data Unblock " +
+				"Upgrade Inv Inv_Ack Upgrade_ACK",
+		},
+
+		// --- S-MESI ---
+		{
+			name: "S-MESI explicit E->M", policy: SMESI,
+			steps:    []step{ld(0, false), st(0, 1)},
+			l1States: map[int]cache.LineState{0: cache.Modified},
+			dirState: DirModifiedL1, // synchronized, unlike MESI
+			msgs:     "GETS Data_Exclusive Exclusive_Unblock Upgrade Upgrade_ACK",
+		},
+		{
+			name: "S-MESI serves E from LLC", policy: SMESI,
+			steps:    []step{ld(0, false), ld(1, false)},
+			l1States: map[int]cache.LineState{0: cache.Shared, 1: cache.Shared},
+			dirState: DirShared,
+			msgs: "GETS Data_Exclusive Exclusive_Unblock " +
+				"GETS Data Downgrade Unblock",
+		},
+
+		// --- E_wp ablation ---
+		{
+			name: "Ewp WP load keeps E", policy: SwiftDirEwp,
+			steps:    []step{ld(0, true)},
+			l1States: map[int]cache.LineState{0: cache.Exclusive},
+			dirState: DirExclusive,
+			msgs:     "GETS_WP Data_Exclusive Exclusive_Unblock",
+		},
+		{
+			name: "Ewp remote WP load from LLC", policy: SwiftDirEwp,
+			steps:    []step{ld(0, true), ld(1, true)},
+			l1States: map[int]cache.LineState{0: cache.Shared, 1: cache.Shared},
+			dirState: DirShared,
+			msgs: "GETS_WP Data_Exclusive Exclusive_Unblock " +
+				"GETS_WP Data Downgrade Unblock",
+		},
+
+		// --- MOESI ---
+		{
+			name: "MOESI dirty sharing via O", policy: MOESI,
+			steps:    []step{ld(0, false), st(0, 7), ld(1, false)},
+			l1States: map[int]cache.LineState{0: cache.Owned, 1: cache.Shared},
+			dirState: DirOwned,
+			msgs: "GETS Data_Exclusive Exclusive_Unblock " +
+				"GETS Fwd_GETS Data_From_Owner WB_Data Unblock",
+		},
+		{
+			name: "MOESI owner re-upgrade", policy: MOESI,
+			steps:    []step{ld(0, false), st(0, 7), ld(1, false), st(0, 8)},
+			l1States: map[int]cache.LineState{0: cache.Modified, 1: cache.Invalid},
+			dirState: DirModifiedL1,
+			msgs: "GETS Data_Exclusive Exclusive_Unblock " +
+				"GETS Fwd_GETS Data_From_Owner WB_Data Unblock " +
+				"Upgrade Inv Inv_Ack Upgrade_ACK",
+		},
+		// --- MESIF ---
+		{
+			name: "MESIF forward chain", policy: MESIF,
+			steps:    []step{ld(0, false), ld(1, false), ld(2, false)},
+			l1States: map[int]cache.LineState{0: cache.Shared, 1: cache.Shared, 2: cache.Forward},
+			dirState: DirShared,
+			msgs: "GETS Data_Exclusive Exclusive_Unblock " +
+				"GETS Fwd_GETS Data_From_Owner WB_Data Unblock " +
+				"GETS Fwd_GETS Data_From_Owner WB_Data Unblock",
+		},
+		{
+			name: "SwiftDir-MESIF WP never forwards", policy: SwiftDirMESIF,
+			steps:    []step{ld(0, true), ld(1, true), ld(2, true)},
+			l1States: map[int]cache.LineState{0: cache.Shared, 1: cache.Shared, 2: cache.Shared},
+			dirState: DirShared,
+			msgs:     "GETS_WP Data Unblock GETS_WP Data Unblock GETS_WP Data Unblock",
+		},
+		{
+			name: "SwiftDir-MOESI WP pinned to S", policy: SwiftDirMOESI,
+			steps:    []step{ld(0, true), ld(1, true)},
+			l1States: map[int]cache.LineState{0: cache.Shared, 1: cache.Shared},
+			dirState: DirShared,
+			msgs:     "GETS_WP Data Unblock GETS_WP Data Unblock",
+		},
+
+		// --- MSI ---
+		{
+			name: "MSI cold load installs Shared", policy: MSI,
+			steps:    []step{ld(0, false)},
+			l1States: map[int]cache.LineState{0: cache.Shared},
+			dirState: DirShared,
+			msgs:     "GETS Data Unblock",
+		},
+		{
+			name: "MSI store pays Upgrade", policy: MSI,
+			steps:    []step{ld(0, false), st(0, 1)},
+			l1States: map[int]cache.LineState{0: cache.Modified},
+			dirState: DirModifiedL1,
+			msgs:     "GETS Data Unblock Upgrade Upgrade_ACK",
+		},
+		{
+			name: "MSI store miss takes GETX", policy: MSI,
+			steps:    []step{st(0, 1)},
+			l1States: map[int]cache.LineState{0: cache.Modified},
+			dirState: DirModifiedL1,
+			msgs:     "GETX Data_Exclusive Exclusive_Unblock",
+		},
+		{
+			name: "MSI readers all LLC-served", policy: MSI,
+			steps:    []step{ld(0, false), ld(1, false), ld(2, false)},
+			l1States: map[int]cache.LineState{0: cache.Shared, 1: cache.Shared, 2: cache.Shared},
+			dirState: DirShared,
+			msgs:     "GETS Data Unblock GETS Data Unblock GETS Data Unblock",
+		},
+	}
+}
+
+func TestProtocolConformance(t *testing.T) {
+	for _, c := range conformanceTable() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			s := newTestSystem(t, c.policy, 3)
+			tr := s.AttachTracer()
+			for _, st := range c.steps {
+				s.AccessSync(st.core, blockA, st.write, st.wp, st.value)
+				s.Quiesce()
+			}
+			if got := tr.KindSeq(); got != c.msgs {
+				t.Errorf("messages:\n got  %q\n want %q", got, c.msgs)
+			}
+			for core, want := range c.l1States {
+				if got := s.L1StateOf(core, blockA); got != want {
+					t.Errorf("L1(%d) state = %v, want %v", core, got, want)
+				}
+			}
+			if got := s.DirStateOf(blockA); got != c.dirState {
+				t.Errorf("dir state = %v, want %v", got, c.dirState)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

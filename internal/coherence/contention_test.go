@@ -1,0 +1,92 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// With finite link bandwidth, concurrent bursts queue at the crossbar:
+// latencies spread out, but correctness and invariants are unaffected.
+func TestLinkContentionSpreadsLatency(t *testing.T) {
+	cfg := testConfig(SwiftDir, 4)
+	cfg.Timing.LinkOccupancy = 2
+	s := MustNewSystem(cfg)
+
+	// Warm 32 shared lines from core 3 (they all live in 2 banks).
+	for i := 0; i < 32; i++ {
+		s.AccessSync(3, cache.Addr(0x900000+i*64), false, true, 0)
+	}
+	s.Quiesce()
+
+	// Burst: cores 0-2 each read all 32 lines simultaneously.
+	var lats []sim.Cycle
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 32; i++ {
+			s.Submit(c, Access{
+				Addr: cache.Addr(0x900000 + i*64), WP: true,
+				Done: func(r AccessResult) { lats = append(lats, r.Latency) },
+			})
+		}
+	}
+	s.Quiesce()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lats) != 96 {
+		t.Fatalf("completions = %d", len(lats))
+	}
+	min, max := lats[0], lats[0]
+	for _, l := range lats {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if min < DefaultTiming().LLCLoadLatency() {
+		t.Fatalf("latency %d below the uncontended service time", min)
+	}
+	if max == min {
+		t.Fatal("no latency spread under contention")
+	}
+	if s.Network().AvgQueueing() == 0 {
+		t.Fatal("crossbar recorded no queueing")
+	}
+}
+
+// Zero occupancy (the default) must leave the calibrated latencies exactly
+// intact — the crossbar degenerates to fixed Hop latency.
+func TestZeroOccupancyPreservesCalibration(t *testing.T) {
+	s := newTestSystem(t, MESI, 2)
+	s.AccessSync(1, blockA, false, false, 0)
+	r := s.AccessSync(0, blockA, false, false, 0)
+	if r.Latency != DefaultTiming().RemoteLoadLatency() {
+		t.Fatalf("remote load %d, want %d", r.Latency, DefaultTiming().RemoteLoadLatency())
+	}
+	if s.Network().AvgQueueing() != 0 {
+		t.Fatal("ideal network queued messages")
+	}
+}
+
+// Contention is deterministic too.
+func TestContentionDeterminism(t *testing.T) {
+	run := func() sim.Cycle {
+		cfg := testConfig(MESI, 4)
+		cfg.Timing.LinkOccupancy = 3
+		s := MustNewSystem(cfg)
+		for i := 0; i < 200; i++ {
+			s.Submit(i%4, Access{Addr: cache.Addr(0xA00000 + (i%29)*64), Write: i%5 == 0, Value: uint64(i)})
+		}
+		s.Quiesce()
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Eng.Now()
+	}
+	if run() != run() {
+		t.Fatal("contention nondeterministic")
+	}
+}

@@ -1,0 +1,675 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// DirState is the directory's knowledge about a block resident in the LLC.
+//
+// The distinction between DirExclusive and DirModifiedL1 is the crux of
+// the paper: under MESI and SwiftDir a silent E→M upgrade leaves the
+// directory in DirExclusive while the owner's copy may already be dirty,
+// so the directory must forward every GETS (the slow three-hop path the
+// timing channel measures). Under S-MESI the explicit Upgrade moves the
+// directory to DirModifiedL1, which means DirExclusive is provably clean
+// and can be served straight from the LLC.
+type DirState uint8
+
+const (
+	// DirInvalid: block not resident in the LLC (no entry exists).
+	DirInvalid DirState = iota
+	// DirPresent: resident in the LLC only; no L1 holds a copy.
+	DirPresent
+	// DirShared: resident; one or more L1s hold Shared copies.
+	DirShared
+	// DirExclusive: one L1 was granted E; it may have silently upgraded.
+	DirExclusive
+	// DirModifiedL1: one L1 is known to hold the block Modified.
+	DirModifiedL1
+	// DirOwned (MOESI): one L1 holds the block dirty in state O while
+	// zero or more others hold Shared copies of the same value; the LLC
+	// data are stale, so every request forwards to the owner.
+	DirOwned
+)
+
+func (s DirState) String() string {
+	switch s {
+	case DirInvalid:
+		return "DirI"
+	case DirPresent:
+		return "DirP"
+	case DirShared:
+		return "DirS"
+	case DirExclusive:
+		return "DirE"
+	case DirModifiedL1:
+		return "DirM"
+	case DirOwned:
+		return "DirO"
+	}
+	return fmt.Sprintf("DirState(%d)", uint8(s))
+}
+
+// dirEntry is the directory sidecar for an LLC-resident block.
+type dirEntry struct {
+	state     DirState
+	owner     int
+	sharers   uint64 // bitset of L1 ids
+	llcDirty  bool   // LLC data differs from memory
+	wp        bool   // block was write-protected at its last load grant
+	forwarder int    // MESIF forward-state holder among the sharers, or -1
+}
+
+func bit(id int) uint64 { return 1 << uint(id) }
+
+// txn is an in-flight directory transaction; the block is busy until all
+// wait conditions clear (the blocking protocol of Table II).
+type txn struct {
+	req          Msg
+	waitUnblock  bool
+	waitWB       bool
+	waitAcks     int
+	grantPending func() // deferred grant once invalidation acks arrive
+	queued       []Msg
+}
+
+// BankStats counts directory activity per bank.
+type BankStats struct {
+	Requests      uint64
+	LLCServed     uint64 // grants served from the LLC (two-hop)
+	Forwards      uint64 // Fwd_GETS / Fwd_GETX issued (three-hop)
+	MemFetches    uint64
+	Invals        uint64 // Inv demands issued
+	UpgradeAcks   uint64
+	Recalls       uint64 // inclusive-eviction recalls of L1 copies
+	Writebacks    uint64 // dirty evictions written to memory
+	QueuedWakeups uint64
+}
+
+// bank is one LLC slice plus its directory and its view of the memory
+// controller.
+type bank struct {
+	id      int
+	sys     *System
+	arr     *cache.Array
+	entries map[cache.Addr]*dirEntry
+	busy    map[cache.Addr]*txn
+	Stats   BankStats
+}
+
+func newBank(id int, sys *System, params cache.Params) *bank {
+	return &bank{
+		id:      id,
+		sys:     sys,
+		arr:     cache.NewArray(params),
+		entries: make(map[cache.Addr]*dirEntry),
+		busy:    make(map[cache.Addr]*txn),
+	}
+}
+
+func (b *bank) eng() *sim.Engine { return b.sys.Eng }
+func (b *bank) timing() Timing   { return b.sys.Timing }
+func (b *bank) policy() Policy   { return b.sys.Policy }
+
+// send delivers a message to an L1 after delay. The final Hop of the
+// delay traverses the crossbar, so it is subject to port contention when
+// LinkOccupancy is configured.
+func (b *bank) send(dst int, m Msg, delay sim.Cycle) {
+	m.Src = DirID
+	local := delay - b.timing().Hop
+	if local < 0 {
+		local = 0
+	}
+	b.eng().Schedule(local, func() {
+		b.sys.xbar.Send(b.sys.bankPort(b.id), dst, func() {
+			b.sys.trace(m, dst)
+			b.sys.L1s[dst].Receive(m)
+		})
+	})
+}
+
+// respDelay is the service latency for a grant computed at request-arrival
+// time: directory/LLC lookup plus the return hop.
+func (b *bank) respDelay() sim.Cycle { return b.timing().LLCTag + b.timing().Hop }
+
+// dispatch is the bank's single entry point.
+func (b *bank) dispatch(m Msg) {
+	switch m.Kind {
+	case MsgGETS, MsgGETSWP, MsgGETX, MsgUpgrade, MsgPUTS, MsgPUTX:
+		if t, ok := b.busy[m.Addr]; ok {
+			t.queued = append(t.queued, m)
+			return
+		}
+		b.start(m)
+	case MsgUnblock, MsgExclusiveUnblock:
+		t := b.busy[m.Addr]
+		if t == nil {
+			panic(fmt.Sprintf("bank %d: %v for idle block %#x", b.id, m.Kind, m.Addr))
+		}
+		t.waitUnblock = false
+		b.maybeComplete(m.Addr, t)
+	case MsgWBData:
+		b.onWBData(m)
+	case MsgInvAck:
+		t := b.busy[m.Addr]
+		if t == nil {
+			return // ack for an already-completed transaction
+		}
+		t.waitAcks--
+		if t.waitAcks == 0 && t.grantPending != nil {
+			grant := t.grantPending
+			t.grantPending = nil
+			grant()
+		}
+		b.maybeComplete(m.Addr, t)
+	default:
+		panic(fmt.Sprintf("bank %d: unexpected message %v", b.id, m.Kind))
+	}
+}
+
+func (b *bank) start(m Msg) {
+	switch m.Kind {
+	case MsgGETS, MsgGETSWP:
+		b.Stats.Requests++
+		b.handleLoad(m)
+	case MsgGETX:
+		b.Stats.Requests++
+		b.handleStoreMiss(m)
+	case MsgUpgrade:
+		b.Stats.Requests++
+		b.handleUpgrade(m)
+	case MsgPUTS:
+		b.handlePUTS(m)
+	case MsgPUTX:
+		b.handlePUTX(m)
+	}
+}
+
+// handleLoad implements GETS and GETS_WP (Figure 4(a)-(b), 4(c), 4(e)).
+func (b *bank) handleLoad(m Msg) {
+	e := b.entries[m.Addr]
+	if e == nil {
+		b.fetchAndGrant(m, false)
+		return
+	}
+	ln := b.arr.Probe(m.Addr)
+	switch e.state {
+	case DirPresent:
+		b.grantLoad(m, e, ln.Data, ServedLLC, 0)
+	case DirShared:
+		if b.policy().ForwardStateFor(e.wp) && e.forwarder >= 0 {
+			// MESIF: the designated forwarder supplies the data
+			// cache-to-cache; the requestor becomes the new forwarder.
+			t := &txn{req: m, waitUnblock: true, waitWB: true}
+			b.busy[m.Addr] = t
+			b.Stats.Forwards++
+			b.send(e.forwarder, Msg{Kind: MsgFwdGETS, Addr: m.Addr, Requestor: m.Src, WP: e.wp}, b.respDelay())
+			return
+		}
+		// Figure 1(b)/4(b): served directly from the LLC.
+		e.sharers |= bit(m.Src)
+		mf := b.policy().ForwardStateFor(e.wp)
+		if mf {
+			e.forwarder = m.Src
+		}
+		t := &txn{req: m, waitUnblock: true}
+		b.busy[m.Addr] = t
+		b.Stats.LLCServed++
+		b.send(m.Src, Msg{Kind: MsgData, Addr: m.Addr, Data: ln.Data, Served: ServedLLC, MakeForward: mf}, b.respDelay())
+	case DirExclusive:
+		if e.owner == m.Src {
+			panic(fmt.Sprintf("bank %d: owner %d re-requests %#x", b.id, m.Src, m.Addr))
+		}
+		if b.policy().ServeExclusiveFromLLC(e.wp) {
+			// S-MESI (always) or the E_wp ablation (write-protected
+			// blocks): E at the directory is provably clean; serve from
+			// the LLC and downgrade the owner.
+			owner := e.owner
+			e.state = DirShared
+			e.sharers = bit(owner) | bit(m.Src)
+			e.owner = -1
+			t := &txn{req: m, waitUnblock: true}
+			b.busy[m.Addr] = t
+			b.Stats.LLCServed++
+			b.send(m.Src, Msg{Kind: MsgData, Addr: m.Addr, Data: ln.Data, Served: ServedLLC}, b.respDelay())
+			b.send(owner, Msg{Kind: MsgDowngrade, Addr: m.Addr}, b.respDelay())
+			return
+		}
+		b.forwardLoad(m, e)
+	case DirModifiedL1, DirOwned:
+		b.forwardLoad(m, e)
+	default:
+		panic(fmt.Sprintf("bank %d: entry in %v", b.id, e.state))
+	}
+}
+
+// forwardLoad relays a GETS to the owner (Figure 1(a)): the directory
+// cannot rule out a silent upgrade, so the owner must supply the data.
+func (b *bank) forwardLoad(m Msg, e *dirEntry) {
+	t := &txn{req: m, waitUnblock: true, waitWB: true}
+	b.busy[m.Addr] = t
+	b.Stats.Forwards++
+	b.send(e.owner, Msg{Kind: MsgFwdGETS, Addr: m.Addr, Requestor: m.Src, WP: e.wp}, b.respDelay())
+}
+
+// onWBData absorbs the owner's copy after a forwarded GETS and finalizes
+// the sharer set. Under MOESI the owner may instead report that it kept
+// the dirty copy (m.Owned): the entry moves to DirOwned and the LLC data
+// stay stale.
+func (b *bank) onWBData(m Msg) {
+	t := b.busy[m.Addr]
+	if t == nil {
+		panic(fmt.Sprintf("bank %d: WB_Data for idle block %#x", b.id, m.Addr))
+	}
+	e := b.entries[m.Addr]
+	ln := b.arr.Lookup(m.Addr)
+	if e == nil || ln == nil {
+		panic(fmt.Sprintf("bank %d: WB_Data for absent block %#x", b.id, m.Addr))
+	}
+	if m.Owned {
+		e.state = DirOwned
+		e.owner = m.Src
+		e.sharers |= bit(t.req.Src)
+		t.waitWB = false
+		b.maybeComplete(m.Addr, t)
+		return
+	}
+	if b.policy().ForwardStateFor(e.wp) {
+		// MESIF: the requestor that just received the data becomes the
+		// forwarder.
+		e.forwarder = t.req.Src
+	}
+	if m.Dirty {
+		ln.Data = m.Data
+		e.llcDirty = true
+	}
+	if e.state == DirShared || e.state == DirOwned {
+		// MESIF forwarder transfer, or a MOESI owned block whose owner
+		// downgraded/evicted: other sharers are untouched and must be
+		// preserved.
+		e.sharers |= bit(t.req.Src)
+		if m.FromWB {
+			e.sharers &^= bit(m.Src)
+		} else {
+			e.sharers |= bit(m.Src)
+		}
+	} else {
+		// E/M owner downgrade: owner and requestor are the only copies.
+		e.sharers = bit(t.req.Src)
+		if !m.FromWB {
+			e.sharers |= bit(m.Src)
+		}
+	}
+	e.state = DirShared
+	e.owner = -1
+	t.waitWB = false
+	b.maybeComplete(m.Addr, t)
+}
+
+// handleStoreMiss implements GETX.
+func (b *bank) handleStoreMiss(m Msg) {
+	e := b.entries[m.Addr]
+	if e == nil {
+		b.fetchAndGrant(m, true)
+		return
+	}
+	ln := b.arr.Probe(m.Addr)
+	switch e.state {
+	case DirPresent:
+		b.grantStore(m, e, ln.Data, ServedLLC, 0)
+	case DirShared:
+		targets := e.sharers &^ bit(m.Src)
+		if targets == 0 {
+			b.grantStore(m, e, ln.Data, ServedLLC, 0)
+			return
+		}
+		data := ln.Data
+		t := &txn{req: m}
+		b.busy[m.Addr] = t
+		b.invalidate(m.Addr, targets, m.Src, t)
+		t.grantPending = func() { b.grantStore(m, e, data, ServedLLC, 0) }
+	case DirExclusive, DirModifiedL1:
+		if e.owner == m.Src {
+			panic(fmt.Sprintf("bank %d: owner %d GETX on own block %#x", b.id, m.Src, m.Addr))
+		}
+		owner := e.owner
+		e.state = DirModifiedL1
+		e.owner = m.Src
+		e.sharers = 0
+		t := &txn{req: m, waitUnblock: true}
+		b.busy[m.Addr] = t
+		b.Stats.Forwards++
+		b.send(owner, Msg{Kind: MsgFwdGETX, Addr: m.Addr, Requestor: m.Src}, b.respDelay())
+	case DirOwned:
+		// MOESI: the data come from the O holder; any S copies (and the
+		// requestor's own stale S copy never exists here: sharers store
+		// with Upgrade) must be invalidated in parallel.
+		owner := e.owner
+		targets := e.sharers &^ bit(m.Src)
+		t := &txn{req: m, waitUnblock: true}
+		b.busy[m.Addr] = t
+		if targets != 0 {
+			b.invalidate(m.Addr, targets, m.Src, t)
+		}
+		e.state = DirModifiedL1
+		e.owner = m.Src
+		e.sharers = 0
+		b.Stats.Forwards++
+		b.send(owner, Msg{Kind: MsgFwdGETX, Addr: m.Addr, Requestor: m.Src}, b.respDelay())
+	}
+}
+
+// handleUpgrade implements the Upgrade request: S→M in every protocol, and
+// S-MESI's explicit E→M (Figure 2).
+func (b *bank) handleUpgrade(m Msg) {
+	e := b.entries[m.Addr]
+	if e == nil {
+		// The requestor lost its copy to a recall; full store miss.
+		b.handleStoreMiss(m)
+		return
+	}
+	switch {
+	case e.state == DirShared && e.sharers&bit(m.Src) != 0:
+		targets := e.sharers &^ bit(m.Src)
+		if targets == 0 {
+			b.ackUpgrade(m, e)
+			return
+		}
+		t := &txn{req: m}
+		b.busy[m.Addr] = t
+		b.invalidate(m.Addr, targets, m.Src, t)
+		t.grantPending = func() { b.ackUpgrade(m, e) }
+	case e.state == DirOwned && (e.owner == m.Src || e.sharers&bit(m.Src) != 0):
+		// MOESI: either the O holder upgrades O->M (invalidating the S
+		// copies) or a sharer upgrades S->M (invalidating the O holder
+		// too — safe, since every S copy equals the O copy's value).
+		targets := e.sharers &^ bit(m.Src)
+		if e.owner != m.Src {
+			targets |= bit(e.owner)
+		}
+		if targets == 0 {
+			b.ackUpgrade(m, e)
+			return
+		}
+		t := &txn{req: m}
+		b.busy[m.Addr] = t
+		b.invalidate(m.Addr, targets, m.Src, t)
+		t.grantPending = func() { b.ackUpgrade(m, e) }
+	case (e.state == DirExclusive || e.state == DirModifiedL1) && e.owner == m.Src:
+		b.ackUpgrade(m, e)
+	default:
+		// Raced: the requestor is no longer a sharer. Resolve as GETX.
+		b.handleStoreMiss(m)
+	}
+}
+
+// ackUpgrade grants write permission and records the known-modified owner.
+// The LLC line is touched: the paper observes (§V-B) that S-MESI's explicit
+// M-state synchronization makes the block look recently used to the LLC's
+// LRU policy, occasionally improving retention — an effect that emerges
+// here for free.
+func (b *bank) ackUpgrade(m Msg, e *dirEntry) {
+	e.state = DirModifiedL1
+	e.owner = m.Src
+	e.sharers = 0
+	e.wp = false
+	e.forwarder = -1
+	b.arr.Touch(m.Addr)
+	b.Stats.UpgradeAcks++
+	b.send(m.Src, Msg{Kind: MsgUpgradeAck, Addr: m.Addr}, b.respDelay())
+	if t, ok := b.busy[m.Addr]; ok {
+		b.maybeComplete(m.Addr, t)
+	}
+}
+
+// invalidate issues Inv demands and arms the ack counter.
+func (b *bank) invalidate(addr cache.Addr, targets uint64, requestor int, t *txn) {
+	n := bits.OnesCount64(targets)
+	t.waitAcks = n
+	b.Stats.Invals += uint64(n)
+	e := b.entries[addr]
+	for id := 0; targets != 0; id++ {
+		if targets&1 != 0 {
+			e.sharers &^= bit(id)
+			b.send(id, Msg{Kind: MsgInv, Addr: addr, Requestor: requestor}, b.respDelay())
+		}
+		targets >>= 1
+	}
+}
+
+func (b *bank) handlePUTS(m Msg) {
+	e := b.entries[m.Addr]
+	if e == nil {
+		return // block already recalled
+	}
+	e.sharers &^= bit(m.Src)
+	if e.forwarder == m.Src {
+		// The MESIF forwarder evicted; until the next shared grant there
+		// is no designated responder and the LLC serves.
+		e.forwarder = -1
+	}
+	if e.state == DirShared && e.sharers == 0 {
+		e.state = DirPresent
+	}
+}
+
+func (b *bank) handlePUTX(m Msg) {
+	e := b.entries[m.Addr]
+	switch {
+	case e != nil && e.owner == m.Src && e.state == DirOwned:
+		// The O holder evicts: the LLC absorbs the dirty data; any S
+		// copies remain valid sharers of the now-clean LLC line.
+		e.owner = -1
+		if ln := b.arr.Lookup(m.Addr); ln != nil {
+			ln.Data = m.Data
+		}
+		e.llcDirty = true
+		if e.sharers == 0 {
+			e.state = DirPresent
+		} else {
+			e.state = DirShared
+		}
+	case e != nil && e.owner == m.Src && (e.state == DirExclusive || e.state == DirModifiedL1):
+		e.state = DirPresent
+		e.owner = -1
+		if m.Dirty {
+			if ln := b.arr.Lookup(m.Addr); ln != nil {
+				ln.Data = m.Data
+			}
+			e.llcDirty = true
+		}
+	case e != nil:
+		// Stale or non-owner writeback: an S-MESI Downgrade demoted the
+		// sender to a sharer, or a MESIF Forward holder evicted. Its
+		// copy is gone either way.
+		e.sharers &^= bit(m.Src)
+		if e.forwarder == m.Src {
+			e.forwarder = -1
+		}
+		if e.state == DirShared && e.sharers == 0 {
+			e.state = DirPresent
+		}
+	case m.Dirty:
+		// The block was recalled while the writeback was in flight;
+		// commit the data straight to memory.
+		b.sys.memWrite(m.Addr, m.Data)
+	}
+	b.send(m.Src, Msg{Kind: MsgWBAck, Addr: m.Addr}, b.respDelay())
+}
+
+// fetchAndGrant services an LLC miss from DRAM, then installs and grants.
+func (b *bank) fetchAndGrant(m Msg, store bool) {
+	t := &txn{req: m}
+	b.busy[m.Addr] = t
+	b.Stats.MemFetches++
+	issueAt := b.timing().LLCTag
+	b.eng().Schedule(issueAt, func() {
+		done := b.sys.Mem.AccessAt(b.eng().Now(), uint64(m.Addr), false)
+		b.eng().ScheduleAt(done, func() {
+			extra := b.install(m.Addr)
+			data := b.sys.memRead(m.Addr)
+			b.arr.Lookup(m.Addr).Data = data
+			e := b.entries[m.Addr]
+			if store {
+				b.grantStore(m, e, data, ServedMem, extra)
+			} else {
+				b.grantLoad(m, e, data, ServedMem, extra)
+			}
+		})
+	})
+}
+
+// grantLoad answers a load request with the policy-determined permission.
+// SwiftDir's I→S transition for write-protected data happens here: the
+// grant for a GETS_WP is never exclusive (Figure 4(a)).
+func (b *bank) grantLoad(m Msg, e *dirEntry, data uint64, served ServedBy, extra sim.Cycle) {
+	t := b.busy[m.Addr]
+	if t == nil {
+		t = &txn{req: m}
+		b.busy[m.Addr] = t
+	}
+	t.waitUnblock = true
+	if served == ServedLLC {
+		b.Stats.LLCServed++
+	}
+	e.wp = m.WP
+	if b.policy().GrantExclusiveOnLoad(m.WP) {
+		e.state = DirExclusive
+		e.owner = m.Src
+		e.sharers = 0
+		e.forwarder = -1
+		b.send(m.Src, Msg{Kind: MsgDataExclusive, Addr: m.Addr, Data: data, Served: served, WP: m.WP}, b.respDelay()+extra)
+		return
+	}
+	e.state = DirShared
+	e.owner = -1
+	e.sharers |= bit(m.Src)
+	mf := b.policy().ForwardStateFor(m.WP)
+	if mf {
+		e.forwarder = m.Src
+	}
+	b.send(m.Src, Msg{Kind: MsgData, Addr: m.Addr, Data: data, Served: served, WP: m.WP, MakeForward: mf}, b.respDelay()+extra)
+}
+
+// grantStore answers a GETX (or an Upgrade resolved as GETX).
+func (b *bank) grantStore(m Msg, e *dirEntry, data uint64, served ServedBy, extra sim.Cycle) {
+	t := b.busy[m.Addr]
+	if t == nil {
+		t = &txn{req: m}
+		b.busy[m.Addr] = t
+	}
+	t.waitUnblock = true
+	if served == ServedLLC {
+		b.Stats.LLCServed++
+	}
+	e.state = DirModifiedL1
+	e.owner = m.Src
+	e.sharers = 0
+	e.wp = false // written data are no longer treated as write-protected
+	e.forwarder = -1
+	b.send(m.Src, Msg{Kind: MsgDataExclusive, Addr: m.Addr, Data: data, Served: served}, b.respDelay()+extra)
+}
+
+// maybeComplete retires the transaction once every wait clears, then
+// replays any queued requests in arrival order.
+func (b *bank) maybeComplete(addr cache.Addr, t *txn) {
+	if b.busy[addr] != t {
+		// t already completed (and possibly a queued request installed a
+		// new transaction); a stale caller must not touch it.
+		return
+	}
+	if t.waitUnblock || t.waitWB || t.waitAcks > 0 || t.grantPending != nil {
+		return
+	}
+	delete(b.busy, addr)
+	queued := t.queued
+	t.queued = nil
+	for i, m := range queued {
+		if nt, ok := b.busy[addr]; ok {
+			// A replayed request re-opened a transaction; this message
+			// and the rest stay queued behind it.
+			nt.queued = append(nt.queued, queued[i:]...)
+			return
+		}
+		b.Stats.QueuedWakeups++
+		b.start(m)
+	}
+}
+
+// install allocates an LLC line for addr, recalling and evicting a victim
+// if necessary. It returns the extra latency the triggering request must
+// absorb (the recall penalty).
+func (b *bank) install(addr cache.Addr) sim.Cycle {
+	if b.entries[addr] != nil {
+		panic(fmt.Sprintf("bank %d: double install of %#x", b.id, addr))
+	}
+	var extra sim.Cycle
+	v := b.arr.VictimFiltered(addr, func(a cache.Addr) bool { return b.busy[a] != nil })
+	if v == nil {
+		// Every way of the set is transaction-busy; structural stall.
+		// With a 16-way LLC this indicates a protocol bug, so fail fast.
+		panic(fmt.Sprintf("bank %d: no evictable way for %#x", b.id, addr))
+	}
+	if v.State.Valid() {
+		extra = b.evictLLC(b.arr.AddrOfLine(v, addr), v)
+	}
+	b.arr.Install(v, addr, cache.Shared)
+	b.entries[addr] = &dirEntry{state: DirPresent, owner: -1, forwarder: -1}
+	return extra
+}
+
+// evictLLC removes a block from the LLC. Inclusion requires recalling any
+// L1 copies; the recall is performed synchronously with an approximate
+// RecallPenalty charged to the triggering request (see DESIGN.md).
+func (b *bank) evictLLC(victim cache.Addr, ln *cache.Line) sim.Cycle {
+	e := b.entries[victim]
+	if e == nil {
+		panic(fmt.Sprintf("bank %d: LLC line %#x without directory entry", b.id, victim))
+	}
+	var extra sim.Cycle
+	data := ln.Data
+	dirty := e.llcDirty
+
+	recall := func(id int) {
+		d, dty, had := b.sys.L1s[id].ForceInvalidate(victim)
+		if had && dty {
+			data, dirty = d, true
+		}
+	}
+	switch e.state {
+	case DirShared:
+		b.Stats.Recalls++
+		extra = b.timing().RecallPenalty
+		for id, s := 0, e.sharers; s != 0; id++ {
+			if s&1 != 0 {
+				recall(id)
+			}
+			s >>= 1
+		}
+	case DirExclusive, DirModifiedL1:
+		b.Stats.Recalls++
+		extra = b.timing().RecallPenalty
+		recall(e.owner)
+	case DirOwned:
+		b.Stats.Recalls++
+		extra = b.timing().RecallPenalty
+		recall(e.owner)
+		for id, s := 0, e.sharers; s != 0; id++ {
+			if s&1 != 0 {
+				recall(id)
+			}
+			s >>= 1
+		}
+	}
+	if dirty {
+		b.Stats.Writebacks++
+		b.sys.memWrite(victim, data)
+		b.sys.Mem.AccessAt(b.eng().Now(), uint64(victim), true)
+	}
+	delete(b.entries, victim)
+	return extra
+}

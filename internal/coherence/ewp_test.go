@@ -1,0 +1,125 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// The E_wp ablation (§III-B3's rejected alternative): write-protected data
+// keep exclusivity on the initial load but remote loads are served from
+// the LLC.
+
+func TestEwpInitialWPLoadIsExclusive(t *testing.T) {
+	s := newTestSystem(t, SwiftDirEwp, 2)
+	s.AccessSync(0, blockA, false, true, 0)
+	if st := s.L1StateOf(0, blockA); st != cache.Exclusive {
+		t.Fatalf("L1 state %v, want E (E_wp keeps exclusivity)", st)
+	}
+	if ds := s.DirStateOf(blockA); ds != DirExclusive {
+		t.Fatalf("dir state %v, want DirE", ds)
+	}
+	quiesceAndCheck(t, s)
+}
+
+// The security property: despite the E state, the remote load of a
+// write-protected block is the constant LLC latency — the channel is
+// closed just as under SwiftDir.
+func TestEwpRemoteWPLoadServedFromLLC(t *testing.T) {
+	tm := DefaultTiming()
+	s := newTestSystem(t, SwiftDirEwp, 2)
+	s.AccessSync(1, blockA, false, true, 0)
+	r := s.AccessSync(0, blockA, false, true, 0)
+	if r.Served != ServedLLC {
+		t.Fatalf("served from %v, want LLC", r.Served)
+	}
+	if r.Latency != tm.LLCLoadLatency() {
+		t.Fatalf("latency %d, want %d", r.Latency, tm.LLCLoadLatency())
+	}
+	s.Quiesce()
+	// The owner was downgraded E_wp -> S.
+	if st := s.L1StateOf(1, blockA); st != cache.Shared {
+		t.Fatalf("owner state %v, want S", st)
+	}
+	quiesceAndCheck(t, s)
+}
+
+// Non-write-protected data keep the full MESI path under E_wp, including
+// the three-hop forward (unlike S-MESI).
+func TestEwpNonWPDataStillForwards(t *testing.T) {
+	s := newTestSystem(t, SwiftDirEwp, 2)
+	s.AccessSync(1, blockA, false, false, 0)
+	r := s.AccessSync(0, blockA, false, false, 0)
+	if r.Served != ServedRemote {
+		t.Fatalf("non-WP remote load served from %v, want Remote (forwarded)", r.Served)
+	}
+	quiesceAndCheck(t, s)
+}
+
+// Silent upgrade survives under E_wp (it does not overprotect private
+// data).
+func TestEwpKeepsSilentUpgrade(t *testing.T) {
+	tm := DefaultTiming()
+	s := newTestSystem(t, SwiftDirEwp, 2)
+	s.AccessSync(0, blockA, false, false, 0)
+	r := s.AccessSync(0, blockA, true, false, 5)
+	if r.Latency != tm.L1Tag {
+		t.Fatalf("store latency %d, want silent %d", r.Latency, tm.L1Tag)
+	}
+	quiesceAndCheck(t, s)
+}
+
+// E_wp costs an extra message (Downgrade) on the first remote load, where
+// SwiftDir needs none — the "complication" the paper avoids.
+func TestEwpCostsDowngradeMessages(t *testing.T) {
+	run := func(p Policy) (uint64, uint64) {
+		s := newTestSystem(t, p, 2)
+		s.AccessSync(1, blockA, false, true, 0)
+		s.AccessSync(0, blockA, false, true, 0)
+		s.Quiesce()
+		return s.MsgCount(MsgDowngrade), s.TotalMessages()
+	}
+	ewpDown, ewpTotal := run(SwiftDirEwp)
+	sdDown, sdTotal := run(SwiftDir)
+	if ewpDown != 1 || sdDown != 0 {
+		t.Fatalf("downgrades: ewp=%d swiftdir=%d, want 1/0", ewpDown, sdDown)
+	}
+	if ewpTotal <= sdTotal {
+		t.Fatalf("E_wp total traffic %d not above SwiftDir's %d", ewpTotal, sdTotal)
+	}
+}
+
+// The E_wp hazard, handled: a store to an E_wp line may NOT upgrade
+// silently (the LLC would later serve stale data); it must take the
+// explicit Upgrade path, which clears the directory's WP marking so a
+// subsequent remote load is forwarded and returns the fresh value. This
+// extra complication is exactly why the paper rejects E_wp in favour of
+// the I→S simplification.
+func TestEwpWrittenBlockForwards(t *testing.T) {
+	s := newTestSystem(t, SwiftDirEwp, 2)
+	s.AccessSync(1, blockA, false, true, 0) // E_wp
+	w := s.AccessSync(1, blockA, true, false, 7)
+	if w.Served != ServedUpgrade {
+		t.Fatalf("store on E_wp line served %v, want explicit Upgrade", w.Served)
+	}
+	r := s.AccessSync(0, blockA, false, true, 0)
+	if r.Served != ServedRemote {
+		t.Fatalf("remote load of written block served %v, want Remote (forward)", r.Served)
+	}
+	if r.Value != 7 {
+		t.Fatalf("remote load got %#x, want 7 (stale data leaked!)", r.Value)
+	}
+	quiesceAndCheck(t, s)
+}
+
+func TestPolicyByNameIncludesEwp(t *testing.T) {
+	if PolicyByName("SwiftDir-Ewp") != SwiftDirEwp {
+		t.Fatal("E_wp not resolvable by name")
+	}
+	if PolicyByName("nonesuch") != nil {
+		t.Fatal("bogus name resolved")
+	}
+	if len(AllPolicies) != 9 || len(Policies) != 3 {
+		t.Fatal("policy lists wrong")
+	}
+}

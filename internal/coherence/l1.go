@@ -1,0 +1,590 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// ServedBy classifies where a completed access was served from; it is the
+// quantity the E/S timing channel observes.
+type ServedBy uint8
+
+const (
+	ServedL1      ServedBy = iota // private L1 hit (incl. silent upgrade)
+	ServedLLC                     // two-hop LLC service
+	ServedRemote                  // three-hop forwarded service from another L1
+	ServedMem                     // main-memory fetch
+	ServedUpgrade                 // store completed via an Upgrade round trip
+)
+
+func (s ServedBy) String() string {
+	switch s {
+	case ServedL1:
+		return "L1"
+	case ServedLLC:
+		return "LLC"
+	case ServedRemote:
+		return "Remote"
+	case ServedMem:
+		return "Mem"
+	case ServedUpgrade:
+		return "Upgrade"
+	}
+	return fmt.Sprintf("ServedBy(%d)", uint8(s))
+}
+
+// Access is one CPU-side memory request presented to an L1 controller.
+type Access struct {
+	Addr  cache.Addr // physical address
+	Write bool
+	WP    bool   // write-protection bit delivered by the MMU with the translation
+	Value uint64 // store token (ignored for loads)
+
+	// MissPenalty is charged once, before the coherence request leaves
+	// the L1, if the access misses. It models virtually-indexed L1
+	// architectures (VIVT) that perform address translation only on the
+	// miss path (§IV-B of the paper).
+	MissPenalty sim.Cycle
+
+	// Done is invoked exactly once at completion. It may be nil.
+	Done func(AccessResult)
+
+	start sim.Cycle
+}
+
+// AccessResult reports how an access completed.
+type AccessResult struct {
+	Latency sim.Cycle
+	Value   uint64 // loaded value (or the stored token for writes)
+	Served  ServedBy
+	Write   bool
+	WP      bool
+}
+
+// transient is an L1 MSHR state (Table I; IM^D and SM^A are standard
+// MESI_Two_Level companions of the paper's IS^D and EM^A).
+type transient uint8
+
+const (
+	tISD transient = iota // I->S/E, waiting for Data
+	tIMD                  // I->M, waiting for Data_Exclusive
+	tSMA                  // S->M, waiting for Upgrade ACK
+	tEMA                  // E->M, waiting for LLC's ACK (S-MESI only)
+)
+
+func (t transient) String() string {
+	return [...]string{"IS^D", "IM^D", "SM^A", "EM^A"}[t]
+}
+
+type mshr struct {
+	state   transient
+	wp      bool
+	pending []Access // pending[0] initiated the transaction
+}
+
+type wbEntry struct {
+	data  uint64
+	dirty bool
+}
+
+// L1Stats counts controller activity.
+type L1Stats struct {
+	Loads, Stores       uint64
+	LoadHits, StoreHits uint64
+	SilentUpgrades      uint64 // E->M without LLC communication
+	ExplicitUpgrades    uint64 // Upgrade round trips (S->M, or E->M under S-MESI)
+	Writebacks          uint64
+	FwdsServed          uint64 // forwarded requests answered for the directory
+	Invalidations       uint64 // lines dropped on Inv/FwdGETX/recall
+	Prefetches          uint64 // next-line prefetches issued
+}
+
+// L1 is a private cache controller. It owns a set-associative array, an
+// MSHR table (one outstanding transaction per block, with merging), and a
+// writeback buffer that answers forwarded requests racing an eviction.
+type L1 struct {
+	ID     int
+	eng    *sim.Engine
+	timing Timing
+	policy Policy
+	arr    *cache.Array
+
+	toDir func(Msg)            // schedule delivery to the directory (adds Hop)
+	toL1  func(dst int, m Msg) // schedule delivery to a peer L1 (adds Hop)
+
+	mshrs map[cache.Addr]*mshr
+	wb    map[cache.Addr]wbEntry
+
+	prefetch PrefetchMode
+
+	record func(AccessResult)
+	Stats  L1Stats
+}
+
+// newL1 wires a controller; the system provides the send functions.
+func newL1(id int, eng *sim.Engine, timing Timing, policy Policy, params cache.Params) *L1 {
+	return &L1{
+		ID:     id,
+		eng:    eng,
+		timing: timing,
+		policy: policy,
+		arr:    cache.NewArray(params),
+		mshrs:  make(map[cache.Addr]*mshr),
+		wb:     make(map[cache.Addr]wbEntry),
+	}
+}
+
+// Array exposes the underlying array for invariant checks and tests.
+func (l *L1) Array() *cache.Array { return l.arr }
+
+// OutstandingMisses returns the number of active MSHRs.
+func (l *L1) OutstandingMisses() int { return len(l.mshrs) }
+
+// Request submits a CPU access. The L1 tag lookup cost is charged before
+// the access is examined.
+func (l *L1) Request(a Access) {
+	a.start = l.eng.Now()
+	if a.Write {
+		l.Stats.Stores++
+	} else {
+		l.Stats.Loads++
+	}
+	l.eng.Schedule(l.timing.L1Tag, func() { l.process(a) })
+}
+
+// process examines an access after the tag lookup. It is also the replay
+// entry point for accesses that were queued behind an MSHR.
+func (l *L1) process(a Access) {
+	block := l.arr.BlockAddr(a.Addr)
+	if ms, ok := l.mshrs[block]; ok {
+		ms.pending = append(ms.pending, a)
+		return
+	}
+	ln := l.arr.Probe(block)
+	if ln == nil {
+		if a.MissPenalty > 0 {
+			// Deferred translation (VIVT): pay it now, once.
+			p := a.MissPenalty
+			a.MissPenalty = 0
+			l.eng.Schedule(p, func() { l.processMiss(block, a) })
+			return
+		}
+		l.miss(block, a)
+		return
+	}
+	if !a.Write {
+		l.Stats.LoadHits++
+		l.complete(a, ln.Data, ServedL1)
+		return
+	}
+	switch ln.State {
+	case cache.Modified:
+		l.Stats.StoreHits++
+		ln.Data = a.Value
+		ln.WP = false
+		l.complete(a, a.Value, ServedL1)
+	case cache.Exclusive:
+		if l.policy.SilentUpgrade(ln.WP) {
+			// The MESI speedup S-MESI revokes: E->M entirely within
+			// the L1 (Figure 3(a), Figure 4(d)).
+			l.Stats.StoreHits++
+			l.Stats.SilentUpgrades++
+			ln.State = cache.Modified
+			ln.Data = a.Value
+			ln.WP = false
+			l.complete(a, a.Value, ServedL1)
+			return
+		}
+		// S-MESI: enter EM^A and ask the LLC (Figure 2 / Figure 3(b)).
+		l.Stats.ExplicitUpgrades++
+		l.mshrs[block] = &mshr{state: tEMA, pending: []Access{a}}
+		l.toDir(Msg{Kind: MsgUpgrade, Addr: block, Src: l.ID})
+	case cache.Shared, cache.Owned, cache.Forward:
+		// Neither an Owned nor a Forward holder is exclusive: other
+		// caches may hold S copies, so the store needs the same Upgrade
+		// round trip.
+		l.Stats.ExplicitUpgrades++
+		l.mshrs[block] = &mshr{state: tSMA, pending: []Access{a}}
+		l.toDir(Msg{Kind: MsgUpgrade, Addr: block, Src: l.ID})
+	default:
+		panic(fmt.Sprintf("L1 %d: store hit on invalid line %#x", l.ID, block))
+	}
+}
+
+// processMiss re-checks the block after a deferred translation: a merged
+// transaction or a racing fill may have changed the picture meanwhile.
+func (l *L1) processMiss(block cache.Addr, a Access) {
+	if ms, ok := l.mshrs[block]; ok {
+		ms.pending = append(ms.pending, a)
+		return
+	}
+	if l.arr.Lookup(block) != nil {
+		l.process(a) // filled while we were translating
+		return
+	}
+	l.miss(block, a)
+}
+
+func (l *L1) miss(block cache.Addr, a Access) {
+	if a.Write {
+		l.mshrs[block] = &mshr{state: tIMD, wp: a.WP, pending: []Access{a}}
+		l.toDir(Msg{Kind: MsgGETX, Addr: block, Src: l.ID, WP: a.WP})
+		return
+	}
+	l.mshrs[block] = &mshr{state: tISD, wp: a.WP, pending: []Access{a}}
+	l.toDir(Msg{Kind: l.policy.LoadRequest(a.WP), Addr: block, Src: l.ID, WP: a.WP})
+	l.maybePrefetch(block, a.WP)
+}
+
+// maybePrefetch issues a next-line prefetch after a demand load miss. The
+// prefetcher never crosses a 4 KB page boundary (it has no translation
+// for the next page). In naive mode the write-protection bit is dropped —
+// the security hazard PrefetchWPAware exists to avoid.
+func (l *L1) maybePrefetch(block cache.Addr, wp bool) {
+	if l.prefetch == PrefetchOff {
+		return
+	}
+	next := block + cache.Addr(l.arr.Params().BlockSize)
+	if next>>12 != block>>12 {
+		return // page-boundary stop
+	}
+	if l.arr.Lookup(next) != nil {
+		return
+	}
+	if _, busy := l.mshrs[next]; busy {
+		return
+	}
+	pwp := wp
+	if l.prefetch == PrefetchNaive {
+		pwp = false
+	}
+	l.Stats.Prefetches++
+	l.mshrs[next] = &mshr{state: tISD, wp: pwp}
+	l.toDir(Msg{Kind: l.policy.LoadRequest(pwp), Addr: next, Src: l.ID, WP: pwp})
+}
+
+// Receive handles a message from the directory or a peer L1. Delivery
+// latency was charged by the sender.
+func (l *L1) Receive(m Msg) {
+	switch m.Kind {
+	case MsgData:
+		l.onData(m, cache.Shared)
+	case MsgDataExclusive:
+		l.onData(m, cache.Exclusive)
+	case MsgDataFromOwner:
+		if m.Excl {
+			l.onData(m, cache.Exclusive)
+		} else {
+			l.onData(m, cache.Shared)
+		}
+	case MsgUpgradeAck:
+		l.onUpgradeAck(m)
+	case MsgInv:
+		l.onInv(m)
+	case MsgFwdGETS:
+		l.onFwdGETS(m)
+	case MsgFwdGETX:
+		l.onFwdGETX(m)
+	case MsgDowngrade:
+		l.onDowngrade(m)
+	case MsgWBAck:
+		delete(l.wb, m.Addr)
+	default:
+		panic(fmt.Sprintf("L1 %d: unexpected message %v", l.ID, m.Kind))
+	}
+}
+
+// servedOf maps a data response to the service class the requestor
+// observed.
+func servedOf(m Msg) ServedBy {
+	if m.Kind == MsgDataFromOwner {
+		return ServedRemote
+	}
+	return m.Served
+}
+
+// onData completes an outstanding miss.
+func (l *L1) onData(m Msg, grant cache.LineState) {
+	ms, ok := l.mshrs[m.Addr]
+	if !ok {
+		panic(fmt.Sprintf("L1 %d: data for %#x without MSHR", l.ID, m.Addr))
+	}
+	served := servedOf(m)
+
+	var state cache.LineState
+	var unblock MsgKind
+	switch {
+	case ms.state == tIMD || ms.state == tSMA || ms.state == tEMA:
+		// A data grant while waiting to modify: the directory resolved
+		// our (possibly raced) request as a GETX.
+		state = cache.Modified
+		unblock = MsgExclusiveUnblock
+	case grant == cache.Exclusive:
+		state = cache.Exclusive
+		unblock = MsgExclusiveUnblock
+	case m.MakeForward:
+		// MESIF: this requestor is the block's new Forward holder.
+		state = cache.Forward
+		unblock = MsgUnblock
+	default:
+		state = cache.Shared
+		unblock = MsgUnblock
+	}
+
+	ln := l.install(m.Addr, state, m.Data, ms.wp)
+	if ln == nil {
+		// Every way of the set is pinned by an in-flight upgrade; hold
+		// the response briefly and retry once a transaction completes.
+		l.eng.Schedule(l.timing.L1Tag*4, func() { l.onData(m, grant) })
+		return
+	}
+
+	delete(l.mshrs, m.Addr)
+	pending := ms.pending
+	if len(pending) == 0 {
+		// Prefetch fill: no requestor to complete.
+		l.toDir(Msg{Kind: unblock, Addr: m.Addr, Src: l.ID})
+		return
+	}
+
+	// The initiator completes with the true service class; merged
+	// accesses replay against the now-resident line.
+	first := pending[0]
+	if first.Write && state != cache.Modified {
+		// A store merged into a transaction that ended in a shared
+		// grant (it can only be a prefetch transaction: demand store
+		// misses always request exclusivity). The grant cannot satisfy
+		// the store, so replay everything against the S line — the
+		// store re-issues as an Upgrade.
+		l.toDir(Msg{Kind: unblock, Addr: m.Addr, Src: l.ID})
+		for _, a := range pending {
+			l.process(a)
+		}
+		return
+	}
+	if first.Write {
+		ln.Data = first.Value
+		ln.WP = false
+		l.complete(first, first.Value, served)
+	} else {
+		l.complete(first, ln.Data, served)
+	}
+	l.toDir(Msg{Kind: unblock, Addr: m.Addr, Src: l.ID})
+	for _, a := range pending[1:] {
+		l.process(a)
+	}
+}
+
+func (l *L1) onUpgradeAck(m Msg) {
+	ms, ok := l.mshrs[m.Addr]
+	if !ok || (ms.state != tSMA && ms.state != tEMA) {
+		panic(fmt.Sprintf("L1 %d: unexpected UpgradeAck for %#x", l.ID, m.Addr))
+	}
+	ln := l.arr.Lookup(m.Addr)
+	if ln == nil {
+		panic(fmt.Sprintf("L1 %d: UpgradeAck for absent line %#x", l.ID, m.Addr))
+	}
+	ln.State = cache.Modified
+	ln.WP = false
+	delete(l.mshrs, m.Addr)
+	first := ms.pending[0]
+	ln.Data = first.Value
+	l.complete(first, first.Value, ServedUpgrade)
+	for _, a := range ms.pending[1:] {
+		l.process(a)
+	}
+}
+
+func (l *L1) onInv(m Msg) {
+	if ln := l.arr.Lookup(m.Addr); ln != nil {
+		if ln.State != cache.Shared && ln.State != cache.Owned && ln.State != cache.Forward {
+			panic(fmt.Sprintf("L1 %d: Inv for %v line %#x", l.ID, ln.State, m.Addr))
+		}
+		// Dropping a dirty Owned copy is safe here: an Inv only reaches
+		// an O holder when a sharer upgrades, and every S copy equals
+		// the O copy's current value.
+		l.arr.Invalidate(m.Addr)
+		l.Stats.Invalidations++
+	}
+	if ms, ok := l.mshrs[m.Addr]; ok && ms.state == tSMA {
+		// Our Upgrade lost the race; the directory will answer it with
+		// Data_Exclusive. Wait as if this were a store miss.
+		ms.state = tIMD
+	}
+	l.toDir(Msg{Kind: MsgInvAck, Addr: m.Addr, Src: l.ID, Requestor: m.Requestor})
+}
+
+// onFwdGETS serves a remote load on behalf of the directory (Figure 1(a) /
+// Figure 4(e)): send the data to the requestor's L1 and a (clean or dirty)
+// copy down to the LLC, downgrading to S.
+func (l *L1) onFwdGETS(m Msg) {
+	l.Stats.FwdsServed++
+	if ln := l.arr.Lookup(m.Addr); ln != nil && ln.State != cache.Shared {
+		dirty := ln.State.Dirty()
+		data := ln.Data
+		// Under MESIF the requestor of a forwarded read becomes the new
+		// Forward holder. The directory's write-protection view (carried
+		// in the Fwd_GETS) is authoritative, so the L1's decision always
+		// matches the directory's forwarder bookkeeping.
+		mf := l.policy.ForwardStateFor(m.WP)
+		if dirty && l.policy.OwnershipTransfer() {
+			// MOESI: keep the dirty copy in state O and supply the
+			// requestor directly; no LLC writeback.
+			ln.State = cache.Owned
+			l.respondOwnerRetained(m, data)
+		} else {
+			ln.State = cache.Shared
+			l.respondOwner(m, data, dirty, false, false, mf)
+		}
+		if ms, ok := l.mshrs[m.Addr]; ok && ms.state == tEMA {
+			ms.state = tSMA // our pending Upgrade now upgrades from S/O
+		}
+		return
+	}
+	if wbe, ok := l.wb[m.Addr]; ok {
+		// The line is gone but its eviction is still in flight; serve
+		// from the writeback buffer.
+		l.respondOwner(m, wbe.data, wbe.dirty, true, false, l.policy.ForwardStateFor(m.WP))
+		return
+	}
+	panic(fmt.Sprintf("L1 %d: Fwd_GETS for unowned block %#x", l.ID, m.Addr))
+}
+
+// onFwdGETX surrenders the block to a writing requestor.
+func (l *L1) onFwdGETX(m Msg) {
+	l.Stats.FwdsServed++
+	if ln := l.arr.Lookup(m.Addr); ln != nil && ln.State != cache.Shared {
+		data := ln.Data
+		l.arr.Invalidate(m.Addr)
+		l.Stats.Invalidations++
+		l.respondOwner(m, data, false, false, true)
+		if ms, ok := l.mshrs[m.Addr]; ok && (ms.state == tEMA || ms.state == tSMA) {
+			ms.state = tIMD
+		}
+		return
+	}
+	if wbe, ok := l.wb[m.Addr]; ok {
+		l.respondOwner(m, wbe.data, wbe.dirty, true, true)
+		return
+	}
+	panic(fmt.Sprintf("L1 %d: Fwd_GETX for unowned block %#x", l.ID, m.Addr))
+}
+
+// respondOwner implements the owner's half of a three-hop transaction:
+// data to the requestor, a WB_Data (for GETS) to the directory.
+func (l *L1) respondOwner(m Msg, data uint64, dirty, fromWB, excl bool, makeForward ...bool) {
+	mf := len(makeForward) > 0 && makeForward[0]
+	l.eng.Schedule(l.timing.RemoteL1Service, func() {
+		l.toL1(m.Requestor, Msg{
+			Kind: MsgDataFromOwner, Addr: m.Addr, Src: l.ID,
+			Data: data, Excl: excl, MakeForward: mf,
+		})
+		if !excl {
+			l.toDir(Msg{
+				Kind: MsgWBData, Addr: m.Addr, Src: l.ID,
+				Data: data, Dirty: dirty, FromWB: fromWB,
+			})
+		}
+	})
+}
+
+// respondOwnerRetained is the MOESI variant: the requestor gets the data,
+// and the directory is told the sender kept the dirty copy in state O.
+func (l *L1) respondOwnerRetained(m Msg, data uint64) {
+	l.eng.Schedule(l.timing.RemoteL1Service, func() {
+		l.toL1(m.Requestor, Msg{
+			Kind: MsgDataFromOwner, Addr: m.Addr, Src: l.ID, Data: data,
+		})
+		l.toDir(Msg{Kind: MsgWBData, Addr: m.Addr, Src: l.ID, Owned: true})
+	})
+}
+
+func (l *L1) onDowngrade(m Msg) {
+	if ln := l.arr.Lookup(m.Addr); ln != nil && ln.State == cache.Exclusive {
+		ln.State = cache.Shared
+	}
+	if ms, ok := l.mshrs[m.Addr]; ok && ms.state == tEMA {
+		ms.state = tSMA
+	}
+}
+
+// install places data into the array, evicting as needed. Lines whose
+// block has an in-flight MSHR transaction (a pending Upgrade keeps its
+// line resident) are pinned and never chosen as victims; if every way of
+// the set is pinned, install returns nil and the caller retries — the
+// structural stall a real MSHR-locked cache exhibits.
+func (l *L1) install(block cache.Addr, state cache.LineState, data uint64, wp bool) *cache.Line {
+	v := l.arr.VictimFiltered(block, func(a cache.Addr) bool {
+		_, pending := l.mshrs[a]
+		return pending
+	})
+	if v == nil {
+		return nil
+	}
+	if v.State.Valid() {
+		l.evict(v, block)
+	}
+	l.arr.Install(v, block, state)
+	v.Data = data
+	v.WP = wp
+	return v
+}
+
+// evict notifies the directory and parks the line in the writeback buffer
+// until acknowledged.
+func (l *L1) evict(v *cache.Line, setProbe cache.Addr) {
+	addr := l.arr.AddrOfLine(v, setProbe)
+	l.Stats.Writebacks++
+	switch v.State {
+	case cache.Shared:
+		l.toDir(Msg{Kind: MsgPUTS, Addr: addr, Src: l.ID})
+	case cache.Exclusive:
+		l.wb[addr] = wbEntry{data: v.Data, dirty: false}
+		l.toDir(Msg{Kind: MsgPUTX, Addr: addr, Src: l.ID, Data: v.Data})
+	case cache.Modified, cache.Owned:
+		l.wb[addr] = wbEntry{data: v.Data, dirty: true}
+		l.toDir(Msg{Kind: MsgPUTX, Addr: addr, Src: l.ID, Data: v.Data, Dirty: true})
+	case cache.Forward:
+		// A MESIF forwarder may still be the target of an in-flight
+		// Fwd_GETS, so it parks its (clean) copy in the writeback buffer
+		// until acknowledged, like an owner.
+		l.wb[addr] = wbEntry{data: v.Data, dirty: false}
+		l.toDir(Msg{Kind: MsgPUTX, Addr: addr, Src: l.ID, Data: v.Data})
+	}
+}
+
+// ForceInvalidate synchronously drops the block (LLC recall on inclusive-
+// cache eviction). It returns the freshest local data and whether it was
+// dirty.
+func (l *L1) ForceInvalidate(block cache.Addr) (data uint64, dirty, had bool) {
+	if ln := l.arr.Lookup(block); ln != nil {
+		data, dirty, had = ln.Data, ln.State.Dirty(), true
+		l.arr.Invalidate(block)
+		l.Stats.Invalidations++
+	}
+	if wbe, ok := l.wb[block]; ok && !had {
+		data, dirty, had = wbe.data, wbe.dirty, true
+	}
+	if ms, ok := l.mshrs[block]; ok && (ms.state == tSMA || ms.state == tEMA) {
+		ms.state = tIMD
+	}
+	return data, dirty, had
+}
+
+func (l *L1) complete(a Access, value uint64, served ServedBy) {
+	res := AccessResult{
+		Latency: l.eng.Now() - a.start,
+		Value:   value,
+		Served:  served,
+		Write:   a.Write,
+		WP:      a.WP,
+	}
+	if l.record != nil {
+		l.record(res)
+	}
+	if a.Done != nil {
+		a.Done(res)
+	}
+}

@@ -1,0 +1,95 @@
+// Package coherence implements the two-level directory-based cache
+// coherence protocols the paper studies: the MESI baseline, the S-MESI
+// defense (Yao et al.), and SwiftDir. One shared state-machine
+// implementation — a per-core L1 controller and a banked LLC/directory
+// controller — is specialized by a small Policy interface that captures
+// exactly the three behavioural differences of Table IV:
+//
+//   - whether a store to an E-state L1 line upgrades silently (MESI,
+//     SwiftDir) or must synchronize the M state with the LLC (S-MESI);
+//   - whether the initial load of a block is granted exclusivity (always
+//     in MESI/S-MESI; only for non-write-protected data in SwiftDir,
+//     whose GETS_WP request pins write-protected data in state S);
+//   - whether a GETS that hits a directory-E block is served directly
+//     from the LLC (S-MESI, where E is known clean) or must be forwarded
+//     three-hop to the owner (MESI/SwiftDir, where E may hide a silent
+//     upgrade).
+//
+// The message vocabulary mirrors the paper's Table III.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// MsgKind enumerates coherence events exchanged between L1 controllers and
+// the directory (Table III), plus the writeback/invalidation plumbing the
+// table summarizes under generic ACKs.
+type MsgKind uint8
+
+const (
+	// L1 -> LLC requests.
+	MsgGETS             MsgKind = iota // load miss
+	MsgGETSWP                          // load miss for write-protected data (SwiftDir only)
+	MsgGETX                            // store miss
+	MsgUpgrade                         // store hit on S (all) or E (S-MESI) needing permission
+	MsgPUTS                            // clean sharer eviction notice
+	MsgPUTX                            // owner eviction writeback (clean or dirty)
+	MsgUnblock                         // requestor received Data; directory may unblock
+	MsgExclusiveUnblock                // requestor received Data_Exclusive
+	MsgInvAck                          // sharer finished invalidating
+	MsgWBData                          // owner's copy sent down on a forwarded GETS (WB_Data / WB_Data_Clean)
+
+	// LLC -> L1 responses and demands.
+	MsgData          // shared data grant
+	MsgDataExclusive // exclusive data grant
+	MsgUpgradeAck    // upgrade permission granted
+	MsgInv           // invalidate your S copy
+	MsgFwdGETS       // serve this load on behalf of the directory
+	MsgFwdGETX       // surrender your copy to the requestor
+	MsgDowngrade     // S-MESI: your E copy is now S (LLC served a sharer)
+	MsgWBAck         // eviction acknowledged
+
+	// L1 -> L1 (three-hop data forwarding).
+	MsgDataFromOwner // Data_From_Owner
+)
+
+var msgKindNames = [...]string{
+	MsgGETS: "GETS", MsgGETSWP: "GETS_WP", MsgGETX: "GETX",
+	MsgUpgrade: "Upgrade", MsgPUTS: "PUTS", MsgPUTX: "PUTX",
+	MsgUnblock: "Unblock", MsgExclusiveUnblock: "Exclusive_Unblock",
+	MsgInvAck: "Inv_Ack", MsgWBData: "WB_Data",
+	MsgData: "Data", MsgDataExclusive: "Data_Exclusive",
+	MsgUpgradeAck: "Upgrade_ACK", MsgInv: "Inv",
+	MsgFwdGETS: "Fwd_GETS", MsgFwdGETX: "Fwd_GETX",
+	MsgDowngrade: "Downgrade", MsgWBAck: "WB_Ack",
+	MsgDataFromOwner: "Data_From_Owner",
+}
+
+func (k MsgKind) String() string {
+	if int(k) < len(msgKindNames) && msgKindNames[k] != "" {
+		return msgKindNames[k]
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint8(k))
+}
+
+// Msg is one coherence message. Addr is always block-aligned.
+type Msg struct {
+	Kind        MsgKind
+	Addr        cache.Addr
+	Src         int  // sending L1 id, or -1 for the directory
+	Requestor   int  // original requestor for forwarded requests
+	WP          bool // write-protection bit hitchhiked from the MMU
+	Data        uint64
+	Dirty       bool     // PUTX/WBData: data differs from the LLC's copy
+	FromWB      bool     // WBData: served out of the writeback buffer; sender holds no copy
+	Excl        bool     // DataFromOwner: grant carries exclusivity (GETX forward)
+	Owned       bool     // WBData: sender retains the dirty copy in state O (MOESI)
+	MakeForward bool     // Data/DataFromOwner: requestor becomes the MESIF forwarder
+	Served      ServedBy // Data/DataExclusive: where the grant was served from
+}
+
+// DirID is the Src value used by the directory.
+const DirID = -1

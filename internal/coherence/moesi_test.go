@@ -1,0 +1,251 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+// MOESI: a forwarded GETS to a dirty owner transfers ownership to state O
+// — the owner keeps its dirty copy, the requestor gets S, and the LLC is
+// not written.
+func TestMOESIOwnershipTransfer(t *testing.T) {
+	s := newTestSystem(t, MOESI, 3)
+	s.AccessSync(0, blockA, false, false, 0)     // E
+	s.AccessSync(0, blockA, true, false, 0xFACE) // silent M
+	wbBefore := s.BankStatsTotal().Writebacks
+
+	r := s.AccessSync(1, blockA, false, false, 0)
+	if r.Served != ServedRemote {
+		t.Fatalf("served %v, want Remote", r.Served)
+	}
+	if r.Value != 0xFACE {
+		t.Fatalf("value %#x", r.Value)
+	}
+	s.Quiesce()
+	if st := s.L1StateOf(0, blockA); st != cache.Owned {
+		t.Fatalf("old owner state %v, want O", st)
+	}
+	if st := s.L1StateOf(1, blockA); st != cache.Shared {
+		t.Fatalf("requestor state %v, want S", st)
+	}
+	if ds := s.DirStateOf(blockA); ds != DirOwned {
+		t.Fatalf("dir state %v, want DirO", ds)
+	}
+	if s.BankStatsTotal().Writebacks != wbBefore {
+		t.Fatal("MOESI forward wrote back to memory")
+	}
+	quiesceAndCheck(t, s)
+}
+
+// Under MESI the same sequence downgrades the owner to S and absorbs the
+// dirty data into the LLC — the contrast MOESI optimizes away.
+func TestMESIAbsorbsWhereMOESIRetains(t *testing.T) {
+	s := newTestSystem(t, MESI, 2)
+	s.AccessSync(0, blockA, false, false, 0)
+	s.AccessSync(0, blockA, true, false, 0xFACE)
+	s.AccessSync(1, blockA, false, false, 0)
+	s.Quiesce()
+	if st := s.L1StateOf(0, blockA); st != cache.Shared {
+		t.Fatalf("MESI owner state %v, want S", st)
+	}
+	if ds := s.DirStateOf(blockA); ds != DirShared {
+		t.Fatalf("MESI dir state %v, want DirS", ds)
+	}
+}
+
+// Every subsequent remote load of an Owned block is served by the owner
+// (three-hop): the O/S timing channel MOESI adds.
+func TestMOESISubsequentLoadsForwardToOwner(t *testing.T) {
+	s := newTestSystem(t, MOESI, 4)
+	s.AccessSync(0, blockA, false, false, 0)
+	s.AccessSync(0, blockA, true, false, 0xBEE)
+	s.AccessSync(1, blockA, false, false, 0) // O transfer
+	r := s.AccessSync(2, blockA, false, false, 0)
+	if r.Served != ServedRemote || r.Value != 0xBEE {
+		t.Fatalf("third reader: served %v value %#x", r.Served, r.Value)
+	}
+	s.Quiesce()
+	if ds := s.DirStateOf(blockA); ds != DirOwned {
+		t.Fatalf("dir state %v", ds)
+	}
+	if st := s.L1StateOf(0, blockA); st != cache.Owned {
+		t.Fatalf("owner %v", st)
+	}
+	quiesceAndCheck(t, s)
+}
+
+// A store by the O holder upgrades O->M and invalidates the sharers.
+func TestMOESIOwnerUpgrade(t *testing.T) {
+	s := newTestSystem(t, MOESI, 2)
+	s.AccessSync(0, blockA, false, false, 0)
+	s.AccessSync(0, blockA, true, false, 1)
+	s.AccessSync(1, blockA, false, false, 0) // 0:O, 1:S
+	w := s.AccessSync(0, blockA, true, false, 2)
+	if w.Served != ServedUpgrade {
+		t.Fatalf("O-holder store served %v, want Upgrade", w.Served)
+	}
+	s.Quiesce()
+	if st := s.L1StateOf(1, blockA); st != cache.Invalid {
+		t.Fatalf("sharer state %v after owner upgrade", st)
+	}
+	if st := s.L1StateOf(0, blockA); st != cache.Modified {
+		t.Fatalf("owner state %v, want M", st)
+	}
+	r := s.AccessSync(1, blockA, false, false, 0)
+	if r.Value != 2 {
+		t.Fatalf("re-read %#x, want 2", r.Value)
+	}
+	quiesceAndCheck(t, s)
+}
+
+// A store by a sharer invalidates the O holder (whose dirty value equals
+// the sharer's copy) and no data are lost.
+func TestMOESISharerUpgradeInvalidatesOwner(t *testing.T) {
+	s := newTestSystem(t, MOESI, 2)
+	s.AccessSync(0, blockA, false, false, 0)
+	s.AccessSync(0, blockA, true, false, 0x11)
+	s.AccessSync(1, blockA, false, false, 0) // 0:O, 1:S (both value 0x11)
+	w := s.AccessSync(1, blockA, true, false, 0x22)
+	if w.Served != ServedUpgrade {
+		t.Fatalf("sharer store served %v, want Upgrade", w.Served)
+	}
+	s.Quiesce()
+	if st := s.L1StateOf(0, blockA); st != cache.Invalid {
+		t.Fatalf("old owner state %v", st)
+	}
+	r := s.AccessSync(0, blockA, false, false, 0)
+	if r.Value != 0x22 {
+		t.Fatalf("value %#x, want 0x22", r.Value)
+	}
+	quiesceAndCheck(t, s)
+}
+
+// Eviction of an Owned line writes the dirty data back; remaining sharers
+// stay valid against the now-clean LLC.
+func TestMOESIOwnedEviction(t *testing.T) {
+	s := newTestSystem(t, MOESI, 2)
+	l1Sets := s.L1s[0].Array().Sets()
+	stride := cache.Addr(l1Sets * 64)
+	base := cache.Addr(0x40000)
+	s.AccessSync(0, base, false, false, 0)
+	s.AccessSync(0, base, true, false, 0x99)
+	s.AccessSync(1, base, false, false, 0) // 0:O, 1:S
+	// Evict the O line from core 0.
+	for i := 1; i <= 4; i++ {
+		s.AccessSync(0, base+cache.Addr(i)*stride, false, false, 0)
+	}
+	s.Quiesce()
+	if st := s.L1StateOf(0, base); st != cache.Invalid {
+		t.Fatalf("O line survived eviction pressure: %v", st)
+	}
+	if ds := s.DirStateOf(base); ds != DirShared {
+		t.Fatalf("dir state %v, want DirS (sharer remains)", ds)
+	}
+	// A third party reads the absorbed value from the LLC.
+	r := s.AccessSync(0, base, false, false, 0)
+	if r.Value != 0x99 || r.Served != ServedLLC {
+		t.Fatalf("post-eviction read: %#x from %v", r.Value, r.Served)
+	}
+	quiesceAndCheck(t, s)
+}
+
+// SwiftDir on MOESI: write-protected data never enter E, M, or O, so the
+// remote load is the constant LLC latency and the channel stays closed.
+func TestSwiftDirMOESIClosesChannel(t *testing.T) {
+	tm := DefaultTiming()
+	s := newTestSystem(t, SwiftDirMOESI, 2)
+	s.AccessSync(1, blockA, false, true, 0)
+	r := s.AccessSync(0, blockA, false, true, 0)
+	if r.Served != ServedLLC || r.Latency != tm.LLCLoadLatency() {
+		t.Fatalf("WP remote load: %v %d", r.Served, r.Latency)
+	}
+	// Non-WP dirty data still migrate via O (the MOESI speedup is kept).
+	s.AccessSync(0, 0x20000, false, false, 0)
+	s.AccessSync(0, 0x20000, true, false, 5)
+	s.AccessSync(1, 0x20000, false, false, 0)
+	s.Quiesce()
+	if st := s.L1StateOf(0, 0x20000); st != cache.Owned {
+		t.Fatalf("non-WP owner state %v, want O", st)
+	}
+	quiesceAndCheck(t, s)
+}
+
+// MOESI sequential consistency property (the MESI version's twin).
+func TestMOESISequentialConsistencyProperty(t *testing.T) {
+	for _, p := range []Policy{MOESI, SwiftDirMOESI} {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			f := func(ops []uint32) bool {
+				cfg := testConfig(p, 4)
+				cfg.LLCParams = cache.Params{Name: "LLC", SizeBytes: 4 << 10, Ways: 4, BlockSize: 64}
+				s := MustNewSystem(cfg)
+				shadow := map[cache.Addr]uint64{}
+				val := uint64(1)
+				for _, op := range ops {
+					core := int(op % 4)
+					block := cache.Addr(0x100000 + (uint64(op>>2)%24)*64)
+					if op&(1<<30) != 0 {
+						val++
+						s.AccessSync(core, block, true, false, val)
+						shadow[block] = val
+					} else {
+						r := s.AccessSync(core, block, false, op&(1<<29) != 0, 0)
+						want, ok := shadow[block]
+						if !ok {
+							want = initialToken(block)
+						}
+						if r.Value != want {
+							return false
+						}
+					}
+				}
+				s.Quiesce()
+				return s.CheckInvariants() == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// MOESI concurrent stress.
+func TestMOESIConcurrentStress(t *testing.T) {
+	cfg := testConfig(MOESI, 4)
+	cfg.LLCParams = cache.Params{Name: "LLC", SizeBytes: 4 << 10, Ways: 4, BlockSize: 64}
+	s := MustNewSystem(cfg)
+	for i := 0; i < 1500; i++ {
+		s.Submit(i%4, Access{
+			Addr:  cache.Addr(0x100000 + (i%32)*64),
+			Write: i%3 == 0,
+			Value: uint64(i),
+		})
+	}
+	s.Eng.RunBounded(50_000_000)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MOESI transaction shape: GETS to a dirty owner produces a WB_Data with
+// the Owned flag and no data writeback.
+func TestMOESITransactionShape(t *testing.T) {
+	s, tr := tracedSystem(t, MOESI, 2)
+	s.AccessSync(0, blockA, false, false, 0)
+	s.AccessSync(0, blockA, true, false, 1)
+	s.Quiesce()
+	tr.Reset()
+	s.AccessSync(1, blockA, false, false, 0)
+	s.Quiesce()
+	want := "GETS Fwd_GETS Data_From_Owner WB_Data Unblock"
+	if got := tr.KindSeq(); got != want {
+		t.Fatalf("sequence %q, want %q", got, want)
+	}
+	for _, e := range tr.Events {
+		if e.Msg.Kind == MsgWBData && !e.Msg.Owned {
+			t.Fatal("WB_Data lacks the Owned flag")
+		}
+	}
+}

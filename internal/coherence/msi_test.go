@@ -1,0 +1,99 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+func msiSystem() *System {
+	return MustNewSystem(SystemConfig{
+		NumL1:     4,
+		L1Params:  cache.Params{Name: "L1", SizeBytes: 4 << 10, Ways: 2, BlockSize: 64},
+		LLCParams: cache.Params{Name: "LLC", SizeBytes: 64 << 10, Ways: 8, BlockSize: 64},
+		Banks:     2,
+		Timing:    DefaultTiming(),
+		Policy:    MSI,
+		DRAM:      dram.DDR3_1600_8x8(),
+	})
+}
+
+// MSI has no Exclusive state: a cold load installs Shared and the
+// directory never records exclusivity for a clean block.
+func TestMSINoExclusiveState(t *testing.T) {
+	s := msiSystem()
+	r := s.AccessSync(0, 0x100, false, false, 0)
+	s.Quiesce()
+	if got := s.L1StateOf(0, 0x100); got != cache.Shared {
+		t.Fatalf("cold load installed %v, want S", got)
+	}
+	if got := s.DirStateOf(0x100); got != DirShared {
+		t.Fatalf("directory in %v, want DirShared", got)
+	}
+	if r.Served != ServedMem {
+		t.Fatalf("cold load served by %v", r.Served)
+	}
+}
+
+// Every store to a previously-loaded line pays the explicit Upgrade
+// round trip — the tax the E state was invented to remove.
+func TestMSIStorePaysUpgrade(t *testing.T) {
+	s := msiSystem()
+	tr := s.AttachTracer()
+	s.AccessSync(0, 0x100, false, false, 0)
+	s.AccessSync(0, 0x100, true, false, 7)
+	s.Quiesce()
+	want := "GETS Data Unblock Upgrade Upgrade_ACK"
+	if got := tr.KindSeq(); got != want {
+		t.Fatalf("sequence %q, want %q", got, want)
+	}
+	if got := s.L1StateOf(0, 0x100); got != cache.Modified {
+		t.Fatalf("after store: %v, want M", got)
+	}
+	if s.L1s[0].Stats.SilentUpgrades != 0 {
+		t.Fatal("MSI performed a silent upgrade")
+	}
+}
+
+// The E/S covert-channel probe pair is indistinguishable under MSI:
+// sole-reader and multi-reader blocks are both served by the LLC.
+func TestMSIChannelClosed(t *testing.T) {
+	s := msiSystem()
+	s.AccessSync(1, 0x200, false, true, 0)
+	latE := s.AccessSync(0, 0x200, false, true, 0).Latency
+
+	s = msiSystem()
+	s.AccessSync(1, 0x200, false, true, 0)
+	s.AccessSync(2, 0x200, false, true, 0)
+	latS := s.AccessSync(0, 0x200, false, true, 0).Latency
+
+	if latE != latS {
+		t.Fatalf("MSI leaks: exclusive probe %d vs shared probe %d", latE, latS)
+	}
+	if latE != DefaultTiming().LLCLoadLatency() {
+		t.Fatalf("probe latency %d, want LLC service %d", latE, DefaultTiming().LLCLoadLatency())
+	}
+}
+
+// Random traffic invariant: no L1 line ever reaches E under MSI, and the
+// data-value and SWMR invariants hold throughout.
+func TestMSINeverExclusive(t *testing.T) {
+	s := msiSystem()
+	rng := sim.NewRNG(0x351)
+	for i := 0; i < 4000; i++ {
+		port := rng.Intn(4)
+		addr := cache.Addr(rng.Intn(96)) * 64
+		s.AccessSync(port, addr, rng.Bool(0.3), rng.Bool(0.25), uint64(i)|1)
+		for p := 0; p < 4; p++ {
+			if st := s.L1StateOf(p, addr); st == cache.Exclusive {
+				t.Fatalf("op %d: L1 %d holds %#x in E under MSI", i, p, addr)
+			}
+		}
+	}
+	s.Quiesce()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

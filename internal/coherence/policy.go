@@ -1,0 +1,231 @@
+package coherence
+
+// Policy captures the protocol-specific decisions (Table IV). Everything
+// else — the transaction structure, transient states, forwarding,
+// invalidation, writebacks — is shared across protocols.
+type Policy interface {
+	// Name identifies the protocol in reports.
+	Name() string
+
+	// SilentUpgrade reports whether a store hitting an E-state L1 line
+	// (whose write-protection marking is lineWP) may transition to M
+	// locally without notifying the LLC. MESI and SwiftDir keep this
+	// speedup unconditionally; S-MESI revokes it (Figure 3); the E_wp
+	// ablation must revoke it for E_wp lines or the LLC would serve
+	// stale data (the hazard that makes E_wp "complicated").
+	SilentUpgrade(lineWP bool) bool
+
+	// LoadRequest returns the coherence request an L1 load miss emits,
+	// given the access's write-protection bit. SwiftDir (and the E_wp
+	// ablation) emit GETS_WP for write-protected data.
+	LoadRequest(wp bool) MsgKind
+
+	// GrantExclusiveOnLoad reports whether the directory grants
+	// exclusivity (I→E) for an initial load. SwiftDir answers false for
+	// write-protected data, enforcing the I→S transition of Figure 4(a).
+	GrantExclusiveOnLoad(wp bool) bool
+
+	// ServeExclusiveFromLLC reports whether a GETS hitting a
+	// directory-Exclusive block may be served directly from the LLC,
+	// given whether the block was write-protected when granted. S-MESI
+	// answers true unconditionally (its explicit upgrades make E
+	// provably clean); the E_wp ablation answers true only for
+	// write-protected blocks (which cannot have been silently modified);
+	// MESI and SwiftDir must forward.
+	ServeExclusiveFromLLC(blockWP bool) bool
+
+	// OwnershipTransfer reports whether the protocol uses MOESI's Owned
+	// state: a dirty owner answering a forwarded GETS keeps its dirty
+	// copy in state O and supplies sharers directly, instead of writing
+	// back to the LLC and downgrading to S.
+	OwnershipTransfer() bool
+
+	// ForwardStateFor reports whether the protocol designates a MESIF
+	// Forward holder among the sharers of a (possibly write-protected)
+	// block, so shared reads are served cache-to-cache by the forwarder
+	// rather than by the LLC. The SwiftDir adaptation answers false for
+	// write-protected data, keeping their service at the LLC constant.
+	ForwardStateFor(wp bool) bool
+}
+
+type mesiPolicy struct{}
+
+func (mesiPolicy) Name() string                    { return "MESI" }
+func (mesiPolicy) SilentUpgrade(bool) bool         { return true }
+func (mesiPolicy) LoadRequest(bool) MsgKind        { return MsgGETS }
+func (mesiPolicy) GrantExclusiveOnLoad(bool) bool  { return true }
+func (mesiPolicy) ServeExclusiveFromLLC(bool) bool { return false }
+
+type smesiPolicy struct{}
+
+func (smesiPolicy) Name() string                    { return "S-MESI" }
+func (smesiPolicy) SilentUpgrade(bool) bool         { return false }
+func (smesiPolicy) LoadRequest(bool) MsgKind        { return MsgGETS }
+func (smesiPolicy) GrantExclusiveOnLoad(bool) bool  { return true }
+func (smesiPolicy) ServeExclusiveFromLLC(bool) bool { return true }
+
+type swiftDirPolicy struct{}
+
+func (swiftDirPolicy) Name() string            { return "SwiftDir" }
+func (swiftDirPolicy) SilentUpgrade(bool) bool { return true }
+
+func (swiftDirPolicy) LoadRequest(wp bool) MsgKind {
+	if wp {
+		return MsgGETSWP
+	}
+	return MsgGETS
+}
+
+func (swiftDirPolicy) GrantExclusiveOnLoad(wp bool) bool { return !wp }
+func (swiftDirPolicy) ServeExclusiveFromLLC(bool) bool   { return false }
+
+// swiftDirEwpPolicy is the alternative design the paper considers and
+// rejects in §III-B3: instead of eliminating the E state for
+// write-protected data, introduce a specialized E_wp state that keeps
+// exclusivity but lets the LLC serve remote loads directly (E_wp blocks
+// are write-protected, hence provably unmodified). It is equally secure
+// but complicates the protocol — an extra stable state at the directory
+// and a Downgrade flow — which is exactly why SwiftDir prefers the I→S
+// simplification. Kept here as an executable ablation.
+type swiftDirEwpPolicy struct{}
+
+func (swiftDirEwpPolicy) Name() string                   { return "SwiftDir-Ewp" }
+func (swiftDirEwpPolicy) SilentUpgrade(lineWP bool) bool { return !lineWP }
+
+func (swiftDirEwpPolicy) LoadRequest(wp bool) MsgKind {
+	if wp {
+		return MsgGETSWP
+	}
+	return MsgGETS
+}
+
+func (swiftDirEwpPolicy) GrantExclusiveOnLoad(bool) bool          { return true }
+func (swiftDirEwpPolicy) ServeExclusiveFromLLC(blockWP bool) bool { return blockWP }
+
+func (mesiPolicy) OwnershipTransfer() bool        { return false }
+func (smesiPolicy) OwnershipTransfer() bool       { return false }
+func (swiftDirPolicy) OwnershipTransfer() bool    { return false }
+func (swiftDirEwpPolicy) OwnershipTransfer() bool { return false }
+
+func (mesiPolicy) ForwardStateFor(bool) bool        { return false }
+func (smesiPolicy) ForwardStateFor(bool) bool       { return false }
+func (swiftDirPolicy) ForwardStateFor(bool) bool    { return false }
+func (swiftDirEwpPolicy) ForwardStateFor(bool) bool { return false }
+
+// moesiPolicy is the MOESI baseline (AMD Opteron family, §II-A2): MESI
+// plus the Owned state, so dirty data migrate cache-to-cache without LLC
+// writebacks. The E/S (and O/S) timing channel exists here exactly as in
+// MESI.
+type moesiPolicy struct{}
+
+func (moesiPolicy) Name() string                    { return "MOESI" }
+func (moesiPolicy) SilentUpgrade(bool) bool         { return true }
+func (moesiPolicy) LoadRequest(bool) MsgKind        { return MsgGETS }
+func (moesiPolicy) GrantExclusiveOnLoad(bool) bool  { return true }
+func (moesiPolicy) ServeExclusiveFromLLC(bool) bool { return false }
+func (moesiPolicy) OwnershipTransfer() bool         { return true }
+func (moesiPolicy) ForwardStateFor(bool) bool       { return false }
+
+// swiftDirMoesiPolicy applies SwiftDir's I→S rule on top of MOESI,
+// demonstrating that the defense is orthogonal to the ownership-transfer
+// optimization: write-protected data never reach E, M, or O, so every
+// access to them is the constant LLC service.
+type swiftDirMoesiPolicy struct{}
+
+func (swiftDirMoesiPolicy) Name() string            { return "SwiftDir-MOESI" }
+func (swiftDirMoesiPolicy) SilentUpgrade(bool) bool { return true }
+
+func (swiftDirMoesiPolicy) LoadRequest(wp bool) MsgKind {
+	if wp {
+		return MsgGETSWP
+	}
+	return MsgGETS
+}
+
+func (swiftDirMoesiPolicy) GrantExclusiveOnLoad(wp bool) bool { return !wp }
+func (swiftDirMoesiPolicy) ServeExclusiveFromLLC(bool) bool   { return false }
+func (swiftDirMoesiPolicy) OwnershipTransfer() bool           { return true }
+func (swiftDirMoesiPolicy) ForwardStateFor(bool) bool         { return false }
+
+// mesifPolicy is the MESIF baseline (Intel QPI-era point-to-point
+// interconnects): among the clean sharers of a block, the most recent
+// requestor holds the Forward state and answers shared reads
+// cache-to-cache. In a two-level inclusive hierarchy this turns S-state
+// service into a three-hop path whenever a forwarder exists, leaving a
+// residual forwarder-present/absent timing channel.
+type mesifPolicy struct{}
+
+func (mesifPolicy) Name() string                    { return "MESIF" }
+func (mesifPolicy) SilentUpgrade(bool) bool         { return true }
+func (mesifPolicy) LoadRequest(bool) MsgKind        { return MsgGETS }
+func (mesifPolicy) GrantExclusiveOnLoad(bool) bool  { return true }
+func (mesifPolicy) ServeExclusiveFromLLC(bool) bool { return false }
+func (mesifPolicy) OwnershipTransfer() bool         { return false }
+func (mesifPolicy) ForwardStateFor(bool) bool       { return true }
+
+// swiftDirMesifPolicy applies SwiftDir to MESIF: write-protected data get
+// neither E nor F, so every access to them is the constant LLC service;
+// unprotected data keep the forwarder optimization.
+type swiftDirMesifPolicy struct{}
+
+func (swiftDirMesifPolicy) Name() string            { return "SwiftDir-MESIF" }
+func (swiftDirMesifPolicy) SilentUpgrade(bool) bool { return true }
+
+func (swiftDirMesifPolicy) LoadRequest(wp bool) MsgKind {
+	if wp {
+		return MsgGETSWP
+	}
+	return MsgGETS
+}
+
+func (swiftDirMesifPolicy) GrantExclusiveOnLoad(wp bool) bool { return !wp }
+func (swiftDirMesifPolicy) ServeExclusiveFromLLC(bool) bool   { return false }
+func (swiftDirMesifPolicy) OwnershipTransfer() bool           { return false }
+func (swiftDirMesifPolicy) ForwardStateFor(wp bool) bool      { return !wp }
+
+// msiPolicy is the three-state baseline that predates MESI: no Exclusive
+// state at all, so a first reader installs Shared and *every* store to a
+// previously-loaded line pays an explicit Upgrade round trip. It closes
+// the E/S channel trivially (there is no E to distinguish) — it is the
+// naive "just drop the E state" fix — but it taxes every private
+// read-then-write, which is precisely the cost the E state was invented
+// to remove (§II-A1) and which S-MESI only partially reintroduces.
+type msiPolicy struct{}
+
+func (msiPolicy) Name() string                    { return "MSI" }
+func (msiPolicy) SilentUpgrade(bool) bool         { return false }
+func (msiPolicy) LoadRequest(bool) MsgKind        { return MsgGETS }
+func (msiPolicy) GrantExclusiveOnLoad(bool) bool  { return false }
+func (msiPolicy) ServeExclusiveFromLLC(bool) bool { return false }
+func (msiPolicy) OwnershipTransfer() bool         { return false }
+func (msiPolicy) ForwardStateFor(bool) bool       { return false }
+
+// The protocols under evaluation.
+var (
+	MESI          Policy = mesiPolicy{}
+	SMESI         Policy = smesiPolicy{}
+	SwiftDir      Policy = swiftDirPolicy{}
+	SwiftDirEwp   Policy = swiftDirEwpPolicy{}
+	MOESI         Policy = moesiPolicy{}
+	SwiftDirMOESI Policy = swiftDirMoesiPolicy{}
+	MESIF         Policy = mesifPolicy{}
+	SwiftDirMESIF Policy = swiftDirMesifPolicy{}
+	MSI           Policy = msiPolicy{}
+)
+
+// Policies lists the paper's three protocols in its comparison order.
+var Policies = []Policy{MESI, SwiftDir, SMESI}
+
+// AllPolicies additionally includes the E_wp ablation, the MOESI and
+// MESIF families, and the MSI baseline.
+var AllPolicies = []Policy{MESI, SwiftDir, SMESI, SwiftDirEwp, MOESI, SwiftDirMOESI, MESIF, SwiftDirMESIF, MSI}
+
+// PolicyByName resolves a protocol by its Name, or nil.
+func PolicyByName(name string) Policy {
+	for _, p := range AllPolicies {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}

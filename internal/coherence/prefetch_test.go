@@ -1,0 +1,131 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func prefetchSystem(t *testing.T, p Policy, mode PrefetchMode, cores int) *System {
+	t.Helper()
+	cfg := testConfig(p, cores)
+	cfg.Prefetch = mode
+	return MustNewSystem(cfg)
+}
+
+func TestPrefetchFillsNextLine(t *testing.T) {
+	s := prefetchSystem(t, MESI, PrefetchWPAware, 1)
+	s.AccessSync(0, blockA, false, false, 0)
+	s.Quiesce()
+	if st := s.L1StateOf(0, blockA+64); st == cache.Invalid {
+		t.Fatal("next line not prefetched")
+	}
+	if s.L1s[0].Stats.Prefetches != 1 {
+		t.Fatalf("prefetches = %d", s.L1s[0].Stats.Prefetches)
+	}
+	// The prefetched line hits.
+	r := s.AccessSync(0, blockA+64, false, false, 0)
+	if r.Served != ServedL1 {
+		t.Fatalf("prefetched line served from %v", r.Served)
+	}
+	quiesceAndCheck(t, s)
+}
+
+func TestPrefetchStopsAtPageBoundary(t *testing.T) {
+	s := prefetchSystem(t, MESI, PrefetchWPAware, 1)
+	lastBlock := cache.Addr(0x10FC0) // last block of page 0x10000
+	s.AccessSync(0, lastBlock, false, false, 0)
+	s.Quiesce()
+	if st := s.L1StateOf(0, 0x11000); st != cache.Invalid {
+		t.Fatal("prefetch crossed a page boundary")
+	}
+	if s.L1s[0].Stats.Prefetches != 0 {
+		t.Fatal("boundary prefetch counted")
+	}
+}
+
+// The hazard: a naive prefetcher drops the WP bit, so SwiftDir grants E
+// for the prefetched write-protected line and the channel reopens on it.
+func TestNaivePrefetchReopensChannel(t *testing.T) {
+	tm := DefaultTiming()
+	s := prefetchSystem(t, SwiftDir, PrefetchNaive, 2)
+	// Sender touches blockA with WP: demand line -> S, prefetched
+	// blockA+64 -> E (bit dropped).
+	s.AccessSync(1, blockA, false, true, 0)
+	s.Quiesce()
+	if st := s.L1StateOf(1, blockA+64); st != cache.Exclusive {
+		t.Fatalf("naive-prefetched WP line state %v, want E (the hazard)", st)
+	}
+	// The receiver's probe of the prefetched line is the slow three-hop
+	// path: distinguishable from the 17-cycle S service = channel.
+	r := s.AccessSync(0, blockA+64, false, true, 0)
+	if r.Latency != tm.RemoteLoadLatency() {
+		t.Fatalf("probe latency %d, want %d (remote)", r.Latency, tm.RemoteLoadLatency())
+	}
+	quiesceAndCheck(t, s)
+}
+
+// The WP-aware prefetcher preserves the defense: prefetched WP lines are
+// Shared and every probe is the constant LLC latency.
+func TestWPAwarePrefetchKeepsChannelClosed(t *testing.T) {
+	tm := DefaultTiming()
+	s := prefetchSystem(t, SwiftDir, PrefetchWPAware, 2)
+	s.AccessSync(1, blockA, false, true, 0)
+	s.Quiesce()
+	if st := s.L1StateOf(1, blockA+64); st != cache.Shared {
+		t.Fatalf("prefetched WP line state %v, want S", st)
+	}
+	r := s.AccessSync(0, blockA+64, false, true, 0)
+	if r.Latency != tm.LLCLoadLatency() {
+		t.Fatalf("probe latency %d, want constant %d", r.Latency, tm.LLCLoadLatency())
+	}
+	quiesceAndCheck(t, s)
+}
+
+// Prefetch MSHRs merge with demand accesses (hit-under-prefetch).
+func TestDemandMergesIntoPrefetch(t *testing.T) {
+	s := prefetchSystem(t, MESI, PrefetchWPAware, 1)
+	done := 0
+	s.Submit(0, Access{Addr: blockA, Done: func(AccessResult) { done++ }})
+	// Immediately access the line being prefetched.
+	s.Submit(0, Access{Addr: blockA + 64, Done: func(AccessResult) { done++ }})
+	s.Quiesce()
+	if done != 2 {
+		t.Fatalf("completions = %d", done)
+	}
+	// Exactly two memory fetches (demand + prefetch), not three.
+	if got := s.BankStatsTotal().MemFetches; got != 2 {
+		t.Fatalf("mem fetches = %d, want 2", got)
+	}
+	quiesceAndCheck(t, s)
+}
+
+// Prefetching must preserve all invariants under concurrent stress.
+func TestPrefetchStress(t *testing.T) {
+	for _, mode := range []PrefetchMode{PrefetchNaive, PrefetchWPAware} {
+		for _, p := range []Policy{MESI, SwiftDir, SMESI, MOESI, MESIF} {
+			cfg := testConfig(p, 4)
+			cfg.Prefetch = mode
+			cfg.LLCParams = cache.Params{Name: "LLC", SizeBytes: 4 << 10, Ways: 4, BlockSize: 64}
+			s := MustNewSystem(cfg)
+			for i := 0; i < 800; i++ {
+				s.Submit(i%4, Access{
+					Addr:  cache.Addr(0x100000 + (i%40)*64),
+					Write: i%5 == 0,
+					WP:    i%3 == 0 && i%5 != 0,
+					Value: uint64(i),
+				})
+			}
+			s.Eng.RunBounded(50_000_000)
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("%s/%v: %v", p.Name(), mode, err)
+			}
+		}
+	}
+}
+
+func TestPrefetchModeStrings(t *testing.T) {
+	if PrefetchOff.String() != "off" || PrefetchNaive.String() != "naive" || PrefetchWPAware.String() != "wp-aware" {
+		t.Fatal("names wrong")
+	}
+}

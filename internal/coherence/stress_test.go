@@ -1,0 +1,306 @@
+package coherence
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// Sequential (one access at a time) random workload: every load must
+// return the value of the most recent store to its block, across cores,
+// evictions, writebacks, and recalls. This is the data-value invariant
+// under a serialized request stream.
+func TestSequentialConsistencyProperty(t *testing.T) {
+	for _, p := range Policies {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			f := func(ops []uint32, seed uint16) bool {
+				cfg := testConfig(p, 4)
+				// Small LLC to exercise recalls too.
+				cfg.LLCParams = cache.Params{Name: "LLC", SizeBytes: 4 << 10, Ways: 4, BlockSize: 64}
+				s := MustNewSystem(cfg)
+				shadow := map[cache.Addr]uint64{}
+				val := uint64(seed) + 1
+				for _, op := range ops {
+					core := int(op % 4)
+					block := cache.Addr(0x100000 + (uint64(op>>2)%24)*64)
+					write := op&(1<<30) != 0
+					wp := op&(1<<29) != 0 && !write
+					if write {
+						val++
+						s.AccessSync(core, block, true, false, val)
+						shadow[block] = val
+					} else {
+						r := s.AccessSync(core, block, false, wp, 0)
+						want, ok := shadow[block]
+						if !ok {
+							want = initialToken(block)
+						}
+						if r.Value != want {
+							t.Logf("load %#x on core %d: got %#x want %#x", block, core, r.Value, want)
+							return false
+						}
+					}
+				}
+				s.Quiesce()
+				return s.CheckInvariants() == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Concurrent random workload: all accesses submitted up front (bounded
+// per-core pipelining), fully overlapping transactions. Checks SWMR,
+// inclusion, directory agreement, and that every access completes.
+func TestConcurrentStressInvariants(t *testing.T) {
+	for _, p := range Policies {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			cfg := testConfig(p, 4)
+			cfg.LLCParams = cache.Params{Name: "LLC", SizeBytes: 4 << 10, Ways: 4, BlockSize: 64}
+			s := MustNewSystem(cfg)
+			rng := sim.NewRNG(12345)
+			const perCore = 400
+			completed := 0
+			for c := 0; c < 4; c++ {
+				c := c
+				var issue func(n int)
+				issue = func(n int) {
+					if n == 0 {
+						return
+					}
+					block := cache.Addr(0x100000 + uint64(rng.Intn(32))*64)
+					write := rng.Bool(0.3)
+					wp := !write && rng.Bool(0.4)
+					s.Submit(c, Access{
+						Addr: block, Write: write, WP: wp, Value: rng.Uint64(),
+						Done: func(AccessResult) {
+							completed++
+							issue(n - 1) // keep one outstanding chain per core
+						},
+					})
+				}
+				// Three overlapping chains per core.
+				issue(perCore / 2)
+				issue(perCore / 4)
+				issue(perCore / 4)
+			}
+			s.Eng.RunBounded(50_000_000)
+			if completed != 4*perCore {
+				t.Fatalf("completed %d/%d accesses", completed, 4*perCore)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Under SwiftDir, a pure read-only write-protected workload must never
+// create an Exclusive or Modified line anywhere, and the directory must
+// never issue a forward — every service is the constant LLC path. This is
+// the structural statement of the security property.
+func TestSwiftDirWPWorkloadNeverExclusive(t *testing.T) {
+	cfg := testConfig(SwiftDir, 4)
+	s := MustNewSystem(cfg)
+	rng := sim.NewRNG(99)
+	for i := 0; i < 2000; i++ {
+		core := rng.Intn(4)
+		block := cache.Addr(0x200000 + uint64(rng.Intn(40))*64)
+		s.AccessSync(core, block, false, true, 0)
+	}
+	s.Quiesce()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if fw := s.BankStatsTotal().Forwards; fw != 0 {
+		t.Fatalf("SwiftDir WP workload caused %d forwards", fw)
+	}
+	for _, l1 := range s.L1s {
+		l1.Array().ForEachValid(func(addr cache.Addr, ln *cache.Line) {
+			if ln.State != cache.Shared {
+				t.Errorf("L1 %d: block %#x in %v", l1.ID, addr, ln.State)
+			}
+		})
+	}
+}
+
+// The same workload under MESI does create exclusivity and forwards —
+// the contrast that constitutes the timing channel.
+func TestMESIWPWorkloadCreatesForwards(t *testing.T) {
+	cfg := testConfig(MESI, 4)
+	s := MustNewSystem(cfg)
+	rng := sim.NewRNG(99)
+	for i := 0; i < 2000; i++ {
+		core := rng.Intn(4)
+		block := cache.Addr(0x200000 + uint64(rng.Intn(40))*64)
+		s.AccessSync(core, block, false, true, 0)
+	}
+	s.Quiesce()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if fw := s.BankStatsTotal().Forwards; fw == 0 {
+		t.Fatal("MESI workload caused no forwards; E-state path untested")
+	}
+}
+
+// Mixed WP and non-WP concurrent traffic under SwiftDir keeps both halves
+// of Table IV: WP blocks stay S; non-WP write-after-read still silently
+// upgrades.
+func TestSwiftDirMixedTraffic(t *testing.T) {
+	cfg := testConfig(SwiftDir, 4)
+	s := MustNewSystem(cfg)
+	rng := sim.NewRNG(7)
+	wpBase := cache.Addr(0x300000)
+	privBase := cache.Addr(0x400000)
+	for i := 0; i < 3000; i++ {
+		core := rng.Intn(4)
+		if rng.Bool(0.5) {
+			block := wpBase + cache.Addr(rng.Intn(16))*64
+			s.AccessSync(core, block, false, true, 0)
+		} else {
+			// Private per-core region: read then write.
+			block := privBase + cache.Addr(core)*0x10000 + cache.Addr(rng.Intn(16))*64
+			s.AccessSync(core, block, false, false, 0)
+			s.AccessSync(core, block, true, false, rng.Uint64())
+		}
+	}
+	s.Quiesce()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var silent uint64
+	for _, l1 := range s.L1s {
+		silent += l1.Stats.SilentUpgrades
+	}
+	if silent == 0 {
+		t.Fatal("SwiftDir lost the silent-upgrade speedup for unshared data")
+	}
+}
+
+// Eviction pressure property: any interleaving of loads/stores over a
+// footprint exceeding both L1 and LLC capacity terminates, preserves
+// values (sequential mode), and leaves a consistent hierarchy.
+func TestCapacityPressureProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		cfg := testConfig(MESI, 2)
+		cfg.L1Params = cache.Params{Name: "L1", SizeBytes: 512, Ways: 2, BlockSize: 64}
+		cfg.LLCParams = cache.Params{Name: "LLC", SizeBytes: 2 << 10, Ways: 2, BlockSize: 64}
+		s := MustNewSystem(cfg)
+		shadow := map[cache.Addr]uint64{}
+		v := uint64(1)
+		for _, op := range ops {
+			core := int(op) % 2
+			block := cache.Addr(0x500000 + (uint64(op)>>1%96)*64)
+			if op&0x100 != 0 {
+				v++
+				s.AccessSync(core, block, true, false, v)
+				shadow[block] = v
+			} else {
+				r := s.AccessSync(core, block, false, false, 0)
+				want, ok := shadow[block]
+				if !ok {
+					want = initialToken(block)
+				}
+				if r.Value != want {
+					return false
+				}
+			}
+		}
+		s.Quiesce()
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Protocol equivalence: for any single-core workload the three protocols
+// return identical values (they differ only in timing, not semantics).
+func TestProtocolsValueEquivalent(t *testing.T) {
+	f := func(ops []uint16) bool {
+		results := make([][]uint64, 0, 3)
+		for _, p := range Policies {
+			s := MustNewSystem(testConfig(p, 1))
+			var vals []uint64
+			v := uint64(100)
+			for _, op := range ops {
+				block := cache.Addr(0x600000 + (uint64(op)%20)*64)
+				if op&0x8000 != 0 {
+					v++
+					s.AccessSync(0, block, true, false, v)
+				} else {
+					r := s.AccessSync(0, block, false, op&0x4000 != 0, 0)
+					vals = append(vals, r.Value)
+				}
+			}
+			results = append(results, vals)
+		}
+		for i := 1; i < len(results); i++ {
+			if len(results[i]) != len(results[0]) {
+				return false
+			}
+			for j := range results[i] {
+				if results[i][j] != results[0][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: under S-MESI a Downgrade can race the owner's eviction; the
+// stale PUTX must clear the (converted) sharer bit, or the directory ends
+// up pointing at an Invalid L1 line.
+func TestSMESIDowngradeRacesEviction(t *testing.T) {
+	cfg := testConfig(SMESI, 2)
+	s := MustNewSystem(cfg)
+	l1Sets := s.L1s[0].Array().Sets()
+	stride := cache.Addr(l1Sets * 64)
+	base := cache.Addr(0x70000)
+
+	// Core 0 owns base in E.
+	s.AccessSync(0, base, false, false, 0)
+	// Concurrently: core 0 evicts base (set fill) while core 1 loads it
+	// (S-MESI serves from the LLC and sends a Downgrade).
+	for i := 1; i <= 4; i++ {
+		s.Submit(0, Access{Addr: base + cache.Addr(i)*stride})
+	}
+	s.Submit(1, Access{Addr: base})
+	s.Quiesce()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Latency sanity across service classes: L1 < LLC < Remote < Mem.
+func TestLatencyOrdering(t *testing.T) {
+	s := newTestSystem(t, MESI, 2)
+	cold := s.AccessSync(0, blockA, false, false, 0)   // mem
+	remote := s.AccessSync(1, blockA, false, false, 0) // 3-hop
+	llc := s.AccessSync(0, blockA+64, false, false, 0) // mem again
+	_ = llc
+	s.Quiesce()
+	hit := s.AccessSync(1, blockA, false, false, 0) // now S locally
+	if !(hit.Latency < DefaultTiming().LLCLoadLatency()) {
+		t.Fatalf("hit latency %d not below LLC latency", hit.Latency)
+	}
+	if !(remote.Latency < cold.Latency) {
+		t.Fatalf("remote %d not below mem %d", remote.Latency, cold.Latency)
+	}
+	msg := fmt.Sprintf("hit=%d remote=%d cold=%d", hit.Latency, remote.Latency, cold.Latency)
+	if hit.Latency >= remote.Latency {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,401 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/interconnect"
+	"repro/internal/sim"
+)
+
+// PrefetchMode selects the L1 next-line prefetcher behaviour.
+type PrefetchMode uint8
+
+const (
+	// PrefetchOff disables prefetching (the paper's configuration).
+	PrefetchOff PrefetchMode = iota
+	// PrefetchNaive issues next-line prefetches that DROP the
+	// write-protection bit (as an unmodified prefetcher would, since the
+	// bit arrives with the demand translation): under SwiftDir this
+	// silently re-creates E-state copies of write-protected data and
+	// REOPENS the timing channel for prefetched lines.
+	PrefetchNaive
+	// PrefetchWPAware propagates the demand access's write-protection
+	// bit to same-page prefetches, preserving SwiftDir's security.
+	PrefetchWPAware
+)
+
+func (p PrefetchMode) String() string {
+	switch p {
+	case PrefetchOff:
+		return "off"
+	case PrefetchNaive:
+		return "naive"
+	case PrefetchWPAware:
+		return "wp-aware"
+	}
+	return fmt.Sprintf("PrefetchMode(%d)", uint8(p))
+}
+
+// SystemConfig describes a coherent memory hierarchy.
+type SystemConfig struct {
+	NumL1     int          // number of private cache controllers
+	L1Params  cache.Params // geometry of each L1
+	LLCParams cache.Params // geometry of each LLC bank
+	Banks     int          // LLC bank count (power of two)
+	Timing    Timing
+	Policy    Policy
+	DRAM      dram.Config
+	Prefetch  PrefetchMode // L1 next-line prefetcher
+}
+
+// Validate checks the configuration.
+func (c SystemConfig) Validate() error {
+	if c.NumL1 <= 0 || c.NumL1 > 64 {
+		return fmt.Errorf("coherence: NumL1 %d out of range [1,64]", c.NumL1)
+	}
+	if c.Banks <= 0 || c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("coherence: bank count %d not a power of two", c.Banks)
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("coherence: nil policy")
+	}
+	if err := c.L1Params.Validate(); err != nil {
+		return err
+	}
+	if err := c.LLCParams.Validate(); err != nil {
+		return err
+	}
+	if c.L1Params.BlockSize != c.LLCParams.BlockSize {
+		return fmt.Errorf("coherence: L1/LLC block size mismatch %d != %d",
+			c.L1Params.BlockSize, c.LLCParams.BlockSize)
+	}
+	return c.DRAM.Validate()
+}
+
+// System is a complete coherent hierarchy: L1 controllers, banked
+// LLC+directory, and the DRAM model, driven by one event engine.
+type System struct {
+	Eng    *sim.Engine
+	Timing Timing
+	Policy Policy
+	L1s    []*L1
+	Mem    *dram.Memory
+
+	banks     []*bank
+	mapper    *cache.BankMapper
+	image     map[cache.Addr]uint64 // main-memory shadow values
+	tracer    *Tracer
+	msgCounts [MsgDataFromOwner + 1]uint64
+	xbar      *interconnect.Crossbar
+	numL1     int
+
+	// Record, if set, observes every completed access (for latency CDFs).
+	Record func(port int, r AccessResult)
+}
+
+// NewSystem builds and wires a hierarchy on a fresh engine.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		Eng:    sim.NewEngine(),
+		Timing: cfg.Timing,
+		Policy: cfg.Policy,
+		Mem:    dram.New(cfg.DRAM),
+		mapper: cache.NewBankMapper(cfg.Banks, cfg.LLCParams.BlockSize),
+		image:  make(map[cache.Addr]uint64),
+		numL1:  cfg.NumL1,
+	}
+	// Crossbar ports: L1s first, then LLC banks.
+	xcfg := interconnect.Config{
+		Ports:      cfg.NumL1 + cfg.Banks,
+		Latency:    cfg.Timing.Hop,
+		Occupancy:  cfg.Timing.LinkOccupancy,
+		JitterMax:  cfg.Timing.JitterMax,
+		JitterSeed: cfg.Timing.JitterSeed,
+	}
+	if cfg.Timing.SocketCores > 0 {
+		xcfg.Distance = func(src, dst int) sim.Cycle {
+			if s.socketOf(src) != s.socketOf(dst) {
+				return s.Timing.CrossSocketExtra
+			}
+			return 0
+		}
+	}
+	s.xbar = interconnect.New(s.Eng, xcfg)
+	for i := 0; i < cfg.Banks; i++ {
+		s.banks = append(s.banks, newBank(i, s, cfg.LLCParams))
+	}
+	for i := 0; i < cfg.NumL1; i++ {
+		l1 := newL1(i, s.Eng, cfg.Timing, cfg.Policy, cfg.L1Params)
+		l1.prefetch = cfg.Prefetch
+		port := i
+		l1.toDir = func(m Msg) {
+			b := s.bankFor(m.Addr)
+			s.xbar.Send(port, s.bankPort(b.id), func() {
+				s.trace(m, DirID)
+				b.dispatch(m)
+			})
+		}
+		l1.toL1 = func(dst int, m Msg) {
+			s.xbar.Send(port, dst, func() {
+				s.trace(m, dst)
+				s.L1s[dst].Receive(m)
+			})
+		}
+		l1.record = func(r AccessResult) {
+			if s.Record != nil {
+				s.Record(port, r)
+			}
+		}
+		s.L1s = append(s.L1s, l1)
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem for static configurations.
+func MustNewSystem(cfg SystemConfig) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *System) bankFor(addr cache.Addr) *bank {
+	return s.banks[s.mapper.Bank(addr)]
+}
+
+// bankPort returns a bank's crossbar port.
+func (s *System) bankPort(bankID int) int { return s.numL1 + bankID }
+
+// socketOf maps a crossbar port (L1 or bank) to its NUMA socket: L1s are
+// grouped SocketCores at a time; LLC banks distribute round-robin across
+// the sockets (each socket holds its slice of the shared LLC).
+func (s *System) socketOf(port int) int {
+	if s.Timing.SocketCores <= 0 {
+		return 0
+	}
+	if port < s.numL1 {
+		return port / s.Timing.SocketCores
+	}
+	sockets := (s.numL1 + s.Timing.SocketCores - 1) / s.Timing.SocketCores
+	if sockets == 0 {
+		return 0
+	}
+	return (port - s.numL1) % sockets
+}
+
+// Network returns the interconnect for statistics inspection.
+func (s *System) Network() *interconnect.Crossbar { return s.xbar }
+
+// initialToken derives the shadow value of untouched memory from its
+// address, so the data-value invariant can be checked without
+// initialization.
+func initialToken(addr cache.Addr) uint64 {
+	return uint64(addr)*0x9E3779B97F4A7C15 | 1
+}
+
+func (s *System) memRead(addr cache.Addr) uint64 {
+	if v, ok := s.image[addr]; ok {
+		return v
+	}
+	return initialToken(addr)
+}
+
+func (s *System) memWrite(addr cache.Addr, v uint64) { s.image[addr] = v }
+
+// Submit hands an access to port's L1. Completion is reported through
+// a.Done and the system Record hook as the simulation advances.
+func (s *System) Submit(port int, a Access) {
+	s.L1s[port].Request(a)
+}
+
+// AccessSync submits an access and runs the engine until it completes,
+// returning the result. It is the probe interface the attack framework
+// and the protocol tests use.
+func (s *System) AccessSync(port int, addr cache.Addr, write bool, wp bool, value uint64) AccessResult {
+	var out AccessResult
+	done := false
+	s.Submit(port, Access{
+		Addr: addr, Write: write, WP: wp, Value: value,
+		Done: func(r AccessResult) { out = r; done = true },
+	})
+	s.Eng.RunWhile(func() bool { return !done })
+	if !done {
+		panic("coherence: access did not complete (event queue drained)")
+	}
+	return out
+}
+
+// Quiesce drains all in-flight activity.
+func (s *System) Quiesce() { s.Eng.Run() }
+
+// BankStatsTotal sums statistics over all banks.
+func (s *System) BankStatsTotal() BankStats {
+	var t BankStats
+	for _, b := range s.banks {
+		t.Requests += b.Stats.Requests
+		t.LLCServed += b.Stats.LLCServed
+		t.Forwards += b.Stats.Forwards
+		t.MemFetches += b.Stats.MemFetches
+		t.Invals += b.Stats.Invals
+		t.UpgradeAcks += b.Stats.UpgradeAcks
+		t.Recalls += b.Stats.Recalls
+		t.Writebacks += b.Stats.Writebacks
+		t.QueuedWakeups += b.Stats.QueuedWakeups
+	}
+	return t
+}
+
+// DirStateOf reports the directory state of a block (DirInvalid if not
+// resident). For tests and invariant checks.
+func (s *System) DirStateOf(addr cache.Addr) DirState {
+	b := s.bankFor(addr)
+	if e, ok := b.entries[addr]; ok {
+		return e.state
+	}
+	return DirInvalid
+}
+
+// L1StateOf reports port's L1 line state for a block.
+func (s *System) L1StateOf(port int, addr cache.Addr) cache.LineState {
+	if ln := s.L1s[port].Array().Lookup(addr); ln != nil {
+		return ln.State
+	}
+	return cache.Invalid
+}
+
+// CheckInvariants validates the quiesced system:
+//
+//   - SWMR: at most one L1 holds a block E/M, and then no L1 holds it S;
+//   - inclusion: every L1-resident block is LLC-resident;
+//   - directory agreement: owner/sharer records match L1 contents;
+//   - WP-never-exclusive: under SwiftDir a write-protected line is never
+//     E or M in any L1 (the security property, structurally).
+//
+// It must be called with no in-flight transactions and returns the first
+// violation found.
+func (s *System) CheckInvariants() error {
+	for _, b := range s.banks {
+		if len(b.busy) != 0 {
+			return fmt.Errorf("bank %d: %d transactions still busy", b.id, len(b.busy))
+		}
+	}
+	for _, l1 := range s.L1s {
+		if n := l1.OutstandingMisses(); n != 0 {
+			return fmt.Errorf("L1 %d: %d MSHRs still outstanding", l1.ID, n)
+		}
+	}
+
+	type holders struct {
+		exclusive []int
+		owned     []int
+		forward   []int
+		shared    []int
+	}
+	byBlock := make(map[cache.Addr]*holders)
+	for _, l1 := range s.L1s {
+		id := l1.ID
+		var err error
+		l1.Array().ForEachValid(func(addr cache.Addr, ln *cache.Line) {
+			h := byBlock[addr]
+			if h == nil {
+				h = &holders{}
+				byBlock[addr] = h
+			}
+			switch ln.State {
+			case cache.Exclusive, cache.Modified:
+				h.exclusive = append(h.exclusive, id)
+			case cache.Owned:
+				h.owned = append(h.owned, id)
+			case cache.Forward:
+				h.forward = append(h.forward, id)
+			case cache.Shared:
+				h.shared = append(h.shared, id)
+			}
+			if (s.Policy == SwiftDir || s.Policy == SwiftDirMOESI) && ln.WP && ln.State != cache.Shared {
+				err = fmt.Errorf("L1 %d: write-protected block %#x in state %v under %s",
+					id, addr, ln.State, s.Policy.Name())
+			}
+			// Inclusion.
+			if _, ok := s.bankFor(addr).entries[addr]; !ok {
+				err = fmt.Errorf("L1 %d: block %#x resident but absent from LLC (inclusion)", id, addr)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for addr, h := range byBlock {
+		if len(h.exclusive) > 1 {
+			return fmt.Errorf("SWMR: block %#x exclusive in L1s %v", addr, h.exclusive)
+		}
+		if len(h.exclusive) == 1 && (len(h.shared) > 0 || len(h.owned) > 0 || len(h.forward) > 0) {
+			return fmt.Errorf("SWMR: block %#x exclusive in L1 %d alongside O=%v F=%v S=%v",
+				addr, h.exclusive[0], h.owned, h.forward, h.shared)
+		}
+		// MOESI: at most one Owned holder; O may coexist with S only.
+		if len(h.owned) > 1 {
+			return fmt.Errorf("SWMR: block %#x owned by multiple L1s %v", addr, h.owned)
+		}
+		// MESIF: at most one Forward holder; F coexists with S only.
+		if len(h.forward) > 1 {
+			return fmt.Errorf("SWMR: block %#x forwarded by multiple L1s %v", addr, h.forward)
+		}
+		if len(h.forward) > 0 && len(h.owned) > 0 {
+			return fmt.Errorf("SWMR: block %#x has both O=%v and F=%v holders", addr, h.owned, h.forward)
+		}
+	}
+	// Directory agreement.
+	for _, b := range s.banks {
+		for addr, e := range b.entries {
+			switch e.state {
+			case DirExclusive, DirModifiedL1:
+				st := s.L1StateOf(e.owner, addr)
+				if st != cache.Exclusive && st != cache.Modified {
+					return fmt.Errorf("dir: block %#x %v owner %d holds %v", addr, e.state, e.owner, st)
+				}
+			case DirShared:
+				for id, sh := 0, e.sharers; sh != 0; id++ {
+					if sh&1 != 0 {
+						st := s.L1StateOf(id, addr)
+						if st != cache.Shared && st != cache.Forward {
+							return fmt.Errorf("dir: block %#x sharer %d holds %v", addr, id, st)
+						}
+						if st == cache.Forward && e.forwarder != id {
+							return fmt.Errorf("dir: block %#x F holder %d not recorded (forwarder=%d)", addr, id, e.forwarder)
+						}
+					}
+					sh >>= 1
+				}
+				if e.forwarder >= 0 {
+					if st := s.L1StateOf(e.forwarder, addr); st != cache.Forward {
+						return fmt.Errorf("dir: block %#x forwarder %d holds %v", addr, e.forwarder, st)
+					}
+				}
+			case DirOwned:
+				if st := s.L1StateOf(e.owner, addr); st != cache.Owned {
+					return fmt.Errorf("dir: block %#x DirO owner %d holds %v", addr, e.owner, st)
+				}
+				for id, sh := 0, e.sharers; sh != 0; id++ {
+					if sh&1 != 0 {
+						if st := s.L1StateOf(id, addr); st != cache.Shared {
+							return fmt.Errorf("dir: block %#x DirO sharer %d holds %v", addr, id, st)
+						}
+					}
+					sh >>= 1
+				}
+			case DirPresent:
+				h := byBlock[addr]
+				if h != nil && (len(h.exclusive) > 0 || len(h.shared) > 0) {
+					return fmt.Errorf("dir: block %#x DirPresent but cached in L1s", addr)
+				}
+			}
+		}
+	}
+	return nil
+}

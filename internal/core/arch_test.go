@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+func archMachine(t *testing.T, arch CacheArch, p coherence.Policy, cores int) *Machine {
+	t.Helper()
+	cfg := DefaultConfig(cores, p)
+	cfg.L1Arch = arch
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// warmCtx returns a context with one warm page whose first block has been
+// accessed (TLB hot, line resident).
+func warmCtx(t *testing.T, m *Machine) (*Context, mmu.VAddr) {
+	t.Helper()
+	p := m.NewProcess()
+	ctx := p.AttachContext(0)
+	heap := p.MmapAnon(1 << 16)
+	ctx.MustAccessSync(heap, false, 0)
+	return ctx, heap
+}
+
+func TestCacheArchStrings(t *testing.T) {
+	if VIPT.String() != "VIPT" || PIPT.String() != "PIPT" || VIVT.String() != "VIVT" {
+		t.Fatal("arch names wrong")
+	}
+	if PIPT.WPAvailableAt() != "(L1 cache, set indexing)" {
+		t.Fatalf("PIPT location: %s", PIPT.WPAvailableAt())
+	}
+	if VIPT.WPAvailableAt() != "(L1 cache, tag comparison)" {
+		t.Fatalf("VIPT location: %s", VIPT.WPAvailableAt())
+	}
+	if VIVT.WPAvailableAt() != "(LLC, set indexing)" {
+		t.Fatalf("VIVT location: %s", VIVT.WPAvailableAt())
+	}
+}
+
+// Figure 5 timing: on an L1 hit with a hot TLB, VIPT and VIVT hide the
+// translation entirely; PIPT pays the TLB lookup serially.
+func TestArchL1HitLatency(t *testing.T) {
+	want := map[CacheArch]sim.Cycle{
+		VIPT: 1, // L1Tag
+		VIVT: 1, // no translation on the hit path at all
+		PIPT: 2, // TLBHit + L1Tag
+	}
+	for arch, wantLat := range want {
+		m := archMachine(t, arch, coherence.MESI, 1)
+		ctx, heap := warmCtx(t, m)
+		r := ctx.MustAccessSync(heap, false, 0)
+		if r.Latency != wantLat {
+			t.Errorf("%v: hit latency %d, want %d", arch, r.Latency, wantLat)
+		}
+	}
+}
+
+// On an L1 miss that hits the LLC, VIVT pays the deferred TLB lookup on
+// the miss path; PIPT pays it up front; VIPT hides it.
+func TestArchL1MissLatency(t *testing.T) {
+	base := coherence.DefaultTiming().LLCLoadLatency() // 17
+	want := map[CacheArch]sim.Cycle{
+		VIPT: base,
+		PIPT: base + 1,
+		VIVT: base + 1,
+	}
+	for arch, wantLat := range want {
+		m := archMachine(t, arch, coherence.MESI, 1)
+		ctx, heap := warmCtx(t, m)
+		// Evict the warm block's set? Simpler: access another block of
+		// the same (warm) page far enough to miss the L1 but the page
+		// is TLB-hot. First pull it into the LLC via a different route:
+		// touch it once (mem fetch), recall-free, then evict from L1 by
+		// filling the set.
+		victim := heap + 0x40
+		ctx.MustAccessSync(victim, false, 0) // now in L1+LLC
+		// Physical frames are allocated sequentially per fault, and the
+		// 32 KB 4-way L1 wraps sets every two 4 KB pages, so touching
+		// the same offset in the next 12 pages places six blocks in the
+		// victim's physical set — enough to evict it.
+		for i := 1; i <= 12; i++ {
+			ctx.MustAccessSync(heap+mmu.VAddr(i)*mmu.PageSize+0x40, false, 0)
+		}
+		r := ctx.MustAccessSync(victim, false, 0)
+		if r.Served != coherence.ServedLLC {
+			t.Fatalf("%v: victim load served from %v, want LLC", arch, r.Served)
+		}
+		if r.Latency != wantLat {
+			t.Errorf("%v: miss latency %d, want %d", arch, r.Latency, wantLat)
+		}
+	}
+}
+
+// A TLB miss (page-table walk) serializes on every architecture, but VIVT
+// only pays it on the L1 miss path.
+func TestArchWalkLatency(t *testing.T) {
+	for _, arch := range []CacheArch{VIPT, PIPT, VIVT} {
+		m := archMachine(t, arch, coherence.MESI, 1)
+		p := m.NewProcess()
+		ctx := p.AttachContext(0)
+		heap := p.MmapAnon(1 << 20)
+		// Touch 100 pages to overflow the 64-entry DTLB, then re-touch
+		// page 0: TLB miss, L1 miss (long gone), LLC or memory service.
+		for i := 0; i < 100; i++ {
+			ctx.MustAccessSync(heap+mmu.VAddr(i)*mmu.PageSize, false, 0)
+		}
+		r := ctx.MustAccessSync(heap, false, 0)
+		if r.Latency < m.Cfg.TLBMissWalkLatency {
+			t.Errorf("%v: post-TLB-overflow latency %d below walk cost", arch, r.Latency)
+		}
+		if ctx.TLBWalks == 0 {
+			t.Errorf("%v: no TLB walks counted", arch)
+		}
+	}
+}
+
+// The security property is architecture-independent: the GETS_WP request
+// reaches the directory under all three organizations, so SwiftDir's
+// remote WP loads are the constant LLC latency everywhere.
+func TestArchIndependentSecurity(t *testing.T) {
+	for _, arch := range []CacheArch{VIPT, PIPT, VIVT} {
+		cfg := DefaultConfig(2, coherence.SwiftDir)
+		cfg.L1Arch = arch
+		m := MustNewMachine(cfg)
+		lib := mmu.NewFile("lib.so", 9)
+		p1, p2 := m.NewProcess(), m.NewProcess()
+		c1, c2 := p1.AttachContext(0), p2.AttachContext(1)
+		b1 := p1.MmapLibrary(lib, 1<<16)
+		b2 := p2.MmapLibrary(lib, 1<<16)
+
+		c1.MustAccessSync(b1+0x1000, false, 0)
+		c2.MustAccessSync(b2+0x1040, false, 0) // warm TLB
+		r := c2.MustAccessSync(b2+0x1000, false, 0)
+		if r.Served != coherence.ServedLLC {
+			t.Errorf("%v: WP remote load served from %v, want LLC", arch, r.Served)
+		}
+		if !r.WP {
+			t.Errorf("%v: WP bit lost", arch)
+		}
+		m.Quiesce()
+		if err := m.CheckInvariants(); err != nil {
+			t.Errorf("%v: %v", arch, err)
+		}
+	}
+}
+
+// VIVT's deferred miss penalty interacts correctly with MSHR merging: two
+// accesses to one cold block still produce one memory fetch.
+func TestVIVTMissPenaltyMerges(t *testing.T) {
+	m := archMachine(t, VIVT, coherence.MESI, 1)
+	p := m.NewProcess()
+	ctx := p.AttachContext(0)
+	heap := p.MmapAnon(1 << 16)
+	done := 0
+	for i := 0; i < 3; i++ {
+		if err := ctx.Access(heap+mmu.VAddr(i*8), false, 0, func(coherence.AccessResult) { done++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Quiesce()
+	if done != 3 {
+		t.Fatalf("completions = %d", done)
+	}
+	if got := m.Sys.BankStatsTotal().MemFetches; got != 1 {
+		t.Fatalf("mem fetches = %d, want 1", got)
+	}
+}

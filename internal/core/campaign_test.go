@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// End-to-end machine campaign: processes forking, KSM scanning, mprotect
+// churn, shared libraries, and random memory traffic, all interleaved,
+// across the three paper protocols. Each operation's result is verified
+// against a per-process shadow of page contents. Skipped in -short mode.
+func TestMachineCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is long; run without -short")
+	}
+	for _, proto := range []coherence.Policy{coherence.MESI, coherence.SwiftDir, coherence.SMESI} {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			m := MustNewMachine(DefaultConfig(4, proto))
+			lib := mmu.NewFile("libcampaign.so", 0xCA)
+			rng := sim.NewRNG(0xE2E)
+
+			type proc struct {
+				p      *Process
+				ctx    *Context
+				heap   mmu.VAddr
+				lib    mmu.VAddr
+				shadow map[int]uint64 // heap page -> last written token
+				ro     map[int]bool   // heap page currently mprotected RO
+			}
+			const pages = 8
+			mkProc := func(core int) *proc {
+				p := m.NewProcess()
+				return &proc{
+					p:      p,
+					ctx:    p.AttachContext(core),
+					heap:   p.MmapAnon(pages * mmu.PageSize),
+					lib:    p.MmapLibrary(lib, pages*mmu.PageSize),
+					shadow: map[int]uint64{},
+					ro:     map[int]bool{},
+				}
+			}
+			procs := []*proc{mkProc(0), mkProc(1)}
+
+			forkProc := func(parent *proc, core int) *proc {
+				child := &proc{
+					p:      parent.p.Fork(),
+					heap:   parent.heap,
+					lib:    parent.lib,
+					shadow: map[int]uint64{},
+					ro:     map[int]bool{},
+				}
+				child.ctx = child.p.AttachContext(core)
+				for k, v := range parent.shadow {
+					child.shadow[k] = v
+				}
+				for k, v := range parent.ro {
+					child.ro[k] = v
+				}
+				parent.ctx.DTLB.Flush() // post-fork shootdown
+				return child
+			}
+
+			val := uint64(1)
+			for op := 0; op < 3000; op++ {
+				pr := procs[rng.Intn(len(procs))]
+				page := rng.Intn(pages)
+				v := pr.heap + mmu.VAddr(page)*mmu.PageSize + mmu.VAddr(rng.Intn(60))*64
+
+				switch {
+				case rng.Bool(0.02) && len(procs) < 4:
+					procs = append(procs, forkProc(pr, len(procs)))
+				case rng.Bool(0.02):
+					m.KSM.Scan()
+					for _, q := range procs {
+						q.ctx.DTLB.Flush()
+					}
+				case rng.Bool(0.03):
+					// Toggle mprotect on a heap page.
+					if pr.ro[page] {
+						if err := pr.p.AS.Mprotect(pr.heap+mmu.VAddr(page)*mmu.PageSize, mmu.PageSize, mmu.ProtRead|mmu.ProtWrite); err != nil {
+							t.Fatal(err)
+						}
+						pr.ro[page] = false
+					} else {
+						if err := pr.p.AS.Mprotect(pr.heap+mmu.VAddr(page)*mmu.PageSize, mmu.PageSize, mmu.ProtRead); err != nil {
+							t.Fatal(err)
+						}
+						pr.ro[page] = true
+					}
+					pr.ctx.DTLB.Flush()
+				case rng.Bool(0.25):
+					// Library read: always write-protected.
+					lv := pr.lib + mmu.VAddr(rng.Intn(pages))*mmu.PageSize + mmu.VAddr(rng.Intn(60))*64
+					r, err := pr.ctx.AccessSync(lv, false, 0)
+					if err != nil {
+						t.Fatalf("op %d: lib read: %v", op, err)
+					}
+					if !r.WP {
+						t.Fatalf("op %d: library read not write-protected", op)
+					}
+				case rng.Bool(0.4):
+					// Heap write via the page-content shadow (uses CoW
+					// machinery under forks/KSM).
+					if pr.ro[page] {
+						continue // write would fault; skip
+					}
+					val++
+					if err := pr.p.AS.WritePage(pr.heap+mmu.VAddr(page)*mmu.PageSize, val); err != nil {
+						t.Fatalf("op %d: WritePage: %v", op, err)
+					}
+					pr.shadow[page] = val
+					// Also push a cache-level store through the core.
+					if _, err := pr.ctx.AccessSync(v, true, val); err != nil {
+						t.Fatalf("op %d: store: %v", op, err)
+					}
+				default:
+					// Heap page-content read back.
+					got, err := pr.p.AS.ReadPage(pr.heap + mmu.VAddr(page)*mmu.PageSize)
+					if err != nil {
+						t.Fatalf("op %d: ReadPage: %v", op, err)
+					}
+					want, wrote := pr.shadow[page]
+					if wrote && got != want {
+						t.Fatalf("op %d proc heap page %d: got %#x want %#x (fork/KSM isolation broken)",
+							op, page, got, want)
+					}
+					if _, err := pr.ctx.AccessSync(v, false, 0); err != nil {
+						t.Fatalf("op %d: load: %v", op, err)
+					}
+				}
+			}
+			m.Quiesce()
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Cross-check: every process still reads its own shadow.
+			for pi, pr := range procs {
+				for page, want := range pr.shadow {
+					got, err := pr.p.AS.ReadPage(pr.heap + mmu.VAddr(page)*mmu.PageSize)
+					if err != nil || got != want {
+						t.Fatalf("proc %d page %d: got %#x want %#x err=%v", pi, page, got, want, err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,179 @@
+// Package core assembles the full SwiftDir machine: CPU-facing contexts
+// with per-core TLBs and address spaces (package mmu), the coherent cache
+// hierarchy (package coherence), and the DRAM model (package dram), under
+// the paper's Table V configuration. It is the public entry point the
+// examples, the attack framework, and the benchmark harness build on.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// Config mirrors the paper's experiment setup (Table V) plus the
+// translation-timing knobs the MMU substrate needs.
+type Config struct {
+	// Processor.
+	Cores      int // 1..4 in the paper
+	FreqGHz    float64
+	ROBEntries int // out-of-order window (DerivO3CPU)
+	LQEntries  int
+	SQEntries  int
+	Width      int // superscalar width
+
+	// StoreDrainDepth bounds how many stores may have in-flight coherence
+	// transactions at once. Stores still issue in program order (TSO
+	// store->store ordering), but their completions may overlap, modeling
+	// a store buffer with ownership pipelining.
+	StoreDrainDepth int
+
+	// Caches.
+	L1     cache.Params // private L1 D-cache (per core)
+	L1I    cache.Params // private L1 I-cache (per core)
+	L2Bank cache.Params // one shared-L2 bank per core
+
+	// TLBs.
+	ITLBEntries int
+	DTLBEntries int
+
+	// L1Arch selects PIPT, VIPT (default), or VIVT L1 organization
+	// (§IV-B); it changes when translation latency is charged and where
+	// the R/W bit joins the access, never whether it arrives.
+	L1Arch CacheArch
+
+	// Translation timing (CPU cycles).
+	TLBHitLatency      sim.Cycle // TLB lookup (hidden under indexing on VIPT)
+	TLBMissWalkLatency sim.Cycle // page-table walk on TLB miss (fixed model)
+	PageFaultLatency   sim.Cycle // demand-paging fault service
+	CoWLatency         sim.Cycle // copy-on-write duplication
+
+	// WalkThroughCaches replaces the fixed TLBMissWalkLatency with a
+	// real radix walk: four dependent reads of page-table cache lines
+	// issued through the core's L1, so walk cost depends on page-table
+	// locality.
+	WalkThroughCaches bool
+
+	// FastCoWWrites implements the hardware direction the paper sketches
+	// as future work (§II-B): treat a copy-on-write page fault as a write
+	// miss and complete the store into a dedicated write buffer at a
+	// small constant latency while the page duplication proceeds off the
+	// critical path. Besides the speedup, this masks the write-timing
+	// channel of deduplication attacks (writing a merged page is
+	// otherwise an order of magnitude slower than writing a private one).
+	FastCoWWrites bool
+
+	// WriteBufferLatency is the constant store-completion cost under
+	// FastCoWWrites.
+	WriteBufferLatency sim.Cycle
+
+	Timing   coherence.Timing
+	Protocol coherence.Policy
+	DRAM     dram.Config
+
+	// Prefetch selects the L1 next-line prefetcher mode (off by default;
+	// see coherence.PrefetchMode for the naive mode's security hazard).
+	Prefetch coherence.PrefetchMode
+}
+
+// DefaultConfig returns the Table V machine with the given core count and
+// protocol.
+func DefaultConfig(cores int, protocol coherence.Policy) Config {
+	return Config{
+		Cores:           cores,
+		FreqGHz:         3.0,
+		ROBEntries:      192,
+		LQEntries:       32,
+		SQEntries:       32,
+		Width:           8,
+		StoreDrainDepth: 8,
+		L1: cache.Params{
+			Name: "L1D", SizeBytes: 32 << 10, Ways: 4, BlockSize: 64,
+		},
+		L1I: cache.Params{
+			Name: "L1I", SizeBytes: 32 << 10, Ways: 4, BlockSize: 64,
+		},
+		L2Bank: cache.Params{
+			Name: "L2", SizeBytes: 2 << 20, Ways: 16, BlockSize: 64,
+		},
+		ITLBEntries:        64,
+		DTLBEntries:        64,
+		L1Arch:             VIPT,
+		TLBHitLatency:      1,
+		TLBMissWalkLatency: 20,
+		PageFaultLatency:   600,
+		CoWLatency:         900,
+		WriteBufferLatency: 4,
+		Timing:             coherence.DefaultTiming(),
+		Protocol:           protocol,
+		DRAM:               dram.DDR3_1600_8x8(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Cores&(c.Cores-1) != 0 {
+		return fmt.Errorf("core: cores %d must be a positive power of two (bank mapping)", c.Cores)
+	}
+	if c.Protocol == nil {
+		return fmt.Errorf("core: nil protocol")
+	}
+	if c.ROBEntries <= 0 || c.LQEntries <= 0 || c.SQEntries <= 0 || c.Width <= 0 {
+		return fmt.Errorf("core: non-positive pipeline parameter")
+	}
+	if c.StoreDrainDepth <= 0 {
+		return fmt.Errorf("core: non-positive store drain depth")
+	}
+	if c.ITLBEntries <= 0 || c.DTLBEntries <= 0 {
+		return fmt.Errorf("core: non-positive TLB size")
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1I.Validate(); err != nil {
+		return err
+	}
+	return c.L2Bank.Validate()
+}
+
+// coherenceConfig derives the hierarchy configuration. Each core
+// contributes two L1 controllers: port 2i is core i's D-cache and port
+// 2i+1 its I-cache, both coherent peers of the banked LLC.
+func (c Config) coherenceConfig() coherence.SystemConfig {
+	return coherence.SystemConfig{
+		NumL1:     2 * c.Cores,
+		L1Params:  c.L1,
+		LLCParams: c.L2Bank,
+		Banks:     c.Cores,
+		Timing:    c.Timing,
+		Policy:    c.Protocol,
+		DRAM:      c.DRAM,
+		Prefetch:  c.Prefetch,
+	}
+}
+
+// Describe renders the configuration as the paper's Table V.
+func (c Config) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table V: Experiment Setup (%s)\n", c.Protocol.Name())
+	fmt.Fprintf(&b, "  Processor    : %d core(s), %.1f GHz, out-of-order %d-entry ROB,\n",
+		c.Cores, c.FreqGHz, c.ROBEntries)
+	fmt.Fprintf(&b, "                 %d-entry LQ & %d-entry SQ, superscalar width: %d\n",
+		c.LQEntries, c.SQEntries, c.Width)
+	fmt.Fprintf(&b, "  Private L1   : %d-Byte block, %d-way, %d KB, RT latency: %d cycle(s)\n",
+		c.L1.BlockSize, c.L1.Ways, c.L1.SizeBytes>>10, c.Timing.L1Tag)
+	fmt.Fprintf(&b, "  Shared L2    : %d-Byte block, %d-way, %d-MB bank per core, RT latency: %d cycles\n",
+		c.L2Bank.BlockSize, c.L2Bank.Ways, c.L2Bank.SizeBytes>>20,
+		c.Timing.LLCTag+2*c.Timing.Hop)
+	fmt.Fprintf(&b, "  TLB          : %d-entry ITB & %d-entry DTB, fully associative\n",
+		c.ITLBEntries, c.DTLBEntries)
+	fmt.Fprintf(&b, "  Memory       : DDR3_1600_8x8, %d channel, %d ranks, %d banks per rank,\n",
+		c.DRAM.Channels, c.DRAM.Ranks, c.DRAM.BanksPerRank)
+	fmt.Fprintf(&b, "                 %d KB row buffers, tCAS-tRCD-tRP: %d-%d-%d\n",
+		c.DRAM.RowBytes>>10, c.DRAM.TCAS, c.DRAM.TRCD, c.DRAM.TRP)
+	return b.String()
+}

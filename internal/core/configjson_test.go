@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	orig := DefaultConfig(4, coherence.SwiftDir)
+	orig.L1Arch = VIVT
+	orig.WalkThroughCaches = true
+	orig.FastCoWWrites = true
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Protocol != coherence.SwiftDir {
+		t.Fatalf("protocol = %v", back.Protocol)
+	}
+	if back.L1Arch != VIVT || !back.WalkThroughCaches || !back.FastCoWWrites {
+		t.Fatalf("flags lost: %+v", back)
+	}
+	if back.Cores != 4 || back.ROBEntries != 192 || back.L2Bank.SizeBytes != 2<<20 {
+		t.Fatalf("fields lost: %+v", back)
+	}
+	if back.DRAM.TCAS != 11 || back.Timing.LLCTag != orig.Timing.LLCTag {
+		t.Fatal("nested configs lost")
+	}
+}
+
+func TestConfigJSONErrors(t *testing.T) {
+	var c Config
+	if err := json.Unmarshal([]byte(`{"protocol":"NOPE"}`), &c); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"l1_arch":"XXXX"}`), &c); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+	if err := json.Unmarshal([]byte(`{bad json`), &c); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+func TestConfigJSONDefaultsProtocol(t *testing.T) {
+	var c Config
+	if err := json.Unmarshal([]byte(`{}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Protocol != coherence.SwiftDir {
+		t.Fatalf("default protocol = %v", c.Protocol)
+	}
+	if c.L1Arch != VIPT {
+		t.Fatalf("default arch = %v", c.L1Arch)
+	}
+}
+
+func TestSaveLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine.json")
+	orig := DefaultConfig(2, coherence.SMESI)
+	if err := SaveConfig(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Protocol != coherence.SMESI || loaded.Cores != 2 {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	// The file is human-readable JSON mentioning the protocol by name.
+	data, _ := json.MarshalIndent(orig, "", "  ")
+	if !strings.Contains(string(data), `"S-MESI"`) {
+		t.Fatal("protocol name not in JSON")
+	}
+}
+
+func TestLoadConfigValidates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	bad := DefaultConfig(2, coherence.MESI)
+	bad.Cores = 3 // invalid (not a power of two)
+	data, _ := json.Marshal(bad)
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(path); err == nil {
+		t.Fatal("invalid config loaded without error")
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/mmu"
+)
+
+func newMachine(t *testing.T, p coherence.Policy, cores int) *Machine {
+	t.Helper()
+	m, err := NewMachine(DefaultConfig(cores, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(4, coherence.SwiftDir).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig(3, coherence.MESI) // non-pow2 cores
+	if bad.Validate() == nil {
+		t.Error("3 cores accepted")
+	}
+	bad = DefaultConfig(2, nil)
+	if bad.Validate() == nil {
+		t.Error("nil protocol accepted")
+	}
+	bad = DefaultConfig(2, coherence.MESI)
+	bad.ITLBEntries = 0
+	if bad.Validate() == nil {
+		t.Error("zero TLB accepted")
+	}
+}
+
+func TestDescribeMentionsTableV(t *testing.T) {
+	d := DefaultConfig(4, coherence.SwiftDir).Describe()
+	for _, want := range []string{"Table V", "SwiftDir", "192", "DDR3_1600_8x8", "11-11-11", "64-entry"} {
+		if !contains(d, want) {
+			t.Errorf("Describe() missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// End-to-end: two processes map the same shared library; the WP bit flows
+// from the PTE through the TLB into the coherence request, and SwiftDir
+// keeps the shared data in S with constant LLC latency.
+func TestSharedLibraryEndToEndSwiftDir(t *testing.T) {
+	m := newMachine(t, coherence.SwiftDir, 2)
+	lib := mmu.NewFile("libc.so", 42)
+
+	sender := m.NewProcess()
+	receiver := m.NewProcess()
+	sctx := sender.AttachContext(0)
+	rctx := receiver.AttachContext(1)
+
+	sBase := sender.MmapLibrary(lib, 1<<20)
+	rBase := receiver.MmapLibrary(lib, 1<<20)
+
+	// Sender's cold access: I->S under SwiftDir.
+	r1 := sctx.MustAccessSync(sBase+0x1000, false, 0)
+	if !r1.WP {
+		t.Fatal("library access not write-protected")
+	}
+	// Warm the receiver's translation with a different block of the same
+	// page, then measure the cross-core re-access of the sender's block:
+	// with a hot TLB it is exactly the constant LLC round trip.
+	rctx.MustAccessSync(rBase+0x1040, false, 0)
+	r2 := rctx.MustAccessSync(rBase+0x1000, false, 0)
+	if r2.Served != coherence.ServedLLC {
+		t.Fatalf("receiver served from %v, want LLC (constant latency)", r2.Served)
+	}
+	if r2.Latency != m.Cfg.Timing.LLCLoadLatency() {
+		t.Fatalf("receiver latency %d, want %d", r2.Latency, m.Cfg.Timing.LLCLoadLatency())
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The same scenario under MESI exhibits the three-hop E-state path — the
+// exploitable gap.
+func TestSharedLibraryEndToEndMESI(t *testing.T) {
+	m := newMachine(t, coherence.MESI, 2)
+	lib := mmu.NewFile("libc.so", 42)
+	p1, p2 := m.NewProcess(), m.NewProcess()
+	c1, c2 := p1.AttachContext(0), p2.AttachContext(1)
+	b1 := p1.MmapLibrary(lib, 1<<20)
+	b2 := p2.MmapLibrary(lib, 1<<20)
+
+	c1.MustAccessSync(b1+0x1000, false, 0)
+	r := c2.MustAccessSync(b2+0x1000, false, 0)
+	if r.Served != coherence.ServedRemote {
+		t.Fatalf("MESI remote library load served from %v, want Remote", r.Served)
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Anonymous private memory is not write-protected; SwiftDir gives it the
+// full MESI treatment, including silent upgrade.
+func TestPrivateHeapKeepsSilentUpgrade(t *testing.T) {
+	m := newMachine(t, coherence.SwiftDir, 1)
+	p := m.NewProcess()
+	ctx := p.AttachContext(0)
+	heap := p.MmapAnon(1 << 16)
+
+	r := ctx.MustAccessSync(heap, false, 0)
+	if r.WP {
+		t.Fatal("anonymous heap marked write-protected")
+	}
+	if st := m.Sys.L1StateOf(0, cache.Addr(0)); st != cache.Invalid {
+		_ = st // address 0 unused; just exercising the API
+	}
+	w := ctx.MustAccessSync(heap, true, 0xAB)
+	if w.Latency != m.Cfg.Timing.L1Tag {
+		t.Fatalf("write-after-read latency %d, want silent %d", w.Latency, m.Cfg.Timing.L1Tag)
+	}
+	if m.Sys.L1s[0].Stats.SilentUpgrades != 1 {
+		t.Fatal("silent upgrade not taken")
+	}
+}
+
+// Copy-on-write on a library data segment: the store pays the CoW cost,
+// moves to a private frame, and subsequent stores are silent upgrades.
+func TestLibraryDataCopyOnWrite(t *testing.T) {
+	m := newMachine(t, coherence.SwiftDir, 2)
+	lib := mmu.NewFile("libdata.so", 9)
+	p1, p2 := m.NewProcess(), m.NewProcess()
+	c1, c2 := p1.AttachContext(0), p2.AttachContext(1)
+	b1 := p1.MmapLibraryData(lib, mmu.PageSize, 0)
+	b2 := p2.MmapLibraryData(lib, mmu.PageSize, 0)
+
+	// Reads share the frame, write-protected.
+	r1 := c1.MustAccessSync(b1, false, 0)
+	r2 := c2.MustAccessSync(b2, false, 0)
+	if !r1.WP || !r2.WP {
+		t.Fatal("library data not write-protected on read")
+	}
+
+	// p1 writes: CoW moves it to a private, writable frame.
+	w := c1.MustAccessSync(b1, true, 0x77)
+	if w.WP {
+		t.Fatal("post-CoW store still write-protected")
+	}
+	if c1.CoWs != 1 {
+		t.Fatalf("CoW count = %d, want 1", c1.CoWs)
+	}
+	// p2 still reads the original.
+	r3 := c2.MustAccessSync(b2, false, 0)
+	if r3.Value == 0x77 {
+		t.Fatal("CoW leaked the write to the other process")
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// KSM merge makes two previously-private pages shared and write-protected;
+// under SwiftDir their post-merge accesses collapse to the S state.
+func TestKSMEndToEnd(t *testing.T) {
+	m := newMachine(t, coherence.SwiftDir, 2)
+	p1, p2 := m.NewProcess(), m.NewProcess()
+	c1, c2 := p1.AttachContext(0), p2.AttachContext(1)
+	b1 := p1.MmapAnon(mmu.PageSize)
+	b2 := p2.MmapAnon(mmu.PageSize)
+	if err := p1.AS.WritePage(b1, 0xD0B); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.AS.WritePage(b2, 0xD0B); err != nil {
+		t.Fatal(err)
+	}
+	if merged := m.KSM.Scan(); merged != 1 {
+		t.Fatalf("merged = %d, want 1", merged)
+	}
+	// TLBs may cache stale writable translations; a real kernel shoots
+	// them down on merge.
+	c1.DTLB.Flush()
+	c2.DTLB.Flush()
+
+	r1, err := c1.AccessSync(b1, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.WP {
+		t.Fatal("merged page not write-protected for p1")
+	}
+	r2, err := c2.AccessSync(b2, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.WP {
+		t.Fatal("merged page not write-protected for p2")
+	}
+	if r2.Served != coherence.ServedLLC {
+		t.Fatalf("p2's merged-page load served from %v, want LLC", r2.Served)
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchGoesToICache(t *testing.T) {
+	m := newMachine(t, coherence.MESI, 1)
+	p := m.NewProcess()
+	ctx := p.AttachContext(0)
+	lib := mmu.NewFile("prog.text", 3)
+	text := p.MmapLibrary(lib, 1<<16)
+
+	done := false
+	if err := ctx.Fetch(text, func(coherence.AccessResult) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	m.Quiesce()
+	if !done {
+		t.Fatal("fetch did not complete")
+	}
+	if m.Sys.L1s[ctx.instPort()].Stats.Loads != 1 {
+		t.Fatal("fetch did not reach the I-cache port")
+	}
+	if m.Sys.L1s[ctx.dataPort()].Stats.Loads != 0 {
+		t.Fatal("fetch leaked to the D-cache port")
+	}
+}
+
+func TestTranslationChargesWalkAndFaultLatency(t *testing.T) {
+	m := newMachine(t, coherence.MESI, 1)
+	p := m.NewProcess()
+	ctx := p.AttachContext(0)
+	heap := p.MmapAnon(1 << 16)
+
+	// First touch: TLB miss + page fault + memory fetch.
+	r1 := ctx.MustAccessSync(heap, false, 0)
+	// Second page: also TLB miss + fault.
+	r2 := ctx.MustAccessSync(heap+mmu.PageSize, false, 0)
+	// Same page again: pure L1 hit through a TLB hit.
+	r3 := ctx.MustAccessSync(heap, false, 0)
+
+	if r1.Latency <= m.Cfg.PageFaultLatency {
+		t.Fatalf("faulting access latency %d did not include fault cost", r1.Latency)
+	}
+	if r3.Latency != m.Cfg.Timing.L1Tag {
+		t.Fatalf("hit latency %d, want %d", r3.Latency, m.Cfg.Timing.L1Tag)
+	}
+	if ctx.PageFaults != 2 || ctx.TLBWalks != 2 {
+		t.Fatalf("faults=%d walks=%d, want 2/2", ctx.PageFaults, ctx.TLBWalks)
+	}
+	_ = r2
+}
+
+func TestUnmappedAccessErrors(t *testing.T) {
+	m := newMachine(t, coherence.MESI, 1)
+	p := m.NewProcess()
+	ctx := p.AttachContext(0)
+	if _, err := ctx.AccessSync(0x10, false, 0); err == nil {
+		t.Fatal("unmapped access succeeded")
+	}
+}
+
+func TestAttachContextBounds(t *testing.T) {
+	m := newMachine(t, coherence.MESI, 2)
+	p := m.NewProcess()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range core accepted")
+		}
+	}()
+	p.AttachContext(2)
+}
+
+// fork(2) mass-produces write-protected pages: until a copy-on-write,
+// SwiftDir handles the whole forked address space in state S — then a
+// write peels the page out of the protection scope and silent upgrades
+// resume on it.
+func TestForkEndToEndSwiftDir(t *testing.T) {
+	m := newMachine(t, coherence.SwiftDir, 2)
+	parent := m.NewProcess()
+	pctx := parent.AttachContext(0)
+	heap := parent.MmapAnon(4 * mmu.PageSize)
+	// Parent dirties its heap pre-fork.
+	for i := 0; i < 4; i++ {
+		pctx.MustAccessSync(heap+mmu.VAddr(i)*mmu.PageSize, true, uint64(i))
+	}
+
+	child := parent.Fork()
+	cctx := child.AttachContext(1)
+	pctx.DTLB.Flush() // kernel shootdown of now-CoW translations
+
+	// Both sides read the same physical line. The parent's pre-fork
+	// stores left the line Modified in its L1, so the child's FIRST
+	// access must still be forwarded once (the LLC copy is stale) — a
+	// one-shot transient, not a repeatable channel. It downgrades the
+	// line to S; every access after that is the constant LLC service.
+	r1 := pctx.MustAccessSync(heap, false, 0)
+	if !r1.WP {
+		t.Fatal("post-fork page not write-protected")
+	}
+	cctx.MustAccessSync(heap+64, false, 0) // warm child's TLB (also a forward)
+	r2 := cctx.MustAccessSync(heap, false, 0)
+	if r2.Served != coherence.ServedRemote {
+		t.Fatalf("child's first read served from %v, want the one-shot Remote transient", r2.Served)
+	}
+	if r2.Value != r1.Value {
+		t.Fatal("fork shares broken")
+	}
+	// From now on the block is Shared at the directory (once the
+	// owner's writeback lands): the transient cannot recur.
+	m.Quiesce()
+	res, err := pctx.Proc.AS.Translate(heap, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := m.Sys.DirStateOf(cache.Addr(res.PAddr) &^ 63); ds != coherence.DirShared {
+		t.Fatalf("dir state %v after transient, want DirShared", ds)
+	}
+
+	// The child writes: CoW moves it to a private page; subsequent
+	// stores are silent upgrades again.
+	w := cctx.MustAccessSync(heap, true, 0xF0)
+	if w.WP {
+		t.Fatal("post-CoW store still write-protected")
+	}
+	w2 := cctx.MustAccessSync(heap, true, 0xF1)
+	if w2.Latency != m.Cfg.Timing.L1Tag {
+		t.Fatalf("post-CoW store latency %d, want silent %d", w2.Latency, m.Cfg.Timing.L1Tag)
+	}
+	// Parent is isolated.
+	pr := pctx.MustAccessSync(heap, false, 0)
+	if pr.Value == 0xF1 {
+		t.Fatal("child write leaked into parent")
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/mmu"
+)
+
+// Page-table walker. With Config.WalkThroughCaches enabled, a TLB miss is
+// serviced by four dependent memory reads (one per radix level, as on
+// x86-64) issued through this core's L1 D-cache port instead of a fixed
+// latency. Page-table cache lines are ordinary coherent data, so walks to
+// neighbouring pages hit in the L1 — the locality that makes real TLB
+// misses cheap in loops and expensive in pointer chases.
+
+// ptBase places page tables in a reserved physical region far above the
+// frame allocator.
+const ptBase cache.Addr = 1 << 40
+
+// walkAddrs derives the physical addresses of the four page-table entries
+// the walk for v touches. Each level's table is indexed by 9 bits of the
+// VPN; entries are 8 bytes, so 8 neighbouring pages share one cache block
+// at the leaf level.
+func walkAddrs(v mmu.VAddr) [4]cache.Addr {
+	vpn := uint64(v) / mmu.PageSize
+	var out [4]cache.Addr
+	for level := 0; level < 4; level++ {
+		idx := vpn >> (9 * (3 - level)) // prefix of the VPN at this level
+		out[level] = ptBase + cache.Addr(uint64(level)<<36) + cache.Addr(idx*8)
+	}
+	return out
+}
+
+// walkThenSubmit issues the four page-table reads back to back (each
+// dependent on the previous) on the context's data port, then runs
+// submit. Walk reads are never write-protected and never modify data.
+func (c *Context) walkThenSubmit(v mmu.VAddr, submit func()) {
+	addrs := walkAddrs(v)
+	var step func(i int)
+	step = func(i int) {
+		if i == len(addrs) {
+			submit()
+			return
+		}
+		c.m.Sys.Submit(c.dataPort(), coherence.Access{
+			Addr: addrs[i],
+			Done: func(coherence.AccessResult) { step(i + 1) },
+		})
+	}
+	step(0)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/mmu"
+)
+
+func ptwMachine(t *testing.T) *Machine {
+	t.Helper()
+	cfg := DefaultConfig(1, coherence.MESI)
+	cfg.WalkThroughCaches = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWalkAddrsStructure(t *testing.T) {
+	a := walkAddrs(0x40000000)
+	b := walkAddrs(0x40000000 + mmu.PageSize) // neighbouring page
+	// Levels 0-2 share entries with the neighbour (same 512-page group);
+	// level 3 entries are 8 bytes apart, i.e. the same cache block.
+	for l := 0; l < 3; l++ {
+		if a[l] != b[l] {
+			t.Fatalf("level %d entries differ for neighbouring pages", l)
+		}
+	}
+	if b[3] != a[3]+8 {
+		t.Fatalf("leaf entries not adjacent: %#x vs %#x", a[3], b[3])
+	}
+	// Distant pages use different leaf blocks.
+	c := walkAddrs(0x40000000 + 512*mmu.PageSize)
+	if c[3]>>6 == a[3]>>6 {
+		t.Fatal("distant pages share a leaf PT block")
+	}
+}
+
+// A cold TLB miss with the cache-coupled walker costs four memory-bound
+// reads; a subsequent miss to a neighbouring page walks mostly out of the
+// L1 and is much cheaper.
+func TestWalkLocalityEffect(t *testing.T) {
+	m := ptwMachine(t)
+	p := m.NewProcess()
+	ctx := p.AttachContext(0)
+	heap := p.MmapAnon(1 << 20)
+
+	// Pre-fault all pages functionally so page-fault latency doesn't
+	// pollute the comparison, then flush the TLB to force walks.
+	for i := 0; i < 64; i++ {
+		if _, err := p.AS.Translate(heap+mmu.VAddr(i)*mmu.PageSize, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx.DTLB.Flush()
+
+	cold := ctx.MustAccessSync(heap, false, 0) // walk: 4 memory reads
+	warmWalk := ctx.MustAccessSync(heap+mmu.PageSize, false, 0)
+
+	if ctx.TLBWalks != 2 {
+		t.Fatalf("walks = %d, want 2", ctx.TLBWalks)
+	}
+	if cold.Latency < 300 {
+		t.Fatalf("cold walk latency %d suspiciously low (4 DRAM-bound reads expected)", cold.Latency)
+	}
+	if warmWalk.Latency >= cold.Latency/2 {
+		t.Fatalf("neighbour walk %d not much cheaper than cold walk %d (PT caching broken)",
+			warmWalk.Latency, cold.Latency)
+	}
+}
+
+// TLB hits never touch the walker.
+func TestWalkOnlyOnTLBMiss(t *testing.T) {
+	m := ptwMachine(t)
+	p := m.NewProcess()
+	ctx := p.AttachContext(0)
+	heap := p.MmapAnon(1 << 16)
+	ctx.MustAccessSync(heap, false, 0)
+	loadsBefore := m.Sys.L1s[0].Stats.Loads
+	ctx.MustAccessSync(heap+8, false, 0) // TLB hit
+	if got := m.Sys.L1s[0].Stats.Loads - loadsBefore; got != 1 {
+		t.Fatalf("TLB-hit access issued %d loads, want 1 (no walk)", got)
+	}
+}
+
+// The walker composes with the protocols: SwiftDir machines with the
+// cache-coupled walker still pin shared WP data to S.
+func TestWalkComposesWithSwiftDir(t *testing.T) {
+	cfg := DefaultConfig(2, coherence.SwiftDir)
+	cfg.WalkThroughCaches = true
+	m := MustNewMachine(cfg)
+	lib := mmu.NewFile("lib.so", 2)
+	p1, p2 := m.NewProcess(), m.NewProcess()
+	c1, c2 := p1.AttachContext(0), p2.AttachContext(1)
+	b1 := p1.MmapLibrary(lib, 1<<16)
+	b2 := p2.MmapLibrary(lib, 1<<16)
+	c1.MustAccessSync(b1+0x1000, false, 0)
+	c2.MustAccessSync(b2+0x1040, false, 0)
+	r := c2.MustAccessSync(b2+0x1000, false, 0)
+	if r.Served != coherence.ServedLLC || !r.WP {
+		t.Fatalf("WP remote load under PTW: served=%v wp=%v", r.Served, r.WP)
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSMDaemon(t *testing.T) {
+	m := MustNewMachine(DefaultConfig(2, coherence.SwiftDir))
+	p1, p2 := m.NewProcess(), m.NewProcess()
+	c1 := p1.AttachContext(0)
+	_ = p2.AttachContext(1)
+	b1 := p1.MmapAnon(mmu.PageSize)
+	b2 := p2.MmapAnon(mmu.PageSize)
+	p1.AS.WritePage(b1, 0x5A)
+	p2.AS.WritePage(b2, 0x5A)
+
+	m.ScheduleKSMScans(1000, 3)
+	m.Quiesce()
+	if m.KSM.Scans != 3 {
+		t.Fatalf("scans = %d, want 3", m.KSM.Scans)
+	}
+	if m.KSM.PagesMerged == 0 {
+		t.Fatal("daemon merged nothing")
+	}
+	// Post-merge the page is write-protected (TLBs were flushed by the
+	// daemon).
+	r := c1.MustAccessSync(b1, false, 0)
+	if !r.WP {
+		t.Fatal("merged page not write-protected after daemon run")
+	}
+}

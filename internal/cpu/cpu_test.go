@@ -1,0 +1,257 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+func machineWithHeap(t *testing.T, p coherence.Policy, cores int) (*core.Machine, []*core.Context, []mmu.VAddr) {
+	t.Helper()
+	m, err := core.NewMachine(core.DefaultConfig(cores, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := m.NewProcess()
+	var ctxs []*core.Context
+	var heaps []mmu.VAddr
+	for i := 0; i < cores; i++ {
+		ctxs = append(ctxs, proc.AttachContext(i))
+		heaps = append(heaps, proc.MmapAnon(1<<20))
+	}
+	return m, ctxs, heaps
+}
+
+func repeat(n int, gen func(i int) Instr) *SliceTrace {
+	t := &SliceTrace{}
+	for i := 0; i < n; i++ {
+		t.Instrs = append(t.Instrs, gen(i))
+	}
+	return t
+}
+
+func TestInOrderPureALU(t *testing.T) {
+	m, ctxs, _ := machineWithHeap(t, coherence.MESI, 1)
+	trace := repeat(100, func(int) Instr { return Instr{Op: OpInt} })
+	c := NewInOrder(ctxs[0], trace, nil)
+	cycles := Run(m, []CPU{c})
+	if c.Stats().Instructions != 100 {
+		t.Fatalf("instructions = %d", c.Stats().Instructions)
+	}
+	if cycles != 100 {
+		t.Fatalf("cycles = %d, want 100 (1 IPC in-order)", cycles)
+	}
+	if ipc := c.Stats().IPC(); ipc != 1.0 {
+		t.Fatalf("IPC = %v", ipc)
+	}
+}
+
+func TestInOrderFPLatency(t *testing.T) {
+	m, ctxs, _ := machineWithHeap(t, coherence.MESI, 1)
+	trace := repeat(10, func(int) Instr { return Instr{Op: OpFP} })
+	c := NewInOrder(ctxs[0], trace, nil)
+	cycles := Run(m, []CPU{c})
+	if cycles != 40 {
+		t.Fatalf("cycles = %d, want 40 (4-cycle FP)", cycles)
+	}
+}
+
+func TestInOrderBlocksOnMemory(t *testing.T) {
+	m, ctxs, heaps := machineWithHeap(t, coherence.MESI, 1)
+	// Two loads to distinct cold blocks: in-order must serialize them.
+	trace := &SliceTrace{Instrs: []Instr{
+		{Op: OpLoad, Addr: heaps[0]},
+		{Op: OpLoad, Addr: heaps[0] + 64},
+	}}
+	c := NewInOrder(ctxs[0], trace, nil)
+	cycles := Run(m, []CPU{c})
+	if c.Stats().Loads != 2 {
+		t.Fatalf("loads = %d", c.Stats().Loads)
+	}
+	// Each cold load costs well over 100 cycles (fault+walk+mem); strictly
+	// serialized means > 200 total.
+	if cycles < 200 {
+		t.Fatalf("cycles = %d; loads overlapped in an in-order core", cycles)
+	}
+}
+
+func TestOutOfOrderOverlapsIndependentLoads(t *testing.T) {
+	// The same two cold loads on the O3 core overlap: total well below
+	// twice the single-load latency.
+	build := func(p coherence.Policy) (sim.Cycle, sim.Cycle) {
+		m, ctxs, heaps := machineWithHeap(t, p, 1)
+		soloTrace := &SliceTrace{Instrs: []Instr{{Op: OpLoad, Addr: heaps[0] + 4096}}}
+		solo := NewInOrder(ctxs[0], soloTrace, nil)
+		soloCycles := Run(m, []CPU{solo})
+
+		trace := &SliceTrace{Instrs: []Instr{
+			{Op: OpLoad, Addr: heaps[0]},
+			{Op: OpLoad, Addr: heaps[0] + 64},
+			{Op: OpLoad, Addr: heaps[0] + 128},
+			{Op: OpLoad, Addr: heaps[0] + 192},
+		}}
+		o3 := NewOutOfOrder(ctxs[0], trace, nil)
+		o3Cycles := Run(m, []CPU{o3})
+		return soloCycles, o3Cycles
+	}
+	solo, four := build(coherence.MESI)
+	if four >= 3*solo {
+		t.Fatalf("4 independent loads took %d cycles vs solo %d; no MLP", four, solo)
+	}
+}
+
+func TestOutOfOrderRespectsDependences(t *testing.T) {
+	m, ctxs, _ := machineWithHeap(t, coherence.MESI, 1)
+	// A chain of 50 dependent FP ops cannot overlap: >= 50*4 cycles.
+	trace := repeat(50, func(i int) Instr {
+		d := 0
+		if i > 0 {
+			d = 1
+		}
+		return Instr{Op: OpFP, Dep1: d}
+	})
+	c := NewOutOfOrder(ctxs[0], trace, nil)
+	cycles := Run(m, []CPU{c})
+	if cycles < 200 {
+		t.Fatalf("dependent chain finished in %d cycles; dependences ignored", cycles)
+	}
+	if c.Stats().Instructions != 50 {
+		t.Fatalf("instructions = %d", c.Stats().Instructions)
+	}
+}
+
+func TestOutOfOrderIndependentALUSuperscalar(t *testing.T) {
+	m, ctxs, _ := machineWithHeap(t, coherence.MESI, 1)
+	trace := repeat(800, func(int) Instr { return Instr{Op: OpInt} })
+	c := NewOutOfOrder(ctxs[0], trace, nil)
+	cycles := Run(m, []CPU{c})
+	// Width 8 => at least 4 IPC on pure independent ALU work.
+	if ipc := float64(800) / float64(cycles); ipc < 4 {
+		t.Fatalf("IPC = %.2f (cycles=%d); superscalar issue broken", ipc, cycles)
+	}
+}
+
+func TestBarrierSynchronizesThreads(t *testing.T) {
+	m, ctxs, _ := machineWithHeap(t, coherence.MESI, 2)
+	bar := NewBarrier(m.Engine(), 2)
+	// Thread 0 does little work before the barrier; thread 1 a lot.
+	fast := &SliceTrace{Instrs: []Instr{{Op: OpInt}, {Op: OpBarrier}, {Op: OpInt}}}
+	slowInstrs := repeat(500, func(int) Instr { return Instr{Op: OpFP, Dep1: 1} })
+	slowInstrs.Instrs = append(slowInstrs.Instrs, Instr{Op: OpBarrier}, Instr{Op: OpInt})
+	c0 := NewInOrder(ctxs[0], fast, bar)
+	c1 := NewInOrder(ctxs[1], slowInstrs, bar)
+	cycles := Run(m, []CPU{c0, c1})
+	// The fast thread's execution time is dominated by waiting.
+	if c0.Stats().Cycles() < 1000 {
+		t.Fatalf("fast thread finished in %d cycles; barrier did not block", c0.Stats().Cycles())
+	}
+	if bar.Waits != 1 {
+		t.Fatalf("barrier episodes = %d", bar.Waits)
+	}
+	_ = cycles
+}
+
+func TestBarrierWorksOnO3(t *testing.T) {
+	m, ctxs, _ := machineWithHeap(t, coherence.SwiftDir, 2)
+	bar := NewBarrier(m.Engine(), 2)
+	mk := func() *SliceTrace {
+		tr := repeat(64, func(int) Instr { return Instr{Op: OpInt} })
+		tr.Instrs = append(tr.Instrs, Instr{Op: OpBarrier})
+		tr.Instrs = append(tr.Instrs, repeat(64, func(int) Instr { return Instr{Op: OpInt} }).Instrs...)
+		return tr
+	}
+	c0 := NewOutOfOrder(ctxs[0], mk(), bar)
+	c1 := NewOutOfOrder(ctxs[1], mk(), bar)
+	Run(m, []CPU{c0, c1})
+	if c0.Stats().Instructions != 129 || c1.Stats().Instructions != 129 {
+		t.Fatalf("instructions = %d/%d", c0.Stats().Instructions, c1.Stats().Instructions)
+	}
+	if bar.Waits != 1 {
+		t.Fatalf("barrier episodes = %d", bar.Waits)
+	}
+}
+
+// The paper's Figure 10 contrast, in miniature: a write-after-read loop is
+// much slower under S-MESI than under MESI/SwiftDir because every E->M
+// upgrade costs a round trip.
+func TestWARSlowdownUnderSMESI(t *testing.T) {
+	// The WAR effect needs a footprint larger than the 32 KB L1 but
+	// LLC-resident: each pass re-loads lines into E (from the LLC) and
+	// every store then pays the upgrade round trip under S-MESI while
+	// MESI/SwiftDir upgrade silently.
+	const blocks = 1024 // 64 KB
+	warTrace := func(heap mmu.VAddr) *SliceTrace {
+		tr := &SliceTrace{}
+		for i := 0; i < blocks; i++ {
+			addr := heap + mmu.VAddr(i*64)
+			tr.Instrs = append(tr.Instrs,
+				Instr{Op: OpLoad, Addr: addr},
+				Instr{Op: OpStore, Addr: addr, Dep1: 1},
+			)
+		}
+		return tr
+	}
+	run := func(p coherence.Policy) sim.Cycle {
+		m, ctxs, heaps := machineWithHeap(t, p, 1)
+		// Warm pass: faults + memory fetches; leaves the region in the
+		// LLC (it exceeds the L1).
+		Run(m, []CPU{NewInOrder(ctxs[0], warTrace(heaps[0]), nil)})
+		c := NewInOrder(ctxs[0], warTrace(heaps[0]), nil)
+		return Run(m, []CPU{c})
+	}
+	mesi := run(coherence.MESI)
+	swift := run(coherence.SwiftDir)
+	smesi := run(coherence.SMESI)
+	if swift != mesi {
+		t.Fatalf("SwiftDir WAR time %d != MESI %d", swift, mesi)
+	}
+	if float64(smesi) < 1.5*float64(mesi) {
+		t.Fatalf("S-MESI WAR time %d not clearly slower than MESI %d", smesi, mesi)
+	}
+}
+
+func TestSliceTraceExhausts(t *testing.T) {
+	tr := &SliceTrace{Instrs: []Instr{{Op: OpInt}}}
+	if _, ok := tr.Next(); !ok {
+		t.Fatal("first Next failed")
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("trace did not exhaust")
+	}
+}
+
+func TestBarrierPanicsOnZeroParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(sim.NewEngine(), 0)
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{OpInt: "int", OpFP: "fp", OpLoad: "load", OpStore: "store", OpBranch: "branch", OpBarrier: "barrier"} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpInt.IsMem() {
+		t.Error("IsMem wrong")
+	}
+}
+
+func TestRunPanicsOnMissingBarrierParty(t *testing.T) {
+	m, ctxs, _ := machineWithHeap(t, coherence.MESI, 2)
+	bar := NewBarrier(m.Engine(), 2) // two parties, only one thread
+	tr := &SliceTrace{Instrs: []Instr{{Op: OpBarrier}}}
+	c := NewInOrder(ctxs[0], tr, bar)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deadlocked run did not panic")
+		}
+	}()
+	Run(m, []CPU{c})
+}

@@ -1,0 +1,80 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+)
+
+// InOrder models gem5's TimingSimpleCPU: one instruction at a time, with
+// memory operations blocking the pipeline until their response returns.
+// It exposes coherence costs directly — exactly why the paper uses it to
+// "scrutinize how coherence overprotection affects write-after-read
+// performance" (Figure 10(a)).
+type InOrder struct {
+	ctx   *core.Context
+	trace TraceSource
+	bar   *Barrier
+
+	stats Stats
+	done  func()
+}
+
+// NewInOrder builds an in-order core over ctx executing trace. bar may be
+// nil for traces without barrier instructions.
+func NewInOrder(ctx *core.Context, trace TraceSource, bar *Barrier) *InOrder {
+	return &InOrder{ctx: ctx, trace: trace, bar: bar}
+}
+
+// Start begins execution; done is invoked when the trace drains.
+func (c *InOrder) Start(done func()) {
+	c.done = done
+	c.stats.StartCycle = c.ctx.Engine().Now()
+	c.ctx.Engine().Schedule(0, c.step)
+}
+
+// Stats returns the execution summary (valid after completion).
+func (c *InOrder) Stats() Stats { return c.stats }
+
+func (c *InOrder) step() {
+	eng := c.ctx.Engine()
+	ins, ok := c.trace.Next()
+	if !ok {
+		c.stats.FinishCycle = eng.Now()
+		if c.done != nil {
+			c.done()
+		}
+		return
+	}
+	c.stats.Instructions++
+	switch ins.Op {
+	case OpLoad:
+		c.stats.Loads++
+		if err := c.ctx.Access(ins.Addr, false, 0, func(coherence.AccessResult) {
+			eng.Schedule(0, c.step)
+		}); err != nil {
+			panic(fmt.Sprintf("cpu: load %#x: %v", uint64(ins.Addr), err))
+		}
+	case OpStore:
+		c.stats.Stores++
+		if err := c.ctx.Access(ins.Addr, true, ins.Value, func(coherence.AccessResult) {
+			eng.Schedule(0, c.step)
+		}); err != nil {
+			panic(fmt.Sprintf("cpu: store %#x: %v", uint64(ins.Addr), err))
+		}
+	case OpBarrier:
+		if c.bar == nil {
+			panic("cpu: barrier instruction without a barrier")
+		}
+		c.stats.Barriers++
+		c.bar.Arrive(c.step)
+	default:
+		lat := ins.latency()
+		if ins.Op == OpBranch && ins.Mispredict {
+			c.stats.Mispredicts++
+			lat += MispredictPenalty
+		}
+		eng.Schedule(lat, c.step)
+	}
+}

@@ -1,0 +1,170 @@
+// Package cpu provides the two execution models of the paper's evaluation:
+// TimingSimpleCPU (a blocking in-order core, Figure 10(a)) and a
+// DerivO3CPU-style out-of-order core with a 192-entry ROB, 32-entry
+// load/store queues, and superscalar width 8 (Table V, Figure 10(b)).
+// Both drive a core.Context, so every memory instruction flows through the
+// MMU (picking up the write-protection bit) and the coherent hierarchy.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// Op is an instruction class.
+type Op uint8
+
+const (
+	// OpInt is a single-cycle integer ALU operation.
+	OpInt Op = iota
+	// OpFP is a multi-cycle floating-point operation.
+	OpFP
+	// OpLoad reads memory.
+	OpLoad
+	// OpStore writes memory.
+	OpStore
+	// OpBranch is a single-cycle control instruction.
+	OpBranch
+	// OpBarrier synchronizes all threads sharing a Barrier.
+	OpBarrier
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInt:
+		return "int"
+	case OpFP:
+		return "fp"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	case OpBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsMem reports whether the op accesses memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// DefaultLatency returns the execution latency of non-memory ops.
+func (o Op) DefaultLatency() sim.Cycle {
+	switch o {
+	case OpFP:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// Instr is one trace instruction. Dep1/Dep2 are register dependences
+// expressed as distances to the producing instruction (1 = the previous
+// instruction); 0 means no dependence.
+type Instr struct {
+	Op         Op
+	Addr       mmu.VAddr // loads and stores
+	Value      uint64    // stores
+	Dep1, Dep2 int
+	Lat        sim.Cycle // overrides DefaultLatency if nonzero
+
+	// Mispredict marks a branch whose prediction fails: fetch stalls
+	// until it resolves and pays the redirect penalty.
+	Mispredict bool
+}
+
+// MispredictPenalty is the front-end redirect cost of a mispredicted
+// branch, in cycles (a typical modern pipeline depth).
+const MispredictPenalty sim.Cycle = 12
+
+func (i Instr) latency() sim.Cycle {
+	if i.Lat != 0 {
+		return i.Lat
+	}
+	return i.Op.DefaultLatency()
+}
+
+// TraceSource produces a finite instruction stream on demand, so traces
+// of millions of instructions never materialize in memory.
+type TraceSource interface {
+	Next() (Instr, bool)
+}
+
+// SliceTrace adapts a slice to a TraceSource; handy for tests and small
+// microbenchmarks.
+type SliceTrace struct {
+	Instrs []Instr
+	pos    int
+}
+
+// Next implements TraceSource.
+func (s *SliceTrace) Next() (Instr, bool) {
+	if s.pos >= len(s.Instrs) {
+		return Instr{}, false
+	}
+	i := s.Instrs[s.pos]
+	s.pos++
+	return i, true
+}
+
+// Stats summarizes one core's execution.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Barriers     uint64
+	Mispredicts  uint64
+	StartCycle   sim.Cycle
+	FinishCycle  sim.Cycle
+}
+
+// Cycles is the wall-clock execution time of the thread.
+func (s Stats) Cycles() sim.Cycle { return s.FinishCycle - s.StartCycle }
+
+// IPC is instructions per cycle.
+func (s Stats) IPC() float64 {
+	c := s.Cycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(c)
+}
+
+// Barrier synchronizes a fixed set of threads: the last arriver releases
+// everyone. It mirrors the synchronization that dominates PARSEC ROI
+// timing.
+type Barrier struct {
+	eng     *sim.Engine
+	parties int
+	waiting []func()
+
+	// Waits counts completed barrier episodes.
+	Waits uint64
+}
+
+// NewBarrier builds a barrier for parties threads.
+func NewBarrier(eng *sim.Engine, parties int) *Barrier {
+	if parties <= 0 {
+		panic("cpu: barrier needs at least one party")
+	}
+	return &Barrier{eng: eng, parties: parties}
+}
+
+// Arrive registers a thread at the barrier; resume runs (one cycle later)
+// once all parties have arrived.
+func (b *Barrier) Arrive(resume func()) {
+	b.waiting = append(b.waiting, resume)
+	if len(b.waiting) < b.parties {
+		return
+	}
+	b.Waits++
+	released := b.waiting
+	b.waiting = nil
+	for _, r := range released {
+		b.eng.Schedule(1, r)
+	}
+}

@@ -1,0 +1,249 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// Stores issue to the hierarchy in program order even when a younger
+// store's operands are ready first.
+func TestO3StoreProgramOrder(t *testing.T) {
+	m, ctxs, heaps := machineWithHeap(t, coherence.MESI, 1)
+	// Store A depends on a long FP chain; store B is immediately ready.
+	tr := &SliceTrace{Instrs: []Instr{
+		{Op: OpFP, Lat: 50},
+		{Op: OpStore, Addr: heaps[0], Dep1: 1, Value: 0xA}, // store A (waits 50)
+		{Op: OpStore, Addr: heaps[0] + 4096, Value: 0xB},   // store B (ready now)
+		{Op: OpLoad, Addr: heaps[0] + 8192},                // unrelated load
+	}}
+	c := NewOutOfOrder(ctxs[0], tr, nil)
+	Run(m, []CPU{c})
+	// Functional check is weak here; the structural check is that the
+	// run completes with all four instructions (no deadlock from the
+	// ordering constraint).
+	if c.Stats().Instructions != 4 {
+		t.Fatalf("instructions = %d", c.Stats().Instructions)
+	}
+	if c.Stats().Stores != 2 {
+		t.Fatalf("stores = %d", c.Stats().Stores)
+	}
+}
+
+// The SQ stalls dispatch when full: with a tiny SQ, a long burst of
+// dependent-latency stores bounds the number of in-flight stores.
+func TestO3SQFullStallsDispatch(t *testing.T) {
+	cfg := core.DefaultConfig(1, coherence.SMESI) // upgrades make stores slow
+	cfg.SQEntries = 4
+	cfg.StoreDrainDepth = 1
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := m.NewProcess()
+	ctx := proc.AttachContext(0)
+	heap := proc.MmapAnon(1 << 20)
+
+	// Warm region into E state (load then nothing) so stores upgrade.
+	var warm []Instr
+	for i := 0; i < 64; i++ {
+		warm = append(warm, Instr{Op: OpLoad, Addr: heap + mmu.VAddr(i*64)})
+	}
+	Run(m, []CPU{NewInOrder(ctx, &SliceTrace{Instrs: warm}, nil)})
+
+	var instrs []Instr
+	for i := 0; i < 64; i++ {
+		instrs = append(instrs, Instr{Op: OpStore, Addr: heap + mmu.VAddr(i*64), Value: uint64(i)})
+	}
+	c := NewOutOfOrder(ctx, &SliceTrace{Instrs: instrs}, nil)
+	cycles := Run(m, []CPU{c})
+	// 64 upgrades serialized at ~17 cycles each with drain depth 1.
+	if cycles < 64*15 {
+		t.Fatalf("cycles = %d; SQ/drain limits not enforced", cycles)
+	}
+	if c.Stats().Stores != 64 {
+		t.Fatalf("stores = %d", c.Stats().Stores)
+	}
+}
+
+// Same-block stores coalesce: they do not consume extra drain slots, so a
+// burst of stores to one block is not serialized by the drain depth.
+func TestO3SameBlockStoreCoalescing(t *testing.T) {
+	run := func(sameBlock bool) sim.Cycle {
+		cfg := core.DefaultConfig(1, coherence.MESI)
+		cfg.StoreDrainDepth = 1
+		m, err := core.NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc := m.NewProcess()
+		ctx := proc.AttachContext(0)
+		heap := proc.MmapAnon(1 << 20)
+		// Warm one block (or 32 blocks).
+		var warm []Instr
+		for i := 0; i < 32; i++ {
+			off := mmu.VAddr(i * 8)
+			if !sameBlock {
+				off = mmu.VAddr(i * 64)
+			}
+			warm = append(warm, Instr{Op: OpLoad, Addr: heap + off})
+		}
+		Run(m, []CPU{NewInOrder(ctx, &SliceTrace{Instrs: warm}, nil)})
+		var instrs []Instr
+		for i := 0; i < 32; i++ {
+			off := mmu.VAddr(i * 8)
+			if !sameBlock {
+				off = mmu.VAddr(i * 64)
+			}
+			instrs = append(instrs, Instr{Op: OpStore, Addr: heap + off, Value: uint64(i)})
+		}
+		c := NewOutOfOrder(ctx, &SliceTrace{Instrs: instrs}, nil)
+		return Run(m, []CPU{c})
+	}
+	same := run(true)
+	diff := run(false)
+	if same >= diff {
+		t.Fatalf("same-block stores (%d cycles) not faster than distinct blocks (%d); coalescing broken",
+			same, diff)
+	}
+}
+
+// Loads bypass stalled stores: a load independent of a slow store chain
+// completes long before the stores drain.
+func TestO3LoadsBypassStores(t *testing.T) {
+	cfg := core.DefaultConfig(1, coherence.SMESI)
+	cfg.StoreDrainDepth = 1
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := m.NewProcess()
+	ctx := proc.AttachContext(0)
+	heap := proc.MmapAnon(1 << 20)
+	var warm []Instr
+	for i := 0; i < 16; i++ {
+		warm = append(warm, Instr{Op: OpLoad, Addr: heap + mmu.VAddr(i*64)})
+	}
+	warm = append(warm, Instr{Op: OpLoad, Addr: heap + 16*64})
+	Run(m, []CPU{NewInOrder(ctx, &SliceTrace{Instrs: warm}, nil)})
+
+	var loadDone sim.Cycle
+	var instrs []Instr
+	for i := 0; i < 16; i++ {
+		instrs = append(instrs, Instr{Op: OpStore, Addr: heap + mmu.VAddr(i*64), Value: 1})
+	}
+	instrs = append(instrs, Instr{Op: OpLoad, Addr: heap + 16*64})
+	c := NewOutOfOrder(ctx, &SliceTrace{Instrs: instrs}, nil)
+	start := m.Now()
+	// Intercept the load completion via a parallel probe: simpler, check
+	// total time is bounded by the serialized stores, which proves the
+	// load did not add to the tail.
+	cycles := Run(m, []CPU{c})
+	_ = loadDone
+	_ = start
+	// 16 upgrades x ~17 serialized ≈ 280+; if the load serialized after
+	// them it would add its own latency; it is an L1 hit (1 cycle), so
+	// the bound stays close to the store drain time.
+	if cycles > 16*25 {
+		t.Fatalf("cycles = %d; load did not overlap the store drain", cycles)
+	}
+}
+
+// ROB capacity bounds in-flight instructions: a dependent chain longer
+// than the ROB still executes correctly.
+func TestO3ROBWrapAround(t *testing.T) {
+	cfg := core.DefaultConfig(1, coherence.MESI)
+	cfg.ROBEntries = 16 // tiny ROB, forces wrap
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := m.NewProcess()
+	ctx := proc.AttachContext(0)
+	tr := repeat(500, func(i int) Instr {
+		d := 0
+		if i%3 == 0 && i > 0 {
+			d = 2
+		}
+		return Instr{Op: OpInt, Dep1: d}
+	})
+	c := NewOutOfOrder(ctx, tr, nil)
+	Run(m, []CPU{c})
+	if c.Stats().Instructions != 500 {
+		t.Fatalf("instructions = %d, want 500", c.Stats().Instructions)
+	}
+}
+
+// Dependences on retired producers resolve immediately.
+func TestO3RetiredProducerDependence(t *testing.T) {
+	cfg := core.DefaultConfig(1, coherence.MESI)
+	cfg.ROBEntries = 8
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := m.NewProcess()
+	ctx := proc.AttachContext(0)
+	// Dep distance 7 with an 8-entry ROB: producers are sometimes
+	// retired before the consumer fetches.
+	tr := repeat(200, func(i int) Instr {
+		d := 0
+		if i >= 7 {
+			d = 7
+		}
+		return Instr{Op: OpInt, Dep1: d}
+	})
+	c := NewOutOfOrder(ctx, tr, nil)
+	Run(m, []CPU{c})
+	if c.Stats().Instructions != 200 {
+		t.Fatalf("instructions = %d", c.Stats().Instructions)
+	}
+}
+
+// A mispredicted branch stalls O3 fetch until resolution plus the
+// redirect penalty; correctly-predicted branches cost nothing extra.
+func TestO3MispredictStallsFetch(t *testing.T) {
+	run := func(mispredict bool) sim.Cycle {
+		m, ctxs, _ := machineWithHeap(t, coherence.MESI, 1)
+		tr := repeat(64, func(i int) Instr {
+			if i == 8 {
+				return Instr{Op: OpBranch, Dep1: 1, Mispredict: mispredict}
+			}
+			return Instr{Op: OpInt, Dep1: boolToDep(i%4 == 0)}
+		})
+		c := NewOutOfOrder(ctxs[0], tr, nil)
+		cycles := Run(m, []CPU{c})
+		if mispredict && c.Stats().Mispredicts != 1 {
+			t.Fatalf("mispredicts = %d", c.Stats().Mispredicts)
+		}
+		return cycles
+	}
+	good := run(false)
+	bad := run(true)
+	if bad < good+MispredictPenalty {
+		t.Fatalf("mispredict cost %d -> %d; want >= +%d", good, bad, MispredictPenalty)
+	}
+}
+
+func boolToDep(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestInOrderMispredictPenalty(t *testing.T) {
+	m, ctxs, _ := machineWithHeap(t, coherence.MESI, 1)
+	tr := &SliceTrace{Instrs: []Instr{
+		{Op: OpBranch, Mispredict: true},
+		{Op: OpInt},
+	}}
+	c := NewInOrder(ctxs[0], tr, nil)
+	cycles := Run(m, []CPU{c})
+	if cycles != 2+MispredictPenalty {
+		t.Fatalf("cycles = %d, want %d", cycles, 2+MispredictPenalty)
+	}
+}

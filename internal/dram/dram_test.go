@@ -1,0 +1,216 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DDR3_1600_8x8()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := good
+	bad.RowBytes = 100 // not a multiple of block
+	if bad.Validate() == nil {
+		t.Fatal("invalid row size accepted")
+	}
+	bad = good
+	bad.TCAS = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero tCAS accepted")
+	}
+	bad = good
+	bad.Channels = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero channels accepted")
+	}
+}
+
+func TestFirstAccessIsRowMiss(t *testing.T) {
+	m := New(DDR3_1600_8x8())
+	done := m.AccessAt(0, 0x1000, false)
+	if m.RowMisses != 1 || m.RowHits != 0 {
+		t.Fatalf("first access: hits=%d misses=%d", m.RowHits, m.RowMisses)
+	}
+	// Frontend 10 + (tRCD+tCAS=22 DRAM cycles -> ceil(22*15/4)=83) + burst
+	// ceil(4*15/4)=15 => 108.
+	if done != 108 {
+		t.Fatalf("completion = %d, want 108", done)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	m := New(DDR3_1600_8x8())
+	missDone := m.AccessAt(0, 0, false)
+	start := missDone + 100
+	hitDone := m.AccessAt(start, 64, false) // same row, next block
+	if m.RowHits != 1 {
+		t.Fatalf("second same-row access not a row hit (hits=%d)", m.RowHits)
+	}
+	if hitDone-start >= missDone-0 {
+		t.Fatalf("row hit latency %d not faster than miss %d", hitDone-start, missDone)
+	}
+}
+
+func TestRowConflictSlowest(t *testing.T) {
+	cfg := DDR3_1600_8x8()
+	m := New(cfg)
+	// Two rows in the same bank: with 1 channel and 16 banks, rows stripe
+	// across banks, so row IDs differing by 16 share a bank.
+	rowStride := uint64(cfg.RowBytes)
+	sameBank := rowStride * uint64(cfg.Ranks*cfg.BanksPerRank)
+	d1 := m.AccessAt(0, 0, false)
+	t2 := d1 + 1000
+	d2 := m.AccessAt(t2, sameBank, false)
+	if m.RowConflicts != 1 {
+		t.Fatalf("conflicts = %d, want 1 (misses=%d hits=%d)", m.RowConflicts, m.RowMisses, m.RowHits)
+	}
+	if d2-t2 <= d1 {
+		t.Fatalf("conflict latency %d not slower than cold miss %d", d2-t2, d1)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	cfg := DDR3_1600_8x8()
+	m := New(cfg)
+	// Blocks in different banks issued at the same cycle should overlap:
+	// total completion is far less than the sum of serialized latencies.
+	var last sim.Cycle
+	n := 8
+	for i := 0; i < n; i++ {
+		addr := uint64(i) * uint64(cfg.RowBytes) // different banks
+		done := m.AccessAt(0, addr, false)
+		if done > last {
+			last = done
+		}
+	}
+	solo := New(cfg).AccessAt(0, 0, false)
+	if last >= solo*sim.Cycle(n) {
+		t.Fatalf("no bank parallelism: last=%d, serialized=%d", last, solo*sim.Cycle(n))
+	}
+	// But the shared bus still serializes bursts.
+	if last < solo+sim.Cycle(n-1)*m.toCPU(cfg.TBurst) {
+		t.Fatalf("bus contention unmodeled: last=%d", last)
+	}
+}
+
+func TestSameBankSerializes(t *testing.T) {
+	cfg := DDR3_1600_8x8()
+	m := New(cfg)
+	d1 := m.AccessAt(0, 0, false)
+	d2 := m.AccessAt(0, 64, false) // same row, same bank, same arrival
+	if d2 <= d1 {
+		t.Fatalf("same-bank back-to-back did not serialize: %d then %d", d1, d2)
+	}
+}
+
+func TestWriteCounted(t *testing.T) {
+	m := New(DDR3_1600_8x8())
+	m.AccessAt(0, 0, true)
+	m.AccessAt(0, 4096, false)
+	if m.Writes != 1 || m.Reads != 1 {
+		t.Fatalf("reads=%d writes=%d", m.Reads, m.Writes)
+	}
+}
+
+func TestAvgLatencyAndReset(t *testing.T) {
+	m := New(DDR3_1600_8x8())
+	if m.AvgLatency() != 0 {
+		t.Fatal("avg latency nonzero before any access")
+	}
+	m.AccessAt(0, 0, false)
+	if m.AvgLatency() <= 0 {
+		t.Fatal("avg latency not positive after access")
+	}
+	m.Reset()
+	if m.Reads != 0 || m.AvgLatency() != 0 || m.RowMisses != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+	// After reset the bank state is cold again.
+	m.AccessAt(0, 0, false)
+	if m.RowMisses != 1 {
+		t.Fatal("reset did not clear bank state")
+	}
+}
+
+func TestDecodeStableAndInRange(t *testing.T) {
+	m := New(DDR3_1600_8x8())
+	f := func(addr uint64) bool {
+		ch, bk, row := m.decode(addr)
+		ch2, bk2, row2 := m.decode(addr)
+		if ch != ch2 || bk != bk2 || row != row2 {
+			return false
+		}
+		return ch == 0 && bk >= 0 && bk < 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: completion time never precedes arrival plus the minimum
+// possible service (frontend + tCAS + burst), and is monotone with respect
+// to arrival time for a fixed address stream.
+func TestLatencyLowerBoundProperty(t *testing.T) {
+	cfg := DDR3_1600_8x8()
+	min := cfg.FrontendLatency + New(cfg).toCPU(cfg.TCAS) + New(cfg).toCPU(cfg.TBurst)
+	f := func(addrs []uint32, gap uint8) bool {
+		m := New(cfg)
+		now := sim.Cycle(0)
+		for _, a := range addrs {
+			done := m.AccessAt(now, uint64(a)&^63, false)
+			if done < now+min {
+				return false
+			}
+			now = done + sim.Cycle(gap)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshWindowDelaysAccess(t *testing.T) {
+	cfg := DDR3_1600_8x8().WithRefresh()
+	m := New(cfg)
+	period := m.toCPU(cfg.TREFI)
+	dur := m.toCPU(cfg.TRFC)
+
+	// An access landing inside the first refresh window is pushed out.
+	inWindow := period + dur/2
+	done := m.AccessAt(inWindow, 0, false)
+	clean := New(cfg).AccessAt(period+dur, 0, false) - (period + dur)
+	if done-inWindow <= clean {
+		t.Fatalf("refresh did not delay: %d vs clean %d", done-inWindow, clean)
+	}
+	if m.RefreshStalls != 1 {
+		t.Fatalf("refresh stalls = %d", m.RefreshStalls)
+	}
+
+	// Early accesses (before the first window) are unaffected.
+	m2 := New(cfg)
+	if got := m2.AccessAt(0, 0x1000, false); got != 108 {
+		t.Fatalf("early access perturbed by refresh: %d", got)
+	}
+	if m2.RefreshStalls != 0 {
+		t.Fatal("spurious refresh stall")
+	}
+}
+
+func TestRefreshValidation(t *testing.T) {
+	bad := DDR3_1600_8x8().WithRefresh()
+	bad.TRFC = bad.TREFI // refresh longer than the interval
+	if bad.Validate() == nil {
+		t.Fatal("tRFC >= tREFI accepted")
+	}
+	if DDR3_1600_8x8().Validate() != nil {
+		t.Fatal("default (refresh off) rejected")
+	}
+	if DDR3_1600_8x8().WithRefresh().Validate() != nil {
+		t.Fatal("refresh-enabled config rejected")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/stats"
+)
+
+// Fig5 reproduces §IV-B / Figure 5: the (where, when) property of the
+// write-protected information under the three commercial L1 cache
+// architectures, with measured latencies showing that the R/W bit always
+// reaches the PIPT LLC in time — SwiftDir works identically under all of
+// them.
+func Fig5() string {
+	tb := stats.NewTable(
+		"Figure 5: Transmission of write-protected information from MMU to caches (measured)",
+		"L1 arch", "WP info available at", "L1 hit (cyc)", "L1 miss->LLC (cyc)",
+		"remote WP load", "GETS_WP secure")
+
+	for _, arch := range []core.CacheArch{core.PIPT, core.VIPT, core.VIVT} {
+		cfg := core.DefaultConfig(2, coherence.SwiftDir)
+		cfg.L1Arch = arch
+		m := core.MustNewMachine(cfg)
+		lib := mmu.NewFile("fig5.so", uint64(arch)+1)
+		p1, p2 := m.NewProcess(), m.NewProcess()
+		c1, c2 := p1.AttachContext(0), p2.AttachContext(1)
+		b1 := p1.MmapLibrary(lib, 1<<16)
+		b2 := p2.MmapLibrary(lib, 1<<16)
+
+		// Warm: core 0's TLB hot, first line resident in its L1.
+		c1.MustAccessSync(b1+0x1000, false, 0)
+		hit := c1.MustAccessSync(b1+0x1000, false, 0)
+
+		// Core 1 pulls a different line of the page into the LLC (and
+		// warms its own TLB); core 0 then misses its L1 but hits the
+		// LLC on that line.
+		c2.MustAccessSync(b2+0x10c0, false, 0)
+		miss := c1.MustAccessSync(b1+0x10c0, false, 0)
+
+		// The security-relevant path: a remote WP load from core 1 of
+		// the line core 0 loaded first.
+		remote := c2.MustAccessSync(b2+0x1000, false, 0)
+
+		secure := "yes"
+		if remote.Served != coherence.ServedLLC || !remote.WP {
+			secure = "NO"
+		}
+		tb.AddRowF(arch.String(), arch.WPAvailableAt(),
+			hit.Latency, miss.Latency, remote.Latency, secure)
+	}
+	return tb.Render() +
+		"(translation always completes before the PIPT LLC is reached, so the\n" +
+		" coherence controller receives the R/W bit under every architecture)\n"
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// KernelStudy runs the classic memory kernels (STREAM triad, GUPS,
+// pointer chase) across the three paper protocols. Their known signatures
+// validate the substrates — stream is bandwidth-bound (high IPC from
+// memory-level parallelism), GUPS is TLB/DRAM-row bound, pointer chasing
+// is pure serialized latency — and all three are protocol-insensitive
+// single-core workloads, so the three columns also serve as a regression
+// check that the defenses add no single-core overhead.
+func KernelStudy(wsKB int) string {
+	tb := stats.NewTable(
+		"Memory kernels: IPC by protocol (single core, DerivO3CPU)",
+		"kernel", "MESI", "SwiftDir", "S-MESI")
+	for _, k := range workload.Kernels() {
+		row := []float64{}
+		for _, p := range []coherence.Policy{coherence.MESI, coherence.SwiftDir, coherence.SMESI} {
+			r, err := workload.RunKernel(k, p, workload.DerivO3CPU, wsKB<<10)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, r.IPC)
+		}
+		tb.AddRowF(k.Name, row[0], row[1], row[2])
+	}
+	return tb.Render()
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/coherence"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Multiprogram evaluates the protocols on multiprogrammed 4-core mixes:
+// independent processes sharing only the common library — the setting the
+// paper's introduction motivates for shared memory (dynamically linked
+// libraries across programs). Normalized mix execution time over MESI,
+// lower is better.
+func Multiprogram(scale float64) ([]SuiteRow, string) {
+	mixes := workload.SPECRateMixes()
+	names := make([]string, 0, len(mixes))
+	for n := range mixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var rows []SuiteRow
+	for _, name := range names {
+		var progs []workload.Profile
+		for _, p := range mixes[name] {
+			progs = append(progs, p.Scale(scale))
+		}
+		metric := func(proto coherence.Policy) float64 {
+			r, err := workload.RunMultiprogram(progs, proto, workload.DerivO3CPU)
+			if err != nil {
+				panic(err)
+			}
+			return float64(r.ExecCycles)
+		}
+		base := metric(coherence.MESI)
+		rows = append(rows, SuiteRow{
+			Benchmark: name,
+			MESI:      100,
+			SwiftDir:  stats.Normalize(metric(coherence.SwiftDir), base),
+			SMESI:     stats.Normalize(metric(coherence.SMESI), base),
+		})
+	}
+	return rows, renderSuite(
+		"Multiprogrammed SPEC mixes (4 processes, shared libc) - normalized execution time (lower is better)",
+		"execution time", rows)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// HardwareCost is the per-structure storage a protocol adds over plain
+// MESI on the Table V machine, in bits per entry and total kilobytes.
+// SwiftDir's additions (§IV): one WP bit per directory entry, one WP bit
+// per L1 line (carried with the fill), and one spare request opcode
+// (GETS_WP) — the R/W bit itself already exists in the PTE and TLB, it
+// only hitchhikes. For contrast, the table also accounts the state the
+// protocol *families* add: MOESI's extra stable state, MESIF's forwarder
+// pointer, and E_wp's fourth load-grant flavour.
+type HardwareCost struct {
+	Protocol      string
+	DirBitsEntry  int     // extra directory bits per LLC entry
+	L1BitsLine    int     // extra bits per L1 line
+	ExtraOpcodes  int     // new message kinds on the request network
+	DirKB         float64 // total across the LLC directory
+	L1KB          float64 // total across all L1s
+	PercentOfLLC  float64 // directory addition relative to LLC data capacity
+	Justification string
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// HardwareCosts computes the storage table for a given core count using
+// the Table V geometry (32 KB L1s, 2 MB per-core LLC, 64 B blocks).
+func HardwareCosts(cores int) []HardwareCost {
+	cfg := core.DefaultConfig(cores, coherence.SwiftDir)
+	dirEntries := float64(cfg.L2Bank.SizeBytes*cfg.Cores) / float64(cfg.L2Bank.BlockSize)
+	l1Lines := float64(cfg.L1.SizeBytes) / float64(cfg.L1.BlockSize) * float64(cores) * 2 // I + D
+	llcKB := float64(cfg.L2Bank.SizeBytes*cfg.Cores) / 1024
+
+	mk := func(p coherence.Policy, dirBits, l1Bits, opcodes int, why string) HardwareCost {
+		dirKB := dirEntries * float64(dirBits) / 8 / 1024
+		return HardwareCost{
+			Protocol:      p.Name(),
+			DirBitsEntry:  dirBits,
+			L1BitsLine:    l1Bits,
+			ExtraOpcodes:  opcodes,
+			DirKB:         dirKB,
+			L1KB:          l1Lines * float64(l1Bits) / 8 / 1024,
+			PercentOfLLC:  100 * dirKB / llcKB,
+			Justification: why,
+		}
+	}
+
+	fwdPtr := log2ceil(cores)
+	if fwdPtr == 0 {
+		fwdPtr = 1
+	}
+	return []HardwareCost{
+		mk(coherence.MESI, 0, 0, 0, "baseline"),
+		mk(coherence.SMESI, 0, 0, 0, "reuses Upgrade/ACK; cost is cycles, not storage"),
+		mk(coherence.SwiftDir, 1, 1, 1, "WP bit per dir entry + per L1 line; GETS_WP opcode"),
+		mk(coherence.SwiftDirEwp, 2, 1, 2, "WP bit + extra stable-state encoding; GETS_WP and Downgrade"),
+		mk(coherence.MOESI, 1, 1, 0, "Owned state encoding at dir and L1"),
+		mk(coherence.MESIF, fwdPtr, 1, 0, "forwarder pointer per entry; F state at L1"),
+		mk(coherence.MSI, 0, 0, 0, "removes E; cost is cycles on every private RMW"),
+	}
+}
+
+// Overhead renders the hardware-cost accounting for the Table V machine.
+func Overhead(cores int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hardware storage cost over plain MESI (Table V machine, %d cores)\n\n", cores)
+	tb := stats.NewTable("",
+		"protocol", "dir bits/entry", "L1 bits/line", "new opcodes", "dir KB", "L1 KB", "% of LLC", "where it goes")
+	for _, c := range HardwareCosts(cores) {
+		tb.AddRowF(c.Protocol, c.DirBitsEntry, c.L1BitsLine, c.ExtraOpcodes,
+			c.DirKB, c.L1KB, c.PercentOfLLC, c.Justification)
+	}
+	b.WriteString(tb.Render())
+	b.WriteString("\nSwiftDir's storage add is one bit per tracked line — ~0.2% of LLC\n")
+	b.WriteString("capacity — and zero new stable states; the WP information itself is\n")
+	b.WriteString("free, hitchhiking on the translation the access performs anyway.\n")
+	return b.String()
+}

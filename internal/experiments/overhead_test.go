@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHardwareCostsSwiftDir(t *testing.T) {
+	for _, cores := range []int{1, 2, 4} {
+		var swift, mesi, mesif *HardwareCost
+		costs := HardwareCosts(cores)
+		for i := range costs {
+			switch costs[i].Protocol {
+			case "SwiftDir":
+				swift = &costs[i]
+			case "MESI":
+				mesi = &costs[i]
+			case "MESIF":
+				mesif = &costs[i]
+			}
+		}
+		if swift == nil || mesi == nil || mesif == nil {
+			t.Fatal("missing protocols in cost table")
+		}
+		if mesi.DirKB != 0 || mesi.L1KB != 0 {
+			t.Fatalf("MESI baseline not zero: %+v", mesi)
+		}
+		if swift.DirBitsEntry != 1 || swift.L1BitsLine != 1 || swift.ExtraOpcodes != 1 {
+			t.Fatalf("SwiftDir adds %d/%d/%d, want 1/1/1",
+				swift.DirBitsEntry, swift.L1BitsLine, swift.ExtraOpcodes)
+		}
+		// One bit per 64-byte entry = 1/512 of capacity ≈ 0.195%.
+		if swift.PercentOfLLC < 0.19 || swift.PercentOfLLC > 0.20 {
+			t.Fatalf("cores=%d: SwiftDir dir overhead %.4f%% of LLC, want ~0.195%%",
+				cores, swift.PercentOfLLC)
+		}
+		// MESIF's pointer must not be cheaper than SwiftDir's bit beyond
+		// 2 cores.
+		if cores > 2 && mesif.DirBitsEntry <= swift.DirBitsEntry {
+			t.Fatalf("cores=%d: MESIF pointer %d bits <= SwiftDir 1 bit", cores, mesif.DirBitsEntry)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}} {
+		if got := log2ceil(c.n); got != c.want {
+			t.Errorf("log2ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestOverheadRenders(t *testing.T) {
+	out := Overhead(4)
+	for _, want := range []string{"SwiftDir", "dir bits/entry", "hitchhiking"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

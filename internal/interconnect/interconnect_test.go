@@ -1,0 +1,128 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{Ports: 0}).Validate() == nil {
+		t.Fatal("zero ports accepted")
+	}
+	if (Config{Ports: 4}).Validate() != nil {
+		t.Fatal("valid config rejected")
+	}
+}
+
+func TestZeroOccupancyIsPureLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	x := New(eng, Config{Ports: 4, Latency: 3, Occupancy: 0})
+	var arrivals []sim.Cycle
+	for i := 0; i < 10; i++ {
+		x.Send(0, 1, func() { arrivals = append(arrivals, eng.Now()) })
+	}
+	eng.Run()
+	for _, a := range arrivals {
+		if a != 3 {
+			t.Fatalf("arrival at %d, want 3 (no contention)", a)
+		}
+	}
+	if x.AvgQueueing() != 0 {
+		t.Fatal("queueing counted in zero-occupancy mode")
+	}
+}
+
+func TestPortContentionSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	x := New(eng, Config{Ports: 4, Latency: 3, Occupancy: 2})
+	var arrivals []sim.Cycle
+	// Three messages from the same source at t=0: egress admits one per
+	// 2 cycles.
+	for i := 0; i < 3; i++ {
+		x.Send(0, 1, func() { arrivals = append(arrivals, eng.Now()) })
+	}
+	eng.Run()
+	want := []sim.Cycle{3, 5, 7}
+	for i, a := range arrivals {
+		if a != want[i] {
+			t.Fatalf("arrivals = %v, want %v", arrivals, want)
+		}
+	}
+	if x.MaxQueue != 4 {
+		t.Fatalf("max queue = %d, want 4", x.MaxQueue)
+	}
+}
+
+func TestDistinctPortPairsDoNotContend(t *testing.T) {
+	eng := sim.NewEngine()
+	x := New(eng, Config{Ports: 4, Latency: 3, Occupancy: 2})
+	var arrivals []sim.Cycle
+	x.Send(0, 1, func() { arrivals = append(arrivals, eng.Now()) })
+	x.Send(2, 3, func() { arrivals = append(arrivals, eng.Now()) })
+	eng.Run()
+	if arrivals[0] != 3 || arrivals[1] != 3 {
+		t.Fatalf("independent pairs contended: %v", arrivals)
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	eng := sim.NewEngine()
+	x := New(eng, Config{Ports: 4, Latency: 1, Occupancy: 5})
+	var arrivals []sim.Cycle
+	// Two different sources target the same destination.
+	x.Send(0, 2, func() { arrivals = append(arrivals, eng.Now()) })
+	x.Send(1, 2, func() { arrivals = append(arrivals, eng.Now()) })
+	eng.Run()
+	if arrivals[0] != 1 || arrivals[1] != 6 {
+		t.Fatalf("arrivals = %v, want [1 6]", arrivals)
+	}
+}
+
+// Property: messages between a fixed pair always arrive in send order and
+// never earlier than latency.
+func TestOrderingProperty(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		eng := sim.NewEngine()
+		x := New(eng, Config{Ports: 2, Latency: 4, Occupancy: 3})
+		var arrivals []sim.Cycle
+		var sends []sim.Cycle
+		t0 := sim.Cycle(0)
+		for _, g := range gaps {
+			t0 += sim.Cycle(g % 5)
+			at := t0
+			eng.ScheduleAt(at, func() {
+				sends = append(sends, eng.Now())
+				x.Send(0, 1, func() { arrivals = append(arrivals, eng.Now()) })
+			})
+		}
+		eng.Run()
+		if len(arrivals) != len(gaps) {
+			return false
+		}
+		for i := 1; i < len(arrivals); i++ {
+			if arrivals[i] < arrivals[i-1] {
+				return false
+			}
+		}
+		for i := range arrivals {
+			if arrivals[i] < sends[i]+4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config accepted")
+		}
+	}()
+	New(sim.NewEngine(), Config{Ports: 0})
+}

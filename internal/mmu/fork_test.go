@@ -1,0 +1,169 @@
+package mmu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForkSharesFramesCopyOnWrite(t *testing.T) {
+	pm, parent := newAS()
+	base, _ := parent.Mmap(4*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	for i := 0; i < 4; i++ {
+		parent.WritePage(base+VAddr(i)*PageSize, uint64(0x10+i))
+	}
+	live := pm.LivePages()
+
+	child := parent.Fork()
+	if pm.LivePages() != live {
+		t.Fatalf("fork allocated frames: %d -> %d", live, pm.LivePages())
+	}
+	// Both sides read the same frames, now write-protected.
+	for i := 0; i < 4; i++ {
+		v := base + VAddr(i)*PageSize
+		pr, err := parent.Translate(v, false)
+		if err != nil || !pr.WriteProtected {
+			t.Fatalf("parent page %d: wp=%v err=%v", i, pr.WriteProtected, err)
+		}
+		cr, err := child.Translate(v, false)
+		if err != nil || !cr.WriteProtected {
+			t.Fatalf("child page %d: wp=%v err=%v", i, cr.WriteProtected, err)
+		}
+		if pr.PAddr != cr.PAddr {
+			t.Fatalf("page %d not shared after fork", i)
+		}
+	}
+
+	// The child writes: copy-on-write isolates the parent.
+	if err := child.WritePage(base, 0xC0FFEE); err != nil {
+		t.Fatal(err)
+	}
+	pc, _ := parent.ReadPage(base)
+	cc, _ := child.ReadPage(base)
+	if pc != 0x10 || cc != 0xC0FFEE {
+		t.Fatalf("contents after child write: parent=%#x child=%#x", pc, cc)
+	}
+
+	// The parent writes another page: same isolation the other way.
+	if err := parent.WritePage(base+PageSize, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	cc2, _ := child.ReadPage(base + PageSize)
+	if cc2 != 0x11 {
+		t.Fatalf("child sees parent's post-fork write: %#x", cc2)
+	}
+}
+
+func TestForkKeepsSharedMappingsWritable(t *testing.T) {
+	pm := NewPhysMem(0)
+	parent := NewAddressSpace(pm)
+	f := NewFile("shm", 8)
+	base, _ := parent.Mmap(PageSize, ProtRead|ProtWrite, MapShared, f, 0)
+	parent.Translate(base, true) // fault in writable
+
+	child := parent.Fork()
+	r, err := child.Translate(base, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WriteProtected || r.CoW {
+		t.Fatalf("MAP_SHARED page write-protected after fork: %+v", r)
+	}
+	// Writes are visible across the fork (true shared memory).
+	if err := parent.WritePage(base, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := child.ReadPage(base)
+	if got != 0x77 {
+		t.Fatalf("shared write not visible to child: %#x", got)
+	}
+}
+
+func TestForkUnfaultedPagesFaultIndependently(t *testing.T) {
+	_, parent := newAS()
+	base, _ := parent.Mmap(2*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	parent.Translate(base, false) // only page 0 faulted
+
+	child := parent.Fork()
+	// Page 1 was never faulted: each side gets its own fresh frame.
+	pr, err := parent.Translate(base+PageSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := child.Translate(base+PageSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.PAddr == cr.PAddr {
+		t.Fatal("unfaulted page shared a frame after independent faults")
+	}
+}
+
+// Property: after a fork and arbitrary interleaved writes, parent and
+// child contents never bleed into each other.
+func TestForkIsolationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		_, parent := newAS()
+		base, _ := parent.Mmap(4*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+		for i := 0; i < 4; i++ {
+			parent.WritePage(base+VAddr(i)*PageSize, uint64(i))
+		}
+		child := parent.Fork()
+		wantP := []uint64{0, 1, 2, 3}
+		wantC := []uint64{0, 1, 2, 3}
+		for n, op := range ops {
+			page := int(op) % 4
+			v := base + VAddr(page)*PageSize
+			val := uint64(0x100 + n)
+			if op&0x80 != 0 {
+				if parent.WritePage(v, val) != nil {
+					return false
+				}
+				wantP[page] = val
+			} else {
+				if child.WritePage(v, val) != nil {
+					return false
+				}
+				wantC[page] = val
+			}
+		}
+		for i := 0; i < 4; i++ {
+			v := base + VAddr(i)*PageSize
+			pc, _ := parent.ReadPage(v)
+			cc, _ := child.ReadPage(v)
+			if pc != wantP[i] || cc != wantC[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fork + KSM interplay: forked CoW pages are already shared, so KSM finds
+// nothing new to merge among them.
+func TestForkThenKSM(t *testing.T) {
+	pm, parent := newAS()
+	ksm := NewKSM(pm)
+	base, _ := parent.Mmap(2*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	parent.WritePage(base, 0x1)
+	parent.WritePage(base+PageSize, 0x1) // duplicate content within parent
+	child := parent.Fork()
+	ksm.Register(parent)
+	ksm.Register(child)
+	// The two distinct-content... identical-content frames merge; the
+	// fork-shared PTEs just get repointed consistently.
+	ksm.Scan()
+	c1, _ := parent.ReadPage(base)
+	c2, _ := child.ReadPage(base + PageSize)
+	if c1 != 0x1 || c2 != 0x1 {
+		t.Fatalf("contents corrupted: %#x %#x", c1, c2)
+	}
+	// Writes still isolate.
+	child.WritePage(base, 0x2)
+	p, _ := parent.ReadPage(base)
+	if p != 0x1 {
+		t.Fatalf("parent corrupted after post-KSM child write: %#x", p)
+	}
+}

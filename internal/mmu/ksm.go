@@ -1,0 +1,84 @@
+package mmu
+
+// KSM models kernel same-page merging (§IV-A1, "Memory deduplication").
+// A scan pass finds faulted-in pages with identical content across the
+// registered address spaces, keeps one frame per distinct content, remaps
+// every other PTE to it, and — exactly as Linux's write_protect_page does —
+// clears the R/W field of every merged PTE, including the canonical copy's.
+// Copy-on-write is armed only where the VMA permits writes; merged pages in
+// read-only mappings keep faulting on stores. The freed frames return to
+// the allocator.
+type KSM struct {
+	pm     *PhysMem
+	spaces []*AddressSpace
+
+	// Stats
+	Scans       uint64
+	PagesMerged uint64 // PTEs redirected to a canonical frame
+	PagesFreed  uint64 // frames released by merging
+}
+
+// NewKSM creates a dedup engine over pm.
+func NewKSM(pm *PhysMem) *KSM { return &KSM{pm: pm} }
+
+// Register adds an address space to the scan set.
+func (k *KSM) Register(as *AddressSpace) { k.spaces = append(k.spaces, as) }
+
+type ksmCandidate struct {
+	as  *AddressSpace
+	pte *PTE
+	cow bool // whether CoW may be armed (VMA allows writes)
+}
+
+// Scan performs one full merge pass and returns the number of PTEs
+// redirected to a canonical frame during this pass.
+func (k *KSM) Scan() int {
+	k.Scans++
+	freedBefore := k.pm.Freed
+
+	// Pass 1: group present PTEs by frame content.
+	groups := make(map[uint64][]ksmCandidate)
+	order := make([]uint64, 0)
+	for _, as := range k.spaces {
+		for _, vp := range as.MappedVPNs() {
+			pte := as.table[vp]
+			if !pte.Present {
+				continue
+			}
+			area := as.findVMA(VAddr(vp * PageSize))
+			cow := area != nil && area.prot&ProtWrite != 0
+			content := k.pm.Content(pte.PFN)
+			if _, seen := groups[content]; !seen {
+				order = append(order, content)
+			}
+			groups[content] = append(groups[content], ksmCandidate{as: as, pte: pte, cow: cow})
+		}
+	}
+
+	// Pass 2: for every content represented by more than one PTE, elect
+	// the first frame as canonical, write-protect every copy, and remap
+	// the rest.
+	merged := 0
+	for _, content := range order {
+		g := groups[content]
+		if len(g) < 2 {
+			continue
+		}
+		canonical := g[0].pte.PFN
+		for _, c := range g {
+			c.pte.Writable = false
+			c.pte.CoW = c.cow
+			if c.pte.PFN == canonical {
+				continue
+			}
+			old := c.pte.PFN
+			c.pte.PFN = canonical
+			k.pm.ref(canonical)
+			k.pm.unref(old)
+			k.PagesMerged++
+			merged++
+		}
+	}
+	k.PagesFreed += k.pm.Freed - freedBefore
+	return merged
+}

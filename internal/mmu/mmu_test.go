@@ -1,0 +1,384 @@
+package mmu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newAS() (*PhysMem, *AddressSpace) {
+	pm := NewPhysMem(0x100)
+	return pm, NewAddressSpace(pm)
+}
+
+func TestMmapArgumentValidation(t *testing.T) {
+	_, as := newAS()
+	f := NewFile("libc.so", 1)
+	cases := []struct {
+		name   string
+		len    int
+		prot   Prot
+		flags  MapFlags
+		file   *File
+		offset uint64
+	}{
+		{"zero length", 0, ProtRead, MapPrivate, f, 0},
+		{"both private and shared", PageSize, ProtRead, MapPrivate | MapShared, f, 0},
+		{"neither private nor shared", PageSize, ProtRead, 0, f, 0},
+		{"file-backed without file", PageSize, ProtRead, MapPrivate, nil, 0},
+		{"unaligned offset", PageSize, ProtRead, MapPrivate, f, 100},
+	}
+	for _, c := range cases {
+		if _, err := as.Mmap(c.len, c.prot, c.flags, c.file, c.offset); !errors.Is(err, ErrBadMap) {
+			t.Errorf("%s: err = %v, want ErrBadMap", c.name, err)
+		}
+	}
+}
+
+// The paper's §IV-A2 R/W-bit rules, as a table.
+func TestMkPTEWriteProtectionRules(t *testing.T) {
+	f := NewFile("libxul.so", 2)
+	cases := []struct {
+		name       string
+		prot       Prot
+		flags      MapFlags
+		file       *File
+		wantRW     bool // PTE.Writable
+		wantCoW    bool
+		wantWPView bool // Result.WriteProtected
+	}{
+		{"library text: PROT_READ MAP_SHARED", ProtRead | ProtExec, MapShared, f, false, false, true},
+		{"library data: PROT_READ|WRITE MAP_PRIVATE", ProtRead | ProtWrite, MapPrivate, f, false, true, true},
+		{"read-only private file", ProtRead, MapPrivate, f, false, false, true},
+		{"writable shared file", ProtRead | ProtWrite, MapShared, f, true, false, false},
+		{"anonymous private heap", ProtRead | ProtWrite, MapPrivate | MapAnonymous, nil, true, false, false},
+		{"anonymous shared read-only", ProtRead, MapShared | MapAnonymous, nil, false, false, true},
+	}
+	for _, c := range cases {
+		_, as := newAS()
+		base, err := as.Mmap(PageSize, c.prot, c.flags, c.file, 0)
+		if err != nil {
+			t.Fatalf("%s: mmap: %v", c.name, err)
+		}
+		res, err := as.Translate(base, false)
+		if err != nil {
+			t.Fatalf("%s: translate: %v", c.name, err)
+		}
+		pte := as.PTEOf(base)
+		if pte.Writable != c.wantRW || pte.CoW != c.wantCoW {
+			t.Errorf("%s: PTE writable=%v cow=%v, want %v/%v",
+				c.name, pte.Writable, pte.CoW, c.wantRW, c.wantCoW)
+		}
+		if res.WriteProtected != c.wantWPView {
+			t.Errorf("%s: WriteProtected=%v, want %v", c.name, res.WriteProtected, c.wantWPView)
+		}
+	}
+}
+
+func TestDemandPagingFaultsOncePerPage(t *testing.T) {
+	_, as := newAS()
+	base, _ := as.Mmap(3*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	r1, err := as.Translate(base, false)
+	if err != nil || !r1.Faulted {
+		t.Fatalf("first touch: res=%+v err=%v", r1, err)
+	}
+	r2, err := as.Translate(base+8, false)
+	if err != nil || r2.Faulted {
+		t.Fatalf("second touch faulted again: %+v err=%v", r2, err)
+	}
+	if as.Faults != 1 {
+		t.Fatalf("faults = %d, want 1", as.Faults)
+	}
+	as.Translate(base+PageSize, false)
+	as.Translate(base+2*PageSize, false)
+	if as.Faults != 3 {
+		t.Fatalf("faults = %d, want 3", as.Faults)
+	}
+}
+
+func TestUnmappedAccessFails(t *testing.T) {
+	_, as := newAS()
+	if _, err := as.Translate(0xDEAD000, false); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("err = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestTranslationOffsetsWithinPage(t *testing.T) {
+	_, as := newAS()
+	base, _ := as.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	r1, _ := as.Translate(base, false)
+	r2, _ := as.Translate(base+123, false)
+	if r2.PAddr != r1.PAddr+123 {
+		t.Fatalf("offsets not preserved: %#x vs %#x", r1.PAddr, r2.PAddr)
+	}
+}
+
+func TestWriteToReadOnlySharedFaults(t *testing.T) {
+	_, as := newAS()
+	f := NewFile("lib.so", 3)
+	base, _ := as.Mmap(PageSize, ProtRead, MapShared, f, 0)
+	if _, err := as.Translate(base, true); !errors.Is(err, ErrWriteProtection) {
+		t.Fatalf("err = %v, want ErrWriteProtection", err)
+	}
+}
+
+func TestCopyOnWriteDuplicatesFrame(t *testing.T) {
+	pm := NewPhysMem(0)
+	f := NewFile("libdata.so", 4)
+	as1 := NewAddressSpace(pm)
+	as2 := NewAddressSpace(pm)
+	b1, _ := as1.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate, f, 0)
+	b2, _ := as2.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate, f, 0)
+
+	r1, _ := as1.Translate(b1, false)
+	r2, _ := as2.Translate(b2, false)
+	if r1.PAddr != r2.PAddr {
+		t.Fatalf("private file mappings should initially share the frame: %#x vs %#x", r1.PAddr, r2.PAddr)
+	}
+
+	w, err := as1.Translate(b1, true)
+	if err != nil {
+		t.Fatalf("CoW write failed: %v", err)
+	}
+	if !w.CoW {
+		t.Fatal("write did not report CoW")
+	}
+	if w.PAddr == r2.PAddr {
+		t.Fatal("CoW did not move the writer to a new frame")
+	}
+	if w.WriteProtected {
+		t.Fatal("page still write-protected after CoW")
+	}
+	// The other process keeps the original frame.
+	r2b, _ := as2.Translate(b2, false)
+	if r2b.PAddr != r2.PAddr {
+		t.Fatal("CoW in one process moved the other process's frame")
+	}
+	if as1.CoWFaults != 1 {
+		t.Fatalf("CoWFaults = %d, want 1", as1.CoWFaults)
+	}
+	// Content was copied.
+	c1, _ := as1.ReadPage(b1)
+	c2, _ := as2.ReadPage(b2)
+	if c1 != c2 {
+		t.Fatalf("CoW copy content %#x != original %#x", c1, c2)
+	}
+}
+
+func TestSharedLibraryPagesSharedAcrossProcesses(t *testing.T) {
+	pm := NewPhysMem(0)
+	lib := NewFile("libc.so", 5)
+	var addrs []PAddr
+	for i := 0; i < 3; i++ {
+		as := NewAddressSpace(pm)
+		base, _ := as.Mmap(4*PageSize, ProtRead|ProtExec, MapShared, lib, 0)
+		r, err := as.Translate(base+2*PageSize, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.WriteProtected {
+			t.Fatal("shared library text not write-protected")
+		}
+		addrs = append(addrs, r.PAddr)
+	}
+	if addrs[0] != addrs[1] || addrs[1] != addrs[2] {
+		t.Fatalf("library page not shared: %v", addrs)
+	}
+	// Three mappers plus the page cache's own reference.
+	if pm.Refs(uint64(addrs[0])/PageSize) != 4 {
+		t.Fatalf("refs = %d, want 4", pm.Refs(uint64(addrs[0])/PageSize))
+	}
+}
+
+func TestFileOffsetSelectsDistinctPages(t *testing.T) {
+	pm := NewPhysMem(0)
+	lib := NewFile("lib.so", 6)
+	as := NewAddressSpace(pm)
+	b0, _ := as.Mmap(PageSize, ProtRead, MapShared, lib, 0)
+	b1, _ := as.Mmap(PageSize, ProtRead, MapShared, lib, PageSize)
+	r0, _ := as.Translate(b0, false)
+	r1, _ := as.Translate(b1, false)
+	if r0.PAddr == r1.PAddr {
+		t.Fatal("different file offsets map to same frame")
+	}
+	// Same offset in another space shares.
+	as2 := NewAddressSpace(pm)
+	b2, _ := as2.Mmap(PageSize, ProtRead, MapShared, lib, PageSize)
+	r2, _ := as2.Translate(b2, false)
+	if r2.PAddr != r1.PAddr {
+		t.Fatal("same file offset not shared across spaces")
+	}
+}
+
+func TestWriteReadPageRoundTrip(t *testing.T) {
+	_, as := newAS()
+	base, _ := as.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	if err := as.WritePage(base, 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadPage(base)
+	if err != nil || got != 0xABCD {
+		t.Fatalf("ReadPage = %#x, %v", got, err)
+	}
+}
+
+func TestKSMMergesIdenticalPages(t *testing.T) {
+	pm := NewPhysMem(0)
+	ksm := NewKSM(pm)
+	var spaces []*AddressSpace
+	var bases []VAddr
+	for i := 0; i < 3; i++ {
+		as := NewAddressSpace(pm)
+		base, _ := as.Mmap(2*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+		// Page 0: identical everywhere. Page 1: unique.
+		as.WritePage(base, 0x5A4E)
+		as.WritePage(base+PageSize, uint64(0x100+i))
+		ksm.Register(as)
+		spaces = append(spaces, as)
+		bases = append(bases, base)
+	}
+	live := pm.LivePages()
+	merged := ksm.Scan()
+	if merged != 2 {
+		t.Fatalf("merged = %d, want 2", merged)
+	}
+	if pm.LivePages() != live-2 {
+		t.Fatalf("live pages %d, want %d", pm.LivePages(), live-2)
+	}
+	// All three now share one frame, write-protected with CoW armed.
+	var pfns []uint64
+	for i, as := range spaces {
+		pte := as.PTEOf(bases[i])
+		if pte.Writable || !pte.CoW {
+			t.Fatalf("space %d: merged page writable=%v cow=%v", i, pte.Writable, pte.CoW)
+		}
+		res, _ := as.Translate(bases[i], false)
+		if !res.WriteProtected {
+			t.Fatalf("space %d: merged page not write-protected in translation", i)
+		}
+		pfns = append(pfns, pte.PFN)
+	}
+	if pfns[0] != pfns[1] || pfns[1] != pfns[2] {
+		t.Fatalf("merged pages not sharing a frame: %v", pfns)
+	}
+	// Unique pages untouched.
+	for i, as := range spaces {
+		c, _ := as.ReadPage(bases[i] + PageSize)
+		if c != uint64(0x100+i) {
+			t.Fatalf("space %d: unique page content changed to %#x", i, c)
+		}
+	}
+}
+
+func TestKSMMergedPageCopyOnWrite(t *testing.T) {
+	pm := NewPhysMem(0)
+	ksm := NewKSM(pm)
+	as1, as2 := NewAddressSpace(pm), NewAddressSpace(pm)
+	b1, _ := as1.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	b2, _ := as2.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	as1.WritePage(b1, 0xC0DE)
+	as2.WritePage(b2, 0xC0DE)
+	ksm.Register(as1)
+	ksm.Register(as2)
+	if ksm.Scan() != 1 {
+		t.Fatal("expected one merge")
+	}
+	// Writing after merge must CoW, not corrupt the sharer.
+	if err := as1.WritePage(b1, 0xD1FF); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := as2.ReadPage(b2)
+	if c2 != 0xC0DE {
+		t.Fatalf("sharer content corrupted: %#x", c2)
+	}
+	c1, _ := as1.ReadPage(b1)
+	if c1 != 0xD1FF {
+		t.Fatalf("writer content lost: %#x", c1)
+	}
+	if as1.CoWFaults != 1 {
+		t.Fatalf("CoWFaults = %d, want 1", as1.CoWFaults)
+	}
+}
+
+func TestKSMRescanStable(t *testing.T) {
+	pm := NewPhysMem(0)
+	ksm := NewKSM(pm)
+	as := NewAddressSpace(pm)
+	base, _ := as.Mmap(4*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	for i := 0; i < 4; i++ {
+		as.WritePage(base+VAddr(i)*PageSize, 0x11)
+	}
+	ksm.Register(as)
+	first := ksm.Scan()
+	if first != 3 {
+		t.Fatalf("first scan merged %d, want 3", first)
+	}
+	if again := ksm.Scan(); again != 0 {
+		t.Fatalf("second scan merged %d, want 0", again)
+	}
+	if pm.LivePages() != 1 {
+		t.Fatalf("live pages = %d, want 1", pm.LivePages())
+	}
+}
+
+// Property: after arbitrary interleavings of writes and scans, (a) every
+// address space still reads back the content it last wrote, and (b) frame
+// refcounts equal the number of PTEs pointing at each frame.
+func TestKSMPreservesContentsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		pm := NewPhysMem(0)
+		ksm := NewKSM(pm)
+		const nSpaces, nPages = 3, 4
+		spaces := make([]*AddressSpace, nSpaces)
+		bases := make([]VAddr, nSpaces)
+		want := make([][]uint64, nSpaces)
+		for i := range spaces {
+			spaces[i] = NewAddressSpace(pm)
+			bases[i], _ = spaces[i].Mmap(nPages*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+			want[i] = make([]uint64, nPages)
+			ksm.Register(spaces[i])
+			for p := 0; p < nPages; p++ {
+				spaces[i].WritePage(bases[i]+VAddr(p)*PageSize, 0)
+			}
+		}
+		for _, op := range ops {
+			s := int(op) % nSpaces
+			p := int(op/8) % nPages
+			val := uint64(op % 5) // few distinct values => merges happen
+			if op%16 == 0 {
+				ksm.Scan()
+				continue
+			}
+			if err := spaces[s].WritePage(bases[s]+VAddr(p)*PageSize, val); err != nil {
+				return false
+			}
+			want[s][p] = val
+		}
+		ksm.Scan()
+		// (a) contents survive
+		for s := range spaces {
+			for p := 0; p < nPages; p++ {
+				got, err := spaces[s].ReadPage(bases[s] + VAddr(p)*PageSize)
+				if err != nil || got != want[s][p] {
+					return false
+				}
+			}
+		}
+		// (b) refcounts match PTE references
+		counts := map[uint64]int{}
+		for _, as := range spaces {
+			for _, vp := range as.MappedVPNs() {
+				counts[as.table[vp].PFN]++
+			}
+		}
+		for pfn, n := range counts {
+			if pm.Refs(pfn) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package mmu
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMprotectHardensToReadOnly(t *testing.T) {
+	_, as := newAS()
+	base, _ := as.Mmap(2*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	// Fault both pages in writable.
+	if _, err := as.Translate(base, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Translate(base+PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Mprotect(base, 2*PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	// Reads still work and now report write-protected.
+	r, err := as.Translate(base, false)
+	if err != nil || !r.WriteProtected {
+		t.Fatalf("read after mprotect: wp=%v err=%v", r.WriteProtected, err)
+	}
+	// Writes fault.
+	if _, err := as.Translate(base, true); !errors.Is(err, ErrWriteProtection) {
+		t.Fatalf("write after mprotect: err=%v, want protection fault", err)
+	}
+}
+
+func TestMprotectRelaxPrivatePage(t *testing.T) {
+	_, as := newAS()
+	base, _ := as.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	as.Translate(base, true)
+	as.Mprotect(base, PageSize, ProtRead)
+	if err := as.Mprotect(base, PageSize, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.Translate(base, true)
+	if err != nil || r.WriteProtected {
+		t.Fatalf("write after relax: wp=%v err=%v", r.WriteProtected, err)
+	}
+}
+
+// Relaxing protection on a page whose frame is shared (KSM-merged) must
+// not create a writable alias: the PTE stays write-protected with CoW
+// armed, and the next store duplicates.
+func TestMprotectRelaxSharedFrameKeepsCoW(t *testing.T) {
+	pm := NewPhysMem(0)
+	ksm := NewKSM(pm)
+	as1, as2 := NewAddressSpace(pm), NewAddressSpace(pm)
+	b1, _ := as1.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	b2, _ := as2.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	as1.WritePage(b1, 0xAB)
+	as2.WritePage(b2, 0xAB)
+	ksm.Register(as1)
+	ksm.Register(as2)
+	if ksm.Scan() != 1 {
+		t.Fatal("merge failed")
+	}
+	if err := as1.Mprotect(b1, PageSize, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	pte := as1.PTEOf(b1)
+	if pte.Writable || !pte.CoW {
+		t.Fatalf("shared frame became writable: %+v", pte)
+	}
+	// A store CoWs and the sharer is unaffected.
+	if err := as1.WritePage(b1, 0xCD); err != nil {
+		t.Fatal(err)
+	}
+	if c2, _ := as2.ReadPage(b2); c2 != 0xAB {
+		t.Fatalf("sharer corrupted: %#x", c2)
+	}
+}
+
+func TestMprotectErrors(t *testing.T) {
+	_, as := newAS()
+	base, _ := as.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	if err := as.Mprotect(base, 0, ProtRead); !errors.Is(err, ErrBadMap) {
+		t.Fatalf("zero length: %v", err)
+	}
+	if err := as.Mprotect(0x10, PageSize, ProtRead); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped: %v", err)
+	}
+}
+
+// Future pages of the region fault in with the new protection.
+func TestMprotectAffectsFutureFaults(t *testing.T) {
+	_, as := newAS()
+	base, _ := as.Mmap(4*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	as.Translate(base, false) // fault page 0 only
+	if err := as.Mprotect(base, 4*PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.Translate(base+3*PageSize, false) // fresh fault
+	if err != nil || !r.WriteProtected {
+		t.Fatalf("fresh fault after mprotect: wp=%v err=%v", r.WriteProtected, err)
+	}
+}
+
+func TestMunmapReleasesFramesAndMappings(t *testing.T) {
+	pm, as := newAS()
+	base, _ := as.Mmap(4*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	for i := 0; i < 4; i++ {
+		as.Translate(base+VAddr(i)*PageSize, true)
+	}
+	live := pm.LivePages()
+	if err := as.Munmap(base, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if pm.LivePages() != live-4 {
+		t.Fatalf("live pages %d, want %d", pm.LivePages(), live-4)
+	}
+	if _, err := as.Translate(base, false); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("post-munmap access: %v", err)
+	}
+}
+
+func TestMunmapSharedFrameKeepsOtherMappers(t *testing.T) {
+	pm := NewPhysMem(0)
+	lib := NewFile("l.so", 4)
+	a1 := NewAddressSpace(pm)
+	a2 := NewAddressSpace(pm)
+	b1, _ := a1.Mmap(PageSize, ProtRead, MapShared, lib, 0)
+	b2, _ := a2.Mmap(PageSize, ProtRead, MapShared, lib, 0)
+	a1.Translate(b1, false)
+	a2.Translate(b2, false)
+	if err := a1.Munmap(b1, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// a2 still reads the page.
+	if _, err := a2.Translate(b2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMunmapErrors(t *testing.T) {
+	_, as := newAS()
+	base, _ := as.Mmap(2*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	if err := as.Munmap(base, 0); !errors.Is(err, ErrBadMap) {
+		t.Fatalf("zero length: %v", err)
+	}
+	// Partial coverage rejected.
+	if err := as.Munmap(base, PageSize); !errors.Is(err, ErrBadMap) {
+		t.Fatalf("partial unmap: %v", err)
+	}
+	// Unmapping nothing is fine (POSIX allows it).
+	if err := as.Munmap(0x100000, PageSize); err != nil {
+		t.Fatalf("no-op munmap: %v", err)
+	}
+}
+
+// Mprotect splits VMAs page-exactly: protecting one page of a region
+// leaves its neighbours writable, and KSM's CoW decision honors the
+// per-page protection.
+func TestMprotectSplitsVMAs(t *testing.T) {
+	pm := NewPhysMem(0)
+	as := NewAddressSpace(pm)
+	base, _ := as.Mmap(4*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	for i := 0; i < 4; i++ {
+		as.Translate(base+VAddr(i)*PageSize, true)
+	}
+	// Harden only page 1.
+	if err := as.Mprotect(base+PageSize, PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	// Pages 0, 2, 3 stay writable; page 1 faults on write.
+	for _, pg := range []int{0, 2, 3} {
+		if _, err := as.Translate(base+VAddr(pg)*PageSize, true); err != nil {
+			t.Fatalf("page %d write after split: %v", pg, err)
+		}
+	}
+	if _, err := as.Translate(base+PageSize, true); !errors.Is(err, ErrWriteProtection) {
+		t.Fatalf("protected page writable: %v", err)
+	}
+	// Fresh faults in the split sub-ranges see the right protections.
+	as2 := NewAddressSpace(pm)
+	b2, _ := as2.Mmap(4*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	if err := as2.Mprotect(b2+2*PageSize, 2*PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	r, err := as2.Translate(b2+3*PageSize, false)
+	if err != nil || !r.WriteProtected {
+		t.Fatalf("fresh fault in hardened half: wp=%v err=%v", r.WriteProtected, err)
+	}
+	r, err = as2.Translate(b2, false)
+	if err != nil || r.WriteProtected {
+		t.Fatalf("fresh fault in writable half: wp=%v err=%v", r.WriteProtected, err)
+	}
+}
+
+// KSM merging a page inside a writable VMA arms CoW even when a sibling
+// page was mprotected read-only (the page-exact interplay the machine
+// campaign exercises).
+func TestMprotectKSMPageExactInterplay(t *testing.T) {
+	pm := NewPhysMem(0)
+	ksm := NewKSM(pm)
+	as1, as2 := NewAddressSpace(pm), NewAddressSpace(pm)
+	b1, _ := as1.Mmap(2*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	b2, _ := as2.Mmap(2*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	as1.WritePage(b1+PageSize, 0x77)
+	as2.WritePage(b2+PageSize, 0x77)
+	// Harden page 0 of as1 only.
+	as1.Translate(b1, false)
+	if err := as1.Mprotect(b1, PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	ksm.Register(as1)
+	ksm.Register(as2)
+	ksm.Scan()
+	// Page 1 merged and must still be CoW-writable despite page 0's RO.
+	if err := as1.WritePage(b1+PageSize, 0x99); err != nil {
+		t.Fatalf("write to merged page in writable sub-VMA: %v", err)
+	}
+	if got, _ := as2.ReadPage(b2 + PageSize); got != 0x77 {
+		t.Fatalf("sharer corrupted: %#x", got)
+	}
+}

@@ -1,0 +1,99 @@
+package mmu
+
+// TLB is a fully associative translation lookaside buffer with LRU
+// replacement, matching the paper's 64-entry ITB/DTB (Table V). Entries
+// cache the translated frame and the R/W bit so the write-protection
+// information reaches the cache hierarchy even on TLB hits without
+// re-walking the page table (§IV-B).
+type TLB struct {
+	capacity int
+	entries  map[uint64]*tlbEntry
+	clock    uint64
+
+	Hits, Misses uint64
+	Flushes      uint64
+}
+
+type tlbEntry struct {
+	pfn      uint64
+	writable bool
+	cow      bool
+	lru      uint64
+}
+
+// NewTLB builds a TLB with the given entry count.
+func NewTLB(entries int) *TLB {
+	if entries <= 0 {
+		panic("mmu: TLB must have at least one entry")
+	}
+	return &TLB{capacity: entries, entries: make(map[uint64]*tlbEntry, entries)}
+}
+
+// Capacity returns the entry count.
+func (t *TLB) Capacity() int { return t.capacity }
+
+// Size returns the number of resident entries.
+func (t *TLB) Size() int { return len(t.entries) }
+
+func (t *TLB) lookup(vp uint64) *tlbEntry {
+	e := t.entries[vp]
+	if e != nil {
+		t.clock++
+		e.lru = t.clock
+	}
+	return e
+}
+
+func (t *TLB) insert(vp uint64, pfn uint64, writable, cow bool) {
+	if len(t.entries) >= t.capacity {
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for k, e := range t.entries {
+			if e.lru < oldest {
+				oldest = e.lru
+				victim = k
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.clock++
+	t.entries[vp] = &tlbEntry{pfn: pfn, writable: writable, cow: cow, lru: t.clock}
+}
+
+// InvalidatePage drops the entry for the page containing v, if any.
+func (t *TLB) InvalidatePage(v VAddr) { delete(t.entries, vpn(v)) }
+
+// Flush empties the TLB.
+func (t *TLB) Flush() {
+	t.entries = make(map[uint64]*tlbEntry, t.capacity)
+	t.Flushes++
+}
+
+// Translate performs the full MMU path for one access: TLB lookup, page
+// walk on miss, protection handling, and TLB fill. The returned Result's
+// WriteProtected field is the R/W bit the coherence controller consumes;
+// TLBHit is reported separately for timing.
+func (t *TLB) Translate(as *AddressSpace, v VAddr, isWrite bool) (Result, bool, error) {
+	vp := vpn(v)
+	if e := t.lookup(vp); e != nil {
+		if !isWrite || e.writable {
+			t.Hits++
+			return Result{
+				PAddr:          PAddr(e.pfn*PageSize) + PAddr(uint64(v)%PageSize),
+				WriteProtected: !e.writable,
+			}, true, nil
+		}
+		// Write to a write-protected cached translation: the hardware
+		// raises a fault; the handler (Translate below) performs CoW or
+		// rejects, and the stale entry must be shot down.
+		t.InvalidatePage(v)
+	}
+	t.Misses++
+	res, err := as.Translate(v, isWrite)
+	if err != nil {
+		return res, false, err
+	}
+	pte := as.PTEOf(v)
+	t.insert(vp, pte.PFN, pte.Writable, pte.CoW)
+	return res, false, nil
+}

@@ -1,0 +1,166 @@
+package mmu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBHitMissAccounting(t *testing.T) {
+	_, as := newAS()
+	tlb := NewTLB(64)
+	base, _ := as.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+
+	_, hit, err := tlb.Translate(as, base, false)
+	if err != nil || hit {
+		t.Fatalf("first access: hit=%v err=%v", hit, err)
+	}
+	_, hit, err = tlb.Translate(as, base+100, false)
+	if err != nil || !hit {
+		t.Fatalf("second access: hit=%v err=%v", hit, err)
+	}
+	if tlb.Hits != 1 || tlb.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestTLBCarriesWriteProtectionBit(t *testing.T) {
+	_, as := newAS()
+	f := NewFile("lib.so", 7)
+	tlb := NewTLB(64)
+	base, _ := as.Mmap(PageSize, ProtRead, MapShared, f, 0)
+
+	r, _, err := tlb.Translate(as, base, false)
+	if err != nil || !r.WriteProtected {
+		t.Fatalf("miss path: wp=%v err=%v", r.WriteProtected, err)
+	}
+	r, hit, err := tlb.Translate(as, base+8, false)
+	if err != nil || !hit || !r.WriteProtected {
+		t.Fatalf("hit path: hit=%v wp=%v err=%v", hit, r.WriteProtected, err)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	_, as := newAS()
+	tlb := NewTLB(4)
+	base, _ := as.Mmap(8*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	for i := 0; i < 4; i++ {
+		tlb.Translate(as, base+VAddr(i)*PageSize, false)
+	}
+	if tlb.Size() != 4 {
+		t.Fatalf("size = %d, want 4", tlb.Size())
+	}
+	// Touch page 0 so page 1 is LRU, then insert page 4.
+	tlb.Translate(as, base, false)
+	tlb.Translate(as, base+4*PageSize, false)
+	if tlb.Size() != 4 {
+		t.Fatalf("size = %d after eviction, want 4", tlb.Size())
+	}
+	// Page 0 should still hit; page 1 should miss.
+	before := tlb.Hits
+	tlb.Translate(as, base, false)
+	if tlb.Hits != before+1 {
+		t.Fatal("recently used entry evicted")
+	}
+	beforeMiss := tlb.Misses
+	tlb.Translate(as, base+PageSize, false)
+	if tlb.Misses != beforeMiss+1 {
+		t.Fatal("LRU entry not evicted")
+	}
+}
+
+func TestTLBWriteToCachedWriteProtectedEntryTriggersCoW(t *testing.T) {
+	pm := NewPhysMem(0)
+	f := NewFile("libdata.so", 8)
+	as := NewAddressSpace(pm)
+	tlb := NewTLB(64)
+	base, _ := as.Mmap(PageSize, ProtRead|ProtWrite, MapPrivate, f, 0)
+
+	// Load first: TLB caches the write-protected translation.
+	r, _, _ := tlb.Translate(as, base, false)
+	if !r.WriteProtected {
+		t.Fatal("private file page not write-protected on load")
+	}
+	// Store: must fault through, CoW, and refill.
+	w, hit, err := tlb.Translate(as, base, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("write to write-protected cached entry reported as TLB hit")
+	}
+	if !w.CoW || w.WriteProtected {
+		t.Fatalf("CoW path wrong: %+v", w)
+	}
+	// Subsequent store hits with the writable translation.
+	w2, hit, err := tlb.Translate(as, base, true)
+	if err != nil || !hit || w2.WriteProtected {
+		t.Fatalf("post-CoW store: hit=%v wp=%v err=%v", hit, w2.WriteProtected, err)
+	}
+	if w2.PAddr != w.PAddr {
+		t.Fatal("post-CoW translation moved")
+	}
+}
+
+func TestTLBFlushAndInvalidate(t *testing.T) {
+	_, as := newAS()
+	tlb := NewTLB(8)
+	base, _ := as.Mmap(2*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+	tlb.Translate(as, base, false)
+	tlb.Translate(as, base+PageSize, false)
+	tlb.InvalidatePage(base)
+	if tlb.Size() != 1 {
+		t.Fatalf("size after invalidate = %d, want 1", tlb.Size())
+	}
+	tlb.Flush()
+	if tlb.Size() != 0 || tlb.Flushes != 1 {
+		t.Fatalf("flush: size=%d flushes=%d", tlb.Size(), tlb.Flushes)
+	}
+}
+
+func TestTLBErrorsPropagate(t *testing.T) {
+	_, as := newAS()
+	tlb := NewTLB(8)
+	if _, _, err := tlb.Translate(as, 0x1, false); err == nil {
+		t.Fatal("unmapped access through TLB did not error")
+	}
+}
+
+func TestNewTLBPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTLB(0) did not panic")
+		}
+	}()
+	NewTLB(0)
+}
+
+// Property: TLB-cached translations always agree with direct page-table
+// walks, for any access pattern over a small set of pages.
+func TestTLBConsistencyProperty(t *testing.T) {
+	f := func(accesses []uint8) bool {
+		pm := NewPhysMem(0)
+		as := NewAddressSpace(pm)
+		tlb := NewTLB(3) // tiny, to force evictions
+		base, _ := as.Mmap(8*PageSize, ProtRead|ProtWrite, MapPrivate|MapAnonymous, nil, 0)
+		for _, a := range accesses {
+			page := int(a) % 8
+			isWrite := a%2 == 0
+			v := base + VAddr(page)*PageSize + VAddr(a%64)
+			got, _, err := tlb.Translate(as, v, isWrite)
+			if err != nil {
+				return false
+			}
+			want, err := as.Translate(v, isWrite)
+			if err != nil {
+				return false
+			}
+			if got.PAddr != want.PAddr || got.WriteProtected != want.WriteProtected {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

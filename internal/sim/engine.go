@@ -1,0 +1,158 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate every timed component in this repository is
+// built on: cache controllers, the directory, the DRAM model, and the CPU
+// models all schedule closures at future cycles and the engine executes
+// them in (cycle, insertion-order) order. Determinism is guaranteed by a
+// monotonically increasing sequence number that breaks ties between events
+// scheduled for the same cycle, so two runs with the same inputs produce
+// identical event interleavings and therefore identical statistics.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in processor clock cycles.
+type Cycle uint64
+
+// Event is a unit of scheduled work. The engine invokes Fn at cycle When.
+type event struct {
+	when Cycle
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use; time starts at cycle 0.
+type Engine struct {
+	now       Cycle
+	seq       uint64
+	queue     eventHeap
+	executed  uint64
+	scheduled uint64
+}
+
+// NewEngine returns an engine with time set to cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Executed returns the total number of events the engine has run.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule enqueues fn to run delay cycles from now. A delay of zero runs
+// fn later in the current cycle, after all previously scheduled events for
+// this cycle.
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule called with nil function")
+	}
+	e.seq++
+	e.scheduled++
+	heap.Push(&e.queue, event{when: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt enqueues fn at an absolute cycle, which must not be in the
+// past.
+func (e *Engine) ScheduleAt(when Cycle, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", when, e.now))
+	}
+	e.Schedule(when-e.now, fn)
+}
+
+// step executes the single earliest event. It reports false if the queue
+// is empty.
+func (e *Engine) step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	if ev.when < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.now = ev.when
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final cycle.
+func (e *Engine) Run() Cycle {
+	for e.step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= limit. Events scheduled
+// beyond limit remain queued. It returns the current cycle, which is
+// min(limit, time of last executed event) or the prior now if nothing ran.
+func (e *Engine) RunUntil(limit Cycle) Cycle {
+	for len(e.queue) > 0 && e.queue[0].when <= limit {
+		e.step()
+	}
+	if e.now < limit && len(e.queue) > 0 {
+		// Advance logical time to the limit so callers observe a
+		// consistent clock even if no event landed exactly on it.
+		e.now = limit
+	}
+	return e.now
+}
+
+// RunFor executes events for the next d cycles.
+func (e *Engine) RunFor(d Cycle) Cycle { return e.RunUntil(e.now + d) }
+
+// RunWhile executes events while cond returns true and events remain.
+// It returns the final cycle.
+func (e *Engine) RunWhile(cond func() bool) Cycle {
+	for cond() && e.step() {
+	}
+	return e.now
+}
+
+// MaxEventsExceeded is returned (as a panic message prefix) by RunBounded.
+const maxEventsMsg = "sim: event budget exhausted (possible livelock)"
+
+// RunBounded executes up to maxEvents events; it panics if the budget is
+// exhausted while events remain, which in this codebase always indicates a
+// protocol livelock. It returns the final cycle.
+func (e *Engine) RunBounded(maxEvents uint64) Cycle {
+	var n uint64
+	for e.step() {
+		n++
+		if n >= maxEvents && len(e.queue) > 0 {
+			panic(maxEventsMsg)
+		}
+	}
+	return e.now
+}

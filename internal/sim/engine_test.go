@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(5, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 10 {
+		t.Fatalf("final cycle = %d, want 10", end)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := 0; i < 100; i++ {
+		if order[i] != i {
+			t.Fatalf("same-cycle events not FIFO at %d: got %d", i, order[i])
+		}
+	}
+}
+
+func TestEngineZeroDelayRunsWithinSameCycle(t *testing.T) {
+	e := NewEngine()
+	var at Cycle
+	e.Schedule(4, func() {
+		e.Schedule(0, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 4 {
+		t.Fatalf("zero-delay event ran at cycle %d, want 4", at)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 50 {
+			e.Schedule(2, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	end := e.Run()
+	if count != 50 {
+		t.Fatalf("count = %d, want 50", count)
+	}
+	if end != 98 {
+		t.Fatalf("end cycle = %d, want 98", end)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := make(map[Cycle]bool)
+	for _, c := range []Cycle{5, 10, 15, 20} {
+		c := c
+		e.ScheduleAt(c, func() { ran[c] = true })
+	}
+	e.RunUntil(12)
+	if !ran[5] || !ran[10] {
+		t.Fatal("events at or before the limit did not run")
+	}
+	if ran[15] || ran[20] {
+		t.Fatal("events beyond the limit ran")
+	}
+	if e.Now() != 12 {
+		t.Fatalf("now = %d, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if !ran[15] || !ran[20] {
+		t.Fatal("remaining events did not run after resume")
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	for i := Cycle(1); i <= 10; i++ {
+		e.ScheduleAt(i*10, func() { hits++ })
+	}
+	e.RunFor(35)
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3", hits)
+	}
+	e.RunFor(30) // now at 65
+	if hits != 6 {
+		t.Fatalf("hits = %d, want 6", hits)
+	}
+}
+
+func TestEngineRunWhile(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() { n++; e.Schedule(1, tick) }
+	e.Schedule(0, tick)
+	e.RunWhile(func() bool { return n < 10 })
+	if n != 10 {
+		t.Fatalf("n = %d, want 10", n)
+	}
+}
+
+func TestEngineRunBoundedPanicsOnLivelock(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.Schedule(1, tick) }
+	e.Schedule(0, tick)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunBounded did not panic on unbounded event stream")
+		}
+	}()
+	e.RunBounded(100)
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	e.Schedule(0, nil)
+}
+
+func TestEngineExecutedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 25; i++ {
+		e.Schedule(Cycle(i), func() {})
+	}
+	e.Run()
+	if e.Executed() != 25 {
+		t.Fatalf("executed = %d, want 25", e.Executed())
+	}
+}
+
+// Property: for any set of delays, events execute in nondecreasing time
+// order and the final cycle equals the max delay.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var seen []Cycle
+		var max Cycle
+		for _, d := range delays {
+			d := Cycle(d)
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() { seen = append(seen, e.Now()) })
+		}
+		end := e.Run()
+		if end != max {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-seeded RNG stuck at zero")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGForkIndependent(t *testing.T) {
+	r := NewRNG(5)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams correlate: %d/100 equal draws", same)
+	}
+}
+
+// Property: Bool(p) frequency approximates p for a few probabilities.
+func TestRNGBoolFrequency(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		r := NewRNG(11)
+		hits := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if got < p-0.02 || got > p+0.02 {
+			t.Fatalf("Bool(%v) frequency = %v", p, got)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package snoop implements bus-based snooping MESI — the other coherence
+// architecture the paper describes (§II-A3) before focusing on directory
+// protocols. Every miss broadcasts on a shared bus; all caches snoop and
+// the owner (or memory) responds.
+//
+// The E/S timing channel exists here too, with an inverted sign: an
+// E/M-state line is supplied cache-to-cache (fast) while S-state data come
+// from memory (slow), so a receiver can still distinguish the states by
+// timing. SwiftDir's I→S rule applies unchanged: write-protected data are
+// always granted Shared, every access to them is served from the same
+// place, and the channel closes. This package demonstrates that the
+// paper's protection-by-simplification is architecture-agnostic.
+package snoop
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// Protocol selects the snooping variant.
+type Protocol uint8
+
+const (
+	// MESI is the classic snooping baseline.
+	MESI Protocol = iota
+	// SwiftDir grants write-protected loads Shared (I->S), never
+	// Exclusive.
+	SwiftDir
+)
+
+func (p Protocol) String() string {
+	if p == SwiftDir {
+		return "SwiftDir-snoop"
+	}
+	return "MESI-snoop"
+}
+
+// Timing parameterizes the bus and memory.
+type Timing struct {
+	Arbitration  sim.Cycle // winning the bus
+	Broadcast    sim.Cycle // address phase reaching all snoopers
+	SnoopCheck   sim.Cycle // snoop tag check at every cache
+	CacheToCache sim.Cycle // owner supplies the line over the bus
+	Memory       sim.Cycle // memory supplies the line
+	L1Tag        sim.Cycle // local hit
+}
+
+// DefaultTiming mirrors a front-side-bus system: cache-to-cache supply is
+// much faster than a memory fetch.
+func DefaultTiming() Timing {
+	return Timing{
+		Arbitration:  2,
+		Broadcast:    3,
+		SnoopCheck:   2,
+		CacheToCache: 8,
+		Memory:       60,
+		L1Tag:        1,
+	}
+}
+
+// hitLatency is the fixed local-hit service time.
+func (t Timing) hitLatency() sim.Cycle { return t.L1Tag }
+
+// supplyLatency is the miss service time given the supplier.
+func (t Timing) supplyLatency(cacheSupplied bool) sim.Cycle {
+	base := t.L1Tag + t.Arbitration + t.Broadcast + t.SnoopCheck
+	if cacheSupplied {
+		return base + t.CacheToCache
+	}
+	return base + t.Memory
+}
+
+// Config describes the snooping system.
+type Config struct {
+	Cores    int
+	CacheKB  int
+	Ways     int
+	Protocol Protocol
+	Timing   Timing
+}
+
+// DefaultConfig returns a system of the given size.
+func DefaultConfig(cores int, p Protocol) Config {
+	return Config{Cores: cores, CacheKB: 32, Ways: 4, Protocol: p, Timing: DefaultTiming()}
+}
+
+// System is a bus-snooping multicore: private caches over one shared bus
+// with memory as the backstop. The bus serializes transactions, which is
+// what makes snooping simple and unscalable — exactly the trade-off the
+// paper describes.
+type System struct {
+	Eng    *sim.Engine
+	cfg    Config
+	caches []*cache.Array
+	image  map[cache.Addr]uint64
+
+	busFreeAt sim.Cycle
+
+	// Stats
+	BusTransactions uint64
+	CacheSupplies   uint64
+	MemorySupplies  uint64
+	Invalidations   uint64
+	SilentUpgrades  uint64
+	UpgradeBusses   uint64
+}
+
+// NewSystem builds the machine.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Cores <= 0 || cfg.Cores > 32 {
+		return nil, fmt.Errorf("snoop: cores %d out of range", cfg.Cores)
+	}
+	s := &System{
+		Eng:   sim.NewEngine(),
+		cfg:   cfg,
+		image: make(map[cache.Addr]uint64),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.caches = append(s.caches, cache.NewArray(cache.Params{
+			Name: fmt.Sprintf("snoopL1-%d", i), SizeBytes: cfg.CacheKB << 10,
+			Ways: cfg.Ways, BlockSize: 64,
+		}))
+	}
+	return s, nil
+}
+
+// MustNewSystem panics on configuration errors.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *System) memRead(addr cache.Addr) uint64 {
+	if v, ok := s.image[addr]; ok {
+		return v
+	}
+	return uint64(addr)*0x9E3779B97F4A7C15 | 1
+}
+
+// Result reports one access.
+type Result struct {
+	Latency       sim.Cycle
+	Value         uint64
+	CacheSupplied bool // miss served cache-to-cache (fast path)
+	Hit           bool
+}
+
+// Access performs one blocking access on core's cache. The simulation is
+// transaction-atomic: the bus serializes entire misses, which is faithful
+// to classic snooping implementations.
+func (s *System) Access(core int, addr cache.Addr, write bool, wp bool, value uint64) Result {
+	arr := s.caches[core]
+	block := arr.BlockAddr(addr)
+	now := s.Eng.Now()
+	t := s.cfg.Timing
+
+	if ln := arr.Probe(block); ln != nil {
+		if !write {
+			s.advance(now + t.hitLatency())
+			return Result{Latency: t.hitLatency(), Value: ln.Data, Hit: true}
+		}
+		switch ln.State {
+		case cache.Modified:
+			ln.Data = value
+			s.advance(now + t.hitLatency())
+			return Result{Latency: t.hitLatency(), Value: value, Hit: true}
+		case cache.Exclusive:
+			// Silent upgrade, as in directory MESI.
+			s.SilentUpgrades++
+			ln.State = cache.Modified
+			ln.Data = value
+			s.advance(now + t.hitLatency())
+			return Result{Latency: t.hitLatency(), Value: value, Hit: true}
+		default: // Shared: BusUpgr
+			lat := s.busTransaction(core, block, true, false)
+			ln.State = cache.Modified
+			ln.Data = value
+			s.UpgradeBusses++
+			done := s.waitBus(now) + lat
+			s.advance(done)
+			return Result{Latency: done - now, Value: value}
+		}
+	}
+
+	// Miss: full bus transaction.
+	start := s.waitBus(now)
+	var data uint64
+	var cacheSupplied, othersHold bool
+	if write {
+		data, cacheSupplied, _ = s.snoopCollect(core, block, true)
+	} else {
+		data, cacheSupplied, othersHold = s.snoopCollect(core, block, false)
+	}
+	lat := t.supplyLatency(cacheSupplied)
+	if cacheSupplied {
+		s.CacheSupplies++
+	} else {
+		s.MemorySupplies++
+	}
+	s.BusTransactions++
+
+	// Install.
+	v := arr.Victim(block)
+	if v.State.Valid() {
+		s.evict(arr, v, block)
+	}
+	state := cache.Shared
+	switch {
+	case write:
+		state = cache.Modified
+		data = value
+	case othersHold:
+		state = cache.Shared
+	case s.cfg.Protocol == SwiftDir && wp:
+		// The SwiftDir rule: write-protected data are never Exclusive.
+		state = cache.Shared
+	default:
+		state = cache.Exclusive
+	}
+	arr.Install(v, block, state)
+	v.Data = data
+	v.WP = wp
+
+	done := start + lat
+	s.advance(done)
+	return Result{Latency: done - now, Value: data, CacheSupplied: cacheSupplied}
+}
+
+// waitBus returns when the bus is available, and reserves nothing yet.
+func (s *System) waitBus(now sim.Cycle) sim.Cycle {
+	if s.busFreeAt > now {
+		return s.busFreeAt
+	}
+	return now
+}
+
+// busTransaction models a dataless upgrade broadcast.
+func (s *System) busTransaction(core int, block cache.Addr, invalidate, _ bool) sim.Cycle {
+	t := s.cfg.Timing
+	if invalidate {
+		for i, arr := range s.caches {
+			if i == core {
+				continue
+			}
+			if arr.Invalidate(block) {
+				s.Invalidations++
+			}
+		}
+	}
+	s.BusTransactions++
+	return t.Arbitration + t.Broadcast + t.SnoopCheck
+}
+
+// snoopCollect broadcasts a BusRd/BusRdX: every other cache snoops; an
+// E/M holder supplies the data (downgrading to S, or invalidating on
+// BusRdX); S holders either stay (BusRd) or invalidate (BusRdX).
+func (s *System) snoopCollect(core int, block cache.Addr, exclusive bool) (data uint64, cacheSupplied, othersHold bool) {
+	data = s.memRead(block)
+	for i, arr := range s.caches {
+		if i == core {
+			continue
+		}
+		ln := arr.Lookup(block)
+		if ln == nil {
+			continue
+		}
+		switch ln.State {
+		case cache.Modified, cache.Exclusive:
+			data = ln.Data
+			cacheSupplied = true
+			if ln.State == cache.Modified {
+				s.image[block] = ln.Data // flush to memory
+			}
+			if exclusive {
+				arr.Invalidate(block)
+				s.Invalidations++
+			} else {
+				ln.State = cache.Shared
+				othersHold = true
+			}
+		case cache.Shared:
+			if exclusive {
+				arr.Invalidate(block)
+				s.Invalidations++
+			} else {
+				othersHold = true
+			}
+		}
+	}
+	return data, cacheSupplied, othersHold
+}
+
+func (s *System) evict(arr *cache.Array, v *cache.Line, probe cache.Addr) {
+	if v.State == cache.Modified {
+		s.image[arr.AddrOfLine(v, probe)] = v.Data
+	}
+}
+
+// advance moves simulated time forward and marks the bus busy until then.
+func (s *System) advance(until sim.Cycle) {
+	s.busFreeAt = until
+	s.Eng.ScheduleAt(until, func() {})
+	s.Eng.Run()
+}
+
+// StateOf reports core's cached state for a block.
+func (s *System) StateOf(core int, addr cache.Addr) cache.LineState {
+	if ln := s.caches[core].Lookup(addr); ln != nil {
+		return ln.State
+	}
+	return cache.Invalid
+}
+
+// CheckInvariants validates SWMR across the snooping caches.
+func (s *System) CheckInvariants() error {
+	type h struct{ excl, shared []int }
+	blocks := map[cache.Addr]*h{}
+	for i, arr := range s.caches {
+		i := i
+		arr.ForEachValid(func(addr cache.Addr, ln *cache.Line) {
+			e := blocks[addr]
+			if e == nil {
+				e = &h{}
+				blocks[addr] = e
+			}
+			if ln.State == cache.Modified || ln.State == cache.Exclusive {
+				e.excl = append(e.excl, i)
+			} else {
+				e.shared = append(e.shared, i)
+			}
+		})
+	}
+	for addr, e := range blocks {
+		if len(e.excl) > 1 || (len(e.excl) == 1 && len(e.shared) > 0) {
+			return fmt.Errorf("snoop SWMR: block %#x excl=%v shared=%v", addr, e.excl, e.shared)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package snoop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+const blockA cache.Addr = 0x4000
+
+func TestConfigBounds(t *testing.T) {
+	if _, err := NewSystem(Config{Cores: 0}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := NewSystem(DefaultConfig(4, MESI)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if MESI.String() != "MESI-snoop" || SwiftDir.String() != "SwiftDir-snoop" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestColdLoadGetsExclusiveFromMemory(t *testing.T) {
+	s := MustNewSystem(DefaultConfig(2, MESI))
+	r := s.Access(0, blockA, false, false, 0)
+	if r.CacheSupplied {
+		t.Fatal("cold load cache-supplied")
+	}
+	if st := s.StateOf(0, blockA); st != cache.Exclusive {
+		t.Fatalf("state %v, want E", st)
+	}
+	want := DefaultTiming().supplyLatency(false)
+	if r.Latency != want {
+		t.Fatalf("latency %d, want %d", r.Latency, want)
+	}
+}
+
+// The snooping E/S channel, inverted: E-state data are supplied
+// cache-to-cache (fast); S-state data come from memory (slow).
+func TestSnoopTimingChannelInverted(t *testing.T) {
+	tm := DefaultTiming()
+
+	// E-state remote load: fast cache-to-cache.
+	s := MustNewSystem(DefaultConfig(2, MESI))
+	s.Access(1, blockA, false, true, 0) // E on core 1
+	rE := s.Access(0, blockA, false, true, 0)
+	if !rE.CacheSupplied {
+		t.Fatal("E-state load not cache-supplied")
+	}
+	if rE.Latency != tm.supplyLatency(true) {
+		t.Fatalf("E latency %d, want %d", rE.Latency, tm.supplyLatency(true))
+	}
+
+	// S-state load (two sharers already): slow memory supply.
+	s2 := MustNewSystem(DefaultConfig(4, MESI))
+	s2.Access(1, blockA, false, true, 0)
+	s2.Access(2, blockA, false, true, 0) // E->S
+	rS := s2.Access(0, blockA, false, true, 0)
+	if rS.CacheSupplied {
+		t.Fatal("S-state load cache-supplied under plain MESI snooping")
+	}
+	if rS.Latency != tm.supplyLatency(false) {
+		t.Fatalf("S latency %d, want %d", rS.Latency, tm.supplyLatency(false))
+	}
+	if rE.Latency >= rS.Latency {
+		t.Fatalf("snooping channel not inverted: E=%d S=%d", rE.Latency, rS.Latency)
+	}
+}
+
+// SwiftDir on snooping closes the channel: write-protected loads are
+// always granted S, so the receiver's probe latency is independent of how
+// many senders touched the line.
+func TestSnoopSwiftDirConstantLatency(t *testing.T) {
+	tm := DefaultTiming()
+	// One prior toucher.
+	s := MustNewSystem(DefaultConfig(4, SwiftDir))
+	s.Access(1, blockA, false, true, 0)
+	if st := s.StateOf(1, blockA); st != cache.Shared {
+		t.Fatalf("initial WP load state %v, want S", st)
+	}
+	r1 := s.Access(0, blockA, false, true, 0)
+
+	// Two prior touchers.
+	s2 := MustNewSystem(DefaultConfig(4, SwiftDir))
+	s2.Access(1, blockA, false, true, 0)
+	s2.Access(2, blockA, false, true, 0)
+	r2 := s2.Access(0, blockA, false, true, 0)
+
+	if r1.Latency != r2.Latency {
+		t.Fatalf("SwiftDir-snoop latencies differ: %d vs %d (channel open)", r1.Latency, r2.Latency)
+	}
+	if r1.Latency != tm.supplyLatency(false) {
+		t.Fatalf("latency %d, want constant memory supply %d", r1.Latency, tm.supplyLatency(false))
+	}
+}
+
+// The snooping covert channel end to end: decodable on MESI, guessing on
+// SwiftDir.
+func TestSnoopCovertChannel(t *testing.T) {
+	run := func(p Protocol) (errors int) {
+		s := MustNewSystem(DefaultConfig(4, p))
+		rng := sim.NewRNG(3)
+		threshold := (DefaultTiming().supplyLatency(true) + DefaultTiming().supplyLatency(false)) / 2
+		for i := 0; i < 128; i++ {
+			line := cache.Addr(0x100000 + i*64)
+			bit := rng.Bool(0.5)
+			// Sender: one toucher for 1 (E under MESI), two for 0 (S).
+			s.Access(1, line, false, true, 0)
+			if !bit {
+				s.Access(2, line, false, true, 0)
+			}
+			r := s.Access(0, line, false, true, 0)
+			// Inverted channel: fast (cache-supplied) means E means 1.
+			got := r.Latency < threshold
+			if got != bit {
+				errors++
+			}
+		}
+		return errors
+	}
+	if e := run(MESI); e != 0 {
+		t.Fatalf("MESI-snoop channel errors = %d, want 0", e)
+	}
+	if e := run(SwiftDir); e < 30 {
+		t.Fatalf("SwiftDir-snoop channel errors = %d, want ~half (closed)", e)
+	}
+}
+
+func TestSnoopWriteInvalidatesAndPropagates(t *testing.T) {
+	s := MustNewSystem(DefaultConfig(2, MESI))
+	s.Access(0, blockA, false, false, 0)
+	s.Access(1, blockA, false, false, 0) // E->S via snoop
+	w := s.Access(1, blockA, true, false, 0x5A)
+	_ = w
+	if st := s.StateOf(0, blockA); st != cache.Invalid {
+		t.Fatalf("other copy not invalidated: %v", st)
+	}
+	r := s.Access(0, blockA, false, false, 0)
+	if r.Value != 0x5A {
+		t.Fatalf("read %#x, want 0x5A", r.Value)
+	}
+	if !r.CacheSupplied {
+		t.Fatal("dirty line not supplied cache-to-cache")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnoopSilentUpgrade(t *testing.T) {
+	s := MustNewSystem(DefaultConfig(2, MESI))
+	s.Access(0, blockA, false, false, 0)
+	before := s.BusTransactions
+	w := s.Access(0, blockA, true, false, 1)
+	if w.Latency != DefaultTiming().L1Tag {
+		t.Fatalf("silent upgrade latency %d", w.Latency)
+	}
+	if s.BusTransactions != before {
+		t.Fatal("silent upgrade used the bus")
+	}
+	if s.SilentUpgrades != 1 {
+		t.Fatal("silent upgrade not counted")
+	}
+}
+
+func TestSnoopUpgradeFromShared(t *testing.T) {
+	s := MustNewSystem(DefaultConfig(2, MESI))
+	s.Access(0, blockA, false, false, 0)
+	s.Access(1, blockA, false, false, 0) // both S
+	w := s.Access(0, blockA, true, false, 2)
+	if w.Latency <= DefaultTiming().L1Tag {
+		t.Fatal("S->M upgrade was free")
+	}
+	if s.UpgradeBusses != 1 {
+		t.Fatalf("upgrade bus transactions = %d", s.UpgradeBusses)
+	}
+	if st := s.StateOf(1, blockA); st != cache.Invalid {
+		t.Fatal("sharer survived upgrade")
+	}
+}
+
+// Dirty evictions write back to memory; data survive.
+func TestSnoopDirtyEviction(t *testing.T) {
+	cfg := DefaultConfig(1, MESI)
+	cfg.CacheKB = 1
+	cfg.Ways = 2
+	s := MustNewSystem(cfg)
+	sets := 1 * 1024 / (2 * 64)
+	base := cache.Addr(0x8000)
+	stride := cache.Addr(sets * 64)
+	for i := 0; i < 6; i++ {
+		s.Access(0, base+cache.Addr(i)*stride, true, false, uint64(0x70+i))
+	}
+	for i := 0; i < 6; i++ {
+		r := s.Access(0, base+cache.Addr(i)*stride, false, false, 0)
+		if r.Value != uint64(0x70+i) {
+			t.Fatalf("block %d lost data: %#x", i, r.Value)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sequential consistency under random single-threaded-per-core
+// snooping traffic.
+func TestSnoopSequentialConsistencyProperty(t *testing.T) {
+	for _, p := range []Protocol{MESI, SwiftDir} {
+		p := p
+		f := func(ops []uint16) bool {
+			s := MustNewSystem(DefaultConfig(4, p))
+			shadow := map[cache.Addr]uint64{}
+			v := uint64(1)
+			for _, op := range ops {
+				core := int(op) % 4
+				block := cache.Addr(0x100000 + (uint64(op)>>2%24)*64)
+				if op&0x8000 != 0 {
+					v++
+					s.Access(core, block, true, false, v)
+					shadow[block] = v
+				} else {
+					r := s.Access(core, block, false, op&0x4000 != 0, 0)
+					want, ok := shadow[block]
+					if !ok {
+						want = s.memRead(block)
+					}
+					if r.Value != want {
+						return false
+					}
+				}
+			}
+			return s.CheckInvariants() == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+// The bus serializes: back-to-back misses from different cores cannot
+// overlap (the scalability limit the paper cites for snooping).
+func TestSnoopBusSerialization(t *testing.T) {
+	s := MustNewSystem(DefaultConfig(2, MESI))
+	t0 := s.Eng.Now()
+	s.Access(0, 0x1000, false, false, 0)
+	t1 := s.Eng.Now()
+	s.Access(1, 0x2000, false, false, 0)
+	t2 := s.Eng.Now()
+	if (t2 - t1) < (t1 - t0) {
+		t.Fatalf("second miss overlapped the first: %d vs %d", t2-t1, t1-t0)
+	}
+}

@@ -1,0 +1,264 @@
+// Package stats provides the measurement plumbing for the evaluation:
+// latency histograms and CDFs (Figure 6), normalized metric tables
+// (Figures 7-10), and plain-text rendering of the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Histogram collects cycle latencies.
+type Histogram struct {
+	samples []sim.Cycle
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(c sim.Cycle) {
+	h.samples = append(h.samples, c)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Mean returns the average latency, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += float64(s)
+	}
+	return sum / float64(len(h.samples))
+}
+
+// StdDev returns the population standard deviation.
+func (h *Histogram) StdDev() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	m := h.Mean()
+	var ss float64
+	for _, s := range h.samples {
+		d := float64(s) - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(h.samples)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100).
+func (h *Histogram) Percentile(p float64) sim.Cycle {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Min and Max return the extremes.
+func (h *Histogram) Min() sim.Cycle { return h.Percentile(0) }
+func (h *Histogram) Max() sim.Cycle { return h.Percentile(100) }
+
+// CDFPoint is one step of a cumulative distribution function.
+type CDFPoint struct {
+	Latency sim.Cycle
+	Frac    float64 // fraction of samples <= Latency
+}
+
+// CDF returns the empirical distribution as steps at each distinct
+// latency (the data behind Figure 6).
+func (h *Histogram) CDF() []CDFPoint {
+	if len(h.samples) == 0 {
+		return nil
+	}
+	h.sort()
+	var out []CDFPoint
+	n := float64(len(h.samples))
+	for i := 0; i < len(h.samples); i++ {
+		if i+1 < len(h.samples) && h.samples[i+1] == h.samples[i] {
+			continue
+		}
+		out = append(out, CDFPoint{Latency: h.samples[i], Frac: float64(i+1) / n})
+	}
+	return out
+}
+
+// Normalize expresses value as a percentage of baseline (100 = equal).
+// A zero baseline yields NaN-free 0.
+func Normalize(value, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return value / baseline * 100
+}
+
+// GeoMean returns the geometric mean of positive values (conventional for
+// normalized benchmark metrics); zero/negative inputs are skipped.
+func GeoMean(vals []float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Table renders aligned plain-text tables for the report output.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		cells = cells[:len(t.Headers)]
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowF appends a row of formatted values: strings pass through,
+// float64 renders with 3 decimals, integers with %d.
+func (t *Table) AddRowF(cells ...any) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out = append(out, v)
+		case float64:
+			out = append(out, fmt.Sprintf("%.3f", v))
+		case sim.Cycle:
+			out = append(out, fmt.Sprintf("%d", v))
+		default:
+			out = append(out, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render produces the aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// RenderCDF renders one or more CDFs side by side as text (Figure 6's
+// form), sampling at each distinct latency across all series.
+func RenderCDF(title string, names []string, cdfs [][]CDFPoint) string {
+	latencySet := map[sim.Cycle]bool{}
+	for _, c := range cdfs {
+		for _, p := range c {
+			latencySet[p.Latency] = true
+		}
+	}
+	lats := make([]sim.Cycle, 0, len(latencySet))
+	for l := range latencySet {
+		lats = append(lats, l)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	headers := append([]string{"latency(cyc)"}, names...)
+	tb := NewTable(title, headers...)
+	for _, l := range lats {
+		row := []string{fmt.Sprintf("%d", l)}
+		for _, c := range cdfs {
+			frac := 0.0
+			for _, p := range c {
+				if p.Latency <= l {
+					frac = p.Frac
+				} else {
+					break
+				}
+			}
+			row = append(row, fmt.Sprintf("%.4f", frac))
+		}
+		tb.AddRow(row...)
+	}
+	return tb.Render()
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.StdDev() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for _, v := range []sim.Cycle{10, 20, 30, 40} {
+		h.Add(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 25 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if h.Percentile(50) != 20 {
+		t.Fatalf("p50 = %d", h.Percentile(50))
+	}
+	want := math.Sqrt((225 + 25 + 25 + 225) / 4.0)
+	if math.Abs(h.StdDev()-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", h.StdDev(), want)
+	}
+}
+
+func TestHistogramAddAfterSortStaysCorrect(t *testing.T) {
+	var h Histogram
+	h.Add(30)
+	h.Add(10)
+	_ = h.Percentile(50) // forces sort
+	h.Add(20)
+	if h.Percentile(100) != 30 || h.Percentile(0) != 10 {
+		t.Fatal("histogram corrupted by post-sort insertion")
+	}
+	if h.Percentile(50) != 20 {
+		t.Fatalf("p50 = %d, want 20", h.Percentile(50))
+	}
+}
+
+func TestCDFMonotoneAndComplete(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, r := range raw {
+			h.Add(sim.Cycle(r))
+		}
+		cdf := h.CDF()
+		if len(cdf) == 0 {
+			return false
+		}
+		if cdf[len(cdf)-1].Frac != 1.0 {
+			return false
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Latency <= cdf[i-1].Latency || cdf[i].Frac <= cdf[i-1].Frac {
+				return false
+			}
+		}
+		// Distinct latencies only.
+		sorted := append([]uint16(nil), raw...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		distinct := 1
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i] != sorted[i-1] {
+				distinct++
+			}
+		}
+		return len(cdf) == distinct
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateCDF(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(17)
+	}
+	cdf := h.CDF()
+	if len(cdf) != 1 || cdf[0].Latency != 17 || cdf[0].Frac != 1 {
+		t.Fatalf("degenerate CDF = %+v", cdf)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if math.Abs(Normalize(110, 100)-110) > 1e-9 {
+		t.Fatal("normalize 110/100")
+	}
+	if math.Abs(Normalize(50, 200)-25) > 1e-9 {
+		t.Fatal("normalize 50/200")
+	}
+	if Normalize(5, 0) != 0 {
+		t.Fatal("normalize with zero baseline")
+	}
+}
+
+func TestGeoMeanAndMean(t *testing.T) {
+	vals := []float64{1, 10, 100}
+	if math.Abs(GeoMean(vals)-10) > 1e-9 {
+		t.Fatalf("geomean = %v", GeoMean(vals))
+	}
+	if Mean(vals) != 37 {
+		t.Fatalf("mean = %v", Mean(vals))
+	}
+	if GeoMean(nil) != 0 || Mean(nil) != 0 {
+		t.Fatal("empty inputs")
+	}
+	if GeoMean([]float64{0, -1}) != 0 {
+		t.Fatal("nonpositive-only geomean")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Figure X", "bench", "MESI", "SwiftDir")
+	tb.AddRow("mcf", "100.000", "100.031")
+	tb.AddRowF("xz", 100.0, 99.97)
+	out := tb.Render()
+	for _, want := range []string{"Figure X", "bench", "MESI", "SwiftDir", "mcf", "99.970"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// All lines of the body equal width alignment: header and separator
+	// share prefix structure.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1", "2", "3")
+	if strings.Contains(tb.Render(), "3") {
+		t.Fatal("overflow cell rendered")
+	}
+}
+
+func TestRenderCDFMergesSeries(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Add(17)
+		b.Add(sim.Cycle(40 + i))
+	}
+	out := RenderCDF("Figure 6", []string{"Load_WP", "Load"}, [][]CDFPoint{a.CDF(), b.CDF()})
+	for _, want := range []string{"Figure 6", "Load_WP", "17", "49", "1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CDF render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/coherence"
+)
+
+func TestReplayMatchesDirectRun(t *testing.T) {
+	p := PARSEC3()[0].Scale(0.02)
+	threads, err := Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, threads); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Replay(loaded, coherence.SwiftDir, DerivO3CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Replay(threads, coherence.SwiftDir, DerivO3CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecCycles != r2.ExecCycles || r1.Instrs != r2.Instrs {
+		t.Fatalf("replay not reproducible: %d/%d vs %d/%d", r1.ExecCycles, r1.Instrs, r2.ExecCycles, r2.Instrs)
+	}
+	if r1.Instrs == 0 || len(r1.PerThread) != p.Threads {
+		t.Fatalf("replay result empty: %+v", r1)
+	}
+}
+
+func TestReplayAcrossProtocols(t *testing.T) {
+	p := SPEC2017()[9].Scale(0.02) // xz: WAR-heavy
+	threads, err := Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesi, err := Replay(threads, coherence.MESI, TimingSimpleCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smesi, err := Replay(threads, coherence.SMESI, TimingSimpleCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smesi.ExecCycles <= mesi.ExecCycles {
+		t.Fatalf("S-MESI (%d) not slower than MESI (%d) on a WAR-heavy replay", smesi.ExecCycles, mesi.ExecCycles)
+	}
+}
+
+func TestReplayEmptyTraceRejected(t *testing.T) {
+	if _, err := Replay(nil, coherence.MESI, DerivO3CPU); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

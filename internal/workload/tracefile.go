@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cpu"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// Trace file format: a compact, versioned, stream-oriented binary encoding
+// of instruction traces, so workloads can be recorded once and replayed
+// across protocols/CPU models or shared between machines.
+//
+//	header : magic "SWTR" | version u8 | thread count uvarint
+//	thread : instruction count uvarint | instructions
+//	instr  : op u8 | flags u8 | [addr uvarint] [value uvarint]
+//	         [dep1 uvarint] [dep2 uvarint] [lat uvarint]
+//
+// Optional fields are present iff their flag bit is set, so pure-ALU
+// instructions cost two bytes.
+
+const (
+	traceMagic   = "SWTR"
+	traceVersion = 1
+)
+
+// Flag bits for optional instruction fields.
+const (
+	tfAddr = 1 << iota
+	tfValue
+	tfDep1
+	tfDep2
+	tfLat
+	tfMispredict
+)
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("workload: malformed trace file")
+
+// WriteTraces encodes one instruction stream per thread.
+func WriteTraces(w io.Writer, threads [][]cpu.Instr) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(threads))); err != nil {
+		return err
+	}
+	for _, instrs := range threads {
+		if err := putUvarint(uint64(len(instrs))); err != nil {
+			return err
+		}
+		for _, ins := range instrs {
+			var flags byte
+			if ins.Addr != 0 {
+				flags |= tfAddr
+			}
+			if ins.Value != 0 {
+				flags |= tfValue
+			}
+			if ins.Dep1 != 0 {
+				flags |= tfDep1
+			}
+			if ins.Dep2 != 0 {
+				flags |= tfDep2
+			}
+			if ins.Lat != 0 {
+				flags |= tfLat
+			}
+			if ins.Mispredict {
+				flags |= tfMispredict
+			}
+			if err := bw.WriteByte(byte(ins.Op)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(flags); err != nil {
+				return err
+			}
+			if flags&tfAddr != 0 {
+				if err := putUvarint(uint64(ins.Addr)); err != nil {
+					return err
+				}
+			}
+			if flags&tfValue != 0 {
+				if err := putUvarint(ins.Value); err != nil {
+					return err
+				}
+			}
+			if flags&tfDep1 != 0 {
+				if err := putUvarint(uint64(ins.Dep1)); err != nil {
+					return err
+				}
+			}
+			if flags&tfDep2 != 0 {
+				if err := putUvarint(uint64(ins.Dep2)); err != nil {
+					return err
+				}
+			}
+			if flags&tfLat != 0 {
+				if err := putUvarint(uint64(ins.Lat)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraces decodes a trace file written by WriteTraces.
+func ReadTraces(r io.Reader) ([][]cpu.Instr, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
+	}
+	nThreads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if nThreads > 1024 {
+		return nil, fmt.Errorf("%w: implausible thread count %d", ErrBadTrace, nThreads)
+	}
+	out := make([][]cpu.Instr, 0, nThreads)
+	for t := uint64(0); t < nThreads; t++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		if n > 1<<30 {
+			return nil, fmt.Errorf("%w: implausible instruction count %d", ErrBadTrace, n)
+		}
+		instrs := make([]cpu.Instr, 0, n)
+		for i := uint64(0); i < n; i++ {
+			ins, err := readInstr(br)
+			if err != nil {
+				return nil, err
+			}
+			instrs = append(instrs, ins)
+		}
+		out = append(out, instrs)
+	}
+	return out, nil
+}
+
+func readInstr(br *bufio.Reader) (cpu.Instr, error) {
+	var ins cpu.Instr
+	op, err := br.ReadByte()
+	if err != nil {
+		return ins, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if op > byte(cpu.OpBarrier) {
+		return ins, fmt.Errorf("%w: unknown op %d", ErrBadTrace, op)
+	}
+	ins.Op = cpu.Op(op)
+	flags, err := br.ReadByte()
+	if err != nil {
+		return ins, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	read := func() (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		return v, nil
+	}
+	if flags&tfAddr != 0 {
+		v, err := read()
+		if err != nil {
+			return ins, err
+		}
+		ins.Addr = mmu.VAddr(v)
+	}
+	if flags&tfValue != 0 {
+		v, err := read()
+		if err != nil {
+			return ins, err
+		}
+		ins.Value = v
+	}
+	if flags&tfDep1 != 0 {
+		v, err := read()
+		if err != nil {
+			return ins, err
+		}
+		ins.Dep1 = int(v)
+	}
+	if flags&tfDep2 != 0 {
+		v, err := read()
+		if err != nil {
+			return ins, err
+		}
+		ins.Dep2 = int(v)
+	}
+	if flags&tfLat != 0 {
+		v, err := read()
+		if err != nil {
+			return ins, err
+		}
+		ins.Lat = sim.Cycle(v)
+	}
+	ins.Mispredict = flags&tfMispredict != 0
+	return ins, nil
+}
+
+// Record materializes a profile's per-thread instruction streams (as the
+// generators would emit them) for writing to a trace file.
+func Record(p Profile) ([][]cpu.Instr, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	seeds := sim.NewRNG(p.Seed)
+	out := make([][]cpu.Instr, 0, p.Threads)
+	for t := 0; t < p.Threads; t++ {
+		// The recorded addresses are the generator's virtual layout:
+		// heap at a fixed per-thread base, shared region above it.
+		heap := mmu.VAddr(0x4000_0000) + mmu.VAddr(t)<<32
+		shared := mmu.VAddr(0x7000_0000_0000)
+		g := newGenerator(p, heap, shared, seeds.Uint64())
+		var instrs []cpu.Instr
+		for {
+			ins, ok := g.Next()
+			if !ok {
+				break
+			}
+			instrs = append(instrs, ins)
+		}
+		out = append(out, instrs)
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	threads := [][]cpu.Instr{
+		{
+			{Op: cpu.OpInt},
+			{Op: cpu.OpLoad, Addr: 0x40001234, Dep1: 1},
+			{Op: cpu.OpStore, Addr: 0x40001234, Value: 0xDEADBEEF, Dep1: 1, Dep2: 2},
+			{Op: cpu.OpFP, Lat: 12},
+			{Op: cpu.OpBarrier},
+		},
+		{
+			{Op: cpu.OpBranch, Dep1: 3},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, threads); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(threads) {
+		t.Fatalf("threads = %d", len(got))
+	}
+	for ti := range threads {
+		if len(got[ti]) != len(threads[ti]) {
+			t.Fatalf("thread %d length %d != %d", ti, len(got[ti]), len(threads[ti]))
+		}
+		for i := range threads[ti] {
+			if got[ti][i] != threads[ti][i] {
+				t.Fatalf("thread %d instr %d: %+v != %+v", ti, i, got[ti][i], threads[ti][i])
+			}
+		}
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// 1000 pure-ALU instructions must encode at ~2 bytes each.
+	instrs := make([]cpu.Instr, 1000)
+	for i := range instrs {
+		instrs[i] = cpu.Instr{Op: cpu.OpInt}
+	}
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, [][]cpu.Instr{instrs}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 2*1000+16 {
+		t.Fatalf("encoded size %d, want ~2KB", buf.Len())
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE\x01\x00"),
+		"bad version": []byte("SWTR\x7f\x00"),
+		"truncated":   []byte("SWTR\x01\x02\x05"),
+		"bad op":      append([]byte("SWTR\x01\x01\x01"), 0xEE, 0x00),
+	}
+	for name, data := range cases {
+		if _, err := ReadTraces(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: err = %v, want ErrBadTrace", name, err)
+		}
+	}
+}
+
+// Property: any instruction stream round-trips exactly.
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(raw []uint64) bool {
+		var instrs []cpu.Instr
+		for _, r := range raw {
+			instrs = append(instrs, cpu.Instr{
+				Op:    cpu.Op(r % 6),
+				Addr:  mmu.VAddr(r >> 3 & 0xFFFFFFFF),
+				Value: r >> 7,
+				Dep1:  int(r % 5),
+				Dep2:  int(r % 3),
+				Lat:   sim.Cycle(r % 17),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteTraces(&buf, [][]cpu.Instr{instrs}); err != nil {
+			return false
+		}
+		got, err := ReadTraces(&buf)
+		if err != nil || len(got) != 1 || len(got[0]) != len(instrs) {
+			return false
+		}
+		for i := range instrs {
+			if got[0][i] != instrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordMatchesGeneratorShape(t *testing.T) {
+	p := SPEC2017()[0].Scale(0.02)
+	threads, err := Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(threads) != p.Threads {
+		t.Fatalf("threads = %d", len(threads))
+	}
+	if len(threads[0]) < p.Instrs {
+		t.Fatalf("instructions = %d < %d", len(threads[0]), p.Instrs)
+	}
+	// Deterministic.
+	again, _ := Record(p)
+	for i := range threads[0] {
+		if threads[0][i] != again[0][i] {
+			t.Fatal("Record nondeterministic")
+		}
+	}
+	// Round-trips through the file format.
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, threads); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0]) != len(threads[0]) {
+		t.Fatal("round trip lost instructions")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordRejectsInvalidProfile(t *testing.T) {
+	p := SPEC2017()[0]
+	p.MemFrac = 5
+	if _, err := Record(p); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
