@@ -1,0 +1,37 @@
+# Verify loop for the SwiftDir reproduction.
+#
+#   make check   — the full gate: vet + tests + race-detector pass
+#   make test    — tier-1: build + tests (what the seed guarantees)
+#   make race    — go test -race over every package (fan-out safety)
+#   make bench   — the per-figure benchmark harness
+#   make fuzz    — brief run of the campaign scheduler fuzz target
+
+GO ?= go
+
+.PHONY: check build test vet race bench fuzz fuzz-long
+
+check: vet test race
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# -short skips the slowest full-suite runs; the race pass is about
+# catching cross-job sharing in the campaign fan-out, which the short
+# determinism and fuzz tests already exercise at full worker counts.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzCampaign -fuzztime=10s ./internal/campaign
+
+fuzz-long:
+	$(GO) test -run=^$$ -fuzz=FuzzCampaign -fuzztime=5m ./internal/campaign

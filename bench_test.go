@@ -14,12 +14,14 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/experiments"
 	"repro/internal/mmu"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -280,4 +282,48 @@ func BenchmarkStudy_Overhead(b *testing.B) {
 			b.Fatal("cost table incomplete")
 		}
 	}
+}
+
+// --- Campaign runner: sequential vs parallel suite execution ------------
+//
+// BenchmarkCampaignFig7* run the same Figure 7 grid (23 SPEC benchmarks x
+// 3 protocols at scale 0.05) with the campaign pool pinned to one worker
+// and opened up to all CPUs, so BENCH_*.json tracks the parallel speedup
+// across PRs. The reports must be byte-identical; only the wall time may
+// differ.
+
+func benchCampaignFig7(b *testing.B, workers int) {
+	campaign.SetWorkers(workers)
+	defer campaign.SetWorkers(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig7(0.05)
+		if len(rows) != 23 {
+			b.Fatal("incomplete suite")
+		}
+	}
+	b.StopTimer()
+	if sums := campaign.TakeSummaries(); len(sums) > 0 {
+		merged := stats.MergeCampaigns("fig7", sums)
+		b.ReportMetric(merged.Speedup(), "campaign-speedup")
+	}
+}
+
+func BenchmarkCampaignFig7Sequential(b *testing.B) { benchCampaignFig7(b, 1) }
+func BenchmarkCampaignFig7Parallel(b *testing.B)   { benchCampaignFig7(b, 0) }
+
+// BenchmarkCampaignPoolOverhead measures the scheduler's fixed cost with
+// trivial jobs: what the pool adds per job when simulations are free.
+func BenchmarkCampaignPoolOverhead(b *testing.B) {
+	jobs := make([]campaign.Job[int], 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = campaign.Job[int]{Name: "noop", Run: func() (int, error) { return i, nil }}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		campaign.Run(4, jobs)
+	}
+	b.StopTimer()
+	campaign.TakeSummaries()
 }

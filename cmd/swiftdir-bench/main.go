@@ -2,12 +2,24 @@
 //
 // Usage:
 //
-//	swiftdir-bench [-exp all|table4|table5|fig6|security|fig7|fig8|fig9|fig10a|fig10b]
-//	               [-scale f] [-samples n] [-bits n] [-passes n]
+//	swiftdir-bench [-exp all|table4|table5|fig4|fig5|fig6|fig6jitter|security
+//	               |fig7|fig8|fig9|fig10a|fig10b|ablation|traffic|futurework
+//	               |moesi|snoop|multiprogram|lru|prefetch|numa|kernels|sweep
+//	               |msi|overhead]
+//	               [-scale f] [-samples n] [-bits n] [-passes n] [-j n] [-out file]
 //
 // -scale shrinks the SPEC/PARSEC instruction budgets (1.0 = the default
 // 200k/120k instructions per thread); the protocol comparison is stable
 // well below that.
+//
+// -j sets the number of concurrent simulation jobs (default: the
+// SWIFTDIR_JOBS environment variable, else runtime.NumCPU()). Reports are
+// byte-identical at every worker count; the per-experiment campaign
+// accounting (wall time, busy time, speedup) goes to stderr so the
+// report stream stays deterministic.
+//
+// An experiment that diverges (a simulation panic) is reported as FAILED
+// and the sweep continues; the exit status is then 1.
 package main
 
 import (
@@ -16,37 +28,113 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
-func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table4, table5, fig4, fig5, fig6, fig6jitter, security, fig7, fig8, fig9, fig10a, fig10b, ablation, traffic, futurework, moesi, snoop, multiprogram, lru, prefetch, numa, kernels, sweep, msi, overhead)")
-	scale := flag.Float64("scale", 0.25, "instruction-budget scale for fig7/fig8")
-	samples := flag.Int("samples", 2000, "latency samples for fig6")
-	bits := flag.Int("bits", 1024, "covert-channel bits for security")
-	passes := flag.Int("passes", 4, "measured passes for fig10")
-	outPath := flag.String("out", "", "also append the report to this file")
-	flag.Parse()
+// experimentNames lists every -exp value, in report order. The flag help
+// and the package doc comment above are generated from / kept in lockstep
+// with this list (TestUsageListsAllExperiments enforces it).
+var experimentNames = []string{
+	"table5", "table4", "fig4", "fig5", "fig6", "fig6jitter", "security",
+	"fig7", "fig8", "fig9", "fig10a", "fig10b", "ablation", "traffic",
+	"futurework", "moesi", "snoop", "multiprogram", "lru", "prefetch",
+	"numa", "kernels", "sweep", "msi", "overhead",
+}
 
-	var out io.Writer = os.Stdout
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges (args, streams, exit code) made
+// explicit so tests can assert the report bytes at different -j values.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swiftdir-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all",
+		"experiment to run (all, "+strings.Join(experimentNames, ", ")+")")
+	scale := fs.Float64("scale", 0.25, "instruction-budget scale for fig7/fig8")
+	samples := fs.Int("samples", 2000, "latency samples for fig6")
+	bits := fs.Int("bits", 1024, "covert-channel bits for security")
+	passes := fs.Int("passes", 4, "measured passes for fig10")
+	jobs := fs.Int("j", 0, "concurrent simulation jobs (0 = $SWIFTDIR_JOBS, else NumCPU)")
+	outPath := fs.String("out", "", "also append the report to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	known := *exp == "all"
+	for _, name := range experimentNames {
+		if *exp == name {
+			known = true
+		}
+	}
+	if !known {
+		fmt.Fprintf(stderr, "swiftdir-bench: unknown experiment %q\n", *exp)
+		fs.Usage()
+		return 2
+	}
+
+	campaign.SetWorkers(*jobs)
+	defer campaign.SetWorkers(0)
+	campaign.TakeSummaries() // start from a clean accounting slate
+
+	var out io.Writer = stdout
 	if *outPath != "" {
 		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "swiftdir-bench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
+			return 1
 		}
 		defer f.Close()
-		out = io.MultiWriter(os.Stdout, f)
+		out = io.MultiWriter(stdout, f)
 	}
 
+	var campaignTotal stats.CampaignSummary
+	totalStart := time.Now()
+	failed := 0
 	run := func(name string, fn func() string) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		fmt.Fprintln(out, fn())
+		start := time.Now()
+		report, err := func() (r string, err error) {
+			// The experiment functions panic on error (including labelled
+			// campaign job panics); recover here so one diverging experiment
+			// doesn't kill the rest of an -exp all sweep.
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("%v", p)
+				}
+			}()
+			return fn(), nil
+		}()
+		if err != nil {
+			failed++
+			// The error text can embed a goroutine stack, which varies with
+			// -j; keep stdout deterministic with a fixed marker and put the
+			// details on stderr.
+			fmt.Fprintf(out, "experiment %s FAILED (details on stderr)\n", name)
+			fmt.Fprintf(stderr, "swiftdir-bench: experiment %s: %v\n", name, err)
+		} else {
+			fmt.Fprintln(out, report)
+		}
 		fmt.Fprintln(out, strings.Repeat("=", 78))
+		// The campaign footer carries wall-clock measurements, so it goes
+		// to stderr: stdout stays byte-identical at any -j.
+		sum := stats.MergeCampaigns(name, campaign.TakeSummaries())
+		sum.Wall = time.Since(start)
+		if len(sum.Jobs) > 0 {
+			fmt.Fprintln(stderr, sum.Footer())
+			campaignTotal.Jobs = append(campaignTotal.Jobs, sum.Jobs...)
+			if sum.Workers > campaignTotal.Workers {
+				campaignTotal.Workers = sum.Workers
+			}
+		}
 	}
 
 	run("table5", experiments.Table5)
@@ -77,12 +165,13 @@ func main() {
 	run("msi", func() string { return experiments.MSIStudy(*bits/4, *passes) })
 	run("overhead", func() string { return experiments.Overhead(4) })
 
-	switch *exp {
-	case "all", "table4", "table5", "fig4", "fig5", "fig6", "security",
-		"fig6jitter", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablation", "traffic", "futurework", "moesi", "snoop", "multiprogram", "lru", "prefetch", "numa", "kernels", "sweep", "msi", "overhead":
-	default:
-		fmt.Fprintf(os.Stderr, "swiftdir-bench: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+	if *exp == "all" && len(campaignTotal.Jobs) > 0 {
+		campaignTotal.Label = "all"
+		campaignTotal.Wall = time.Since(totalStart)
+		fmt.Fprintln(stderr, campaignTotal.Footer())
 	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// report runs the CLI entry point with the given args, returning stdout.
+func report(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d\nstderr: %s", args, code, stderr.String())
+	}
+	return stdout.String()
+}
+
+// The headline guarantee of the campaign runner: the report stream is
+// byte-identical no matter how many workers execute the grid.
+func TestFig7ByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	seq := report(t, "-exp", "fig7", "-scale", "0.02", "-j", "1")
+	par := report(t, "-exp", "fig7", "-scale", "0.02", "-j", "8")
+	if seq != par {
+		t.Fatalf("fig7 report differs between -j 1 and -j 8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "Figure 7") || !strings.Contains(seq, "average") {
+		t.Fatalf("fig7 report incomplete:\n%s", seq)
+	}
+}
+
+// Same check on a second experiment family (attacks rather than suite
+// runs) to cover the string-assembling campaign path.
+func TestSecurityByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	seq := report(t, "-exp", "security", "-bits", "64", "-j", "1")
+	par := report(t, "-exp", "security", "-bits", "64", "-j", "8")
+	if seq != par {
+		t.Fatalf("security report differs between -j 1 and -j 8")
+	}
+}
+
+// Campaign accounting goes to stderr only: stdout must carry no
+// wall-clock text, stderr must carry the footer.
+func TestCampaignFooterOnStderrOnly(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "sweep", "-j", "2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d", code)
+	}
+	if strings.Contains(stdout.String(), "[campaign") {
+		t.Fatal("campaign footer leaked onto the report stream")
+	}
+	if !strings.Contains(stderr.String(), "[campaign sweep]") || !strings.Contains(stderr.String(), "speedup") {
+		t.Fatalf("stderr missing campaign footer: %q", stderr.String())
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "fig99"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown experiment: code = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}
+
+// The -exp flag help and the package doc comment's usage block must both
+// list every experiment (the doc comment used to omit fig4, fig5, sweep,
+// and friends).
+func TestUsageListsAllExperiments(t *testing.T) {
+	var help bytes.Buffer
+	code := run([]string{"-h"}, io.Discard, &help)
+	if code != 2 {
+		t.Fatalf("-h: code = %d", code)
+	}
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(src[:bytes.Index(src, []byte("package main"))])
+	for _, name := range experimentNames {
+		if !strings.Contains(help.String(), name) {
+			t.Errorf("flag help omits %q", name)
+		}
+		if !strings.Contains(doc, name) {
+			t.Errorf("doc comment usage omits %q", name)
+		}
+	}
+}
+
+// Spot-check that accepted experiment names actually produce reports.
+func TestExperimentNamesAccepted(t *testing.T) {
+	for _, name := range []string{"table5", "overhead"} {
+		out := report(t, "-exp", name)
+		if len(out) == 0 {
+			t.Errorf("%s produced empty report", name)
+		}
+	}
+}

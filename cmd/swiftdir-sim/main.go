@@ -1,19 +1,26 @@
-// Command swiftdir-sim runs one benchmark on one protocol and prints the
-// measured result with detailed hierarchy statistics.
+// Command swiftdir-sim runs benchmarks on one protocol and prints the
+// measured results with detailed hierarchy statistics.
 //
 // Usage:
 //
 //	swiftdir-sim -list
 //	swiftdir-sim -bench mcf -protocol SwiftDir -cpu DerivO3CPU [-scale f]
+//	swiftdir-sim -bench mcf,lbm,xz -j 4            # campaign over several benchmarks
 //	swiftdir-sim -bench dedup -config machine.json
 //	swiftdir-sim -dumpconfig machine.json -protocol S-MESI -cores 4
+//
+// -bench accepts a comma-separated list; the runs fan out over -j
+// concurrent workers (default: $SWIFTDIR_JOBS, else runtime.NumCPU())
+// and print in list order regardless of completion order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/workload"
@@ -21,7 +28,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list available benchmarks and exit")
-	bench := flag.String("bench", "mcf", "benchmark name (see -list)")
+	bench := flag.String("bench", "mcf", "benchmark name or comma-separated list (see -list)")
 	kernel := flag.String("kernel", "", "memory kernel to run instead of a benchmark (stream-triad, gups, pointer-chase)")
 	kernelKB := flag.Int("kernelkb", 512, "kernel working-set size in KB")
 	protoName := flag.String("protocol", "SwiftDir", "MESI, SwiftDir, S-MESI, SwiftDir-Ewp, MOESI, SwiftDir-MOESI")
@@ -30,8 +37,11 @@ func main() {
 	configPath := flag.String("config", "", "machine configuration JSON (overrides -protocol)")
 	dumpConfig := flag.String("dumpconfig", "", "write the default machine configuration to this file and exit")
 	cores := flag.Int("cores", 4, "core count for -dumpconfig")
+	jobs := flag.Int("j", 0, "concurrent benchmark runs for a -bench list (0 = $SWIFTDIR_JOBS, else NumCPU)")
 	verbose := flag.Bool("v", true, "print hierarchy statistics")
 	flag.Parse()
+
+	campaign.SetWorkers(*jobs)
 
 	if *list {
 		fmt.Println("SPEC CPU 2017 (single-threaded):")
@@ -82,23 +92,49 @@ func main() {
 		return
 	}
 
-	prof, ok := workload.ProfileByName(*bench)
-	if !ok {
-		fatal("unknown benchmark %q (try -list)", *bench)
+	// One job per requested benchmark; reports print in list order.
+	names := strings.Split(*bench, ",")
+	var benchJobs []campaign.Job[string]
+	for _, name := range names {
+		name := strings.TrimSpace(name)
+		prof, ok := workload.ProfileByName(name)
+		if !ok {
+			fatal("unknown benchmark %q (try -list)", name)
+		}
+		prof = prof.Scale(*scale)
+		benchJobs = append(benchJobs, campaign.Job[string]{
+			Name: name,
+			Run: func() (string, error) {
+				return runOne(prof, *configPath, *protoName, workload.CPUKind(*cpuKind), *verbose)
+			},
+		})
 	}
-	prof = prof.Scale(*scale)
+	reports, err := campaign.Collect(0, benchJobs)
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Println(strings.Repeat("-", 60))
+		}
+		fmt.Print(r)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+}
 
+// runOne executes a single benchmark and renders its report. It builds
+// its own machine, so concurrent invocations are independent.
+func runOne(prof workload.Profile, configPath, protoName string, kind workload.CPUKind, verbose bool) (string, error) {
 	var cfg core.Config
-	if *configPath != "" {
+	if configPath != "" {
 		var err error
-		cfg, err = core.LoadConfig(*configPath)
+		cfg, err = core.LoadConfig(configPath)
 		if err != nil {
-			fatal("config: %v", err)
+			return "", fmt.Errorf("config: %w", err)
 		}
 	} else {
-		proto := coherence.PolicyByName(*protoName)
+		proto := coherence.PolicyByName(protoName)
 		if proto == nil {
-			fatal("unknown protocol %q", *protoName)
+			return "", fmt.Errorf("unknown protocol %q", protoName)
 		}
 		n := 1
 		for n < prof.Threads {
@@ -107,46 +143,48 @@ func main() {
 		cfg = core.DefaultConfig(n, proto)
 	}
 
-	res, m, err := workload.RunDetailed(prof, cfg, workload.CPUKind(*cpuKind))
+	res, m, err := workload.RunDetailed(prof, cfg, kind)
 	if err != nil {
-		fatal("%v", err)
+		return "", err
 	}
 
-	fmt.Printf("benchmark    : %s (%s)\n", res.Benchmark, prof.Suite)
-	fmt.Printf("protocol     : %s\n", res.Protocol)
-	fmt.Printf("cpu model    : %s (L1 %s)\n", res.CPU, cfg.L1Arch)
-	fmt.Printf("threads      : %d on %d cores\n", prof.Threads, cfg.Cores)
-	fmt.Printf("instructions : %d\n", res.Instrs)
-	fmt.Printf("cycles       : %d\n", res.ExecCycles)
-	fmt.Printf("IPC/thread   : %.4f\n", res.IPC)
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark    : %s (%s)\n", res.Benchmark, prof.Suite)
+	fmt.Fprintf(&b, "protocol     : %s\n", res.Protocol)
+	fmt.Fprintf(&b, "cpu model    : %s (L1 %s)\n", res.CPU, cfg.L1Arch)
+	fmt.Fprintf(&b, "threads      : %d on %d cores\n", prof.Threads, cfg.Cores)
+	fmt.Fprintf(&b, "instructions : %d\n", res.Instrs)
+	fmt.Fprintf(&b, "cycles       : %d\n", res.ExecCycles)
+	fmt.Fprintf(&b, "IPC/thread   : %.4f\n", res.IPC)
 	for i, s := range res.PerThread {
-		fmt.Printf("  thread %d   : %d instrs, %d loads, %d stores, %d cycles (IPC %.4f)\n",
+		fmt.Fprintf(&b, "  thread %d   : %d instrs, %d loads, %d stores, %d cycles (IPC %.4f)\n",
 			i, s.Instructions, s.Loads, s.Stores, s.Cycles(), s.IPC())
 	}
-	if !*verbose {
-		return
+	if !verbose {
+		return b.String(), nil
 	}
 
-	fmt.Println("\nhierarchy statistics:")
+	b.WriteString("\nhierarchy statistics:\n")
 	for _, l1 := range m.Sys.L1s {
 		st := l1.Stats
 		if st.Loads+st.Stores == 0 {
 			continue
 		}
 		missRate := 1 - float64(st.LoadHits+st.StoreHits+st.SilentUpgrades)/float64(st.Loads+st.Stores)
-		fmt.Printf("  L1 %-2d      : %d loads, %d stores, miss rate %.2f%%, %d silent upgrades, %d explicit upgrades, %d writebacks\n",
+		fmt.Fprintf(&b, "  L1 %-2d      : %d loads, %d stores, miss rate %.2f%%, %d silent upgrades, %d explicit upgrades, %d writebacks\n",
 			l1.ID, st.Loads, st.Stores, 100*missRate, st.SilentUpgrades, st.ExplicitUpgrades, st.Writebacks)
 	}
 	bs := m.Sys.BankStatsTotal()
-	fmt.Printf("  directory  : %d requests, %d LLC-served, %d forwards (3-hop), %d invalidations, %d upgrade acks, %d recalls\n",
+	fmt.Fprintf(&b, "  directory  : %d requests, %d LLC-served, %d forwards (3-hop), %d invalidations, %d upgrade acks, %d recalls\n",
 		bs.Requests, bs.LLCServed, bs.Forwards, bs.Invals, bs.UpgradeAcks, bs.Recalls)
-	fmt.Printf("  memory     : %d reads, %d writes, row hits/misses/conflicts %d/%d/%d, avg latency %.1f cycles\n",
+	fmt.Fprintf(&b, "  memory     : %d reads, %d writes, row hits/misses/conflicts %d/%d/%d, avg latency %.1f cycles\n",
 		m.Sys.Mem.Reads, m.Sys.Mem.Writes, m.Sys.Mem.RowHits, m.Sys.Mem.RowMisses, m.Sys.Mem.RowConflicts, m.Sys.Mem.AvgLatency())
-	fmt.Printf("  messages   : %d coherence messages total (GETS %d, GETS_WP %d, GETX %d, Upgrade %d, Fwd %d)\n",
+	fmt.Fprintf(&b, "  messages   : %d coherence messages total (GETS %d, GETS_WP %d, GETX %d, Upgrade %d, Fwd %d)\n",
 		m.Sys.TotalMessages(),
 		m.Sys.MsgCount(coherence.MsgGETS), m.Sys.MsgCount(coherence.MsgGETSWP),
 		m.Sys.MsgCount(coherence.MsgGETX), m.Sys.MsgCount(coherence.MsgUpgrade),
 		m.Sys.MsgCount(coherence.MsgFwdGETS)+m.Sys.MsgCount(coherence.MsgFwdGETX))
+	return b.String(), nil
 }
 
 func fatal(format string, args ...any) {

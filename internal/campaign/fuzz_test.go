@@ -1,0 +1,59 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// FuzzCampaign drives random small job grids through the pool and checks
+// the three invariants every experiment depends on: submission-order
+// results, completeness (every job ran exactly once), and panic
+// isolation (a diverging job is a labelled error on its own slot and
+// nothing else).
+func FuzzCampaign(f *testing.F) {
+	f.Add(uint8(5), uint8(3), uint16(0))
+	f.Add(uint8(0), uint8(0), uint16(0))
+	f.Add(uint8(32), uint8(8), uint16(0xA5A5))
+	f.Add(uint8(1), uint8(16), uint16(1))
+	f.Add(uint8(17), uint8(2), uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, njobs, workers uint8, panicMask uint16) {
+		n := int(njobs % 48)
+		w := int(workers % 17) // 0 exercises the automatic default
+		panics := func(i int) bool { return panicMask&(1<<(i%16)) != 0 }
+
+		jobs := make([]Job[int], n)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[int]{Name: fmt.Sprintf("grid-%d", i), Run: func() (int, error) {
+				if panics(i) {
+					panic(fmt.Sprintf("diverged at %d", i))
+				}
+				return 3*i + 1, nil
+			}}
+		}
+
+		results, sum := Run(w, jobs)
+		if len(results) != n || len(sum.Jobs) != n {
+			t.Fatalf("completeness: %d results / %d timings for %d jobs", len(results), len(sum.Jobs), n)
+		}
+		failed := 0
+		for i, r := range results {
+			if r.Name != fmt.Sprintf("grid-%d", i) {
+				t.Fatalf("ordering: slot %d holds %q", i, r.Name)
+			}
+			if panics(i) {
+				failed++
+				var pe *PanicError
+				if !errors.As(r.Err, &pe) || pe.Job != r.Name {
+					t.Fatalf("slot %d: want labelled PanicError, got %v", i, r.Err)
+				}
+			} else if r.Err != nil || r.Value != 3*i+1 {
+				t.Fatalf("slot %d: value %d err %v", i, r.Value, r.Err)
+			}
+		}
+		if sum.Failed() != failed {
+			t.Fatalf("summary failed = %d, want %d", sum.Failed(), failed)
+		}
+	})
+}

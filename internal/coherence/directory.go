@@ -98,7 +98,12 @@ type bank struct {
 	arr     *cache.Array
 	entries map[cache.Addr]*dirEntry
 	busy    map[cache.Addr]*txn
-	Stats   BankStats
+	// pinned counts in-flight grants (UpgradeAcks) per address. Such a
+	// grant carries no follow-up unblock, so no busy transaction covers
+	// its flight; pinning keeps victim selection from recalling the block
+	// before the grant lands (which would orphan the requestor's MSHR).
+	pinned map[cache.Addr]int
+	Stats  BankStats
 }
 
 func newBank(id int, sys *System, params cache.Params) *bank {
@@ -108,6 +113,7 @@ func newBank(id int, sys *System, params cache.Params) *bank {
 		arr:     cache.NewArray(params),
 		entries: make(map[cache.Addr]*dirEntry),
 		busy:    make(map[cache.Addr]*txn),
+		pinned:  make(map[cache.Addr]int),
 	}
 }
 
@@ -126,6 +132,28 @@ func (b *bank) send(dst int, m Msg, delay sim.Cycle) {
 	}
 	b.eng().Schedule(local, func() {
 		b.sys.xbar.Send(b.sys.bankPort(b.id), dst, func() {
+			b.sys.trace(m, dst)
+			b.sys.L1s[dst].Receive(m)
+		})
+	})
+}
+
+// sendPinned is send for grants with no follow-up unblock: the address
+// is pinned against LLC victim selection until delivery, then unpinned in
+// the same event that hands the message to the L1 (no window in between).
+func (b *bank) sendPinned(dst int, m Msg, delay sim.Cycle) {
+	addr := m.Addr
+	b.pinned[addr]++
+	m.Src = DirID
+	local := delay - b.timing().Hop
+	if local < 0 {
+		local = 0
+	}
+	b.eng().Schedule(local, func() {
+		b.sys.xbar.Send(b.sys.bankPort(b.id), dst, func() {
+			if b.pinned[addr]--; b.pinned[addr] <= 0 {
+				delete(b.pinned, addr)
+			}
 			b.sys.trace(m, dst)
 			b.sys.L1s[dst].Receive(m)
 		})
@@ -420,7 +448,7 @@ func (b *bank) ackUpgrade(m Msg, e *dirEntry) {
 	e.forwarder = -1
 	b.arr.Touch(m.Addr)
 	b.Stats.UpgradeAcks++
-	b.send(m.Src, Msg{Kind: MsgUpgradeAck, Addr: m.Addr}, b.respDelay())
+	b.sendPinned(m.Src, Msg{Kind: MsgUpgradeAck, Addr: m.Addr}, b.respDelay())
 	if t, ok := b.busy[m.Addr]; ok {
 		b.maybeComplete(m.Addr, t)
 	}
@@ -509,18 +537,37 @@ func (b *bank) fetchAndGrant(m Msg, store bool) {
 	issueAt := b.timing().LLCTag
 	b.eng().Schedule(issueAt, func() {
 		done := b.sys.Mem.AccessAt(b.eng().Now(), uint64(m.Addr), false)
-		b.eng().ScheduleAt(done, func() {
-			extra := b.install(m.Addr)
-			data := b.sys.memRead(m.Addr)
-			b.arr.Lookup(m.Addr).Data = data
-			e := b.entries[m.Addr]
-			if store {
-				b.grantStore(m, e, data, ServedMem, extra)
-			} else {
-				b.grantLoad(m, e, data, ServedMem, extra)
-			}
-		})
+		b.eng().ScheduleAt(done, func() { b.installAndGrant(m, store, 0) })
 	})
+}
+
+// installAndGrant completes an LLC miss once DRAM has responded. A victim
+// set fully covered by busy transactions or in-flight grants is a
+// structural stall: retry after a tag-lookup delay. The stall is bounded —
+// a set blocked this long means the protocol deadlocked, so fail fast.
+func (b *bank) installAndGrant(m Msg, store bool, stalled sim.Cycle) {
+	extra, ok := b.install(m.Addr)
+	if !ok {
+		const stallLimit = 100_000
+		if stalled > stallLimit {
+			panic(fmt.Sprintf("bank %d: no evictable way for %#x after %d stall cycles",
+				b.id, m.Addr, stalled))
+		}
+		retry := b.timing().LLCTag
+		if retry < 1 {
+			retry = 1
+		}
+		b.eng().Schedule(retry, func() { b.installAndGrant(m, store, stalled+retry) })
+		return
+	}
+	data := b.sys.memRead(m.Addr)
+	b.arr.Lookup(m.Addr).Data = data
+	e := b.entries[m.Addr]
+	if store {
+		b.grantStore(m, e, data, ServedMem, extra)
+	} else {
+		b.grantLoad(m, e, data, ServedMem, extra)
+	}
 }
 
 // grantLoad answers a load request with the policy-determined permission.
@@ -602,24 +649,25 @@ func (b *bank) maybeComplete(addr cache.Addr, t *txn) {
 
 // install allocates an LLC line for addr, recalling and evicting a victim
 // if necessary. It returns the extra latency the triggering request must
-// absorb (the recall penalty).
-func (b *bank) install(addr cache.Addr) sim.Cycle {
+// absorb (the recall penalty), with ok=false when every way of the set is
+// covered by a busy transaction or an in-flight grant — a structural
+// stall the caller retries once a way frees.
+func (b *bank) install(addr cache.Addr) (extra sim.Cycle, ok bool) {
 	if b.entries[addr] != nil {
 		panic(fmt.Sprintf("bank %d: double install of %#x", b.id, addr))
 	}
-	var extra sim.Cycle
-	v := b.arr.VictimFiltered(addr, func(a cache.Addr) bool { return b.busy[a] != nil })
+	v := b.arr.VictimFiltered(addr, func(a cache.Addr) bool {
+		return b.busy[a] != nil || b.pinned[a] > 0
+	})
 	if v == nil {
-		// Every way of the set is transaction-busy; structural stall.
-		// With a 16-way LLC this indicates a protocol bug, so fail fast.
-		panic(fmt.Sprintf("bank %d: no evictable way for %#x", b.id, addr))
+		return 0, false
 	}
 	if v.State.Valid() {
 		extra = b.evictLLC(b.arr.AddrOfLine(v, addr), v)
 	}
 	b.arr.Install(v, addr, cache.Shared)
 	b.entries[addr] = &dirEntry{state: DirPresent, owner: -1, forwarder: -1}
-	return extra
+	return extra, true
 }
 
 // evictLLC removes a block from the LLC. Inclusion requires recalling any

@@ -284,6 +284,63 @@ func TestSMESIDowngradeRacesEviction(t *testing.T) {
 	}
 }
 
+// Regression: an inclusive-LLC eviction could recall a block whose
+// UpgradeAck was still in flight. ackUpgrade's fast path (no sharers to
+// invalidate) registers no busy transaction, so victim selection saw the
+// block as evictable; the recall flipped the requestor's MSHR to tIMD and
+// the landing ack hit the "unexpected UpgradeAck" panic. LRU hides the
+// window because ackUpgrade touches the line to MRU; Random replacement
+// (the lru ablation at full scale) exposed it. The fix pins addresses
+// with in-flight grants against LLC victim selection.
+func TestRecallRacesUpgradeAck(t *testing.T) {
+	for _, p := range []Policy{MESI, SMESI, SwiftDir} {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			cfg := testConfig(p, 4)
+			// Tiny Random-replacement LLC: heavy recall pressure, and any
+			// way of a set can be victimized regardless of recency.
+			cfg.LLCParams = cache.Params{
+				Name: "LLC", SizeBytes: 2 << 10, Ways: 2, BlockSize: 64,
+				Replacement: cache.Random,
+			}
+			s := MustNewSystem(cfg)
+			rng := sim.NewRNG(4242)
+			const perCore = 600
+			completed := 0
+			for c := 0; c < 4; c++ {
+				c := c
+				var issue func(n int)
+				issue = func(n int) {
+					if n == 0 {
+						return
+					}
+					// Shared footprint ≫ LLC; read-then-write keeps a steady
+					// stream of S→M / E→M upgrades racing the recalls.
+					block := cache.Addr(0x100000 + uint64(rng.Intn(64))*64)
+					s.Submit(c, Access{Addr: block, Done: func(AccessResult) {
+						s.Submit(c, Access{
+							Addr: block, Write: true, Value: rng.Uint64(),
+							Done: func(AccessResult) {
+								completed++
+								issue(n - 1)
+							},
+						})
+					}})
+				}
+				issue(perCore / 2)
+				issue(perCore / 2)
+			}
+			s.Eng.RunBounded(100_000_000)
+			if completed != 4*perCore {
+				t.Fatalf("completed %d/%d accesses", completed, 4*perCore)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // Latency sanity across service classes: L1 < LLC < Remote < Mem.
 func TestLatencyOrdering(t *testing.T) {
 	s := newTestSystem(t, MESI, 2)

@@ -3,8 +3,8 @@ package experiments
 import (
 	"strings"
 
-	"repro/internal/attack"
 	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -23,30 +23,32 @@ func AblationEwp(bits int) string {
 
 	// Security: both must close the covert channel.
 	b.WriteString("Covert channel:\n")
-	for _, p := range []coherence.Policy{coherence.SwiftDir, coherence.SwiftDirEwp} {
-		ch, err := attack.NewChannel(core.DefaultConfig(4, p), bits)
-		if err != nil {
-			panic(err)
-		}
-		r, err := ch.Run(bits, 0xEE)
-		if err != nil {
-			panic(err)
-		}
-		b.WriteString("  " + r.Describe() + "\n")
+	for _, line := range campaign.MustCollect(0, covertJobs(
+		[]coherence.Policy{coherence.SwiftDir, coherence.SwiftDirEwp}, "ablation", bits, 0xEE)) {
+		b.WriteString(line)
 	}
 
 	// Traffic: messages per protocol on a WP-read-heavy workload.
 	b.WriteString("\nCoherence traffic on a shared-read workload (messages delivered):\n")
 	tb := stats.NewTable("", "protocol", "GETS_WP", "Data", "Data_Excl", "Downgrade", "Fwd_GETS", "total")
+	var jobs []campaign.Job[[]any]
 	for _, p := range []coherence.Policy{coherence.MESI, coherence.SwiftDir, coherence.SwiftDirEwp, coherence.SMESI} {
-		s := trafficSystem(p)
-		tb.AddRowF(p.Name(),
-			s.MsgCount(coherence.MsgGETSWP),
-			s.MsgCount(coherence.MsgData),
-			s.MsgCount(coherence.MsgDataExclusive),
-			s.MsgCount(coherence.MsgDowngrade),
-			s.MsgCount(coherence.MsgFwdGETS),
-			s.TotalMessages())
+		jobs = append(jobs, campaign.Job[[]any]{
+			Name: "ablation/traffic/" + p.Name(),
+			Run: func() ([]any, error) {
+				s := trafficSystem(p)
+				return []any{p.Name(),
+					s.MsgCount(coherence.MsgGETSWP),
+					s.MsgCount(coherence.MsgData),
+					s.MsgCount(coherence.MsgDataExclusive),
+					s.MsgCount(coherence.MsgDowngrade),
+					s.MsgCount(coherence.MsgFwdGETS),
+					s.TotalMessages()}, nil
+			},
+		})
+	}
+	for _, row := range campaign.MustCollect(0, jobs) {
+		tb.AddRowF(row...)
 	}
 	b.WriteString(tb.Render())
 	b.WriteString("\nE_wp matches SwiftDir's security but adds Downgrade traffic and a\n")
@@ -90,17 +92,26 @@ func Traffic() string {
 	tb := stats.NewTable(
 		"Coherence traffic: messages delivered on a mixed shared-read + WAR workload",
 		"protocol", "GETS", "GETS_WP", "Upgrade", "Upgrade_ACK", "Fwd_GETS", "WB_Data", "Downgrade", "total")
+	var jobs []campaign.Job[[]any]
 	for _, p := range coherence.AllPolicies {
-		s := trafficSystem(p)
-		tb.AddRowF(p.Name(),
-			s.MsgCount(coherence.MsgGETS),
-			s.MsgCount(coherence.MsgGETSWP),
-			s.MsgCount(coherence.MsgUpgrade),
-			s.MsgCount(coherence.MsgUpgradeAck),
-			s.MsgCount(coherence.MsgFwdGETS),
-			s.MsgCount(coherence.MsgWBData),
-			s.MsgCount(coherence.MsgDowngrade),
-			s.TotalMessages())
+		jobs = append(jobs, campaign.Job[[]any]{
+			Name: "traffic/" + p.Name(),
+			Run: func() ([]any, error) {
+				s := trafficSystem(p)
+				return []any{p.Name(),
+					s.MsgCount(coherence.MsgGETS),
+					s.MsgCount(coherence.MsgGETSWP),
+					s.MsgCount(coherence.MsgUpgrade),
+					s.MsgCount(coherence.MsgUpgradeAck),
+					s.MsgCount(coherence.MsgFwdGETS),
+					s.MsgCount(coherence.MsgWBData),
+					s.MsgCount(coherence.MsgDowngrade),
+					s.TotalMessages()}, nil
+			},
+		})
+	}
+	for _, row := range campaign.MustCollect(0, jobs) {
+		tb.AddRowF(row...)
 	}
 	return tb.Render()
 }
@@ -112,19 +123,11 @@ func AblationWAR(passes int) string {
 	tb := stats.NewTable(
 		"Ablation: WAR execution time normalized to MESI (DerivO3CPU)",
 		"application", "MESI", "SwiftDir", "SwiftDir-Ewp", "S-MESI")
-	for _, app := range workload.WARApps() {
-		metric := func(p coherence.Policy) float64 {
-			r, err := workload.RunWAR(app, p, workload.DerivO3CPU, passes)
-			if err != nil {
-				panic(err)
-			}
-			return float64(r.ExecCycles)
-		}
-		base := metric(coherence.MESI)
-		tb.AddRowF(app.Name, 100.0,
-			stats.Normalize(metric(coherence.SwiftDir), base),
-			stats.Normalize(metric(coherence.SwiftDirEwp), base),
-			stats.Normalize(metric(coherence.SMESI), base))
+	apps := workload.WARApps()
+	protos := []coherence.Policy{coherence.MESI, coherence.SwiftDir, coherence.SwiftDirEwp, coherence.SMESI}
+	metrics := warMetrics("ablation", apps, protos, workload.DerivO3CPU, passes)
+	for i, app := range apps {
+		tb.AddRowF(normalizedWARRow(app.Name, metrics[i*len(protos):(i+1)*len(protos)])...)
 	}
 	return tb.Render()
 }

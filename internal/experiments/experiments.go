@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/attack"
+	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/mmu"
@@ -259,50 +260,84 @@ func Fig6Jitter(samples int) Fig6Data {
 }
 
 // Security runs the covert- and side-channel attacks on all protocols.
+// Each protocol's attack is an independent campaign job; the rendered
+// report concatenates the per-protocol chunks in the paper's protocol
+// order, so the output is identical at any worker count.
 func Security(bits, trials int) (results []attack.Result, sides []attack.SideResult, rendered string) {
 	var b strings.Builder
 	b.WriteString("Security: E/S coherence timing-channel attacks (§V-A)\n\n")
 	b.WriteString("Covert channel (sender modulates E/S, receiver times loads):\n")
-	for _, p := range protocols {
-		ch, err := attack.NewChannel(core.DefaultConfig(4, p), bits)
-		if err != nil {
-			panic(err)
-		}
-		r, err := ch.Run(bits, 0xC0F3)
-		if err != nil {
-			panic(err)
-		}
-		results = append(results, r)
-		b.WriteString("  " + r.Describe() + "\n")
-		if r.Leaked {
-			fmt.Fprintf(&b, "            leak rate: %.0f Kbps at 3 GHz (%.0f cycles/bit, idealized lockstep;\n",
-				r.KbpsAt(3.0), r.CyclesPerBit)
-			b.WriteString("            the paper's 700~1,100 Kbps includes sender/receiver synchronization)\n")
-		}
+
+	type covertOut struct {
+		res  attack.Result
+		text string
 	}
-	b.WriteString("\nInstruction-fetch channel (bits executed from shared library code):\n")
+	var covertJobs []campaign.Job[covertOut]
 	for _, p := range protocols {
-		tc, err := attack.NewTextChannel(core.DefaultConfig(4, p), bits/4)
-		if err != nil {
-			panic(err)
-		}
-		r, err := tc.Run(bits/4, 0x1F)
-		if err != nil {
-			panic(err)
-		}
-		b.WriteString("  " + r.Describe() + "\n")
+		covertJobs = append(covertJobs, campaign.Job[covertOut]{
+			Name: "security/covert/" + p.Name(),
+			Run: func() (covertOut, error) {
+				ch, err := attack.NewChannel(core.DefaultConfig(4, p), bits)
+				if err != nil {
+					return covertOut{}, err
+				}
+				r, err := ch.Run(bits, 0xC0F3)
+				if err != nil {
+					return covertOut{}, err
+				}
+				var cb strings.Builder
+				cb.WriteString("  " + r.Describe() + "\n")
+				if r.Leaked {
+					fmt.Fprintf(&cb, "            leak rate: %.0f Kbps at 3 GHz (%.0f cycles/bit, idealized lockstep;\n",
+						r.KbpsAt(3.0), r.CyclesPerBit)
+					cb.WriteString("            the paper's 700~1,100 Kbps includes sender/receiver synchronization)\n")
+				}
+				return covertOut{res: r, text: cb.String()}, nil
+			},
+		})
+	}
+	for _, out := range campaign.MustCollect(0, covertJobs) {
+		results = append(results, out.res)
+		b.WriteString(out.text)
+	}
+
+	b.WriteString("\nInstruction-fetch channel (bits executed from shared library code):\n")
+	var textJobs []campaign.Job[string]
+	for _, p := range protocols {
+		textJobs = append(textJobs, campaign.Job[string]{
+			Name: "security/textchannel/" + p.Name(),
+			Run: func() (string, error) {
+				tc, err := attack.NewTextChannel(core.DefaultConfig(4, p), bits/4)
+				if err != nil {
+					return "", err
+				}
+				r, err := tc.Run(bits/4, 0x1F)
+				if err != nil {
+					return "", err
+				}
+				return "  " + r.Describe() + "\n", nil
+			},
+		})
+	}
+	for _, line := range campaign.MustCollect(0, textJobs) {
+		b.WriteString(line)
 	}
 
 	b.WriteString("\nSide channel (attacker infers victim accesses):\n")
+	var sideJobs []campaign.Job[attack.SideResult]
 	for _, p := range protocols {
-		sc, err := attack.NewSideChannel(core.DefaultConfig(4, p), trials)
-		if err != nil {
-			panic(err)
-		}
-		r, err := sc.Run(trials, 0x51DE)
-		if err != nil {
-			panic(err)
-		}
+		sideJobs = append(sideJobs, campaign.Job[attack.SideResult]{
+			Name: "security/side/" + p.Name(),
+			Run: func() (attack.SideResult, error) {
+				sc, err := attack.NewSideChannel(core.DefaultConfig(4, p), trials)
+				if err != nil {
+					return attack.SideResult{}, err
+				}
+				return sc.Run(trials, 0x51DE)
+			},
+		})
+	}
+	for _, r := range campaign.MustCollect(0, sideJobs) {
 		sides = append(sides, r)
 		b.WriteString("  " + r.Describe() + "\n")
 	}
@@ -320,23 +355,36 @@ type SuiteRow struct {
 
 // runSuite executes profiles under all protocols and normalizes metric
 // (IPC: higher is better; exec time: lower is better) against MESI.
+// Every benchmark×protocol cell is an independent simulation, so the
+// whole grid fans out over the campaign pool; normalization happens
+// after collection, on results in submission order.
 func runSuite(profiles []workload.Profile, kind workload.CPUKind, useIPC bool, scale float64) []SuiteRow {
-	var rows []SuiteRow
+	var jobs []campaign.Job[float64]
 	for _, p := range profiles {
 		sp := p.Scale(scale)
-		metric := func(proto coherence.Policy) float64 {
-			r := workload.MustRun(sp, proto, kind)
-			if useIPC {
-				return r.IPC
-			}
-			return float64(r.ExecCycles)
+		for _, proto := range protocols {
+			jobs = append(jobs, campaign.Job[float64]{
+				Name: p.Name + "/" + proto.Name(),
+				Run: func() (float64, error) {
+					r := workload.MustRun(sp, proto, kind)
+					if useIPC {
+						return r.IPC, nil
+					}
+					return float64(r.ExecCycles), nil
+				},
+			})
 		}
-		base := metric(coherence.MESI)
+	}
+	metrics := campaign.MustCollect(0, jobs)
+
+	var rows []SuiteRow
+	for i, p := range profiles {
+		base := metrics[i*len(protocols)] // protocols[0] is MESI
 		rows = append(rows, SuiteRow{
 			Benchmark: p.Name,
 			MESI:      100,
-			SwiftDir:  stats.Normalize(metric(coherence.SwiftDir), base),
-			SMESI:     stats.Normalize(metric(coherence.SMESI), base),
+			SwiftDir:  stats.Normalize(metrics[i*len(protocols)+1], base),
+			SMESI:     stats.Normalize(metrics[i*len(protocols)+2], base),
 		})
 	}
 	return rows
@@ -378,21 +426,31 @@ var Fig9Amounts = []int{1000, 2000, 3000, 4000, 5000}
 // Fig9 reproduces the read-only shared-data sweep (normalized execution
 // time, lower is better).
 func Fig9(amounts []int) ([]SuiteRow, string) {
-	var rows []SuiteRow
+	var jobs []campaign.Job[float64]
 	for _, n := range amounts {
-		metric := func(p coherence.Policy) float64 {
-			r, err := workload.RunReadOnly(n, p, workload.DerivO3CPU)
-			if err != nil {
-				panic(err)
-			}
-			return float64(r.ExecCycles)
+		for _, proto := range protocols {
+			jobs = append(jobs, campaign.Job[float64]{
+				Name: fmt.Sprintf("fig9/%d/%s", n, proto.Name()),
+				Run: func() (float64, error) {
+					r, err := workload.RunReadOnly(n, proto, workload.DerivO3CPU)
+					if err != nil {
+						return 0, err
+					}
+					return float64(r.ExecCycles), nil
+				},
+			})
 		}
-		base := metric(coherence.MESI)
+	}
+	metrics := campaign.MustCollect(0, jobs)
+
+	var rows []SuiteRow
+	for i, n := range amounts {
+		base := metrics[i*len(protocols)]
 		rows = append(rows, SuiteRow{
 			Benchmark: fmt.Sprintf("%d", n),
 			MESI:      100,
-			SwiftDir:  stats.Normalize(metric(coherence.SwiftDir), base),
-			SMESI:     stats.Normalize(metric(coherence.SMESI), base),
+			SwiftDir:  stats.Normalize(metrics[i*len(protocols)+1], base),
+			SMESI:     stats.Normalize(metrics[i*len(protocols)+2], base),
 		})
 	}
 	return rows, renderSuite(
@@ -404,21 +462,32 @@ func Fig9(amounts []int) ([]SuiteRow, string) {
 // CPU model (normalized execution time, lower is better). The paper's
 // Figure 10(a) uses TimingSimpleCPU and 10(b) DerivO3CPU.
 func Fig10(kind workload.CPUKind, passes int) ([]SuiteRow, string) {
-	var rows []SuiteRow
-	for _, app := range workload.WARApps() {
-		metric := func(p coherence.Policy) float64 {
-			r, err := workload.RunWAR(app, p, kind, passes)
-			if err != nil {
-				panic(err)
-			}
-			return float64(r.ExecCycles)
+	apps := workload.WARApps()
+	var jobs []campaign.Job[float64]
+	for _, app := range apps {
+		for _, proto := range protocols {
+			jobs = append(jobs, campaign.Job[float64]{
+				Name: fmt.Sprintf("fig10/%s/%s", app.Name, proto.Name()),
+				Run: func() (float64, error) {
+					r, err := workload.RunWAR(app, proto, kind, passes)
+					if err != nil {
+						return 0, err
+					}
+					return float64(r.ExecCycles), nil
+				},
+			})
 		}
-		base := metric(coherence.MESI)
+	}
+	metrics := campaign.MustCollect(0, jobs)
+
+	var rows []SuiteRow
+	for i, app := range apps {
+		base := metrics[i*len(protocols)]
 		rows = append(rows, SuiteRow{
 			Benchmark: app.Name,
 			MESI:      100,
-			SwiftDir:  stats.Normalize(metric(coherence.SwiftDir), base),
-			SMESI:     stats.Normalize(metric(coherence.SMESI), base),
+			SwiftDir:  stats.Normalize(metrics[i*len(protocols)+1], base),
+			SMESI:     stats.Normalize(metrics[i*len(protocols)+2], base),
 		})
 	}
 	sub := "(a) TimingSimpleCPU"

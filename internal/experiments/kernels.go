@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"repro/internal/coherence"
+	"repro/internal/campaign"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -12,21 +12,31 @@ import (
 // memory-level parallelism), GUPS is TLB/DRAM-row bound, pointer chasing
 // is pure serialized latency — and all three are protocol-insensitive
 // single-core workloads, so the three columns also serve as a regression
-// check that the defenses add no single-core overhead.
+// check that the defenses add no single-core overhead. The kernel×protocol
+// grid runs as one campaign.
 func KernelStudy(wsKB int) string {
 	tb := stats.NewTable(
 		"Memory kernels: IPC by protocol (single core, DerivO3CPU)",
 		"kernel", "MESI", "SwiftDir", "S-MESI")
-	for _, k := range workload.Kernels() {
-		row := []float64{}
-		for _, p := range []coherence.Policy{coherence.MESI, coherence.SwiftDir, coherence.SMESI} {
-			r, err := workload.RunKernel(k, p, workload.DerivO3CPU, wsKB<<10)
-			if err != nil {
-				panic(err)
-			}
-			row = append(row, r.IPC)
+	kernels := workload.Kernels()
+	var jobs []campaign.Job[float64]
+	for _, k := range kernels {
+		for _, p := range protocols {
+			jobs = append(jobs, campaign.Job[float64]{
+				Name: "kernels/" + k.Name + "/" + p.Name(),
+				Run: func() (float64, error) {
+					r, err := workload.RunKernel(k, p, workload.DerivO3CPU, wsKB<<10)
+					if err != nil {
+						return 0, err
+					}
+					return r.IPC, nil
+				},
+			})
 		}
-		tb.AddRowF(k.Name, row[0], row[1], row[2])
+	}
+	ipc := campaign.MustCollect(0, jobs)
+	for i, k := range kernels {
+		tb.AddRowF(k.Name, ipc[i*len(protocols)], ipc[i*len(protocols)+1], ipc[i*len(protocols)+2])
 	}
 	return tb.Render()
 }

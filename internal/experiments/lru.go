@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -37,13 +40,33 @@ func AblationLRU(scale float64) string {
 		return r.IPC
 	}
 
+	// Four independent simulations per benchmark: {LRU, Random} ×
+	// {S-MESI, MESI}. Flatten the grid into one campaign.
+	cells := []struct {
+		repl  cache.ReplPolicy
+		proto coherence.Policy
+	}{
+		{cache.LRU, coherence.SMESI}, {cache.LRU, coherence.MESI},
+		{cache.Random, coherence.SMESI}, {cache.Random, coherence.MESI},
+	}
+	var jobs []campaign.Job[float64]
+	for _, name := range memBound {
+		for _, c := range cells {
+			jobs = append(jobs, campaign.Job[float64]{
+				Name: fmt.Sprintf("lru/%s/%v/%s", name, c.repl, c.proto.Name()),
+				Run:  func() (float64, error) { return normIPC(name, c.repl, c.proto), nil },
+			})
+		}
+	}
+	ipc := campaign.MustCollect(0, jobs)
+
 	tb := stats.NewTable(
 		"Ablation (§V-B): S-MESI's LRU-retention side effect, normalized IPC over MESI (x100)",
 		"benchmark", "S-MESI w/ LRU LLC", "S-MESI w/ Random LLC")
 	var lru, rnd []float64
-	for _, name := range memBound {
-		l := stats.Normalize(normIPC(name, cache.LRU, coherence.SMESI), normIPC(name, cache.LRU, coherence.MESI))
-		r := stats.Normalize(normIPC(name, cache.Random, coherence.SMESI), normIPC(name, cache.Random, coherence.MESI))
+	for i, name := range memBound {
+		l := stats.Normalize(ipc[i*4+0], ipc[i*4+1])
+		r := stats.Normalize(ipc[i*4+2], ipc[i*4+3])
 		lru = append(lru, l)
 		rnd = append(rnd, r)
 		tb.AddRowF(name, l, r)

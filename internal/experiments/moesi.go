@@ -3,9 +3,8 @@ package experiments
 import (
 	"strings"
 
-	"repro/internal/attack"
+	"repro/internal/campaign"
 	"repro/internal/coherence"
-	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -20,32 +19,19 @@ func MOESIStudy(bits, passes int) string {
 	b.WriteString("Protocol-family study: the channel and the defense on MOESI and MESIF\n\n")
 
 	b.WriteString("Covert channel:\n")
-	for _, p := range []coherence.Policy{coherence.MOESI, coherence.SwiftDirMOESI, coherence.MESIF, coherence.SwiftDirMESIF} {
-		ch, err := attack.NewChannel(core.DefaultConfig(4, p), bits)
-		if err != nil {
-			panic(err)
-		}
-		r, err := ch.Run(bits, 0x30E5)
-		if err != nil {
-			panic(err)
-		}
-		b.WriteString("  " + r.Describe() + "\n")
+	for _, line := range campaign.MustCollect(0, covertJobs(
+		[]coherence.Policy{coherence.MOESI, coherence.SwiftDirMOESI, coherence.MESIF, coherence.SwiftDirMESIF},
+		"moesi", bits, 0x30E5)) {
+		b.WriteString(line)
 	}
 
 	b.WriteString("\nWrite-after-read performance (normalized execution time, DerivO3CPU):\n")
 	tb := stats.NewTable("", "application", "MOESI", "SwiftDir-MOESI", "MESI")
-	for _, app := range workload.WARApps() {
-		metric := func(p coherence.Policy) float64 {
-			r, err := workload.RunWAR(app, p, workload.DerivO3CPU, passes)
-			if err != nil {
-				panic(err)
-			}
-			return float64(r.ExecCycles)
-		}
-		base := metric(coherence.MOESI)
-		tb.AddRowF(app.Name, 100.0,
-			stats.Normalize(metric(coherence.SwiftDirMOESI), base),
-			stats.Normalize(metric(coherence.MESI), base))
+	apps := workload.WARApps()
+	warProtos := []coherence.Policy{coherence.MOESI, coherence.SwiftDirMOESI, coherence.MESI}
+	metrics := warMetrics("moesi", apps, warProtos, workload.DerivO3CPU, passes)
+	for i, app := range apps {
+		tb.AddRowF(normalizedWARRow(app.Name, metrics[i*len(warProtos):(i+1)*len(warProtos)])...)
 	}
 	b.WriteString(tb.Render())
 	b.WriteString("\nSwiftDir-MOESI keeps both the silent upgrade and the O-state dirty\n")

@@ -3,8 +3,8 @@ package experiments
 import (
 	"strings"
 
-	"repro/internal/attack"
 	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -25,16 +25,8 @@ func MSIStudy(bits, passes int) string {
 
 	// 1. Security: all three defenses close the covert channel.
 	b.WriteString("Covert channel:\n")
-	for _, p := range protos {
-		ch, err := attack.NewChannel(core.DefaultConfig(4, p), bits)
-		if err != nil {
-			panic(err)
-		}
-		r, err := ch.Run(bits, 0x351)
-		if err != nil {
-			panic(err)
-		}
-		b.WriteString("  " + r.Describe() + "\n")
+	for _, line := range campaign.MustCollect(0, covertJobs(protos, "msi", bits, 0x351)) {
+		b.WriteString(line)
 	}
 
 	// 2. The private read-then-write tax: N private lines, load then
@@ -42,30 +34,31 @@ func MSIStudy(bits, passes int) string {
 	// a round trip per line.
 	b.WriteString("\nPrivate read-then-write microbenchmark (128 lines):\n")
 	tb := stats.NewTable("", "protocol", "cycles", "Upgrade msgs", "silent upgrades")
+	var rmwJobs []campaign.Job[[]any]
 	for _, p := range protos {
-		sys, cycles := privateRMW(p, 128)
-		tb.AddRowF(p.Name(), cycles,
-			sys.MsgCount(coherence.MsgUpgrade),
-			sys.L1s[0].Stats.SilentUpgrades)
+		rmwJobs = append(rmwJobs, campaign.Job[[]any]{
+			Name: "msi/rmw/" + p.Name(),
+			Run: func() ([]any, error) {
+				sys, cycles := privateRMW(p, 128)
+				return []any{p.Name(), cycles,
+					sys.MsgCount(coherence.MsgUpgrade),
+					sys.L1s[0].Stats.SilentUpgrades}, nil
+			},
+		})
+	}
+	for _, row := range campaign.MustCollect(0, rmwJobs) {
+		tb.AddRowF(row...)
 	}
 	b.WriteString(tb.Render())
 
 	// 3. WAR applications (Figure 10's workloads) with MSI added.
 	b.WriteString("\nWAR execution time normalized to MESI (DerivO3CPU):\n")
 	wt := stats.NewTable("", "application", "MESI", "MSI", "S-MESI", "SwiftDir")
-	for _, app := range workload.WARApps() {
-		metric := func(p coherence.Policy) float64 {
-			r, err := workload.RunWAR(app, p, workload.DerivO3CPU, passes)
-			if err != nil {
-				panic(err)
-			}
-			return float64(r.ExecCycles)
-		}
-		base := metric(coherence.MESI)
-		wt.AddRowF(app.Name, 100.0,
-			stats.Normalize(metric(coherence.MSI), base),
-			stats.Normalize(metric(coherence.SMESI), base),
-			stats.Normalize(metric(coherence.SwiftDir), base))
+	apps := workload.WARApps()
+	warProtos := []coherence.Policy{coherence.MESI, coherence.MSI, coherence.SMESI, coherence.SwiftDir}
+	metrics := warMetrics("msi", apps, warProtos, workload.DerivO3CPU, passes)
+	for i, app := range apps {
+		wt.AddRowF(normalizedWARRow(app.Name, metrics[i*len(warProtos):(i+1)*len(warProtos)])...)
 	}
 	b.WriteString(wt.Render())
 	b.WriteString("\nMSI buys MESI-grade security at S-MESI-grade (or worse) cost, paid on\n")

@@ -3,7 +3,7 @@ package experiments
 import (
 	"sort"
 
-	"repro/internal/coherence"
+	"repro/internal/campaign"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -12,7 +12,7 @@ import (
 // independent processes sharing only the common library — the setting the
 // paper's introduction motivates for shared memory (dynamically linked
 // libraries across programs). Normalized mix execution time over MESI,
-// lower is better.
+// lower is better. Every mix×protocol run is an independent campaign job.
 func Multiprogram(scale float64) ([]SuiteRow, string) {
 	mixes := workload.SPECRateMixes()
 	names := make([]string, 0, len(mixes))
@@ -21,25 +21,35 @@ func Multiprogram(scale float64) ([]SuiteRow, string) {
 	}
 	sort.Strings(names)
 
-	var rows []SuiteRow
+	var jobs []campaign.Job[float64]
 	for _, name := range names {
 		var progs []workload.Profile
 		for _, p := range mixes[name] {
 			progs = append(progs, p.Scale(scale))
 		}
-		metric := func(proto coherence.Policy) float64 {
-			r, err := workload.RunMultiprogram(progs, proto, workload.DerivO3CPU)
-			if err != nil {
-				panic(err)
-			}
-			return float64(r.ExecCycles)
+		for _, proto := range protocols {
+			jobs = append(jobs, campaign.Job[float64]{
+				Name: "multiprogram/" + name + "/" + proto.Name(),
+				Run: func() (float64, error) {
+					r, err := workload.RunMultiprogram(progs, proto, workload.DerivO3CPU)
+					if err != nil {
+						return 0, err
+					}
+					return float64(r.ExecCycles), nil
+				},
+			})
 		}
-		base := metric(coherence.MESI)
+	}
+	metrics := campaign.MustCollect(0, jobs)
+
+	var rows []SuiteRow
+	for i, name := range names {
+		base := metrics[i*len(protocols)]
 		rows = append(rows, SuiteRow{
 			Benchmark: name,
 			MESI:      100,
-			SwiftDir:  stats.Normalize(metric(coherence.SwiftDir), base),
-			SMESI:     stats.Normalize(metric(coherence.SMESI), base),
+			SwiftDir:  stats.Normalize(metrics[i*len(protocols)+1], base),
+			SMESI:     stats.Normalize(metrics[i*len(protocols)+2], base),
 		})
 	}
 	return rows, renderSuite(

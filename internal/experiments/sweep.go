@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/dram"
 	"repro/internal/sim"
@@ -26,16 +28,27 @@ func TimingSweep() string {
 
 	tb := stats.NewTable("",
 		"hop", "l1service", "2-hop lat", "3-hop lat", "MESI gap", "SwiftDir gap", "S-MESI gap")
+	// Each calibration point builds its own systems, so the grid fans out
+	// as one campaign; rows come back in sweep order.
+	var jobs []campaign.Job[[]any]
 	for _, hop := range []sim.Cycle{1, 2, 3, 5, 8} {
 		for _, svc := range []sim.Cycle{10, 23, 40} {
-			tm := coherence.DefaultTiming()
-			tm.Hop, tm.RemoteL1Service = hop, svc
-			row := []any{hop, svc, tm.LLCLoadLatency(), tm.RemoteLoadLatency()}
-			for _, p := range coherence.Policies {
-				row = append(row, probeGap(p, tm))
-			}
-			tb.AddRowF(row...)
+			jobs = append(jobs, campaign.Job[[]any]{
+				Name: fmt.Sprintf("sweep/hop%d-svc%d", hop, svc),
+				Run: func() ([]any, error) {
+					tm := coherence.DefaultTiming()
+					tm.Hop, tm.RemoteL1Service = hop, svc
+					row := []any{hop, svc, tm.LLCLoadLatency(), tm.RemoteLoadLatency()}
+					for _, p := range coherence.Policies {
+						row = append(row, probeGap(p, tm))
+					}
+					return row, nil
+				},
+			})
 		}
+	}
+	for _, row := range campaign.MustCollect(0, jobs) {
+		tb.AddRowF(row...)
 	}
 	b.WriteString(tb.Render())
 	b.WriteString("\nMESI's gap equals Hop + RemoteL1Service at every point; SwiftDir and\n")

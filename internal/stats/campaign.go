@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// JobTiming records one campaign job's wall-clock cost (the scheduling
+// accounting behind the report footers; see internal/campaign).
+type JobTiming struct {
+	Name   string
+	Wall   time.Duration
+	Failed bool
+}
+
+// CampaignSummary aggregates the scheduling accounting of one campaign:
+// how many workers ran, how long the campaign took end to end (Wall), and
+// what every job cost individually. Busy/Wall is the achieved speedup
+// over a strictly sequential run of the same jobs.
+type CampaignSummary struct {
+	Label   string
+	Workers int
+	Wall    time.Duration
+	Jobs    []JobTiming
+}
+
+// Busy returns the summed wall time of all jobs — the cost a sequential
+// run would pay end to end.
+func (s CampaignSummary) Busy() time.Duration {
+	var total time.Duration
+	for _, j := range s.Jobs {
+		total += j.Wall
+	}
+	return total
+}
+
+// Speedup returns Busy/Wall: how much faster the campaign completed than
+// the same jobs run back to back. 0 with no elapsed time.
+func (s CampaignSummary) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Busy()) / float64(s.Wall)
+}
+
+// Failed counts jobs that ended in an error (including captured panics).
+func (s CampaignSummary) Failed() int {
+	n := 0
+	for _, j := range s.Jobs {
+		if j.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// Slowest returns the most expensive job — the campaign's critical path
+// lower bound — and false if the campaign was empty.
+func (s CampaignSummary) Slowest() (JobTiming, bool) {
+	if len(s.Jobs) == 0 {
+		return JobTiming{}, false
+	}
+	max := s.Jobs[0]
+	for _, j := range s.Jobs[1:] {
+		if j.Wall > max.Wall {
+			max = j
+		}
+	}
+	return max, true
+}
+
+// Footer renders the one-line accounting printed under each report. It
+// carries wall-clock times and therefore never goes on the deterministic
+// report stream itself (swiftdir-bench prints it to stderr).
+func (s CampaignSummary) Footer() string {
+	var b strings.Builder
+	label := s.Label
+	if label == "" {
+		label = "campaign"
+	}
+	fmt.Fprintf(&b, "[campaign %s] %d jobs on %d workers: wall %s, busy %s, speedup %.2fx",
+		label, len(s.Jobs), s.Workers,
+		s.Wall.Round(time.Microsecond), s.Busy().Round(time.Microsecond), s.Speedup())
+	if slow, ok := s.Slowest(); ok {
+		fmt.Fprintf(&b, ", slowest %s (%s)", slow.Name, slow.Wall.Round(time.Microsecond))
+	}
+	if f := s.Failed(); f > 0 {
+		fmt.Fprintf(&b, ", %d FAILED", f)
+	}
+	return b.String()
+}
+
+// MergeCampaigns folds several sequentially-executed campaigns (e.g. the
+// sub-campaigns of one experiment) into a single summary: walls add, job
+// lists concatenate, and the worker count is the maximum seen.
+func MergeCampaigns(label string, summaries []CampaignSummary) CampaignSummary {
+	out := CampaignSummary{Label: label}
+	for _, s := range summaries {
+		out.Wall += s.Wall
+		out.Jobs = append(out.Jobs, s.Jobs...)
+		if s.Workers > out.Workers {
+			out.Workers = s.Workers
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCampaignSummaryAccounting(t *testing.T) {
+	s := CampaignSummary{
+		Label:   "fig7",
+		Workers: 4,
+		Wall:    2 * time.Second,
+		Jobs: []JobTiming{
+			{Name: "mcf/MESI", Wall: 3 * time.Second},
+			{Name: "mcf/SwiftDir", Wall: 4 * time.Second},
+			{Name: "mcf/S-MESI", Wall: time.Second, Failed: true},
+		},
+	}
+	if s.Busy() != 8*time.Second {
+		t.Fatalf("Busy = %v", s.Busy())
+	}
+	if s.Speedup() != 4 {
+		t.Fatalf("Speedup = %v", s.Speedup())
+	}
+	if s.Failed() != 1 {
+		t.Fatalf("Failed = %d", s.Failed())
+	}
+	slow, ok := s.Slowest()
+	if !ok || slow.Name != "mcf/SwiftDir" {
+		t.Fatalf("Slowest = %+v, %v", slow, ok)
+	}
+	footer := s.Footer()
+	for _, want := range []string{"fig7", "3 jobs", "4 workers", "speedup 4.00x", "mcf/SwiftDir", "1 FAILED"} {
+		if !strings.Contains(footer, want) {
+			t.Errorf("footer missing %q: %s", want, footer)
+		}
+	}
+}
+
+func TestCampaignSummaryEdges(t *testing.T) {
+	var empty CampaignSummary
+	if empty.Speedup() != 0 || empty.Failed() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	if _, ok := empty.Slowest(); ok {
+		t.Fatal("empty summary has a slowest job")
+	}
+	if !strings.Contains(empty.Footer(), "campaign") {
+		t.Fatalf("footer = %q", empty.Footer())
+	}
+}
+
+func TestMergeCampaigns(t *testing.T) {
+	a := CampaignSummary{Workers: 2, Wall: time.Second, Jobs: []JobTiming{{Name: "a", Wall: time.Second}}}
+	b := CampaignSummary{Workers: 4, Wall: 2 * time.Second, Jobs: []JobTiming{{Name: "b", Wall: time.Second}, {Name: "c", Wall: 3 * time.Second}}}
+	m := MergeCampaigns("security", []CampaignSummary{a, b})
+	if m.Label != "security" || m.Workers != 4 || m.Wall != 3*time.Second || len(m.Jobs) != 3 {
+		t.Fatalf("merged = %+v", m)
+	}
+}
