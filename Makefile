@@ -1,14 +1,20 @@
 # Verify loop for the SwiftDir reproduction.
 #
-#   make check   — the full gate: vet + tests + race-detector pass
-#   make test    — tier-1: build + tests (what the seed guarantees)
-#   make race    — go test -race over every package (fan-out safety)
-#   make bench   — the per-figure benchmark harness
-#   make fuzz    — brief run of the campaign scheduler fuzz target
+#   make check       — the full gate: vet + tests + race-detector pass
+#   make test        — tier-1: build + tests (what the seed guarantees)
+#   make race        — go test -race over every package (fan-out safety)
+#   make bench       — benchmark suite (-benchmem -count=6) -> BENCH_<date>.json
+#   make bench-smoke — 1-iteration pass through the same pipeline (CI)
+#   make fuzz        — brief run of the campaign scheduler fuzz target
 
 GO ?= go
 
-.PHONY: check build test vet race bench fuzz fuzz-long
+# BENCHFILTER narrows `make bench` to a -bench regexp, e.g.
+#   make bench BENCHFILTER='Engine|Access'
+BENCHFILTER ?= .
+BENCHDATE   := $(shell date +%Y-%m-%d)
+
+.PHONY: check build test vet race bench bench-smoke fuzz fuzz-long
 
 check: vet test race
 
@@ -27,8 +33,23 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
+# Six repetitions per benchmark feed bench2json, which folds them into
+# one entry each (min ns/op, max allocs/op) and writes the dated JSON
+# record that seeds the repo's perf trajectory.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench='$(BENCHFILTER)' -benchmem -count=6 -run=^$$ . > bench.raw
+	@cat bench.raw
+	$(GO) run ./cmd/bench2json < bench.raw > BENCH_$(BENCHDATE).json
+	@rm -f bench.raw
+	@echo "wrote BENCH_$(BENCHDATE).json"
+
+# One iteration of every benchmark through the same parse pipeline; fast
+# enough for CI, and proves both the benchmarks and bench2json still work.
+bench-smoke:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . > bench.raw
+	$(GO) run ./cmd/bench2json < bench.raw > /dev/null
+	@rm -f bench.raw
+	@echo "bench smoke ok"
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCampaign -fuzztime=10s ./internal/campaign

@@ -78,6 +78,25 @@ func BenchmarkAccessMESI(b *testing.B)     { benchAccess(b, coherence.MESI) }
 func BenchmarkAccessSwiftDir(b *testing.B) { benchAccess(b, coherence.SwiftDir) }
 func BenchmarkAccessSMESI(b *testing.B)    { benchAccess(b, coherence.SMESI) }
 
+// BenchmarkDirectoryWARLookup stresses the directory's address-map lookups
+// under a write-after-read pattern: core 0 installs a shared copy, core 1
+// immediately writes the same block, so every iteration drives a GETS plus
+// an invalidating GETX/Upgrade through the bank's entries/busy maps (the
+// path served by the per-bank last-entry cache and pre-sized maps).
+func BenchmarkDirectoryWARLookup(b *testing.B) {
+	m := core.MustNewMachine(core.DefaultConfig(2, coherence.SwiftDir))
+	proc := m.NewProcess()
+	reader := proc.AttachContext(0)
+	writer := proc.AttachContext(1)
+	heap := proc.MmapAnon(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := heap + mmu.VAddr(i%512)*64
+		reader.MustAccessSync(a, false, 0)
+		writer.MustAccessSync(a, true, uint64(i))
+	}
+}
+
 // --- Table and figure reproductions --------------------------------------
 
 func BenchmarkTable4_QualitativeMatrix(b *testing.B) {

@@ -1,0 +1,103 @@
+// Command bench2json converts `go test -bench -benchmem` output on stdin
+// into the BENCH_<date>.json record the repo commits to track its perf
+// trajectory across PRs (see `make bench`).
+//
+// Repeated runs of the same benchmark (-count=N) are folded into one
+// entry: ns/op keeps the minimum across runs (the least-noise estimate),
+// allocs/op and B/op keep the maximum (a regression in any run counts).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=6 -run='^$' . | bench2json > BENCH_2026-08-05.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's folded result.
+type Entry struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+func main() {
+	entries, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse folds benchmark result lines in first-seen order. Lines that are
+// not benchmark results (headers, PASS, campaign footers, ReportMetric
+// units it does not know) are ignored.
+func parse(sc *bufio.Scanner) ([]*Entry, error) {
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	byName := make(map[string]*Entry)
+	var order []*Entry
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so entries are machine-portable.
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		e := byName[name]
+		if e == nil {
+			e = &Entry{Name: name}
+			byName[name] = e
+			order = append(order, e)
+		}
+		e.Runs++
+		// fields[1] is the iteration count; the rest are (value, unit)
+		// pairs: "17.44 ns/op  0 B/op  0 allocs/op" plus any ReportMetric
+		// extras, which are skipped.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if e.Runs == 1 || v < e.NsPerOp {
+					e.NsPerOp = v
+				}
+			case "allocs/op":
+				if v > e.AllocsPerOp {
+					e.AllocsPerOp = v
+				}
+			case "B/op":
+				if v > e.BytesPerOp {
+					e.BytesPerOp = v
+				}
+			}
+		}
+	}
+	return order, sc.Err()
+}

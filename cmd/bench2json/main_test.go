@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkEngineEventThroughput-8   	68719476	        17.44 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineEventThroughput-8   	68719476	        18.02 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAccessMESI-8              	 1634336	       703.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig7_SPEC-8               	       2	 512345678 ns/op	        95.40 SwiftDir-normIPC	        97.10 SMESI-normIPC	  524288 B/op	    4096 allocs/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseFoldsRuns(t *testing.T) {
+	entries, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "BenchmarkEngineEventThroughput" || e.Runs != 2 {
+		t.Fatalf("first entry = %+v", e)
+	}
+	if e.NsPerOp != 17.44 {
+		t.Fatalf("ns/op should keep the minimum across runs: got %v", e.NsPerOp)
+	}
+	if e.AllocsPerOp != 0 || e.BytesPerOp != 0 {
+		t.Fatalf("allocs/bytes = %v/%v, want 0/0", e.AllocsPerOp, e.BytesPerOp)
+	}
+	// ReportMetric extras must not pollute the standard fields.
+	fig := entries[2]
+	if fig.Name != "BenchmarkFig7_SPEC" || fig.NsPerOp != 512345678 || fig.AllocsPerOp != 4096 {
+		t.Fatalf("fig7 entry = %+v", fig)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	entries, err := parse(bufio.NewScanner(strings.NewReader("PASS\n")))
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("entries=%v err=%v", entries, err)
+	}
+}

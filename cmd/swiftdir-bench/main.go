@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,8 +65,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	passes := fs.Int("passes", 4, "measured passes for fig10")
 	jobs := fs.Int("j", 0, "concurrent simulation jobs (0 = $SWIFTDIR_JOBS, else NumCPU)")
 	outPath := fs.String("out", "", "also append the report to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
+			}
+		}()
 	}
 
 	known := *exp == "all"

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/campaign"
@@ -39,7 +41,33 @@ func main() {
 	cores := flag.Int("cores", 4, "core count for -dumpconfig")
 	jobs := flag.Int("j", 0, "concurrent benchmark runs for a -bench list (0 = $SWIFTDIR_JOBS, else NumCPU)")
 	verbose := flag.Bool("v", true, "print hierarchy statistics")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("%v", err)
+			}
+		}()
+	}
 
 	campaign.SetWorkers(*jobs)
 

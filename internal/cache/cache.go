@@ -266,7 +266,10 @@ func (a *Array) Victim(addr Addr) *Line {
 // blocked.
 func (a *Array) VictimFiltered(addr Addr, blocked func(Addr) bool) *Line {
 	set := a.lines[a.SetIndex(addr)]
-	var candidates []*Line
+	// Single pass, no candidate slice: count the eligible ways and track
+	// the LRU minimum (first-encountered wins ties, as before).
+	n := 0
+	var victim *Line
 	for i := range set {
 		if !set[i].State.Valid() {
 			return &set[i]
@@ -274,18 +277,26 @@ func (a *Array) VictimFiltered(addr Addr, blocked func(Addr) bool) *Line {
 		if blocked != nil && blocked(a.AddrOfLine(&set[i], addr)) {
 			continue
 		}
-		candidates = append(candidates, &set[i])
+		n++
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
 	}
-	if len(candidates) == 0 {
+	if n == 0 {
 		return nil
 	}
 	if a.params.Replacement == Random {
-		return candidates[a.nextRand()%uint64(len(candidates))]
-	}
-	victim := candidates[0]
-	for _, c := range candidates[1:] {
-		if c.lru < victim.lru {
-			victim = c
+		// One RNG draw over the candidate count, then re-walk to the k-th
+		// eligible way; blocked is pure, so both passes agree.
+		k := a.nextRand() % uint64(n)
+		for i := range set {
+			if blocked != nil && blocked(a.AddrOfLine(&set[i], addr)) {
+				continue
+			}
+			if k == 0 {
+				return &set[i]
+			}
+			k--
 		}
 	}
 	return victim

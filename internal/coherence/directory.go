@@ -66,15 +66,29 @@ type dirEntry struct {
 
 func bit(id int) uint64 { return 1 << uint(id) }
 
+// Deferred-grant kinds: what a transaction owes its requestor once the
+// outstanding invalidation acks arrive. A plain enum (plus the captured
+// grant data) replaces the closure the old implementation allocated per
+// invalidating store — the directory entry is re-fetched at grant time,
+// which is sound because the block stays busy (and therefore resident)
+// for the whole window.
+const (
+	pendNone uint8 = iota
+	pendStore
+	pendUpgrade
+)
+
 // txn is an in-flight directory transaction; the block is busy until all
-// wait conditions clear (the blocking protocol of Table II).
+// wait conditions clear (the blocking protocol of Table II). Completed
+// transactions are recycled through the bank's free list.
 type txn struct {
-	req          Msg
-	waitUnblock  bool
-	waitWB       bool
-	waitAcks     int
-	grantPending func() // deferred grant once invalidation acks arrive
-	queued       []Msg
+	req         Msg
+	waitUnblock bool
+	waitWB      bool
+	waitAcks    int
+	pendKind    uint8  // deferred grant once invalidation acks arrive
+	pendData    uint64 // LLC data captured when the grant was deferred
+	queued      []Msg
 }
 
 // BankStats counts directory activity per bank.
@@ -103,18 +117,83 @@ type bank struct {
 	// its flight; pinning keeps victim selection from recalling the block
 	// before the grant lands (which would orphan the requestor's MSHR).
 	pinned map[cache.Addr]int
-	Stats  BankStats
+
+	txnFree   []*txn      // recycled transactions
+	entryFree []*dirEntry // recycled directory entries
+
+	// One-entry lookup cache: directory traffic is bursty per block (a
+	// request, its WB_Data, its acks, its unblock all hit the same entry),
+	// so the last touched entry answers most map probes.
+	lastAddr cache.Addr
+	lastEnt  *dirEntry
+
+	Stats BankStats
 }
 
 func newBank(id int, sys *System, params cache.Params) *bank {
+	lines := params.SizeBytes / params.BlockSize
+	esz := lines / 4
+	if esz < 256 {
+		esz = 256
+	}
 	return &bank{
 		id:      id,
 		sys:     sys,
 		arr:     cache.NewArray(params),
-		entries: make(map[cache.Addr]*dirEntry),
-		busy:    make(map[cache.Addr]*txn),
-		pinned:  make(map[cache.Addr]int),
+		entries: make(map[cache.Addr]*dirEntry, esz),
+		busy:    make(map[cache.Addr]*txn, 256),
+		pinned:  make(map[cache.Addr]int, 64),
 	}
+}
+
+// entry looks up the directory entry for addr through the one-entry cache.
+func (b *bank) entry(addr cache.Addr) *dirEntry {
+	if addr == b.lastAddr && b.lastEnt != nil {
+		return b.lastEnt
+	}
+	e := b.entries[addr]
+	if e != nil {
+		b.lastAddr, b.lastEnt = addr, e
+	}
+	return e
+}
+
+// newTxn takes a recycled transaction (or allocates a fresh one) for req.
+// freeTxn reset every other field when the previous transaction retired.
+func (b *bank) newTxn(req Msg) *txn {
+	var t *txn
+	if n := len(b.txnFree); n > 0 {
+		t = b.txnFree[n-1]
+		b.txnFree = b.txnFree[:n-1]
+	} else {
+		t = &txn{}
+	}
+	t.req = req
+	return t
+}
+
+// freeTxn recycles a retired transaction, zeroing its queued slots so no
+// stale Msg outlives it.
+func (b *bank) freeTxn(t *txn) {
+	for i := range t.queued {
+		t.queued[i] = Msg{}
+	}
+	t.queued = t.queued[:0]
+	t.req = Msg{}
+	t.waitUnblock, t.waitWB, t.waitAcks = false, false, 0
+	t.pendKind, t.pendData = pendNone, 0
+	b.txnFree = append(b.txnFree, t)
+}
+
+// newEntry takes a recycled directory entry, zeroed.
+func (b *bank) newEntry() *dirEntry {
+	if n := len(b.entryFree); n > 0 {
+		e := b.entryFree[n-1]
+		b.entryFree = b.entryFree[:n-1]
+		*e = dirEntry{}
+		return e
+	}
+	return &dirEntry{}
 }
 
 func (b *bank) eng() *sim.Engine { return b.sys.Eng }
@@ -123,41 +202,71 @@ func (b *bank) policy() Policy   { return b.sys.Policy }
 
 // send delivers a message to an L1 after delay. The final Hop of the
 // delay traverses the crossbar, so it is subject to port contention when
-// LinkOccupancy is configured.
+// LinkOccupancy is configured. The message rides two payload events — a
+// bank-local stage, then the crossbar — with the destination in Z.
 func (b *bank) send(dst int, m Msg, delay sim.Cycle) {
 	m.Src = DirID
-	local := delay - b.timing().Hop
-	if local < 0 {
-		local = 0
+	hop := b.timing().Hop
+	var local sim.Cycle
+	if delay > hop {
+		local = delay - hop
 	}
-	b.eng().Schedule(local, func() {
-		b.sys.xbar.Send(b.sys.bankPort(b.id), dst, func() {
-			b.sys.trace(m, dst)
-			b.sys.L1s[dst].Receive(m)
-		})
-	})
+	p := m.payload(opBankSendStage)
+	p.Z = int32(dst)
+	b.eng().ScheduleEvent(local, b, p)
 }
 
 // sendPinned is send for grants with no follow-up unblock: the address
 // is pinned against LLC victim selection until delivery, then unpinned in
-// the same event that hands the message to the L1 (no window in between).
+// the same event that hands the message to the L1 (no window in between),
+// which is why the crossbar delivers the pinned payload back to the bank
+// rather than straight to the L1.
 func (b *bank) sendPinned(dst int, m Msg, delay sim.Cycle) {
-	addr := m.Addr
-	b.pinned[addr]++
+	b.pinned[m.Addr]++
 	m.Src = DirID
-	local := delay - b.timing().Hop
-	if local < 0 {
-		local = 0
+	hop := b.timing().Hop
+	var local sim.Cycle
+	if delay > hop {
+		local = delay - hop
 	}
-	b.eng().Schedule(local, func() {
-		b.sys.xbar.Send(b.sys.bankPort(b.id), dst, func() {
-			if b.pinned[addr]--; b.pinned[addr] <= 0 {
-				delete(b.pinned, addr)
-			}
-			b.sys.trace(m, dst)
-			b.sys.L1s[dst].Receive(m)
-		})
-	})
+	p := m.payload(opBankSendStagePin)
+	p.Z = int32(dst)
+	b.eng().ScheduleEvent(local, b, p)
+}
+
+// Handle dispatches the bank's payload events (see the op constants in
+// message.go).
+func (b *bank) Handle(p sim.Payload) {
+	switch p.Op {
+	case opBankDispatch:
+		m := msgFromPayload(p)
+		b.sys.trace(m, DirID)
+		b.dispatch(m)
+	case opBankSendStage:
+		dst := int(p.Z)
+		p.Op = opL1Recv
+		b.sys.xbar.SendEvent(b.sys.bankPort(b.id), dst, b.sys.L1s[dst], p)
+	case opBankSendStagePin:
+		p.Op = opBankDeliverPin
+		b.sys.xbar.SendEvent(b.sys.bankPort(b.id), int(p.Z), b, p)
+	case opBankDeliverPin:
+		m := msgFromPayload(p)
+		if b.pinned[m.Addr]--; b.pinned[m.Addr] <= 0 {
+			delete(b.pinned, m.Addr)
+		}
+		dst := int(p.Z)
+		b.sys.trace(m, dst)
+		b.sys.L1s[dst].Receive(m)
+	case opBankFetchIssue:
+		done := b.sys.Mem.AccessAt(b.eng().Now(), p.A, false)
+		p.Op = opBankInstall
+		p.B = 0 // stall cycles accumulated so far
+		b.eng().ScheduleEventAt(done, b, p)
+	case opBankInstall:
+		b.installAndGrant(cache.Addr(p.A), p.Z != 0, sim.Cycle(p.B))
+	default:
+		panic(fmt.Sprintf("bank %d: unknown payload op %d", b.id, p.Op))
+	}
 }
 
 // respDelay is the service latency for a grant computed at request-arrival
@@ -188,10 +297,18 @@ func (b *bank) dispatch(m Msg) {
 			return // ack for an already-completed transaction
 		}
 		t.waitAcks--
-		if t.waitAcks == 0 && t.grantPending != nil {
-			grant := t.grantPending
-			t.grantPending = nil
-			grant()
+		if t.waitAcks == 0 && t.pendKind != pendNone {
+			kind := t.pendKind
+			t.pendKind = pendNone
+			// The entry pointer is stable across the ack window: the block
+			// stayed busy, so no install or eviction could replace it.
+			e := b.entry(m.Addr)
+			switch kind {
+			case pendStore:
+				b.grantStore(t.req, e, t.pendData, ServedLLC, 0)
+			case pendUpgrade:
+				b.ackUpgrade(t.req, e)
+			}
 		}
 		b.maybeComplete(m.Addr, t)
 	default:
@@ -219,7 +336,7 @@ func (b *bank) start(m Msg) {
 
 // handleLoad implements GETS and GETS_WP (Figure 4(a)-(b), 4(c), 4(e)).
 func (b *bank) handleLoad(m Msg) {
-	e := b.entries[m.Addr]
+	e := b.entry(m.Addr)
 	if e == nil {
 		b.fetchAndGrant(m, false)
 		return
@@ -232,7 +349,8 @@ func (b *bank) handleLoad(m Msg) {
 		if b.policy().ForwardStateFor(e.wp) && e.forwarder >= 0 {
 			// MESIF: the designated forwarder supplies the data
 			// cache-to-cache; the requestor becomes the new forwarder.
-			t := &txn{req: m, waitUnblock: true, waitWB: true}
+			t := b.newTxn(m)
+			t.waitUnblock, t.waitWB = true, true
 			b.busy[m.Addr] = t
 			b.Stats.Forwards++
 			b.send(e.forwarder, Msg{Kind: MsgFwdGETS, Addr: m.Addr, Requestor: m.Src, WP: e.wp}, b.respDelay())
@@ -244,7 +362,8 @@ func (b *bank) handleLoad(m Msg) {
 		if mf {
 			e.forwarder = m.Src
 		}
-		t := &txn{req: m, waitUnblock: true}
+		t := b.newTxn(m)
+		t.waitUnblock = true
 		b.busy[m.Addr] = t
 		b.Stats.LLCServed++
 		b.send(m.Src, Msg{Kind: MsgData, Addr: m.Addr, Data: ln.Data, Served: ServedLLC, MakeForward: mf}, b.respDelay())
@@ -260,7 +379,8 @@ func (b *bank) handleLoad(m Msg) {
 			e.state = DirShared
 			e.sharers = bit(owner) | bit(m.Src)
 			e.owner = -1
-			t := &txn{req: m, waitUnblock: true}
+			t := b.newTxn(m)
+			t.waitUnblock = true
 			b.busy[m.Addr] = t
 			b.Stats.LLCServed++
 			b.send(m.Src, Msg{Kind: MsgData, Addr: m.Addr, Data: ln.Data, Served: ServedLLC}, b.respDelay())
@@ -278,7 +398,8 @@ func (b *bank) handleLoad(m Msg) {
 // forwardLoad relays a GETS to the owner (Figure 1(a)): the directory
 // cannot rule out a silent upgrade, so the owner must supply the data.
 func (b *bank) forwardLoad(m Msg, e *dirEntry) {
-	t := &txn{req: m, waitUnblock: true, waitWB: true}
+	t := b.newTxn(m)
+	t.waitUnblock, t.waitWB = true, true
 	b.busy[m.Addr] = t
 	b.Stats.Forwards++
 	b.send(e.owner, Msg{Kind: MsgFwdGETS, Addr: m.Addr, Requestor: m.Src, WP: e.wp}, b.respDelay())
@@ -293,7 +414,7 @@ func (b *bank) onWBData(m Msg) {
 	if t == nil {
 		panic(fmt.Sprintf("bank %d: WB_Data for idle block %#x", b.id, m.Addr))
 	}
-	e := b.entries[m.Addr]
+	e := b.entry(m.Addr)
 	ln := b.arr.Lookup(m.Addr)
 	if e == nil || ln == nil {
 		panic(fmt.Sprintf("bank %d: WB_Data for absent block %#x", b.id, m.Addr))
@@ -340,7 +461,7 @@ func (b *bank) onWBData(m Msg) {
 
 // handleStoreMiss implements GETX.
 func (b *bank) handleStoreMiss(m Msg) {
-	e := b.entries[m.Addr]
+	e := b.entry(m.Addr)
 	if e == nil {
 		b.fetchAndGrant(m, true)
 		return
@@ -355,11 +476,10 @@ func (b *bank) handleStoreMiss(m Msg) {
 			b.grantStore(m, e, ln.Data, ServedLLC, 0)
 			return
 		}
-		data := ln.Data
-		t := &txn{req: m}
+		t := b.newTxn(m)
 		b.busy[m.Addr] = t
 		b.invalidate(m.Addr, targets, m.Src, t)
-		t.grantPending = func() { b.grantStore(m, e, data, ServedLLC, 0) }
+		t.pendKind, t.pendData = pendStore, ln.Data
 	case DirExclusive, DirModifiedL1:
 		if e.owner == m.Src {
 			panic(fmt.Sprintf("bank %d: owner %d GETX on own block %#x", b.id, m.Src, m.Addr))
@@ -368,7 +488,8 @@ func (b *bank) handleStoreMiss(m Msg) {
 		e.state = DirModifiedL1
 		e.owner = m.Src
 		e.sharers = 0
-		t := &txn{req: m, waitUnblock: true}
+		t := b.newTxn(m)
+		t.waitUnblock = true
 		b.busy[m.Addr] = t
 		b.Stats.Forwards++
 		b.send(owner, Msg{Kind: MsgFwdGETX, Addr: m.Addr, Requestor: m.Src}, b.respDelay())
@@ -378,7 +499,8 @@ func (b *bank) handleStoreMiss(m Msg) {
 		// with Upgrade) must be invalidated in parallel.
 		owner := e.owner
 		targets := e.sharers &^ bit(m.Src)
-		t := &txn{req: m, waitUnblock: true}
+		t := b.newTxn(m)
+		t.waitUnblock = true
 		b.busy[m.Addr] = t
 		if targets != 0 {
 			b.invalidate(m.Addr, targets, m.Src, t)
@@ -394,7 +516,7 @@ func (b *bank) handleStoreMiss(m Msg) {
 // handleUpgrade implements the Upgrade request: S→M in every protocol, and
 // S-MESI's explicit E→M (Figure 2).
 func (b *bank) handleUpgrade(m Msg) {
-	e := b.entries[m.Addr]
+	e := b.entry(m.Addr)
 	if e == nil {
 		// The requestor lost its copy to a recall; full store miss.
 		b.handleStoreMiss(m)
@@ -407,10 +529,10 @@ func (b *bank) handleUpgrade(m Msg) {
 			b.ackUpgrade(m, e)
 			return
 		}
-		t := &txn{req: m}
+		t := b.newTxn(m)
 		b.busy[m.Addr] = t
 		b.invalidate(m.Addr, targets, m.Src, t)
-		t.grantPending = func() { b.ackUpgrade(m, e) }
+		t.pendKind = pendUpgrade
 	case e.state == DirOwned && (e.owner == m.Src || e.sharers&bit(m.Src) != 0):
 		// MOESI: either the O holder upgrades O->M (invalidating the S
 		// copies) or a sharer upgrades S->M (invalidating the O holder
@@ -423,10 +545,10 @@ func (b *bank) handleUpgrade(m Msg) {
 			b.ackUpgrade(m, e)
 			return
 		}
-		t := &txn{req: m}
+		t := b.newTxn(m)
 		b.busy[m.Addr] = t
 		b.invalidate(m.Addr, targets, m.Src, t)
-		t.grantPending = func() { b.ackUpgrade(m, e) }
+		t.pendKind = pendUpgrade
 	case (e.state == DirExclusive || e.state == DirModifiedL1) && e.owner == m.Src:
 		b.ackUpgrade(m, e)
 	default:
@@ -459,7 +581,7 @@ func (b *bank) invalidate(addr cache.Addr, targets uint64, requestor int, t *txn
 	n := bits.OnesCount64(targets)
 	t.waitAcks = n
 	b.Stats.Invals += uint64(n)
-	e := b.entries[addr]
+	e := b.entry(addr)
 	for id := 0; targets != 0; id++ {
 		if targets&1 != 0 {
 			e.sharers &^= bit(id)
@@ -470,7 +592,7 @@ func (b *bank) invalidate(addr cache.Addr, targets uint64, requestor int, t *txn
 }
 
 func (b *bank) handlePUTS(m Msg) {
-	e := b.entries[m.Addr]
+	e := b.entry(m.Addr)
 	if e == nil {
 		return // block already recalled
 	}
@@ -486,7 +608,7 @@ func (b *bank) handlePUTS(m Msg) {
 }
 
 func (b *bank) handlePUTX(m Msg) {
-	e := b.entries[m.Addr]
+	e := b.entry(m.Addr)
 	switch {
 	case e != nil && e.owner == m.Src && e.state == DirOwned:
 		// The O holder evicts: the LLC absorbs the dirty data; any S
@@ -530,39 +652,48 @@ func (b *bank) handlePUTX(m Msg) {
 }
 
 // fetchAndGrant services an LLC miss from DRAM, then installs and grants.
+// The request itself lives in the busy transaction; the payload events
+// carry only the address, the store flag (Z), and the stall counter (B).
 func (b *bank) fetchAndGrant(m Msg, store bool) {
-	t := &txn{req: m}
+	t := b.newTxn(m)
 	b.busy[m.Addr] = t
 	b.Stats.MemFetches++
-	issueAt := b.timing().LLCTag
-	b.eng().Schedule(issueAt, func() {
-		done := b.sys.Mem.AccessAt(b.eng().Now(), uint64(m.Addr), false)
-		b.eng().ScheduleAt(done, func() { b.installAndGrant(m, store, 0) })
-	})
+	p := sim.Payload{Op: opBankFetchIssue, A: uint64(m.Addr)}
+	if store {
+		p.Z = 1
+	}
+	b.eng().ScheduleEvent(b.timing().LLCTag, b, p)
 }
 
 // installAndGrant completes an LLC miss once DRAM has responded. A victim
 // set fully covered by busy transactions or in-flight grants is a
 // structural stall: retry after a tag-lookup delay. The stall is bounded —
 // a set blocked this long means the protocol deadlocked, so fail fast.
-func (b *bank) installAndGrant(m Msg, store bool, stalled sim.Cycle) {
-	extra, ok := b.install(m.Addr)
+// The original request is recovered from the busy transaction, which spans
+// the whole fetch.
+func (b *bank) installAndGrant(addr cache.Addr, store bool, stalled sim.Cycle) {
+	extra, ok := b.install(addr)
 	if !ok {
 		const stallLimit = 100_000
 		if stalled > stallLimit {
 			panic(fmt.Sprintf("bank %d: no evictable way for %#x after %d stall cycles",
-				b.id, m.Addr, stalled))
+				b.id, addr, stalled))
 		}
 		retry := b.timing().LLCTag
 		if retry < 1 {
 			retry = 1
 		}
-		b.eng().Schedule(retry, func() { b.installAndGrant(m, store, stalled+retry) })
+		p := sim.Payload{Op: opBankInstall, A: uint64(addr), B: uint64(stalled + retry)}
+		if store {
+			p.Z = 1
+		}
+		b.eng().ScheduleEvent(retry, b, p)
 		return
 	}
-	data := b.sys.memRead(m.Addr)
-	b.arr.Lookup(m.Addr).Data = data
-	e := b.entries[m.Addr]
+	m := b.busy[addr].req
+	data := b.sys.memRead(addr)
+	b.arr.Lookup(addr).Data = data
+	e := b.entry(addr)
 	if store {
 		b.grantStore(m, e, data, ServedMem, extra)
 	} else {
@@ -576,7 +707,7 @@ func (b *bank) installAndGrant(m Msg, store bool, stalled sim.Cycle) {
 func (b *bank) grantLoad(m Msg, e *dirEntry, data uint64, served ServedBy, extra sim.Cycle) {
 	t := b.busy[m.Addr]
 	if t == nil {
-		t = &txn{req: m}
+		t = b.newTxn(m)
 		b.busy[m.Addr] = t
 	}
 	t.waitUnblock = true
@@ -606,7 +737,7 @@ func (b *bank) grantLoad(m Msg, e *dirEntry, data uint64, served ServedBy, extra
 func (b *bank) grantStore(m Msg, e *dirEntry, data uint64, served ServedBy, extra sim.Cycle) {
 	t := b.busy[m.Addr]
 	if t == nil {
-		t = &txn{req: m}
+		t = b.newTxn(m)
 		b.busy[m.Addr] = t
 	}
 	t.waitUnblock = true
@@ -629,22 +760,26 @@ func (b *bank) maybeComplete(addr cache.Addr, t *txn) {
 		// new transaction); a stale caller must not touch it.
 		return
 	}
-	if t.waitUnblock || t.waitWB || t.waitAcks > 0 || t.grantPending != nil {
+	if t.waitUnblock || t.waitWB || t.waitAcks > 0 || t.pendKind != pendNone {
 		return
 	}
 	delete(b.busy, addr)
+	// Iterate t.queued in place; t is recycled only after the loop is done
+	// with its backing array (a replay may pull a different txn from the
+	// pool, never t itself — it is no longer in busy).
 	queued := t.queued
-	t.queued = nil
 	for i, m := range queued {
 		if nt, ok := b.busy[addr]; ok {
 			// A replayed request re-opened a transaction; this message
 			// and the rest stay queued behind it.
 			nt.queued = append(nt.queued, queued[i:]...)
+			b.freeTxn(t)
 			return
 		}
 		b.Stats.QueuedWakeups++
 		b.start(m)
 	}
+	b.freeTxn(t)
 }
 
 // install allocates an LLC line for addr, recalling and evicting a victim
@@ -666,7 +801,10 @@ func (b *bank) install(addr cache.Addr) (extra sim.Cycle, ok bool) {
 		extra = b.evictLLC(b.arr.AddrOfLine(v, addr), v)
 	}
 	b.arr.Install(v, addr, cache.Shared)
-	b.entries[addr] = &dirEntry{state: DirPresent, owner: -1, forwarder: -1}
+	e := b.newEntry()
+	e.state, e.owner, e.forwarder = DirPresent, -1, -1
+	b.entries[addr] = e
+	b.lastAddr, b.lastEnt = addr, e
 	return extra, true
 }
 
@@ -719,5 +857,11 @@ func (b *bank) evictLLC(victim cache.Addr, ln *cache.Line) sim.Cycle {
 		b.sys.Mem.AccessAt(b.eng().Now(), uint64(victim), true)
 	}
 	delete(b.entries, victim)
+	if victim == b.lastAddr {
+		b.lastEnt = nil
+	}
+	// Victim selection excludes busy and pinned blocks, so no in-flight
+	// transaction still references this entry; recycle it.
+	b.entryFree = append(b.entryFree, e)
 	return extra
 }

@@ -48,6 +48,11 @@ type Access struct {
 	// miss path (§IV-B of the paper).
 	MissPenalty sim.Cycle
 
+	// Extra is latency the submitter already spent (e.g. translation
+	// charged before the access reached the L1); it is added to the
+	// reported Latency without being simulated again.
+	Extra sim.Cycle
+
 	// Done is invoked exactly once at completion. It may be nil.
 	Done func(AccessResult)
 
@@ -84,6 +89,22 @@ type mshr struct {
 	pending []Access // pending[0] initiated the transaction
 }
 
+// grantOf maps a data-response kind to the line state it grants; the
+// mapping is shared by first delivery (Receive) and install-stall retries.
+func grantOf(m Msg) cache.LineState {
+	switch m.Kind {
+	case MsgDataExclusive:
+		return cache.Exclusive
+	case MsgDataFromOwner:
+		if m.Excl {
+			return cache.Exclusive
+		}
+		return cache.Shared
+	default:
+		return cache.Shared
+	}
+}
+
 type wbEntry struct {
 	data  uint64
 	dirty bool
@@ -104,35 +125,142 @@ type L1Stats struct {
 // L1 is a private cache controller. It owns a set-associative array, an
 // MSHR table (one outstanding transaction per block, with merging), and a
 // writeback buffer that answers forwarded requests racing an eviction.
+//
+// All timed work is scheduled through sim.Payload events handled by
+// (*L1).Handle; in-flight Access values live in a free-listed slot pool
+// and MSHRs are recycled at transaction completion, so a steady-state hit
+// or miss allocates nothing.
 type L1 struct {
 	ID     int
+	sys    *System
 	eng    *sim.Engine
 	timing Timing
 	policy Policy
 	arr    *cache.Array
 
-	toDir func(Msg)            // schedule delivery to the directory (adds Hop)
-	toL1  func(dst int, m Msg) // schedule delivery to a peer L1 (adds Hop)
-
 	mshrs map[cache.Addr]*mshr
 	wb    map[cache.Addr]wbEntry
 
+	mshrFree []*mshr   // recycled MSHRs
+	accs     []Access  // slots for accesses riding tag-lookup/translation events
+	accFree  []int32   // free slot indexes
+
 	prefetch PrefetchMode
 
-	record func(AccessResult)
-	Stats  L1Stats
+	Stats L1Stats
 }
 
-// newL1 wires a controller; the system provides the send functions.
-func newL1(id int, eng *sim.Engine, timing Timing, policy Policy, params cache.Params) *L1 {
+// newL1 wires a controller into its owning system.
+func newL1(id int, sys *System, params cache.Params) *L1 {
+	lines := params.SizeBytes / params.BlockSize
+	msz := lines / 4
+	if msz < 16 {
+		msz = 16
+	}
 	return &L1{
 		ID:     id,
-		eng:    eng,
-		timing: timing,
-		policy: policy,
+		sys:    sys,
+		eng:    sys.Eng,
+		timing: sys.Timing,
+		policy: sys.Policy,
 		arr:    cache.NewArray(params),
-		mshrs:  make(map[cache.Addr]*mshr),
-		wb:     make(map[cache.Addr]wbEntry),
+		mshrs:  make(map[cache.Addr]*mshr, msz),
+		wb:     make(map[cache.Addr]wbEntry, 64),
+	}
+}
+
+// toDir schedules delivery of m to the owning bank (adds Hop via the
+// crossbar).
+func (l *L1) toDir(m Msg) {
+	b := l.sys.bankFor(m.Addr)
+	l.sys.xbar.SendEvent(l.ID, l.sys.bankPort(b.id), b, m.payload(opBankDispatch))
+}
+
+// toL1 schedules delivery of m to a peer controller.
+func (l *L1) toL1(dst int, m Msg) {
+	l.sys.xbar.SendEvent(l.ID, dst, l.sys.L1s[dst], m.payload(opL1Recv))
+}
+
+// putAccess parks an in-flight access in the slot pool and returns its
+// index; takeAccess releases the slot. The pool exists so tag-lookup and
+// deferred-translation events can carry the access (its Done closure
+// included) without capturing it in a per-event closure.
+func (l *L1) putAccess(a Access) int32 {
+	if n := len(l.accFree); n > 0 {
+		i := l.accFree[n-1]
+		l.accFree = l.accFree[:n-1]
+		l.accs[i] = a
+		return i
+	}
+	l.accs = append(l.accs, a)
+	return int32(len(l.accs) - 1)
+}
+
+func (l *L1) takeAccess(i int32) Access {
+	a := l.accs[i]
+	l.accs[i] = Access{} // drop the Done reference held by the slot
+	l.accFree = append(l.accFree, i)
+	return a
+}
+
+// newMSHR takes a recycled MSHR (or allocates the pool's next one) and
+// initializes it for a fresh transaction.
+func (l *L1) newMSHR(state transient, wp bool) *mshr {
+	var ms *mshr
+	if n := len(l.mshrFree); n > 0 {
+		ms = l.mshrFree[n-1]
+		l.mshrFree = l.mshrFree[:n-1]
+	} else {
+		ms = &mshr{}
+	}
+	ms.state, ms.wp = state, wp
+	return ms
+}
+
+// freeMSHR recycles a completed transaction's MSHR, zeroing the pending
+// slots so no Access (and its Done closure) outlives its transaction.
+func (l *L1) freeMSHR(ms *mshr) {
+	for i := range ms.pending {
+		ms.pending[i] = Access{}
+	}
+	ms.pending = ms.pending[:0]
+	l.mshrFree = append(l.mshrFree, ms)
+}
+
+// Handle dispatches the controller's payload events (see the op constants
+// in message.go).
+func (l *L1) Handle(p sim.Payload) {
+	switch p.Op {
+	case opL1Recv:
+		m := msgFromPayload(p)
+		l.sys.trace(m, l.ID)
+		l.Receive(m)
+	case opL1Process:
+		l.process(l.takeAccess(int32(p.A)))
+	case opL1ProcessMiss:
+		l.processMiss(cache.Addr(p.B), l.takeAccess(int32(p.A)))
+	case opL1DataRetry:
+		m := msgFromPayload(p)
+		l.onData(m, grantOf(m))
+	case opL1Respond:
+		addr, data, req := cache.Addr(p.A), p.B, int(p.X)
+		excl := p.F&pfExcl != 0
+		l.toL1(req, Msg{
+			Kind: MsgDataFromOwner, Addr: addr, Src: l.ID,
+			Data: data, Excl: excl, MakeForward: p.F&pfMakeForward != 0,
+		})
+		if !excl {
+			l.toDir(Msg{
+				Kind: MsgWBData, Addr: addr, Src: l.ID,
+				Data: data, Dirty: p.F&pfDirty != 0, FromWB: p.F&pfFromWB != 0,
+			})
+		}
+	case opL1RespondRetained:
+		addr := cache.Addr(p.A)
+		l.toL1(int(p.X), Msg{Kind: MsgDataFromOwner, Addr: addr, Src: l.ID, Data: p.B})
+		l.toDir(Msg{Kind: MsgWBData, Addr: addr, Src: l.ID, Owned: true})
+	default:
+		panic(fmt.Sprintf("L1 %d: unknown payload op %d", l.ID, p.Op))
 	}
 }
 
@@ -151,7 +279,7 @@ func (l *L1) Request(a Access) {
 	} else {
 		l.Stats.Loads++
 	}
-	l.eng.Schedule(l.timing.L1Tag, func() { l.process(a) })
+	l.eng.ScheduleEvent(l.timing.L1Tag, l, sim.Payload{Op: opL1Process, A: uint64(l.putAccess(a))})
 }
 
 // process examines an access after the tag lookup. It is also the replay
@@ -166,9 +294,11 @@ func (l *L1) process(a Access) {
 	if ln == nil {
 		if a.MissPenalty > 0 {
 			// Deferred translation (VIVT): pay it now, once.
-			p := a.MissPenalty
+			d := a.MissPenalty
 			a.MissPenalty = 0
-			l.eng.Schedule(p, func() { l.processMiss(block, a) })
+			l.eng.ScheduleEvent(d, l, sim.Payload{
+				Op: opL1ProcessMiss, A: uint64(l.putAccess(a)), B: uint64(block),
+			})
 			return
 		}
 		l.miss(block, a)
@@ -199,14 +329,18 @@ func (l *L1) process(a Access) {
 		}
 		// S-MESI: enter EM^A and ask the LLC (Figure 2 / Figure 3(b)).
 		l.Stats.ExplicitUpgrades++
-		l.mshrs[block] = &mshr{state: tEMA, pending: []Access{a}}
+		ms := l.newMSHR(tEMA, false)
+		ms.pending = append(ms.pending, a)
+		l.mshrs[block] = ms
 		l.toDir(Msg{Kind: MsgUpgrade, Addr: block, Src: l.ID})
 	case cache.Shared, cache.Owned, cache.Forward:
 		// Neither an Owned nor a Forward holder is exclusive: other
 		// caches may hold S copies, so the store needs the same Upgrade
 		// round trip.
 		l.Stats.ExplicitUpgrades++
-		l.mshrs[block] = &mshr{state: tSMA, pending: []Access{a}}
+		ms := l.newMSHR(tSMA, false)
+		ms.pending = append(ms.pending, a)
+		l.mshrs[block] = ms
 		l.toDir(Msg{Kind: MsgUpgrade, Addr: block, Src: l.ID})
 	default:
 		panic(fmt.Sprintf("L1 %d: store hit on invalid line %#x", l.ID, block))
@@ -229,11 +363,15 @@ func (l *L1) processMiss(block cache.Addr, a Access) {
 
 func (l *L1) miss(block cache.Addr, a Access) {
 	if a.Write {
-		l.mshrs[block] = &mshr{state: tIMD, wp: a.WP, pending: []Access{a}}
+		ms := l.newMSHR(tIMD, a.WP)
+		ms.pending = append(ms.pending, a)
+		l.mshrs[block] = ms
 		l.toDir(Msg{Kind: MsgGETX, Addr: block, Src: l.ID, WP: a.WP})
 		return
 	}
-	l.mshrs[block] = &mshr{state: tISD, wp: a.WP, pending: []Access{a}}
+	ms := l.newMSHR(tISD, a.WP)
+	ms.pending = append(ms.pending, a)
+	l.mshrs[block] = ms
 	l.toDir(Msg{Kind: l.policy.LoadRequest(a.WP), Addr: block, Src: l.ID, WP: a.WP})
 	l.maybePrefetch(block, a.WP)
 }
@@ -261,7 +399,7 @@ func (l *L1) maybePrefetch(block cache.Addr, wp bool) {
 		pwp = false
 	}
 	l.Stats.Prefetches++
-	l.mshrs[next] = &mshr{state: tISD, wp: pwp}
+	l.mshrs[next] = l.newMSHR(tISD, pwp)
 	l.toDir(Msg{Kind: l.policy.LoadRequest(pwp), Addr: next, Src: l.ID, WP: pwp})
 }
 
@@ -337,7 +475,8 @@ func (l *L1) onData(m Msg, grant cache.LineState) {
 	if ln == nil {
 		// Every way of the set is pinned by an in-flight upgrade; hold
 		// the response briefly and retry once a transaction completes.
-		l.eng.Schedule(l.timing.L1Tag*4, func() { l.onData(m, grant) })
+		// grantOf recovers grant from the payload on redelivery.
+		l.eng.ScheduleEvent(l.timing.L1Tag*4, l, m.payload(opL1DataRetry))
 		return
 	}
 
@@ -346,6 +485,7 @@ func (l *L1) onData(m Msg, grant cache.LineState) {
 	if len(pending) == 0 {
 		// Prefetch fill: no requestor to complete.
 		l.toDir(Msg{Kind: unblock, Addr: m.Addr, Src: l.ID})
+		l.freeMSHR(ms)
 		return
 	}
 
@@ -362,6 +502,7 @@ func (l *L1) onData(m Msg, grant cache.LineState) {
 		for _, a := range pending {
 			l.process(a)
 		}
+		l.freeMSHR(ms)
 		return
 	}
 	if first.Write {
@@ -375,6 +516,7 @@ func (l *L1) onData(m Msg, grant cache.LineState) {
 	for _, a := range pending[1:] {
 		l.process(a)
 	}
+	l.freeMSHR(ms)
 }
 
 func (l *L1) onUpgradeAck(m Msg) {
@@ -395,6 +537,7 @@ func (l *L1) onUpgradeAck(m Msg) {
 	for _, a := range ms.pending[1:] {
 		l.process(a)
 	}
+	l.freeMSHR(ms)
 }
 
 func (l *L1) onInv(m Msg) {
@@ -475,29 +618,29 @@ func (l *L1) onFwdGETX(m Msg) {
 // respondOwner implements the owner's half of a three-hop transaction:
 // data to the requestor, a WB_Data (for GETS) to the directory.
 func (l *L1) respondOwner(m Msg, data uint64, dirty, fromWB, excl bool, makeForward ...bool) {
-	mf := len(makeForward) > 0 && makeForward[0]
-	l.eng.Schedule(l.timing.RemoteL1Service, func() {
-		l.toL1(m.Requestor, Msg{
-			Kind: MsgDataFromOwner, Addr: m.Addr, Src: l.ID,
-			Data: data, Excl: excl, MakeForward: mf,
-		})
-		if !excl {
-			l.toDir(Msg{
-				Kind: MsgWBData, Addr: m.Addr, Src: l.ID,
-				Data: data, Dirty: dirty, FromWB: fromWB,
-			})
-		}
+	var f uint8
+	if dirty {
+		f |= pfDirty
+	}
+	if fromWB {
+		f |= pfFromWB
+	}
+	if excl {
+		f |= pfExcl
+	}
+	if len(makeForward) > 0 && makeForward[0] {
+		f |= pfMakeForward
+	}
+	l.eng.ScheduleEvent(l.timing.RemoteL1Service, l, sim.Payload{
+		Op: opL1Respond, A: uint64(m.Addr), B: data, X: int32(m.Requestor), F: f,
 	})
 }
 
 // respondOwnerRetained is the MOESI variant: the requestor gets the data,
 // and the directory is told the sender kept the dirty copy in state O.
 func (l *L1) respondOwnerRetained(m Msg, data uint64) {
-	l.eng.Schedule(l.timing.RemoteL1Service, func() {
-		l.toL1(m.Requestor, Msg{
-			Kind: MsgDataFromOwner, Addr: m.Addr, Src: l.ID, Data: data,
-		})
-		l.toDir(Msg{Kind: MsgWBData, Addr: m.Addr, Src: l.ID, Owned: true})
+	l.eng.ScheduleEvent(l.timing.RemoteL1Service, l, sim.Payload{
+		Op: opL1RespondRetained, A: uint64(m.Addr), B: data, X: int32(m.Requestor),
 	})
 }
 
@@ -575,14 +718,14 @@ func (l *L1) ForceInvalidate(block cache.Addr) (data uint64, dirty, had bool) {
 
 func (l *L1) complete(a Access, value uint64, served ServedBy) {
 	res := AccessResult{
-		Latency: l.eng.Now() - a.start,
+		Latency: l.eng.Now() - a.start + a.Extra,
 		Value:   value,
 		Served:  served,
 		Write:   a.Write,
 		WP:      a.WP,
 	}
-	if l.record != nil {
-		l.record(res)
+	if l.sys.Record != nil {
+		l.sys.Record(l.ID, res)
 	}
 	if a.Done != nil {
 		a.Done(res)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/sim"
 )
 
 // MsgKind enumerates coherence events exchanged between L1 controllers and
@@ -93,3 +94,78 @@ type Msg struct {
 
 // DirID is the Src value used by the directory.
 const DirID = -1
+
+// Payload op codes (sim.Payload.Op): every timed action an L1 or bank
+// performs rides the engine as a (handler, payload) event instead of a
+// captured closure, so the hot path allocates nothing per message.
+const (
+	opL1Recv            uint8 = iota + 1 // deliver a Msg to an L1 (trace + Receive)
+	opL1Process                          // tag lookup done; examine a pooled Access
+	opL1ProcessMiss                      // deferred VIVT translation done; re-check the miss
+	opL1DataRetry                        // install stalled; retry a data grant
+	opL1Respond                          // owner's delayed three-hop response
+	opL1RespondRetained                  // MOESI owner response, dirty copy retained
+	opBankDispatch                       // deliver a Msg to a bank
+	opBankSendStage                      // bank-local latency elapsed; enter the crossbar
+	opBankSendStagePin                   // like opBankSendStage for a pinned grant
+	opBankDeliverPin                     // pinned grant arriving: unpin, then deliver
+	opBankFetchIssue                     // LLC tag miss confirmed; issue the DRAM access
+	opBankInstall                        // DRAM responded; install and grant (retries on stall)
+)
+
+// Msg flag bits packed into sim.Payload.F.
+const (
+	pfWP uint8 = 1 << iota
+	pfDirty
+	pfFromWB
+	pfExcl
+	pfOwned
+	pfMakeForward
+)
+
+// payload packs the message into a fixed-size event payload. Z is left
+// free for routing (the destination L1 of a staged bank send).
+func (m Msg) payload(op uint8) sim.Payload {
+	var f uint8
+	if m.WP {
+		f |= pfWP
+	}
+	if m.Dirty {
+		f |= pfDirty
+	}
+	if m.FromWB {
+		f |= pfFromWB
+	}
+	if m.Excl {
+		f |= pfExcl
+	}
+	if m.Owned {
+		f |= pfOwned
+	}
+	if m.MakeForward {
+		f |= pfMakeForward
+	}
+	return sim.Payload{
+		A: uint64(m.Addr), B: m.Data,
+		X: int32(m.Src), Y: int32(m.Requestor),
+		K: uint8(m.Kind), F: f, Aux: uint8(m.Served), Op: op,
+	}
+}
+
+// msgFromPayload is the inverse of Msg.payload.
+func msgFromPayload(p sim.Payload) Msg {
+	return Msg{
+		Kind:        MsgKind(p.K),
+		Addr:        cache.Addr(p.A),
+		Src:         int(p.X),
+		Requestor:   int(p.Y),
+		WP:          p.F&pfWP != 0,
+		Data:        p.B,
+		Dirty:       p.F&pfDirty != 0,
+		FromWB:      p.F&pfFromWB != 0,
+		Excl:        p.F&pfExcl != 0,
+		Owned:       p.F&pfOwned != 0,
+		MakeForward: p.F&pfMakeForward != 0,
+		Served:      ServedBy(p.Aux),
+	}
+}

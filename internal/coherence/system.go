@@ -130,27 +130,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		s.banks = append(s.banks, newBank(i, s, cfg.LLCParams))
 	}
 	for i := 0; i < cfg.NumL1; i++ {
-		l1 := newL1(i, s.Eng, cfg.Timing, cfg.Policy, cfg.L1Params)
+		l1 := newL1(i, s, cfg.L1Params)
 		l1.prefetch = cfg.Prefetch
-		port := i
-		l1.toDir = func(m Msg) {
-			b := s.bankFor(m.Addr)
-			s.xbar.Send(port, s.bankPort(b.id), func() {
-				s.trace(m, DirID)
-				b.dispatch(m)
-			})
-		}
-		l1.toL1 = func(dst int, m Msg) {
-			s.xbar.Send(port, dst, func() {
-				s.trace(m, dst)
-				s.L1s[dst].Receive(m)
-			})
-		}
-		l1.record = func(r AccessResult) {
-			if s.Record != nil {
-				s.Record(port, r)
-			}
-		}
 		s.L1s = append(s.L1s, l1)
 	}
 	return s, nil

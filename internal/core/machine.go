@@ -143,11 +143,60 @@ type Context struct {
 	DTLB *mmu.TLB
 	ITLB *mmu.TLB
 
+	// Slot pool for accesses whose translation latency is charged before
+	// submission; the pre-delay event carries a slot index instead of a
+	// captured closure.
+	subs    []ctxSubmit
+	subFree []int32
+
+	// Cached AccessSync probe state, so repeated synchronous probes reuse
+	// one callback pair instead of allocating closures per access.
+	syncOut  coherence.AccessResult
+	syncDone bool
+	syncCb   func(coherence.AccessResult)
+	syncCond func() bool
+
 	// Stats
 	DataAccesses uint64
 	TLBWalks     uint64
 	PageFaults   uint64
 	CoWs         uint64
+}
+
+// ctxSubmit is a parked (port, access) pair awaiting its pre-charge delay.
+type ctxSubmit struct {
+	port int
+	acc  coherence.Access
+}
+
+// ctxOpSubmit is the Context's only payload op: the translation delay
+// elapsed, submit the parked access.
+const ctxOpSubmit uint8 = 1
+
+// Handle dispatches the context's payload events.
+func (c *Context) Handle(p sim.Payload) {
+	switch p.Op {
+	case ctxOpSubmit:
+		i := int32(p.A)
+		s := c.subs[i]
+		c.subs[i] = ctxSubmit{} // drop the Done reference held by the slot
+		c.subFree = append(c.subFree, i)
+		c.m.Sys.Submit(s.port, s.acc)
+	default:
+		panic(fmt.Sprintf("core: context on core %d: unknown payload op %d", c.Core, p.Op))
+	}
+}
+
+// putSubmit parks a pending submission in the slot pool.
+func (c *Context) putSubmit(port int, acc coherence.Access) int32 {
+	if n := len(c.subFree); n > 0 {
+		i := c.subFree[n-1]
+		c.subFree = c.subFree[:n-1]
+		c.subs[i] = ctxSubmit{port: port, acc: acc}
+		return i
+	}
+	c.subs = append(c.subs, ctxSubmit{port: port, acc: acc})
+	return int32(len(c.subs) - 1)
 }
 
 // Engine returns the machine's event engine (for CPU models built on
@@ -168,30 +217,22 @@ func (c *Context) instPort() int { return 2*c.Core + 1 }
 // lookup, missExtra only if the access misses the L1 (VIVT).
 func (c *Context) submitTranslated(port int, res mmu.Result, write bool, value uint64,
 	pre, missExtra sim.Cycle, done func(coherence.AccessResult)) {
-	wrapped := done
-	if done != nil && pre > 0 {
+	acc := coherence.Access{
+		Addr:        cache.Addr(res.PAddr),
+		Write:       write,
+		WP:          res.WriteProtected,
+		Value:       value,
+		MissPenalty: missExtra,
 		// Report the access latency as the core sees it: translation
 		// time included.
-		wrapped = func(r coherence.AccessResult) {
-			r.Latency += pre
-			done(r)
-		}
-	}
-	submit := func() {
-		c.m.Sys.Submit(port, coherence.Access{
-			Addr:        cache.Addr(res.PAddr),
-			Write:       write,
-			WP:          res.WriteProtected,
-			Value:       value,
-			MissPenalty: missExtra,
-			Done:        wrapped,
-		})
+		Extra: pre,
+		Done:  done,
 	}
 	if pre == 0 {
-		submit()
-	} else {
-		c.m.Sys.Eng.Schedule(pre, submit)
+		c.m.Sys.Submit(port, acc)
+		return
 	}
+	c.m.Sys.Eng.ScheduleEvent(pre, c, sim.Payload{Op: ctxOpSubmit, A: uint64(c.putSubmit(port, acc))})
 }
 
 // Access translates v and submits the access to this core's L1 D-cache.
@@ -259,20 +300,23 @@ func (c *Context) walkAndSubmit(v mmu.VAddr, port int, res mmu.Result, write boo
 // one request; the probe interface used by the attack framework, the
 // microbenchmarks, and tests.
 func (c *Context) AccessSync(v mmu.VAddr, write bool, value uint64) (coherence.AccessResult, error) {
-	var out coherence.AccessResult
-	doneFlag := false
-	err := c.Access(v, write, value, func(r coherence.AccessResult) {
-		out = r
-		doneFlag = true
-	})
-	if err != nil {
-		return out, err
+	if c.syncCb == nil {
+		c.syncCb = func(r coherence.AccessResult) {
+			c.syncOut = r
+			c.syncDone = true
+		}
+		c.syncCond = func() bool { return !c.syncDone }
 	}
-	c.m.Sys.Eng.RunWhile(func() bool { return !doneFlag })
-	if !doneFlag {
+	c.syncDone = false
+	err := c.Access(v, write, value, c.syncCb)
+	if err != nil {
+		return coherence.AccessResult{}, err
+	}
+	c.m.Sys.Eng.RunWhile(c.syncCond)
+	if !c.syncDone {
 		panic("core: access did not complete")
 	}
-	return out, nil
+	return c.syncOut, nil
 }
 
 // MustAccessSync is AccessSync that panics on translation errors.

@@ -78,9 +78,12 @@ func New(eng *sim.Engine, cfg Config) *Crossbar {
 // Config returns the crossbar configuration.
 func (x *Crossbar) Config() Config { return x.cfg }
 
-// Send schedules deliver after the message traverses src -> dst: base
-// latency plus any queueing at the two ports.
-func (x *Crossbar) Send(src, dst int, deliver func()) {
+// admit computes the absolute delivery cycle of a message entering the
+// crossbar now at src bound for dst, updating port occupancy and queueing
+// statistics. Both Send paths share it so the jitter RNG stream and the
+// port bookkeeping advance identically regardless of how the delivery is
+// scheduled.
+func (x *Crossbar) admit(src, dst int) sim.Cycle {
 	x.Messages++
 	now := x.eng.Now()
 	lat := x.cfg.Latency
@@ -91,8 +94,7 @@ func (x *Crossbar) Send(src, dst int, deliver func()) {
 	if x.rng != nil {
 		occ += sim.Cycle(x.rng.Uint64n(uint64(x.cfg.JitterMax) + 1))
 	} else if occ == 0 {
-		x.eng.Schedule(lat, deliver)
-		return
+		return now + lat
 	}
 	// With jitter enabled every message flows through the port-time
 	// bookkeeping (even a zero-occupancy roll), which keeps per-port-pair
@@ -111,7 +113,19 @@ func (x *Crossbar) Send(src, dst int, deliver func()) {
 	}
 	x.txFreeAt[src] = start + occ
 	x.rxFreeAt[dst] = start + occ
-	x.eng.ScheduleAt(start+lat, deliver)
+	return start + lat
+}
+
+// Send schedules deliver after the message traverses src -> dst: base
+// latency plus any queueing at the two ports.
+func (x *Crossbar) Send(src, dst int, deliver func()) {
+	x.eng.ScheduleAt(x.admit(src, dst), deliver)
+}
+
+// SendEvent is Send for a (handler, payload) event: the zero-allocation
+// delivery path coherence messages ride.
+func (x *Crossbar) SendEvent(src, dst int, h sim.Handler, p sim.Payload) {
+	x.eng.ScheduleEventAt(x.admit(src, dst), h, p)
 }
 
 // AvgQueueing returns mean queueing delay per message.

@@ -2,50 +2,83 @@
 //
 // The engine is the substrate every timed component in this repository is
 // built on: cache controllers, the directory, the DRAM model, and the CPU
-// models all schedule closures at future cycles and the engine executes
-// them in (cycle, insertion-order) order. Determinism is guaranteed by a
+// models all schedule work at future cycles and the engine executes it in
+// (cycle, insertion-order) order. Determinism is guaranteed by a
 // monotonically increasing sequence number that breaks ties between events
 // scheduled for the same cycle, so two runs with the same inputs produce
 // identical event interleavings and therefore identical statistics.
+//
+// Two scheduling interfaces coexist:
+//
+//   - Schedule/ScheduleAt take a closure. Convenient, but every capturing
+//     closure is a heap allocation at the call site.
+//   - ScheduleEvent/ScheduleEventAt take a (Handler, Payload) pair: the
+//     handler is a long-lived component (an L1 controller, an LLC bank)
+//     and the payload is a fixed-size value struct carried inside the
+//     event slot, so scheduling allocates nothing in steady state.
+//
+// Storage is a calendar queue: a ring of per-cycle FIFO buckets covering
+// the near future, with a slice-backed binary min-heap as the overflow
+// tier for events more than ringSize cycles out. Bucket slots and heap
+// slots are recycled in place (the free list is the retained capacity of
+// each bucket), so steady-state execution performs no allocation and no
+// interface boxing — unlike the previous container/heap implementation,
+// which boxed every event through `any`.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Cycle is a point in simulated time, measured in processor clock cycles.
 type Cycle uint64
 
-// Event is a unit of scheduled work. The engine invokes Fn at cycle When.
+// Payload is the fixed-size argument carried by a handler-based event.
+// Components pack their message or request state into it (see
+// coherence.Msg's codec) instead of capturing it in a closure. Field
+// meaning is owner-defined; Op conventionally discriminates the action
+// when one handler serves several event types.
+type Payload struct {
+	A, B    uint64
+	X, Y, Z int32
+	K, F    uint8
+	Aux, Op uint8
+}
+
+// Handler consumes payload-carrying events. Implementations are long-lived
+// simulation components; the interface value in the event slot is a plain
+// pointer, so scheduling through a Handler never allocates.
+type Handler interface {
+	Handle(p Payload)
+}
+
+// event is a unit of scheduled work: either a closure (fn) or a
+// (handler, payload) pair.
 type event struct {
 	when Cycle
 	seq  uint64
 	fn   func()
+	h    Handler
+	p    Payload
 }
 
-type eventHeap []event
+const (
+	// ringBits sizes the near-future calendar ring. 1024 cycles covers
+	// every protocol hop and the DRAM access window, so in practice only
+	// refresh-scale timers hit the overflow tier.
+	ringBits = 10
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+	ringWord = ringSize / 64
+)
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+// bucket is the FIFO of events for one cycle of the near-future ring.
+// head indexes the next unexecuted event; the slice's retained capacity is
+// the bucket's free list.
+type bucket struct {
+	head int
+	evs  []event
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
@@ -53,9 +86,17 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now       Cycle
 	seq       uint64
-	queue     eventHeap
 	executed  uint64
 	scheduled uint64
+	pending   int
+
+	ring [ringSize]bucket
+	occ  [ringWord]uint64 // occupancy bitmap: bit i set iff ring[i] has unexecuted events
+
+	// overflow holds events scheduled >= ringSize cycles out, as a binary
+	// min-heap ordered by (when, seq). Events migrate into the ring as the
+	// current cycle advances and their horizon opens.
+	overflow []event
 }
 
 // NewEngine returns an engine with time set to cycle 0.
@@ -65,7 +106,7 @@ func NewEngine() *Engine { return &Engine{} }
 func (e *Engine) Now() Cycle { return e.now }
 
 // Pending reports the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.pending }
 
 // Executed returns the total number of events the engine has run.
 func (e *Engine) Executed() uint64 { return e.executed }
@@ -79,11 +120,12 @@ func (e *Engine) Schedule(delay Cycle, fn func()) {
 	}
 	e.seq++
 	e.scheduled++
-	heap.Push(&e.queue, event{when: e.now + delay, seq: e.seq, fn: fn})
+	e.pending++
+	e.insert(event{when: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // ScheduleAt enqueues fn at an absolute cycle, which must not be in the
-// past.
+// past. when == Now() is valid and runs later in the current cycle.
 func (e *Engine) ScheduleAt(when Cycle, fn func()) {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", when, e.now))
@@ -91,19 +133,133 @@ func (e *Engine) ScheduleAt(when Cycle, fn func()) {
 	e.Schedule(when-e.now, fn)
 }
 
+// ScheduleEvent enqueues a (handler, payload) event delay cycles from now.
+// This is the zero-allocation path: the payload is stored by value in the
+// event slot and the handler is an existing component pointer.
+func (e *Engine) ScheduleEvent(delay Cycle, h Handler, p Payload) {
+	if h == nil {
+		panic("sim: ScheduleEvent called with nil handler")
+	}
+	e.seq++
+	e.scheduled++
+	e.pending++
+	e.insert(event{when: e.now + delay, seq: e.seq, h: h, p: p})
+}
+
+// ScheduleEventAt is ScheduleEvent at an absolute cycle, which must not be
+// in the past.
+func (e *Engine) ScheduleEventAt(when Cycle, h Handler, p Payload) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: ScheduleEventAt(%d) in the past (now=%d)", when, e.now))
+	}
+	e.ScheduleEvent(when-e.now, h, p)
+}
+
+// insert routes an event to the ring (near future) or the overflow heap.
+func (e *Engine) insert(ev event) {
+	if ev.when-e.now < ringSize {
+		e.enqueueNear(ev)
+	} else {
+		e.overflowPush(ev)
+	}
+}
+
+func (e *Engine) enqueueNear(ev event) {
+	idx := uint32(ev.when) & ringMask
+	e.ring[idx].evs = append(e.ring[idx].evs, ev)
+	e.occ[idx>>6] |= 1 << (idx & 63)
+}
+
+// nextTime returns the timestamp of the earliest pending event. Ring
+// events are always earlier than overflow events (the overflow tier holds
+// only events >= now+ringSize), so the ring is scanned first via the
+// occupancy bitmap.
+func (e *Engine) nextTime() (Cycle, bool) {
+	if e.pending == 0 {
+		return 0, false
+	}
+	if d, ok := e.scanRing(); ok {
+		return e.now + Cycle(d), true
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].when, true
+	}
+	return 0, false
+}
+
+// scanRing finds the circular distance from now to the first occupied
+// bucket, scanning the bitmap one word at a time.
+func (e *Engine) scanRing() (uint32, bool) {
+	start := uint32(e.now) & ringMask
+	w := start >> 6
+	off := start & 63
+	// First (partial) word: bits at or after the start position.
+	if word := e.occ[w] >> off; word != 0 {
+		return uint32(bits.TrailingZeros64(word)), true
+	}
+	// Remaining words in circular order, including the wrapped start word
+	// (its low bits cover the farthest cycles of the horizon).
+	for i := uint32(1); i <= ringWord; i++ {
+		cw := (w + i) & (ringWord - 1)
+		word := e.occ[cw]
+		if i == ringWord {
+			word &= (1 << off) - 1 // only bits before start remain
+		}
+		if word != 0 {
+			dist := i*64 - off + uint32(bits.TrailingZeros64(word))
+			return dist, true
+		}
+	}
+	return 0, false
+}
+
+// advanceTo moves simulated time forward and migrates overflow events
+// whose horizon opened into the ring. Migration pops in (when, seq) order,
+// so same-cycle overflow events land in their bucket in sequence order,
+// ahead of any event scheduled for that cycle afterwards (which, by
+// monotonicity of seq, is younger).
+func (e *Engine) advanceTo(t Cycle) {
+	if t == e.now {
+		return
+	}
+	e.now = t
+	for len(e.overflow) > 0 && e.overflow[0].when-t < ringSize {
+		e.enqueueNear(e.overflowPop())
+	}
+}
+
+// popRun executes the next event of the current cycle's bucket. The
+// executed slot is zeroed immediately so no fn/handler reference outlives
+// its event.
+func (e *Engine) popRun() {
+	idx := uint32(e.now) & ringMask
+	b := &e.ring[idx]
+	ev := b.evs[b.head]
+	b.evs[b.head] = event{}
+	b.head++
+	if b.head == len(b.evs) {
+		b.evs = b.evs[:0]
+		b.head = 0
+		e.occ[idx>>6] &^= 1 << (idx & 63)
+	}
+	e.pending--
+	e.executed++
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.h.Handle(ev.p)
+	}
+}
+
 // step executes the single earliest event. It reports false if the queue
 // is empty.
 func (e *Engine) step() bool {
-	if len(e.queue) == 0 {
+	t, ok := e.nextTime()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
-	if ev.when < e.now {
-		panic("sim: event scheduled in the past")
-	}
-	e.now = ev.when
-	e.executed++
-	ev.fn()
+	e.advanceTo(t)
+	e.popRun()
 	return true
 }
 
@@ -118,13 +274,18 @@ func (e *Engine) Run() Cycle {
 // beyond limit remain queued. It returns the current cycle, which is
 // min(limit, time of last executed event) or the prior now if nothing ran.
 func (e *Engine) RunUntil(limit Cycle) Cycle {
-	for len(e.queue) > 0 && e.queue[0].when <= limit {
-		e.step()
+	for {
+		t, ok := e.nextTime()
+		if !ok || t > limit {
+			break
+		}
+		e.advanceTo(t)
+		e.popRun()
 	}
-	if e.now < limit && len(e.queue) > 0 {
+	if e.now < limit && e.pending > 0 {
 		// Advance logical time to the limit so callers observe a
 		// consistent clock even if no event landed exactly on it.
-		e.now = limit
+		e.advanceTo(limit)
 	}
 	return e.now
 }
@@ -150,9 +311,59 @@ func (e *Engine) RunBounded(maxEvents uint64) Cycle {
 	var n uint64
 	for e.step() {
 		n++
-		if n >= maxEvents && len(e.queue) > 0 {
+		if n >= maxEvents && e.pending > 0 {
 			panic(maxEventsMsg)
 		}
 	}
 	return e.now
+}
+
+// --- overflow tier: slice-backed binary min-heap on (when, seq) ----------
+
+func eventLess(a, b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) overflowPush(ev event) {
+	h := append(e.overflow, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.overflow = h
+}
+
+func (e *Engine) overflowPop() event {
+	h := e.overflow
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // zero the vacated slot: no retained fn/handler refs
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(&h[l], &h[small]) {
+			small = l
+		}
+		if r < n && eventLess(&h[r], &h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	e.overflow = h
+	return top
 }
