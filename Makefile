@@ -5,16 +5,25 @@
 #   make race        — go test -race over every package (fan-out safety)
 #   make bench       — benchmark suite (-benchmem -count=6) -> BENCH_<date>.json
 #   make bench-smoke — 1-iteration pass through the same pipeline (CI)
+#   make benchdiff   — fresh run vs the committed baseline, ns/op deltas
+#   make bench-gate  — hot-path ns/op ceiling + zero-alloc pins (CI)
 #   make fuzz        — brief run of the campaign scheduler fuzz target
 
 GO ?= go
 
 # BENCHFILTER narrows `make bench` to a -bench regexp, e.g.
 #   make bench BENCHFILTER='Engine|Access'
+# BENCHTAG suffixes the output record so same-day runs don't collide, e.g.
+#   make bench BENCHTAG=-fastpath  ->  BENCH_<date>-fastpath.json
 BENCHFILTER ?= .
-BENCHDATE   := $(shell date +%Y-%m-%d)
+BENCHTAG    ?=
+BENCHDATE   := $(shell date +%Y-%m-%d)$(BENCHTAG)
 
-.PHONY: check build test vet race bench bench-smoke fuzz fuzz-long
+# benchdiff baseline: the newest committed record by default; override
+# with  make benchdiff BENCHBASE=BENCH_2026-08-05.json
+BENCHBASE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+
+.PHONY: check build test vet race bench bench-smoke benchdiff bench-gate fuzz fuzz-long
 
 check: vet test race
 
@@ -50,6 +59,27 @@ bench-smoke:
 	$(GO) run ./cmd/bench2json < bench.raw > /dev/null
 	@rm -f bench.raw
 	@echo "bench smoke ok"
+
+# Three repetitions give a usable min ns/op without the full six-count
+# cost; the diff itself is informational (exit 0), regressions are the
+# reader's call. The gate below is the hard tripwire.
+benchdiff:
+	@test -n "$(BENCHBASE)" || { echo "no BENCH_*.json baseline found"; exit 1; }
+	$(GO) test -bench='$(BENCHFILTER)' -benchmem -count=3 -run=^$$ . > bench.raw
+	$(GO) run ./cmd/bench2json -diff '$(BENCHBASE)' < bench.raw
+	@rm -f bench.raw
+
+# Hard perf gate for CI: the coherence hot-path benchmarks must stay
+# under a generous ns/op ceiling (≈3x the committed baseline, so only a
+# real regression trips it on shared runners) and allocation-free.
+bench-gate:
+	$(GO) test -bench='^BenchmarkAccess' -benchmem -benchtime=50000x -run=^$$ . > bench.raw
+	@cat bench.raw
+	$(GO) run ./cmd/bench2json \
+		-ceiling 'BenchmarkAccessMESI=2500' \
+		-zeroalloc '^BenchmarkAccess' < bench.raw > /dev/null
+	@rm -f bench.raw
+	@echo "bench gate ok"
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCampaign -fuzztime=10s ./internal/campaign

@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/attack"
@@ -77,6 +78,34 @@ func benchAccess(b *testing.B, p coherence.Policy) {
 func BenchmarkAccessMESI(b *testing.B)     { benchAccess(b, coherence.MESI) }
 func BenchmarkAccessSwiftDir(b *testing.B) { benchAccess(b, coherence.SwiftDir) }
 func BenchmarkAccessSMESI(b *testing.B)    { benchAccess(b, coherence.SMESI) }
+
+// benchAccessHit measures the L1-hit steady state: a 16 KB working set
+// (4 pages, well inside the 32 KB L1 and the 64-entry TLB) in M state,
+// so after warmup every access is a stable-state hit — the case the
+// synchronous fast path serves without touching the event engine.
+// Disable it with SWIFTDIR_NO_FASTPATH=1 to measure the event path on
+// the identical hit stream.
+func benchAccessHit(b *testing.B, p coherence.Policy) {
+	cfg := core.DefaultConfig(2, p)
+	cfg.NoFastPath = os.Getenv("SWIFTDIR_NO_FASTPATH") == "1"
+	m := core.MustNewMachine(cfg)
+	proc := m.NewProcess()
+	ctx := proc.AttachContext(0)
+	heap := proc.MmapAnon(16 << 10)
+	const blocks = 16 << 10 / 64
+	for i := 0; i < blocks; i++ {
+		ctx.MustAccessSync(heap+mmu.VAddr(i)*64, true, uint64(i)) // fault + drive to M
+	}
+	m.Quiesce()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.MustAccessSync(heap+mmu.VAddr(i%blocks)*64, i%4 == 0, uint64(i))
+	}
+}
+
+func BenchmarkAccessHitMESI(b *testing.B)     { benchAccessHit(b, coherence.MESI) }
+func BenchmarkAccessHitSwiftDir(b *testing.B) { benchAccessHit(b, coherence.SwiftDir) }
+func BenchmarkAccessHitSMESI(b *testing.B)    { benchAccessHit(b, coherence.SMESI) }
 
 // BenchmarkDirectoryWARLookup stresses the directory's address-map lookups
 // under a write-after-read pattern: core 0 installs a shared copy, core 1

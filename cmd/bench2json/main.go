@@ -9,13 +9,24 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -count=6 -run='^$' . | bench2json > BENCH_2026-08-05.json
+//
+// With -diff it compares stdin against a committed baseline instead of
+// emitting JSON, printing per-benchmark ns/op deltas (`make benchdiff`).
+// Two gate flags make it a CI tripwire (`make bench-gate`): -ceiling
+// fails the run when a named benchmark exceeds its ns/op budget, and
+// -zeroalloc fails it when a benchmark matching the regexp allocates.
+//
+//	... | bench2json -diff BENCH_2026-08-05.json
+//	... | bench2json -ceiling 'BenchmarkAccessMESI=2500' -zeroalloc '^BenchmarkAccess' > /dev/null
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -30,6 +41,11 @@ type Entry struct {
 }
 
 func main() {
+	diffPath := flag.String("diff", "", "compare against this baseline JSON instead of emitting JSON")
+	ceilings := flag.String("ceiling", "", "comma-separated name=ns/op budgets that fail the run when exceeded")
+	zeroAlloc := flag.String("zeroalloc", "", "regexp of benchmarks that must report 0 allocs/op")
+	flag.Parse()
+
 	entries, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
@@ -39,12 +55,121 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(entries); err != nil {
-		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+
+	violations := gate(entries, *ceilings, *zeroAlloc)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "bench2json: GATE: %s\n", v)
+	}
+
+	if *diffPath != "" {
+		if err := printDiff(os.Stdout, *diffPath, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(entries); err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(violations) > 0 {
 		os.Exit(1)
 	}
+}
+
+// gate checks the budgets and returns a description of every violation.
+// The ceiling spec is "Name=ns,Name=ns"; zeroAlloc is a regexp (empty
+// disables). An unknown ceiling name is itself a violation, so a renamed
+// benchmark cannot silently disarm the gate.
+func gate(entries []*Entry, ceilings, zeroAlloc string) []string {
+	var out []string
+	byName := make(map[string]*Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	if ceilings != "" {
+		for _, spec := range strings.Split(ceilings, ",") {
+			name, limitStr, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok {
+				out = append(out, fmt.Sprintf("bad -ceiling entry %q (want Name=ns)", spec))
+				continue
+			}
+			limit, err := strconv.ParseFloat(limitStr, 64)
+			if err != nil {
+				out = append(out, fmt.Sprintf("bad -ceiling budget %q: %v", spec, err))
+				continue
+			}
+			e := byName[name]
+			if e == nil {
+				out = append(out, fmt.Sprintf("%s: not found in benchmark output", name))
+				continue
+			}
+			if e.NsPerOp > limit {
+				out = append(out, fmt.Sprintf("%s: %.1f ns/op exceeds the %.1f ns/op ceiling", name, e.NsPerOp, limit))
+			}
+		}
+	}
+	if zeroAlloc != "" {
+		re, err := regexp.Compile(zeroAlloc)
+		if err != nil {
+			return append(out, fmt.Sprintf("bad -zeroalloc regexp: %v", err))
+		}
+		matched := false
+		for _, e := range entries {
+			if !re.MatchString(e.Name) {
+				continue
+			}
+			matched = true
+			if e.AllocsPerOp != 0 {
+				out = append(out, fmt.Sprintf("%s: %.0f allocs/op, pinned at 0", e.Name, e.AllocsPerOp))
+			}
+		}
+		if !matched {
+			out = append(out, fmt.Sprintf("-zeroalloc %q matched no benchmarks", zeroAlloc))
+		}
+	}
+	return out
+}
+
+// printDiff renders per-benchmark ns/op deltas of entries vs the
+// baseline JSON, in the fresh run's order, then lists baseline
+// benchmarks that no longer exist.
+func printDiff(w *os.File, baselinePath string, entries []*Entry) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline []*Entry
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	base := make(map[string]*Entry, len(baseline))
+	for _, e := range baseline {
+		base[e.Name] = e
+	}
+	fmt.Fprintf(w, "%-40s %12s %12s %9s\n", "benchmark (vs "+baselinePath+")", "old ns/op", "new ns/op", "delta")
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		seen[e.Name] = true
+		b := base[e.Name]
+		if b == nil {
+			fmt.Fprintf(w, "%-40s %12s %12.1f %9s\n", e.Name, "-", e.NsPerOp, "new")
+			continue
+		}
+		delta := "0.0%"
+		if b.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(e.NsPerOp-b.NsPerOp)/b.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-40s %12.1f %12.1f %9s\n", e.Name, b.NsPerOp, e.NsPerOp, delta)
+	}
+	for _, b := range baseline {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "%-40s %12.1f %12s %9s\n", b.Name, b.NsPerOp, "-", "removed")
+		}
+	}
+	return nil
 }
 
 // parse folds benchmark result lines in first-seen order. Lines that are

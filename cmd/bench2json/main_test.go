@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"os"
 	"strings"
 	"testing"
 )
@@ -46,5 +47,59 @@ func TestParseEmptyInput(t *testing.T) {
 	entries, err := parse(bufio.NewScanner(strings.NewReader("PASS\n")))
 	if err != nil || len(entries) != 0 {
 		t.Fatalf("entries=%v err=%v", entries, err)
+	}
+}
+
+func TestGate(t *testing.T) {
+	entries, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := gate(entries, "BenchmarkAccessMESI=2500", "^BenchmarkAccessMESI$"); len(v) != 0 {
+		t.Fatalf("clean run reported violations: %v", v)
+	}
+	v := gate(entries, "BenchmarkAccessMESI=500,BenchmarkMissing=1", "^BenchmarkFig7")
+	if len(v) != 3 {
+		t.Fatalf("got %d violations, want 3 (ceiling, missing name, allocs): %v", len(v), v)
+	}
+	if v := gate(entries, "", "^NoSuchBenchmark"); len(v) != 1 {
+		t.Fatalf("unmatched -zeroalloc regexp must be a violation, got %v", v)
+	}
+	if v := gate(entries, "garbage", ""); len(v) != 1 {
+		t.Fatalf("malformed ceiling spec must be a violation, got %v", v)
+	}
+}
+
+func TestPrintDiff(t *testing.T) {
+	entries, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	baseline := dir + "/base.json"
+	if err := os.WriteFile(baseline, []byte(`[
+  {"name": "BenchmarkAccessMESI", "runs": 6, "ns_per_op": 800.0},
+  {"name": "BenchmarkGone", "runs": 6, "ns_per_op": 42.0}
+]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := dir + "/diff.txt"
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := printDiff(f, baseline, entries); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	text, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(text)
+	for _, want := range []string{"-12.1%", "new", "removed", "BenchmarkGone", "BenchmarkEngineEventThroughput"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
 	}
 }

@@ -17,13 +17,27 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 func main() {
 	bits := flag.Int("bits", 1024, "covert-channel bits")
 	trials := flag.Int("trials", 512, "side-channel trials")
 	secret := flag.String("secret", "SwiftDir", "ASCII secret to exfiltrate in the demo")
+	var pf prof.Flags
+	pf.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swiftdir-attack: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "swiftdir-attack: profile: %v\n", err)
+		}
+	}()
 
 	_, _, report := experiments.Security(*bits, *trials)
 	fmt.Println(report)

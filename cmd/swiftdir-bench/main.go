@@ -27,13 +27,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -65,38 +64,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	passes := fs.Int("passes", 4, "measured passes for fig10")
 	jobs := fs.Int("j", 0, "concurrent simulation jobs (0 = $SWIFTDIR_JOBS, else NumCPU)")
 	outPath := fs.String("out", "", "also append the report to this file")
-	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	var pf prof.Flags
+	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
-			return 1
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
+		return 1
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // flush dead objects so the profile shows live heap
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
-			}
-		}()
-	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "swiftdir-bench: profile: %v\n", err)
+		}
+	}()
 
 	known := *exp == "all"
 	for _, name := range experimentNames {
@@ -113,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	campaign.SetWorkers(*jobs)
 	defer campaign.SetWorkers(0)
 	campaign.TakeSummaries() // start from a clean accounting slate
+	stats.TakeFastPaths()
 
 	var out io.Writer = stdout
 	if *outPath != "" {
@@ -126,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var campaignTotal stats.CampaignSummary
+	var fpTotal stats.FastPathSummary
 	totalStart := time.Now()
 	failed := 0
 	run := func(name string, fn func() string) {
@@ -166,6 +151,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				campaignTotal.Workers = sum.Workers
 			}
 		}
+		// Same rule for the fast-path split: observability only, stderr
+		// only, so stdout stays byte-identical with the fast path on or
+		// off (and at any -j).
+		if fp := stats.MergeFastPaths(name, stats.TakeFastPaths()); fp.Total() > 0 {
+			fmt.Fprintln(stderr, fp.Footer())
+			fpTotal.Fast += fp.Fast
+			fpTotal.Slow += fp.Slow
+		}
 	}
 
 	run("table5", experiments.Table5)
@@ -200,6 +193,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		campaignTotal.Label = "all"
 		campaignTotal.Wall = time.Since(totalStart)
 		fmt.Fprintln(stderr, campaignTotal.Footer())
+	}
+	if *exp == "all" && fpTotal.Total() > 0 {
+		fpTotal.Label = "all"
+		fmt.Fprintln(stderr, fpTotal.Footer())
 	}
 	if failed > 0 {
 		return 1

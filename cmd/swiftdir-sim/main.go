@@ -18,13 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/workload"
 )
 
@@ -41,33 +40,19 @@ func main() {
 	cores := flag.Int("cores", 4, "core count for -dumpconfig")
 	jobs := flag.Int("j", 0, "concurrent benchmark runs for a -bench list (0 = $SWIFTDIR_JOBS, else NumCPU)")
 	verbose := flag.Bool("v", true, "print hierarchy statistics")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	var pf prof.Flags
+	pf.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fatal("%v", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal("%v", err)
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := pf.Start()
+	if err != nil {
+		fatal("%v", err)
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fatal("%v", err)
-			}
-			defer f.Close()
-			runtime.GC() // flush dead objects so the profile shows live heap
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal("%v", err)
-			}
-		}()
-	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "swiftdir-sim: profile: %v\n", err)
+		}
+	}()
 
 	campaign.SetWorkers(*jobs)
 
@@ -201,6 +186,9 @@ func runOne(prof workload.Profile, configPath, protoName string, kind workload.C
 		missRate := 1 - float64(st.LoadHits+st.StoreHits+st.SilentUpgrades)/float64(st.Loads+st.Stores)
 		fmt.Fprintf(&b, "  L1 %-2d      : %d loads, %d stores, miss rate %.2f%%, %d silent upgrades, %d explicit upgrades, %d writebacks\n",
 			l1.ID, st.Loads, st.Stores, 100*missRate, st.SilentUpgrades, st.ExplicitUpgrades, st.Writebacks)
+		fmt.Fprintf(&b, "               fast path: %d fast hits, %d via event engine (%.1f%% fast)\n",
+			st.FastHits, st.SlowPath,
+			100*float64(st.FastHits)/float64(st.FastHits+st.SlowPath))
 	}
 	bs := m.Sys.BankStatsTotal()
 	fmt.Fprintf(&b, "  directory  : %d requests, %d LLC-served, %d forwards (3-hop), %d invalidations, %d upgrade acks, %d recalls\n",

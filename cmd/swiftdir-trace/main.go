@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/cpu"
+	"repro/internal/prof"
 	"repro/internal/workload"
 )
 
@@ -28,7 +29,19 @@ func main() {
 	protoName := flag.String("protocol", "SwiftDir", "protocol for -replay")
 	cpuKind := flag.String("cpu", "DerivO3CPU", "CPU model for -replay")
 	scale := flag.Float64("scale", 0.25, "instruction-budget scale for -record")
+	var pf prof.Flags
+	pf.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "swiftdir-trace: profile: %v\n", err)
+		}
+	}()
 
 	switch {
 	case *record != "":

@@ -76,3 +76,27 @@ func TestSteadyStateMissZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state L1 miss allocates %.2f per access, want 0", allocs)
 	}
 }
+
+// TestFastPathZeroAlloc pins the synchronous fast path — TryFastAccess
+// plus AccessSync's zero-event completion tier — at zero allocations and
+// confirms the path actually fires (FastHits advances every iteration).
+func TestFastPathZeroAlloc(t *testing.T) {
+	s := MustNewSystem(testConfig(MESI, 2))
+	const addr = blockA
+	s.AccessSync(0, addr, false, false, 0)
+	s.AccessSync(0, addr, true, false, 1)
+	s.Eng.Run() // drain directory cleanup so the fast path is eligible
+
+	before := s.L1s[0].Stats.FastHits
+	var i uint64
+	allocs := testing.AllocsPerRun(500, func() {
+		s.AccessSync(0, addr, i%2 == 0, false, i)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("fast-path hit allocates %.1f per access, want 0", allocs)
+	}
+	if after := s.L1s[0].Stats.FastHits; after-before < 500 {
+		t.Fatalf("fast path fired %d times during the alloc run, want >= 500", after-before)
+	}
+}

@@ -48,6 +48,11 @@ type SystemConfig struct {
 	Policy    Policy
 	DRAM      dram.Config
 	Prefetch  PrefetchMode // L1 next-line prefetcher
+
+	// NoFastPath disables the synchronous hit fast path, forcing every
+	// access through the event engine. The fast path is byte-identical by
+	// construction; the knob exists so equivalence tests can prove it.
+	NoFastPath bool
 }
 
 // Validate checks the configuration.
@@ -90,6 +95,11 @@ type System struct {
 	msgCounts [MsgDataFromOwner + 1]uint64
 	xbar      *interconnect.Crossbar
 	numL1     int
+	noFast    bool
+
+	// Cached AccessSync fast-path completion state (see Handle).
+	fpDone bool
+	fpCond func() bool
 
 	// Record, if set, observes every completed access (for latency CDFs).
 	Record func(port int, r AccessResult)
@@ -108,6 +118,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		mapper: cache.NewBankMapper(cfg.Banks, cfg.LLCParams.BlockSize),
 		image:  make(map[cache.Addr]uint64),
 		numL1:  cfg.NumL1,
+		noFast: cfg.NoFastPath,
 	}
 	// Crossbar ports: L1s first, then LLC banks.
 	xcfg := interconnect.Config{
@@ -195,10 +206,67 @@ func (s *System) Submit(port int, a Access) {
 	s.L1s[port].Request(a)
 }
 
+// TryFastAccess attempts to complete a stable-state L1 hit synchronously:
+// on success the array, LRU, and statistics have been updated exactly as
+// the event path would have, and the returned latency is the one the event
+// path would have reported — without a single event scheduled. The caller
+// owns completion: it must account the latency (and invoke any callback)
+// itself. Non-trivial cases — miss, transient state, upgrade that needs
+// the directory, a busy or pinned bank, pre-charged translation latency, a
+// Record hook, or a timing configuration in which a message issued this
+// cycle could land inside the hit window — return ok=false, and the caller
+// falls back to Submit.
+func (s *System) TryFastAccess(port int, a Access) (AccessResult, bool) {
+	if s.noFast || s.Record != nil || a.Extra != 0 {
+		return AccessResult{}, false
+	}
+	if s.Timing.L1Tag >= s.Timing.Hop {
+		// The crossbar's minimum delivery delay is Hop, so with
+		// L1Tag < Hop nothing sent at or after submission time can reach
+		// the L1 at or before the would-be completion time. Exotic
+		// timing sweeps that violate this stay on the event path.
+		return AccessResult{}, false
+	}
+	return s.L1s[port].tryFast(&a)
+}
+
+// sysOpFastDone is the System's only payload op: an AccessSync fast-path
+// completion point.
+const sysOpFastDone uint8 = 1
+
+// Handle implements sim.Handler for the AccessSync fast path: the single
+// completion event it schedules stands in for the event path's opL1Process
+// at the same (cycle, seq), so engine stepping is byte-identical.
+func (s *System) Handle(p sim.Payload) {
+	if p.Op != sysOpFastDone {
+		panic(fmt.Sprintf("coherence: system: unknown payload op %d", p.Op))
+	}
+	s.fpDone = true
+}
+
 // AccessSync submits an access and runs the engine until it completes,
 // returning the result. It is the probe interface the attack framework
 // and the protocol tests use.
 func (s *System) AccessSync(port int, addr cache.Addr, write bool, wp bool, value uint64) AccessResult {
+	if r, ok := s.TryFastAccess(port, Access{Addr: addr, Write: write, WP: wp, Value: value}); ok {
+		if s.Eng.Pending() == 0 {
+			// Nothing else in flight: skip the event engine entirely and
+			// advance the clock to the completion time.
+			s.Eng.RunTo(s.Eng.Now() + r.Latency)
+			return r
+		}
+		// In-flight background work (writeback tails, queued wakeups):
+		// schedule one completion event where the event path would have
+		// scheduled its tag-lookup event, so the engine stops at exactly
+		// the same point.
+		s.fpDone = false
+		if s.fpCond == nil {
+			s.fpCond = func() bool { return !s.fpDone }
+		}
+		s.Eng.ScheduleEvent(r.Latency, s, sim.Payload{Op: sysOpFastDone})
+		s.Eng.RunWhile(s.fpCond)
+		return r
+	}
 	var out AccessResult
 	done := false
 	s.Submit(port, Access{
@@ -214,6 +282,15 @@ func (s *System) AccessSync(port int, addr cache.Addr, write bool, wp bool, valu
 
 // Quiesce drains all in-flight activity.
 func (s *System) Quiesce() { s.Eng.Run() }
+
+// FastPathTotals sums the fast/slow access split over all L1 controllers.
+func (s *System) FastPathTotals() (fast, slow uint64) {
+	for _, l1 := range s.L1s {
+		fast += l1.Stats.FastHits
+		slow += l1.Stats.SlowPath
+	}
+	return fast, slow
+}
 
 // BankStatsTotal sums statistics over all banks.
 func (s *System) BankStatsTotal() BankStats {

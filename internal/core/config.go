@@ -78,6 +78,12 @@ type Config struct {
 	// Prefetch selects the L1 next-line prefetcher mode (off by default;
 	// see coherence.PrefetchMode for the naive mode's security hazard).
 	Prefetch coherence.PrefetchMode
+
+	// NoFastPath forces every access through the event engine, disabling
+	// the synchronous L1-hit fast path (see DESIGN.md §5). Semantics and
+	// statistics are identical either way; the knob exists for the
+	// fast-vs-slow equivalence tests.
+	NoFastPath bool
 }
 
 // DefaultConfig returns the Table V machine with the given core count and
@@ -145,14 +151,15 @@ func (c Config) Validate() error {
 // 2i+1 its I-cache, both coherent peers of the banked LLC.
 func (c Config) coherenceConfig() coherence.SystemConfig {
 	return coherence.SystemConfig{
-		NumL1:     2 * c.Cores,
-		L1Params:  c.L1,
-		LLCParams: c.L2Bank,
-		Banks:     c.Cores,
-		Timing:    c.Timing,
-		Policy:    c.Protocol,
-		DRAM:      c.DRAM,
-		Prefetch:  c.Prefetch,
+		NumL1:      2 * c.Cores,
+		L1Params:   c.L1,
+		LLCParams:  c.L2Bank,
+		Banks:      c.Cores,
+		Timing:     c.Timing,
+		Policy:     c.Protocol,
+		DRAM:       c.DRAM,
+		Prefetch:   c.Prefetch,
+		NoFastPath: c.NoFastPath,
 	}
 }
 

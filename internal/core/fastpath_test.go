@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// Machine-level fast-path tests: the synchronous L1-hit path must remain
+// byte-identical to the event path through the full CPU-facing stack —
+// TLB lookups, translation-timing charges, page faults — under every L1
+// organization, including PIPT where the fast path never fires at all.
+
+// fastSlowPair builds two identical machines, one with the fast path
+// disabled, plus one attached context each on core 0.
+func fastSlowPair(t *testing.T, mut func(*Config)) (fast, slow *Context) {
+	t.Helper()
+	mk := func(noFast bool) *Context {
+		cfg := DefaultConfig(2, coherence.SwiftDir)
+		if mut != nil {
+			mut(&cfg)
+		}
+		cfg.NoFastPath = noFast
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.NewProcess().AttachContext(0)
+	}
+	return mk(false), mk(true)
+}
+
+// TestFastPathMachineEquivalence replays one random virtual-address
+// trace — demand faults, TLB misses and hits, loads and stores — on a
+// fast-path machine and its NoFastPath twin and requires identical
+// results, identical clocks, and identical statistics modulo the
+// FastHits/SlowPath split. VIPT and VIVT exercise the fast path; PIPT
+// pins the translation charge ahead of the access and must decline
+// everywhere while still matching the event path exactly.
+func TestFastPathMachineEquivalence(t *testing.T) {
+	for _, arch := range []CacheArch{VIPT, PIPT, VIVT} {
+		t.Run(arch.String(), func(t *testing.T) {
+			fast, slow := fastSlowPair(t, func(c *Config) { c.L1Arch = arch })
+			heapF := fast.Proc.MmapAnon(64 << 10)
+			heapS := slow.Proc.MmapAnon(64 << 10)
+			if heapF != heapS {
+				t.Fatalf("heap layout diverged: %#x vs %#x", heapF, heapS)
+			}
+
+			rng := sim.NewRNG(0xC0DE)
+			// A few hot lines (fast-path food), a page-sized stride to
+			// churn the TLB, and occasional cold pages to fault in.
+			addr := func() mmu.VAddr {
+				switch rng.Uint64() % 8 {
+				case 0:
+					return heapF + mmu.VAddr(rng.Uint64()%16)*4096 // TLB churn
+				case 1:
+					return heapF + mmu.VAddr(40<<10) + mmu.VAddr(rng.Uint64()%8192) // cold-ish
+				default:
+					return heapF + mmu.VAddr(rng.Uint64()%4)*64 // hot lines
+				}
+			}
+			for i := 0; i < 3000; i++ {
+				v := addr()
+				write := rng.Bool(0.3)
+				val := rng.Uint64()
+				rf := fast.MustAccessSync(v, write, val)
+				rs := slow.MustAccessSync(v, write, val)
+				if rf != rs {
+					t.Fatalf("op %d (vaddr %#x write %v): fast %+v != slow %+v", i, v, write, rf, rs)
+				}
+			}
+			mf, ms := fast.Machine(), slow.Machine()
+			mf.Quiesce()
+			ms.Quiesce()
+			if mf.Now() != ms.Now() {
+				t.Fatalf("clocks diverged: fast %d, slow %d", mf.Now(), ms.Now())
+			}
+			var fastHits uint64
+			for i := range mf.Sys.L1s {
+				fs, ss := mf.Sys.L1s[i].Stats, ms.Sys.L1s[i].Stats
+				fastHits += fs.FastHits
+				fs.FastHits, fs.SlowPath = 0, 0
+				ss.FastHits, ss.SlowPath = 0, 0
+				if fs != ss {
+					t.Fatalf("L1 %d stats diverged:\nfast %+v\nslow %+v", i, fs, ss)
+				}
+			}
+			if fb, sb := mf.Sys.BankStatsTotal(), ms.Sys.BankStatsTotal(); fb != sb {
+				t.Fatalf("bank stats diverged:\nfast %+v\nslow %+v", fb, sb)
+			}
+			if arch == PIPT {
+				if fastHits != 0 {
+					t.Fatalf("PIPT fast-pathed %d accesses; translation must serialize ahead", fastHits)
+				}
+			} else if fastHits == 0 {
+				t.Fatalf("%s run never exercised the fast path", arch)
+			}
+			if err := mf.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ms.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFastPathAsyncInterleave is the machine-level litmus: a store is
+// submitted asynchronously and, while its upgrade is mid-flight, the
+// same core issues synchronous loads to unrelated hot lines. Fast and
+// NoFastPath machines must interleave identically — same per-access
+// results, same completion cycle for the racing store — so the fast path
+// cannot reorder a load around an in-flight same-core store.
+func TestFastPathAsyncInterleave(t *testing.T) {
+	fast, slow := fastSlowPair(t, nil)
+	run := func(ctx *Context) (loads [4]coherence.AccessResult, storeCycle sim.Cycle, fastHits uint64) {
+		m := ctx.Machine()
+		heap := ctx.Proc.MmapAnon(16 << 10)
+		lineA, lineB := heap, heap+4096 // distinct pages, distinct banks
+		other := ctx.Proc.AttachContext(1)
+		ctx.MustAccessSync(lineA, true, 1) // A modified in core 0
+		other.MustAccessSync(lineA, false, 0)
+		// Core 0's copy of A is now shared; upgrade required to store.
+		ctx.MustAccessSync(lineB, true, 2) // B hot and M in core 0
+		m.Quiesce()
+
+		done := false
+		if err := ctx.Access(lineA, true, 42, func(coherence.AccessResult) {
+			done = true
+			storeCycle = m.Now()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		m.Engine().RunFor(2) // upgrade in flight, not yet at the bank
+		for i := range loads {
+			loads[i] = ctx.MustAccessSync(lineB+mmu.VAddr(i%2)*64, false, 0)
+		}
+		m.Quiesce()
+		if !done {
+			t.Fatal("async store never completed")
+		}
+		f, _ := m.Sys.FastPathTotals()
+		return loads, storeCycle, f
+	}
+	lf, cf, hf := run(fast)
+	ls, cs, hs := run(slow)
+	if lf != ls || cf != cs {
+		t.Fatalf("interleaving diverged: fast loads %v store@%d, slow loads %v store@%d", lf, cf, ls, cs)
+	}
+	if hf == 0 || hs != 0 {
+		t.Fatalf("fast-path totals: fast machine %d (want > 0), slow machine %d (want 0)", hf, hs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 // InOrder models gem5's TimingSimpleCPU: one instruction at a time, with
@@ -19,19 +20,42 @@ type InOrder struct {
 
 	stats Stats
 	done  func()
+
+	// Cached callbacks so steady-state execution allocates nothing: one
+	// memory-completion closure shared by every access, and one step
+	// thunk for barrier rendezvous.
+	memDone func(coherence.AccessResult)
+	stepFn  func()
 }
+
+// ioOpStep is the InOrder core's only payload op: execute the next
+// instruction.
+const ioOpStep uint8 = 1
 
 // NewInOrder builds an in-order core over ctx executing trace. bar may be
 // nil for traces without barrier instructions.
 func NewInOrder(ctx *core.Context, trace TraceSource, bar *Barrier) *InOrder {
-	return &InOrder{ctx: ctx, trace: trace, bar: bar}
+	c := &InOrder{ctx: ctx, trace: trace, bar: bar}
+	c.memDone = func(coherence.AccessResult) {
+		c.ctx.Engine().ScheduleEvent(0, c, sim.Payload{Op: ioOpStep})
+	}
+	c.stepFn = c.step
+	return c
+}
+
+// Handle implements sim.Handler: the core's self-wakeup event.
+func (c *InOrder) Handle(p sim.Payload) {
+	if p.Op != ioOpStep {
+		panic(fmt.Sprintf("cpu: in-order core: unknown payload op %d", p.Op))
+	}
+	c.step()
 }
 
 // Start begins execution; done is invoked when the trace drains.
 func (c *InOrder) Start(done func()) {
 	c.done = done
 	c.stats.StartCycle = c.ctx.Engine().Now()
-	c.ctx.Engine().Schedule(0, c.step)
+	c.ctx.Engine().ScheduleEvent(0, c, sim.Payload{Op: ioOpStep})
 }
 
 // Stats returns the execution summary (valid after completion).
@@ -51,16 +75,12 @@ func (c *InOrder) step() {
 	switch ins.Op {
 	case OpLoad:
 		c.stats.Loads++
-		if err := c.ctx.Access(ins.Addr, false, 0, func(coherence.AccessResult) {
-			eng.Schedule(0, c.step)
-		}); err != nil {
+		if err := c.ctx.Access(ins.Addr, false, 0, c.memDone); err != nil {
 			panic(fmt.Sprintf("cpu: load %#x: %v", uint64(ins.Addr), err))
 		}
 	case OpStore:
 		c.stats.Stores++
-		if err := c.ctx.Access(ins.Addr, true, ins.Value, func(coherence.AccessResult) {
-			eng.Schedule(0, c.step)
-		}); err != nil {
+		if err := c.ctx.Access(ins.Addr, true, ins.Value, c.memDone); err != nil {
 			panic(fmt.Sprintf("cpu: store %#x: %v", uint64(ins.Addr), err))
 		}
 	case OpBarrier:
@@ -68,13 +88,13 @@ func (c *InOrder) step() {
 			panic("cpu: barrier instruction without a barrier")
 		}
 		c.stats.Barriers++
-		c.bar.Arrive(c.step)
+		c.bar.Arrive(c.stepFn)
 	default:
 		lat := ins.latency()
 		if ins.Op == OpBranch && ins.Mispredict {
 			c.stats.Mispredicts++
 			lat += MispredictPenalty
 		}
-		eng.Schedule(lat, c.step)
+		eng.ScheduleEvent(lat, c, sim.Payload{Op: ioOpStep})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/mmu"
+	"repro/internal/sim"
 )
 
 // OutOfOrder is a DerivO3CPU-style core: a reorder buffer of Table V's 192
@@ -62,6 +63,31 @@ type OutOfOrder struct {
 	done          func()
 }
 
+// Payload ops for the core's self-wakeup events (see Handle).
+const (
+	o3OpTick     uint8 = 1 // pipeline tick
+	o3OpMarkDone uint8 = 2 // fixed-latency instruction completed (A = idx)
+	o3OpRedirect uint8 = 3 // mispredict redirect penalty elapsed
+)
+
+// Handle implements sim.Handler for the core's scheduled work, replacing
+// the per-event closures the pipeline used to allocate.
+func (c *OutOfOrder) Handle(p sim.Payload) {
+	switch p.Op {
+	case o3OpTick:
+		c.tickScheduled = false
+		c.tick()
+	case o3OpMarkDone:
+		c.markDone(p.A)
+	case o3OpRedirect:
+		c.fetchBlocked = false
+		c.redirectPending = false
+		c.ensureTick()
+	default:
+		panic(fmt.Sprintf("cpu: o3 core: unknown payload op %d", p.Op))
+	}
+}
+
 type o3Status uint8
 
 const (
@@ -101,7 +127,7 @@ func NewOutOfOrder(ctx *core.Context, trace TraceSource, bar *Barrier) *OutOfOrd
 func (c *OutOfOrder) Start(done func()) {
 	c.done = done
 	c.stats.StartCycle = c.ctx.Engine().Now()
-	c.ctx.Engine().Schedule(0, func() { c.tick() })
+	c.ctx.Engine().ScheduleEvent(0, c, sim.Payload{Op: o3OpTick})
 }
 
 // Stats returns the execution summary (valid after completion).
@@ -116,10 +142,7 @@ func (c *OutOfOrder) ensureTick() {
 		return
 	}
 	c.tickScheduled = true
-	c.ctx.Engine().Schedule(1, func() {
-		c.tickScheduled = false
-		c.tick()
-	})
+	c.ctx.Engine().ScheduleEvent(1, c, sim.Payload{Op: o3OpTick})
 }
 
 func (c *OutOfOrder) tick() {
@@ -245,8 +268,7 @@ func (c *OutOfOrder) issue() int {
 			c.issueMem(e, true)
 		default:
 			e.status = stIssued
-			idx := e.idx
-			c.ctx.Engine().Schedule(e.instr.latency(), func() { c.markDone(idx) })
+			c.ctx.Engine().ScheduleEvent(e.instr.latency(), c, sim.Payload{Op: o3OpMarkDone, A: e.idx})
 		}
 		issued++
 	}
@@ -306,11 +328,7 @@ func (c *OutOfOrder) markDone(idx uint64) {
 	if c.fetchBlocked && idx == c.fetchBlockedOn && !c.redirectPending {
 		// The mispredicted branch resolved: redirect the front end.
 		c.redirectPending = true
-		c.ctx.Engine().Schedule(MispredictPenalty, func() {
-			c.fetchBlocked = false
-			c.redirectPending = false
-			c.ensureTick()
-		})
+		c.ctx.Engine().ScheduleEvent(MispredictPenalty, c, sim.Payload{Op: o3OpRedirect})
 	}
 	for _, depSlot := range c.waiters[idx] {
 		d := &c.rob[depSlot]

@@ -1,0 +1,62 @@
+// Package prof centralizes the -cpuprofile/-memprofile plumbing shared
+// by the CLI tools (swiftdir-sim, swiftdir-bench, swiftdir-trace,
+// swiftdir-attack), so every frontend exposes the same two flags with
+// the same semantics: the CPU profile covers the whole run, and the heap
+// profile is written on exit after a GC flushes dead objects.
+package prof
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the two profiling destinations.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// Register installs the -cpuprofile/-memprofile flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling if requested and returns a stop function
+// that finalizes the CPU profile and writes the heap profile. Defer the
+// stop function immediately; with neither flag set both Start and stop
+// are no-ops.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		fd, err := os.Create(f.CPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(fd); err != nil {
+			fd.Close()
+			return nil, err
+		}
+		cpuFile = fd
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if f.Mem != "" {
+			fd, err := os.Create(f.Mem)
+			if err != nil {
+				return err
+			}
+			defer fd.Close()
+			runtime.GC() // flush dead objects so the profile shows live heap
+			return pprof.WriteHeapProfile(fd)
+		}
+		return nil
+	}, nil
+}

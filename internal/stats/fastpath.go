@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FastPathSummary reports how one run's CPU-side cache accesses split
+// between the synchronous L1-hit fast path and the event engine (see
+// DESIGN.md §5). The split is pure observability: disabling the fast
+// path changes neither results nor statistics, only this summary.
+type FastPathSummary struct {
+	Label string
+	Fast  uint64 // accesses completed synchronously (TryFastAccess)
+	Slow  uint64 // accesses submitted to the event path
+}
+
+// Total returns the run's CPU-side access count.
+func (s FastPathSummary) Total() uint64 { return s.Fast + s.Slow }
+
+// Fraction returns the share of accesses served by the fast path, 0
+// for an empty run.
+func (s FastPathSummary) Fraction() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.Fast) / float64(t)
+	}
+	return 0
+}
+
+// Footer renders the one-line fast-path accounting printed under each
+// report. Like CampaignSummary.Footer it never goes on the deterministic
+// report stream itself (swiftdir-bench prints it to stderr).
+func (s FastPathSummary) Footer() string {
+	label := s.Label
+	if label == "" {
+		label = "run"
+	}
+	return fmt.Sprintf("[fastpath %s] %d accesses: %d fast (%.1f%%), %d slow",
+		label, s.Total(), s.Fast, 100*s.Fraction(), s.Slow)
+}
+
+// MergeFastPaths folds the per-run summaries of one experiment into a
+// single line under the given label.
+func MergeFastPaths(label string, summaries []FastPathSummary) FastPathSummary {
+	out := FastPathSummary{Label: label}
+	for _, s := range summaries {
+		out.Fast += s.Fast
+		out.Slow += s.Slow
+	}
+	return out
+}
+
+var (
+	fpMu      sync.Mutex
+	fpPending []FastPathSummary
+)
+
+// AddFastPath queues a run's fast-path split for TakeFastPaths; the
+// workload runners call it so CLI frontends can report the split without
+// threading it through every experiment signature (the same pattern as
+// the campaign summaries). The queue is bounded: under a frontend that
+// never drains, old entries fall off rather than accumulating.
+func AddFastPath(s FastPathSummary) {
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	fpPending = append(fpPending, s)
+	const keep = 4096
+	if len(fpPending) > keep {
+		fpPending = append(fpPending[:0], fpPending[len(fpPending)-keep:]...)
+	}
+}
+
+// TakeFastPaths drains and returns the summaries queued since the
+// previous drain, in completion order.
+func TakeFastPaths() []FastPathSummary {
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	out := fpPending
+	fpPending = nil
+	return out
+}

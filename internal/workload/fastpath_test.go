@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+)
+
+// TestFastPathCPUEquivalence runs a WAR-heavy multithreaded profile on
+// both CPU models with the fast path enabled and disabled. The out-of-
+// order core overlaps loads with in-flight stores (the interleaving the
+// fast path must not perturb), so identical Results — cycle counts, IPC,
+// per-thread stats — plus identical hierarchy statistics certify that
+// fast-path hits land at exactly the event path's position in the
+// schedule.
+func TestFastPathCPUEquivalence(t *testing.T) {
+	p := Profile{
+		Name: "fastpath-equiv", Suite: "micro", Threads: 2, Instrs: 4000,
+		MemFrac: 0.6, StoreFrac: 0.4, WARFrac: 0.5, SeqFrac: 0.7,
+		SharedFrac: 0.2, SharedKB: 16, DepFrac: 0.3, MissRate: 0.05,
+		WorkingSetKB: 16, Seed: 0xFA57,
+	}
+	for _, kind := range []CPUKind{TimingSimpleCPU, DerivO3CPU} {
+		t.Run(string(kind), func(t *testing.T) {
+			run := func(noFast bool) (Result, *core.Machine) {
+				cfg := core.DefaultConfig(2, coherence.SwiftDir)
+				cfg.NoFastPath = noFast
+				r, m, err := RunDetailed(p, cfg, kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r, m
+			}
+			rf, mf := run(false)
+			rs, ms := run(true)
+			if !reflect.DeepEqual(rf, rs) {
+				t.Fatalf("results diverged:\nfast %+v\nslow %+v", rf, rs)
+			}
+			var fastHits uint64
+			for i := range mf.Sys.L1s {
+				fs, ss := mf.Sys.L1s[i].Stats, ms.Sys.L1s[i].Stats
+				fastHits += fs.FastHits
+				fs.FastHits, fs.SlowPath = 0, 0
+				ss.FastHits, ss.SlowPath = 0, 0
+				if fs != ss {
+					t.Fatalf("L1 %d stats diverged:\nfast %+v\nslow %+v", i, fs, ss)
+				}
+			}
+			if fb, sb := mf.Sys.BankStatsTotal(), ms.Sys.BankStatsTotal(); fb != sb {
+				t.Fatalf("bank stats diverged:\nfast %+v\nslow %+v", fb, sb)
+			}
+			if fastHits == 0 {
+				t.Fatal("run never exercised the fast path")
+			}
+			if sf, _ := ms.Sys.FastPathTotals(); sf != 0 {
+				t.Fatalf("NoFastPath machine recorded %d fast hits", sf)
+			}
+		})
+	}
+}

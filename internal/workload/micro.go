@@ -54,6 +54,7 @@ func RunReadOnly(amount int, protocol coherence.Policy, kind CPUKind) (Result, e
 	if err := m.CheckInvariants(); err != nil {
 		return Result{}, err
 	}
+	publishFastPath(fmt.Sprintf("readonly-%d", amount), protocol.Name(), m)
 	return Result{
 		Benchmark:  fmt.Sprintf("readonly-%d", amount),
 		Protocol:   protocol.Name(),
@@ -183,6 +184,7 @@ func RunWAR(app WARApp, protocol coherence.Policy, kind CPUKind, passes int) (Re
 	if err := m.CheckInvariants(); err != nil {
 		return Result{}, err
 	}
+	publishFastPath(app.Name, protocol.Name(), m)
 	return Result{
 		Benchmark:  app.Name,
 		Protocol:   protocol.Name(),

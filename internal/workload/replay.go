@@ -109,6 +109,7 @@ func Replay(threads [][]cpu.Instr, protocol coherence.Policy, kind CPUKind) (Res
 	if err := m.CheckInvariants(); err != nil {
 		return Result{}, err
 	}
+	publishFastPath("replay", protocol.Name(), m)
 	res := Result{
 		Benchmark:  "replay",
 		Protocol:   protocol.Name(),
