@@ -356,3 +356,52 @@ func (a *Array) CountValid() int {
 	a.ForEachValid(func(Addr, *Line) { n++ })
 	return n
 }
+
+// AppendFingerprint emits a canonical encoding of the array's
+// behaviorally relevant state as a stream of words: for every set, the
+// resident lines in replacement order (least attractive victim last)
+// with their tag, state, data token, and write-protection bit. Absolute
+// LRU clock values are deliberately excluded — only the per-set ordering
+// affects future victim choices — so two arrays that will behave
+// identically fingerprint identically regardless of how much history
+// produced them. For Random replacement the xorshift state is included,
+// since it determines future victim draws.
+func (a *Array) AppendFingerprint(emit func(uint64)) {
+	if a.params.Replacement == Random {
+		emit(a.rng)
+	}
+	// rank buffer reused across sets.
+	rank := make([]*Line, a.params.Ways)
+	for s := range a.lines {
+		set := a.lines[s]
+		n := 0
+		for w := range set {
+			if !set[w].State.Valid() {
+				continue
+			}
+			ln := &set[w]
+			// Insertion sort by lru ascending (victim order).
+			i := n
+			for i > 0 && rank[i-1].lru > ln.lru {
+				rank[i] = rank[i-1]
+				i--
+			}
+			rank[i] = ln
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		emit(uint64(s)<<8 | uint64(n))
+		for i := 0; i < n; i++ {
+			ln := rank[i]
+			w := uint64(ln.State)
+			if ln.WP {
+				w |= 1 << 8
+			}
+			emit(uint64(ln.Tag))
+			emit(w)
+			emit(ln.Data)
+		}
+	}
+}

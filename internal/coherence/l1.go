@@ -68,23 +68,23 @@ type AccessResult struct {
 	WP      bool
 }
 
-// transient is an L1 MSHR state (Table I; IM^D and SM^A are standard
+// Transient is an L1 MSHR state (Table I; IM^D and SM^A are standard
 // MESI_Two_Level companions of the paper's IS^D and EM^A).
-type transient uint8
+type Transient uint8
 
 const (
-	tISD transient = iota // I->S/E, waiting for Data
-	tIMD                  // I->M, waiting for Data_Exclusive
-	tSMA                  // S->M, waiting for Upgrade ACK
-	tEMA                  // E->M, waiting for LLC's ACK (S-MESI only)
+	TrISD Transient = iota // I->S/E, waiting for Data
+	TrIMD                  // I->M, waiting for Data_Exclusive
+	TrSMA                  // S->M, waiting for Upgrade ACK
+	TrEMA                  // E->M, waiting for LLC's ACK (S-MESI only)
 )
 
-func (t transient) String() string {
+func (t Transient) String() string {
 	return [...]string{"IS^D", "IM^D", "SM^A", "EM^A"}[t]
 }
 
 type mshr struct {
-	state   transient
+	state   Transient
 	wp      bool
 	pending []Access // pending[0] initiated the transaction
 }
@@ -148,9 +148,9 @@ type L1 struct {
 	mshrs map[cache.Addr]*mshr
 	wb    map[cache.Addr]wbEntry
 
-	mshrFree []*mshr   // recycled MSHRs
-	accs     []Access  // slots for accesses riding tag-lookup/translation events
-	accFree  []int32   // free slot indexes
+	mshrFree []*mshr  // recycled MSHRs
+	accs     []Access // slots for accesses riding tag-lookup/translation events
+	accFree  []int32  // free slot indexes
 
 	prefetch PrefetchMode
 
@@ -212,7 +212,7 @@ func (l *L1) takeAccess(i int32) Access {
 
 // newMSHR takes a recycled MSHR (or allocates the pool's next one) and
 // initializes it for a fresh transaction.
-func (l *L1) newMSHR(state transient, wp bool) *mshr {
+func (l *L1) newMSHR(state Transient, wp bool) *mshr {
 	var ms *mshr
 	if n := len(l.mshrFree); n > 0 {
 		ms = l.mshrFree[n-1]
@@ -363,6 +363,9 @@ func (l *L1) tryFast(a *Access) (AccessResult, bool) {
 // entry point for accesses that were queued behind an MSHR.
 func (l *L1) process(a Access) {
 	block := l.arr.BlockAddr(a.Addr)
+	if l.sys.ObserveCPU != nil {
+		l.sys.ObserveCPU(l.ID, block, a.Write)
+	}
 	if ms, ok := l.mshrs[block]; ok {
 		ms.pending = append(ms.pending, a)
 		return
@@ -406,7 +409,7 @@ func (l *L1) process(a Access) {
 		}
 		// S-MESI: enter EM^A and ask the LLC (Figure 2 / Figure 3(b)).
 		l.Stats.ExplicitUpgrades++
-		ms := l.newMSHR(tEMA, false)
+		ms := l.newMSHR(TrEMA, false)
 		ms.pending = append(ms.pending, a)
 		l.mshrs[block] = ms
 		l.toDir(Msg{Kind: MsgUpgrade, Addr: block, Src: l.ID})
@@ -415,7 +418,7 @@ func (l *L1) process(a Access) {
 		// caches may hold S copies, so the store needs the same Upgrade
 		// round trip.
 		l.Stats.ExplicitUpgrades++
-		ms := l.newMSHR(tSMA, false)
+		ms := l.newMSHR(TrSMA, false)
 		ms.pending = append(ms.pending, a)
 		l.mshrs[block] = ms
 		l.toDir(Msg{Kind: MsgUpgrade, Addr: block, Src: l.ID})
@@ -440,13 +443,13 @@ func (l *L1) processMiss(block cache.Addr, a Access) {
 
 func (l *L1) miss(block cache.Addr, a Access) {
 	if a.Write {
-		ms := l.newMSHR(tIMD, a.WP)
+		ms := l.newMSHR(TrIMD, a.WP)
 		ms.pending = append(ms.pending, a)
 		l.mshrs[block] = ms
 		l.toDir(Msg{Kind: MsgGETX, Addr: block, Src: l.ID, WP: a.WP})
 		return
 	}
-	ms := l.newMSHR(tISD, a.WP)
+	ms := l.newMSHR(TrISD, a.WP)
 	ms.pending = append(ms.pending, a)
 	l.mshrs[block] = ms
 	l.toDir(Msg{Kind: l.policy.LoadRequest(a.WP), Addr: block, Src: l.ID, WP: a.WP})
@@ -476,7 +479,7 @@ func (l *L1) maybePrefetch(block cache.Addr, wp bool) {
 		pwp = false
 	}
 	l.Stats.Prefetches++
-	l.mshrs[next] = l.newMSHR(tISD, pwp)
+	l.mshrs[next] = l.newMSHR(TrISD, pwp)
 	l.toDir(Msg{Kind: l.policy.LoadRequest(pwp), Addr: next, Src: l.ID, WP: pwp})
 }
 
@@ -531,7 +534,7 @@ func (l *L1) onData(m Msg, grant cache.LineState) {
 	var state cache.LineState
 	var unblock MsgKind
 	switch {
-	case ms.state == tIMD || ms.state == tSMA || ms.state == tEMA:
+	case ms.state == TrIMD || ms.state == TrSMA || ms.state == TrEMA:
 		// A data grant while waiting to modify: the directory resolved
 		// our (possibly raced) request as a GETX.
 		state = cache.Modified
@@ -598,7 +601,7 @@ func (l *L1) onData(m Msg, grant cache.LineState) {
 
 func (l *L1) onUpgradeAck(m Msg) {
 	ms, ok := l.mshrs[m.Addr]
-	if !ok || (ms.state != tSMA && ms.state != tEMA) {
+	if !ok || (ms.state != TrSMA && ms.state != TrEMA) {
 		panic(fmt.Sprintf("L1 %d: unexpected UpgradeAck for %#x", l.ID, m.Addr))
 	}
 	ln := l.arr.Lookup(m.Addr)
@@ -628,10 +631,10 @@ func (l *L1) onInv(m Msg) {
 		l.arr.Invalidate(m.Addr)
 		l.Stats.Invalidations++
 	}
-	if ms, ok := l.mshrs[m.Addr]; ok && ms.state == tSMA {
+	if ms, ok := l.mshrs[m.Addr]; ok && ms.state == TrSMA {
 		// Our Upgrade lost the race; the directory will answer it with
 		// Data_Exclusive. Wait as if this were a store miss.
-		ms.state = tIMD
+		ms.state = TrIMD
 	}
 	l.toDir(Msg{Kind: MsgInvAck, Addr: m.Addr, Src: l.ID, Requestor: m.Requestor})
 }
@@ -658,8 +661,8 @@ func (l *L1) onFwdGETS(m Msg) {
 			ln.State = cache.Shared
 			l.respondOwner(m, data, dirty, false, false, mf)
 		}
-		if ms, ok := l.mshrs[m.Addr]; ok && ms.state == tEMA {
-			ms.state = tSMA // our pending Upgrade now upgrades from S/O
+		if ms, ok := l.mshrs[m.Addr]; ok && ms.state == TrEMA {
+			ms.state = TrSMA // our pending Upgrade now upgrades from S/O
 		}
 		return
 	}
@@ -680,8 +683,8 @@ func (l *L1) onFwdGETX(m Msg) {
 		l.arr.Invalidate(m.Addr)
 		l.Stats.Invalidations++
 		l.respondOwner(m, data, false, false, true)
-		if ms, ok := l.mshrs[m.Addr]; ok && (ms.state == tEMA || ms.state == tSMA) {
-			ms.state = tIMD
+		if ms, ok := l.mshrs[m.Addr]; ok && (ms.state == TrEMA || ms.state == TrSMA) {
+			ms.state = TrIMD
 		}
 		return
 	}
@@ -725,8 +728,8 @@ func (l *L1) onDowngrade(m Msg) {
 	if ln := l.arr.Lookup(m.Addr); ln != nil && ln.State == cache.Exclusive {
 		ln.State = cache.Shared
 	}
-	if ms, ok := l.mshrs[m.Addr]; ok && ms.state == tEMA {
-		ms.state = tSMA
+	if ms, ok := l.mshrs[m.Addr]; ok && ms.state == TrEMA {
+		ms.state = TrSMA
 	}
 }
 
@@ -787,8 +790,8 @@ func (l *L1) ForceInvalidate(block cache.Addr) (data uint64, dirty, had bool) {
 	if wbe, ok := l.wb[block]; ok && !had {
 		data, dirty, had = wbe.data, wbe.dirty, true
 	}
-	if ms, ok := l.mshrs[block]; ok && (ms.state == tSMA || ms.state == tEMA) {
-		ms.state = tIMD
+	if ms, ok := l.mshrs[block]; ok && (ms.state == TrSMA || ms.state == TrEMA) {
+		ms.state = TrIMD
 	}
 	return data, dirty, had
 }

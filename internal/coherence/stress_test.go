@@ -287,7 +287,7 @@ func TestSMESIDowngradeRacesEviction(t *testing.T) {
 // Regression: an inclusive-LLC eviction could recall a block whose
 // UpgradeAck was still in flight. ackUpgrade's fast path (no sharers to
 // invalidate) registers no busy transaction, so victim selection saw the
-// block as evictable; the recall flipped the requestor's MSHR to tIMD and
+// block as evictable; the recall flipped the requestor's MSHR to TrIMD and
 // the landing ack hit the "unexpected UpgradeAck" panic. LRU hides the
 // window because ackUpgrade touches the line to MRU; Random replacement
 // (the lru ablation at full scale) exposed it. The fix pins addresses

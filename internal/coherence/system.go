@@ -103,6 +103,19 @@ type System struct {
 
 	// Record, if set, observes every completed access (for latency CDFs).
 	Record func(port int, r AccessResult)
+
+	// Observe, if set, sees every coherence message at delivery time,
+	// before the receiving controller (dst L1 id, or DirID) processes it,
+	// so the receiver's pre-event state is still inspectable. The model
+	// checker uses it to validate every (state, event) pair against the
+	// protocol transition relation.
+	Observe func(m Msg, dst int)
+
+	// ObserveCPU, if set, sees every CPU access at the moment an L1
+	// examines it (after the tag-lookup latency, before any state
+	// mutation). Replays of accesses that were queued behind an MSHR are
+	// observed again — each examination is a transition-table event.
+	ObserveCPU func(port int, block cache.Addr, write bool)
 }
 
 // NewSystem builds and wires a hierarchy on a fresh engine.

@@ -112,6 +112,9 @@ func (s *System) DetachTracer() { s.tracer = nil }
 
 func (s *System) trace(m Msg, dst int) {
 	s.msgCounts[m.Kind]++
+	if s.Observe != nil {
+		s.Observe(m, dst)
+	}
 	if s.tracer != nil {
 		s.tracer.Events = append(s.tracer.Events, TraceEvent{When: s.Eng.Now(), Msg: m, Dst: dst})
 	}

@@ -245,3 +245,33 @@ func (m *Memory) Reset() {
 	m.RowHits, m.RowMisses, m.RowConflicts, m.RefreshStalls = 0, 0, 0, 0
 	m.TotalServiceCycles, m.MaxObservedLatencyCycles = 0, 0
 }
+
+// AppendFingerprint emits a canonical encoding of the memory controller's
+// behaviorally relevant state relative to the CPU cycle now: per bank the
+// open row (if any) and the remaining busy window, per channel the
+// remaining bus occupancy. Past-due windows normalize to zero, so two
+// controllers that will time future requests identically fingerprint
+// identically regardless of absolute simulated time. With refresh enabled
+// (TREFI > 0) service depends on absolute time as well, so callers that
+// need time-translation-invariant fingerprints must disable refresh.
+func (m *Memory) AppendFingerprint(now sim.Cycle, emit func(uint64)) {
+	rel := func(t sim.Cycle) uint64 {
+		if t <= now {
+			return 0
+		}
+		return uint64(t - now)
+	}
+	for ci := range m.channels {
+		ch := &m.channels[ci]
+		emit(rel(ch.busFreeAt))
+		for bi := range ch.banks {
+			b := &ch.banks[bi]
+			w := b.openRow << 1
+			if b.hasRow {
+				w |= 1
+			}
+			emit(w)
+			emit(rel(b.freeAt))
+		}
+	}
+}

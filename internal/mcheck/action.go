@@ -1,0 +1,48 @@
+package mcheck
+
+import "fmt"
+
+// Op is an injected CPU operation.
+type Op uint8
+
+const (
+	OpLoad Op = iota
+	OpStore
+	// OpLoadWP is a load of write-protected data: the MMU delivers the
+	// WP bit with the translation, and SwiftDir-family policies request
+	// it with GETS_WP. Write-protected stores are not a separate op: a
+	// store's directory handling is identical with or without the bit.
+	OpLoadWP
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpLoadWP:
+		return "load-wp"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Action is one step of a schedule: either executing the next pending
+// engine event, or injecting a CPU access on a core. Because the engine
+// is deterministic, a sequence of Actions fully determines a state.
+type Action struct {
+	Step bool // true: run one engine event; Core/Op/Line unused
+	Core uint8
+	Op   Op
+	Line uint8
+}
+
+// stepAction is the singleton engine-step action.
+var stepAction = Action{Step: true}
+
+func (a Action) String() string {
+	if a.Step {
+		return "step"
+	}
+	return fmt.Sprintf("core%d %s x%d", a.Core, a.Op, a.Line)
+}

@@ -263,6 +263,47 @@ func (e *Engine) step() bool {
 	return true
 }
 
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp, and reports whether an event ran. It is the model
+// checker's scheduling primitive: exploring every interleaving of
+// externally injected work between individual engine events enumerates
+// every schedule the deterministic engine can produce.
+func (e *Engine) Step() bool { return e.step() }
+
+// ForEachPending visits every pending event in execution order — (when,
+// seq), the order Run would execute them — reporting each event's delay
+// relative to Now, its handler and payload, and whether it is a closure
+// event (closure events carry no inspectable payload). The engine must not
+// be mutated during iteration. Model checkers use this to fold the event
+// queue into a canonical state fingerprint.
+func (e *Engine) ForEachPending(fn func(rel Cycle, h Handler, p Payload, isClosure bool)) {
+	if e.pending == 0 {
+		return
+	}
+	evs := make([]event, 0, e.pending)
+	for i := range e.ring {
+		b := &e.ring[i]
+		evs = append(evs, b.evs[b.head:]...)
+	}
+	evs = append(evs, e.overflow...)
+	sortEvents(evs)
+	for i := range evs {
+		ev := &evs[i]
+		fn(ev.when-e.now, ev.h, ev.p, ev.fn != nil)
+	}
+}
+
+// sortEvents orders events by (when, seq) with a simple insertion sort:
+// pending queues are small (tens of events) whenever ForEachPending is
+// used, and avoiding package sort keeps the event type fully unexported.
+func sortEvents(evs []event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && eventLess(&evs[j], &evs[j-1]); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
 // Run executes events until the queue drains and returns the final cycle.
 func (e *Engine) Run() Cycle {
 	for e.step() {

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Coverage is a generic exercised-vs-expected report: a named universe of
+// items (protocol transition-table entries, experiment cells, ...), which
+// of them were actually hit, and which hits fell outside the universe.
+// The model checker (internal/mcheck) uses it to report transition-table
+// coverage; the zero value is an empty report ready for Declare/Hit calls.
+type Coverage struct {
+	Name string
+
+	hit    map[string]bool // item -> exercised
+	extras []string        // observed but not in the universe
+}
+
+// Declare registers an expected item (idempotent; does not mark it hit).
+func (c *Coverage) Declare(item string) {
+	if c.hit == nil {
+		c.hit = make(map[string]bool)
+	}
+	if _, ok := c.hit[item]; !ok {
+		c.hit[item] = false
+	}
+}
+
+// Hit marks an expected item as exercised. An item outside the declared
+// universe is recorded as unexpected instead.
+func (c *Coverage) Hit(item string) {
+	if c.hit == nil {
+		c.hit = make(map[string]bool)
+	}
+	if _, ok := c.hit[item]; ok {
+		c.hit[item] = true
+		return
+	}
+	c.extras = append(c.extras, item)
+}
+
+// Expected returns the size of the declared universe.
+func (c *Coverage) Expected() int { return len(c.hit) }
+
+// Covered returns how many declared items were hit.
+func (c *Coverage) Covered() int {
+	n := 0
+	for _, h := range c.hit {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// Ratio returns Covered/Expected, or 1 for an empty universe.
+func (c *Coverage) Ratio() float64 {
+	if len(c.hit) == 0 {
+		return 1
+	}
+	return float64(c.Covered()) / float64(len(c.hit))
+}
+
+// Missing returns the declared items never hit, sorted.
+func (c *Coverage) Missing() []string {
+	var out []string
+	for item, h := range c.hit {
+		if !h {
+			out = append(out, item)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unexpected returns the hits that fell outside the universe, sorted and
+// deduplicated.
+func (c *Coverage) Unexpected() []string {
+	seen := make(map[string]bool, len(c.extras))
+	var out []string
+	for _, item := range c.extras {
+		if !seen[item] {
+			seen[item] = true
+			out = append(out, item)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the report: a summary line, then any missing and
+// unexpected items.
+func (c *Coverage) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d/%d covered (%.1f%%)\n",
+		c.Name, c.Covered(), c.Expected(), 100*c.Ratio())
+	for _, m := range c.Missing() {
+		fmt.Fprintf(&b, "  MISSING    %s\n", m)
+	}
+	for _, u := range c.Unexpected() {
+		fmt.Fprintf(&b, "  UNEXPECTED %s\n", u)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoverage(t *testing.T) {
+	var c Coverage
+	c.Name = "demo"
+	c.Declare("a")
+	c.Declare("b")
+	c.Declare("c")
+	c.Hit("a")
+	c.Hit("a") // repeat hits count once
+	c.Hit("x") // outside the declared universe
+
+	if got := c.Expected(); got != 3 {
+		t.Errorf("Expected() = %d, want 3", got)
+	}
+	if got := c.Covered(); got != 1 {
+		t.Errorf("Covered() = %d, want 1", got)
+	}
+	if got := c.Ratio(); got < 0.333 || got > 0.334 {
+		t.Errorf("Ratio() = %v, want 1/3", got)
+	}
+	if got := c.Missing(); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("Missing() = %v, want [b c]", got)
+	}
+	if got := c.Unexpected(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Unexpected() = %v, want [x]", got)
+	}
+
+	s := c.String()
+	for _, want := range []string{"demo", "1/3", "MISSING", "UNEXPECTED", "x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCoverageEmpty(t *testing.T) {
+	var c Coverage
+	if got := c.Ratio(); got != 1 {
+		t.Errorf("empty Ratio() = %v, want 1 (nothing expected, nothing missed)", got)
+	}
+	if m := c.Missing(); len(m) != 0 {
+		t.Errorf("empty Missing() = %v", m)
+	}
+}
