@@ -8,6 +8,7 @@
 #   make benchdiff   — fresh run vs the committed baseline, ns/op deltas
 #   make bench-gate  — hot-path ns/op ceiling + zero-alloc pins (CI)
 #   make fuzz        — brief run of the campaign scheduler fuzz target
+#   make soak        — fault-injection soak sweep under -race (watchdog armed)
 #   make mcheck      — exhaustive protocol model check of the 3 policies
 #   make cover       — coverage of the protocol+checker packages vs floor
 #   make staticcheck — staticcheck, skipped when the binary is absent
@@ -42,7 +43,7 @@ BENCHDATE   := $(shell date +%Y-%m-%d)$(BENCHTAG)
 # with  make benchdiff BENCHBASE=BENCH_2026-08-05.json
 BENCHBASE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check build test vet race bench bench-smoke benchdiff bench-gate fuzz fuzz-long mcheck cover staticcheck
+.PHONY: check build test vet race bench bench-smoke benchdiff bench-gate fuzz fuzz-long soak mcheck cover staticcheck
 
 check: vet test race
 
@@ -102,6 +103,21 @@ bench-gate:
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz=$(FUZZTARGET) -fuzztime=$(FUZZTIME) $(FUZZPKG)
+
+# Short fault-injection soak sweep under the race detector: each
+# benchmark runs under SOAK_PLANS deterministic fault plans (plan 0 is
+# the no-fault control) with the liveness watchdog armed; architectural
+# results must be byte-identical across plans. Crash bundles from any
+# failure land in SOAK_ARTIFACTS (CI uploads that directory) and replay
+# with `swiftdir-sim -replay <bundle>`.
+SOAK_ARTIFACTS ?= soak-bundles
+SOAK_BENCHES   ?= mcf,dedup
+SOAK_PLANS     ?= 8
+SOAK_SEED      ?= 1
+soak:
+	$(GO) run -race ./cmd/swiftdir-sim -soak -bench '$(SOAK_BENCHES)' \
+		-scale 0.05 -plans $(SOAK_PLANS) -planseed $(SOAK_SEED) \
+		-bundledir '$(SOAK_ARTIFACTS)'
 
 fuzz-long:
 	$(GO) test -run=^$$ -fuzz=$(FUZZTARGET) -fuzztime=$(FUZZTIME_LONG) $(FUZZPKG)

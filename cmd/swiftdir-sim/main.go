@@ -8,10 +8,19 @@
 //	swiftdir-sim -bench mcf,lbm,xz -j 4            # campaign over several benchmarks
 //	swiftdir-sim -bench dedup -config machine.json
 //	swiftdir-sim -dumpconfig machine.json -protocol S-MESI -cores 4
+//	swiftdir-sim -soak -bench mcf -plans 8 -bundledir soak-bundles
+//	swiftdir-sim -replay soak-bundles/plan-03-forced-c41288
 //
 // -bench accepts a comma-separated list; the runs fan out over -j
 // concurrent workers (default: $SWIFTDIR_JOBS, else runtime.NumCPU())
 // and print in list order regardless of completion order.
+//
+// -soak runs each benchmark under -plans deterministic fault plans
+// (plan 0 is the no-fault control) with the liveness watchdog armed and
+// asserts the architectural results are byte-identical across plans; a
+// failing run is captured as a crash bundle under -bundledir, and
+// -replay re-executes a bundle's replay.json to reproduce the recorded
+// failure exactly.
 package main
 
 import (
@@ -23,7 +32,9 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/prof"
+	"repro/internal/soak"
 	"repro/internal/workload"
 )
 
@@ -40,6 +51,11 @@ func main() {
 	cores := flag.Int("cores", 4, "core count for -dumpconfig")
 	jobs := flag.Int("j", 0, "concurrent benchmark runs for a -bench list (0 = $SWIFTDIR_JOBS, else NumCPU)")
 	verbose := flag.Bool("v", true, "print hierarchy statistics")
+	soakFlag := flag.Bool("soak", false, "fault-injection soak sweep over -bench (see package doc)")
+	plansN := flag.Int("plans", 8, "fault plans per -soak benchmark (plan 0 is the no-fault control)")
+	planSeed := flag.Uint64("planseed", 1, "seed for -soak plan generation")
+	bundleDir := flag.String("bundledir", "soak-bundles", "crash-bundle directory for -soak failures")
+	replayPath := flag.String("replay", "", "replay a crash bundle (directory or replay.json) and exit")
 	var pf prof.Flags
 	pf.Register(flag.CommandLine)
 	flag.Parse()
@@ -83,6 +99,24 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *dumpConfig)
+		return
+	}
+
+	if *replayPath != "" {
+		out, err := soak.Replay(*replayPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Print(out.Describe())
+		if out.Violation != nil {
+			os.Exit(1) // reproduced the recorded failure
+		}
+		return
+	}
+
+	if *soakFlag {
+		runSoak(strings.Split(*bench, ","), *protoName, workload.CPUKind(*cpuKind),
+			*scale, *plansN, *planSeed, *bundleDir)
 		return
 	}
 
@@ -131,6 +165,49 @@ func main() {
 	}
 	if err != nil {
 		fatal("%v", err)
+	}
+}
+
+// runSoak sweeps every benchmark through plansN deterministic fault
+// plans with the watchdog armed and fails loudly if any plan crashes or
+// moves an architectural result.
+func runSoak(names []string, protoName string, kind workload.CPUKind,
+	scale float64, plansN int, planSeed uint64, bundleDir string) {
+	plans := fault.RandomPlans(plansN, planSeed)
+	fmt.Printf("soak: %d plans (seed %d), watchdog %+v, bundles -> %s\n",
+		len(plans), planSeed, soak.DefaultWatchdog(), bundleDir)
+	failed := false
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		base := soak.Spec{
+			Benchmark: name,
+			Protocol:  protoName,
+			CPU:       kind,
+			Scale:     scale,
+			Watchdog:  soak.DefaultWatchdog(),
+		}
+		res := soak.Sweep(base, plans, bundleDir, 0)
+		for _, po := range res.Outcomes {
+			status := "ok"
+			if po.Err != nil {
+				status = "FAIL"
+			}
+			fmt.Printf("  %-12s %-10s %s", name, po.Plan.Name, status)
+			if po.Bundle != "" {
+				fmt.Printf("  bundle=%s", po.Bundle)
+			}
+			fmt.Println()
+		}
+		if res.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "swiftdir-sim: soak %s: %v\n", name, res.Err)
+		} else {
+			fmt.Printf("  %-12s architectural results identical across %d plans (hash %.16s...)\n",
+				name, len(plans), res.Outcomes[0].Result.MemImageHash)
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

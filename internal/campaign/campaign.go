@@ -37,6 +37,13 @@ import (
 type Job[T any] struct {
 	Name string
 	Run  func() (T, error)
+
+	// OnPanic, if non-nil, runs on the worker goroutine after a panic in
+	// Run has been captured as a *PanicError but before the job's Result
+	// is finalized — the crash-bundle hook. It must not re-raise; if it
+	// panics itself, that secondary failure is folded into the job error
+	// rather than killing the campaign.
+	OnPanic func(*PanicError)
 }
 
 // Result pairs one job's outcome with its wall time. Results are always
@@ -140,11 +147,29 @@ func execute[T any](j Job[T]) (res Result[T]) {
 	defer func() {
 		res.Wall = time.Since(start)
 		if r := recover(); r != nil {
-			res.Err = &PanicError{Job: j.Name, Value: r, Stack: debug.Stack()}
+			pe := &PanicError{Job: j.Name, Value: r, Stack: debug.Stack()}
+			res.Err = pe
+			if j.OnPanic != nil {
+				if hookErr := runPanicHook(j.OnPanic, pe); hookErr != nil {
+					res.Err = errors.Join(pe, fmt.Errorf("job %q OnPanic hook failed: %w", j.Name, hookErr))
+				}
+			}
 		}
 	}()
 	res.Value, res.Err = j.Run()
 	return res
+}
+
+// runPanicHook invokes an OnPanic hook under its own recover fence so a
+// faulty bundle writer degrades to an error annotation, never a crash.
+func runPanicHook(hook func(*PanicError), pe *PanicError) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	hook(pe)
+	return nil
 }
 
 // Collect runs jobs and returns just the values in submission order.

@@ -1,0 +1,55 @@
+package campaign
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// OnPanic must run on the captured *PanicError before the result is
+// delivered, and must not run for jobs that succeed or merely error.
+func TestOnPanicHookReceivesPanicError(t *testing.T) {
+	var captured []*PanicError
+	hook := func(pe *PanicError) { captured = append(captured, pe) }
+	jobs := []Job[int]{
+		{Name: "ok", Run: func() (int, error) { return 1, nil }, OnPanic: hook},
+		{Name: "err", Run: func() (int, error) { return 0, errors.New("soft") }, OnPanic: hook},
+		{Name: "boom", Run: func() (int, error) { panic("diverged") }, OnPanic: hook},
+	}
+	results, _ := Run(1, jobs)
+	if len(captured) != 1 {
+		t.Fatalf("hook ran %d times, want 1", len(captured))
+	}
+	if captured[0].Job != "boom" || captured[0].Value != "diverged" {
+		t.Errorf("captured %+v", captured[0])
+	}
+	var pe *PanicError
+	if !errors.As(results[2].Err, &pe) || pe != captured[0] {
+		t.Errorf("result error %v does not carry the hooked PanicError", results[2].Err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("ok job error: %v", results[0].Err)
+	}
+}
+
+// A hook that itself panics degrades to an error annotation on the job,
+// never a dead worker; the original PanicError stays retrievable.
+func TestOnPanicHookFailureIsContained(t *testing.T) {
+	jobs := []Job[int]{{
+		Name:    "boom",
+		Run:     func() (int, error) { panic("primary") },
+		OnPanic: func(*PanicError) { panic("hook failure") },
+	}}
+	results, _ := Run(1, jobs)
+	err := results[0].Err
+	if err == nil {
+		t.Fatal("no error for panicked job")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "primary" {
+		t.Errorf("primary panic lost: %v", err)
+	}
+	if !strings.Contains(err.Error(), "hook failure") {
+		t.Errorf("hook failure not reported: %v", err)
+	}
+}

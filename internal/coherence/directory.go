@@ -3,8 +3,10 @@ package coherence
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -211,6 +213,9 @@ func (b *bank) send(dst int, m Msg, delay sim.Cycle) {
 	if delay > hop {
 		local = delay - hop
 	}
+	if f := b.sys.faults; f != nil {
+		local += f.BankDelay(b.eng().Now())
+	}
 	p := m.payload(opBankSendStage)
 	p.Z = int32(dst)
 	b.eng().ScheduleEvent(local, b, p)
@@ -228,6 +233,9 @@ func (b *bank) sendPinned(dst int, m Msg, delay sim.Cycle) {
 	var local sim.Cycle
 	if delay > hop {
 		local = delay - hop
+	}
+	if f := b.sys.faults; f != nil {
+		local += f.BankDelay(b.eng().Now())
 	}
 	p := m.payload(opBankSendStagePin)
 	p.Z = int32(dst)
@@ -265,7 +273,7 @@ func (b *bank) Handle(p sim.Payload) {
 	case opBankInstall:
 		b.installAndGrant(cache.Addr(p.A), p.Z != 0, sim.Cycle(p.B))
 	default:
-		panic(fmt.Sprintf("bank %d: unknown payload op %d", b.id, p.Op))
+		b.violate(0, "unknown payload op %d", p.Op)
 	}
 }
 
@@ -285,7 +293,7 @@ func (b *bank) dispatch(m Msg) {
 	case MsgUnblock, MsgExclusiveUnblock:
 		t := b.busy[m.Addr]
 		if t == nil {
-			panic(fmt.Sprintf("bank %d: %v for idle block %#x", b.id, m.Kind, m.Addr))
+			b.violate(m.Addr, "%v for idle block", m.Kind)
 		}
 		t.waitUnblock = false
 		b.maybeComplete(m.Addr, t)
@@ -312,7 +320,7 @@ func (b *bank) dispatch(m Msg) {
 		}
 		b.maybeComplete(m.Addr, t)
 	default:
-		panic(fmt.Sprintf("bank %d: unexpected message %v", b.id, m.Kind))
+		b.violate(m.Addr, "unexpected message %v", m.Kind)
 	}
 }
 
@@ -369,7 +377,7 @@ func (b *bank) handleLoad(m Msg) {
 		b.send(m.Src, Msg{Kind: MsgData, Addr: m.Addr, Data: ln.Data, Served: ServedLLC, MakeForward: mf}, b.respDelay())
 	case DirExclusive:
 		if e.owner == m.Src {
-			panic(fmt.Sprintf("bank %d: owner %d re-requests %#x", b.id, m.Src, m.Addr))
+			b.violate(m.Addr, "owner %d re-requests the block", m.Src)
 		}
 		if b.policy().ServeExclusiveFromLLC(e.wp) {
 			// S-MESI (always) or the E_wp ablation (write-protected
@@ -391,7 +399,7 @@ func (b *bank) handleLoad(m Msg) {
 	case DirModifiedL1, DirOwned:
 		b.forwardLoad(m, e)
 	default:
-		panic(fmt.Sprintf("bank %d: entry in %v", b.id, e.state))
+		b.violate(m.Addr, "load for entry in %v", e.state)
 	}
 }
 
@@ -412,12 +420,12 @@ func (b *bank) forwardLoad(m Msg, e *dirEntry) {
 func (b *bank) onWBData(m Msg) {
 	t := b.busy[m.Addr]
 	if t == nil {
-		panic(fmt.Sprintf("bank %d: WB_Data for idle block %#x", b.id, m.Addr))
+		b.violate(m.Addr, "WB_Data for idle block")
 	}
 	e := b.entry(m.Addr)
 	ln := b.arr.Lookup(m.Addr)
 	if e == nil || ln == nil {
-		panic(fmt.Sprintf("bank %d: WB_Data for absent block %#x", b.id, m.Addr))
+		b.violate(m.Addr, "WB_Data for absent block")
 	}
 	if m.Owned {
 		e.state = DirOwned
@@ -482,7 +490,7 @@ func (b *bank) handleStoreMiss(m Msg) {
 		t.pendKind, t.pendData = pendStore, ln.Data
 	case DirExclusive, DirModifiedL1:
 		if e.owner == m.Src {
-			panic(fmt.Sprintf("bank %d: owner %d GETX on own block %#x", b.id, m.Src, m.Addr))
+			b.violate(m.Addr, "owner %d GETX on own block", m.Src)
 		}
 		owner := e.owner
 		e.state = DirModifiedL1
@@ -676,8 +684,17 @@ func (b *bank) installAndGrant(addr cache.Addr, store bool, stalled sim.Cycle) {
 	if !ok {
 		const stallLimit = 100_000
 		if stalled > stallLimit {
-			panic(fmt.Sprintf("bank %d: no evictable way for %#x after %d stall cycles",
-				b.id, addr, stalled))
+			// Every way of the set has been covered by busy transactions or
+			// in-flight grants for the whole retry window: the protocol has
+			// deadlocked around this set. Fail with the pinned-ways dump.
+			panic(&fault.Violation{
+				Kind:      fault.KindResource,
+				Cycle:     uint64(b.eng().Now()),
+				Component: fmt.Sprintf("bank %d", b.id),
+				Addr:      uint64(addr),
+				Msg:       fmt.Sprintf("no evictable way after %d stall cycles", stalled),
+				Dump:      b.dumpSet(addr) + b.sys.DumpState(),
+			})
 		}
 		retry := b.timing().LLCTag
 		if retry < 1 {
@@ -789,7 +806,7 @@ func (b *bank) maybeComplete(addr cache.Addr, t *txn) {
 // stall the caller retries once a way frees.
 func (b *bank) install(addr cache.Addr) (extra sim.Cycle, ok bool) {
 	if b.entries[addr] != nil {
-		panic(fmt.Sprintf("bank %d: double install of %#x", b.id, addr))
+		b.violate(addr, "double install")
 	}
 	v := b.arr.VictimFiltered(addr, func(a cache.Addr) bool {
 		return b.busy[a] != nil || b.pinned[a] > 0
@@ -814,7 +831,7 @@ func (b *bank) install(addr cache.Addr) (extra sim.Cycle, ok bool) {
 func (b *bank) evictLLC(victim cache.Addr, ln *cache.Line) sim.Cycle {
 	e := b.entries[victim]
 	if e == nil {
-		panic(fmt.Sprintf("bank %d: LLC line %#x without directory entry", b.id, victim))
+		b.violate(victim, "LLC line without directory entry")
 	}
 	var extra sim.Cycle
 	data := ln.Data
@@ -864,4 +881,45 @@ func (b *bank) evictLLC(victim cache.Addr, ln *cache.Line) sim.Cycle {
 	// transaction still references this entry; recycle it.
 	b.entryFree = append(b.entryFree, e)
 	return extra
+}
+
+// violate panics with a typed, contained protocol violation carrying the
+// full system state dump. The campaign fence recovers the *fault.Violation
+// into a crash bundle instead of a bare stack trace. It never returns.
+func (b *bank) violate(addr cache.Addr, format string, args ...any) {
+	panic(&fault.Violation{
+		Kind:      fault.KindProtocol,
+		Cycle:     uint64(b.eng().Now()),
+		Component: fmt.Sprintf("bank %d", b.id),
+		Addr:      uint64(addr),
+		Msg:       fmt.Sprintf(format, args...),
+		Dump:      b.sys.DumpState(),
+	})
+}
+
+// dumpSet renders the install-target set for addr: every valid way's
+// block, state, and why it is (or is not) excluded from victim selection.
+// Failure-path only.
+func (b *bank) dumpSet(addr cache.Addr) string {
+	var sb strings.Builder
+	set := b.arr.SetIndex(addr)
+	fmt.Fprintf(&sb, "bank %d set %d ways (install target %#x):\n", b.id, set, addr)
+	b.arr.ForEachValid(func(a cache.Addr, ln *cache.Line) {
+		if b.arr.SetIndex(a) != set {
+			return
+		}
+		var why []string
+		if b.busy[a] != nil {
+			why = append(why, "busy txn")
+		}
+		if n := b.pinned[a]; n > 0 {
+			why = append(why, fmt.Sprintf("pinned x%d", n))
+		}
+		status := "evictable"
+		if len(why) > 0 {
+			status = strings.Join(why, ", ")
+		}
+		fmt.Fprintf(&sb, "  %#x %v: %s\n", a, ln.State, status)
+	})
+	return sb.String()
 }

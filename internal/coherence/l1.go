@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -41,6 +42,15 @@ type Access struct {
 	Write bool
 	WP    bool   // write-protection bit delivered by the MMU with the translation
 	Value uint64 // store token (ignored for loads)
+
+	// Seq orders same-core stores: the submitting context stamps each
+	// store with a strictly increasing sequence number (0 = unordered).
+	// Stores can reach the controller out of program order — a store
+	// paying a page-table walk is overtaken by a younger same-block store
+	// submitted behind it with a hot TLB — and the controller uses Seq to
+	// keep the *data* application in program order regardless of arrival
+	// order (see applyStore). Loads leave it zero.
+	Seq uint64
 
 	// MissPenalty is charged once, before the coherence request leaves
 	// the L1, if the access misses. It models virtually-indexed L1
@@ -148,6 +158,15 @@ type L1 struct {
 	mshrs map[cache.Addr]*mshr
 	wb    map[cache.Addr]wbEntry
 
+	// storeSeqs records, per block, the highest store sequence number this
+	// core has applied to it. A store whose Seq is below the recorded value
+	// arrived after an architecturally younger same-core store (reordered
+	// by an asymmetric translation delay) and must not clobber its data.
+	// Entries persist across evictions — the window where the suppression
+	// matters can span a refill — and the map is bounded by the number of
+	// distinct blocks the core ever stores to.
+	storeSeqs map[cache.Addr]uint64
+
 	mshrFree []*mshr  // recycled MSHRs
 	accs     []Access // slots for accesses riding tag-lookup/translation events
 	accFree  []int32  // free slot indexes
@@ -165,14 +184,15 @@ func newL1(id int, sys *System, params cache.Params) *L1 {
 		msz = 16
 	}
 	return &L1{
-		ID:     id,
-		sys:    sys,
-		eng:    sys.Eng,
-		timing: sys.Timing,
-		policy: sys.Policy,
-		arr:    cache.NewArray(params),
-		mshrs:  make(map[cache.Addr]*mshr, msz),
-		wb:     make(map[cache.Addr]wbEntry, 64),
+		ID:        id,
+		sys:       sys,
+		eng:       sys.Eng,
+		timing:    sys.Timing,
+		policy:    sys.Policy,
+		arr:       cache.NewArray(params),
+		mshrs:     make(map[cache.Addr]*mshr, msz),
+		wb:        make(map[cache.Addr]wbEntry, 64),
+		storeSeqs: make(map[cache.Addr]uint64, msz),
 	}
 }
 
@@ -267,7 +287,7 @@ func (l *L1) Handle(p sim.Payload) {
 		l.toL1(int(p.X), Msg{Kind: MsgDataFromOwner, Addr: addr, Src: l.ID, Data: p.B})
 		l.toDir(Msg{Kind: MsgWBData, Addr: addr, Src: l.ID, Owned: true})
 	default:
-		panic(fmt.Sprintf("L1 %d: unknown payload op %d", l.ID, p.Op))
+		l.violate(0, "unknown payload op %d", p.Op)
 	}
 }
 
@@ -336,6 +356,7 @@ func (l *L1) tryFast(a *Access) (AccessResult, bool) {
 		}
 	}
 	l.arr.Probe(block) // array stats + LRU touch, as process() does
+	value := ln.Data
 	if a.Write {
 		l.Stats.Stores++
 		l.Stats.StoreHits++
@@ -343,20 +364,42 @@ func (l *L1) tryFast(a *Access) (AccessResult, bool) {
 			l.Stats.SilentUpgrades++
 			ln.State = cache.Modified
 		}
-		ln.Data = a.Value
-		ln.WP = false
+		l.applyStore(ln, block, a)
+		// A store reports its own value even when a younger same-core
+		// store already wrote the block, exactly as the event path does.
+		value = a.Value
 	} else {
 		l.Stats.Loads++
 		l.Stats.LoadHits++
 	}
 	l.Stats.FastHits++
+	l.eng.Progress()
 	return AccessResult{
 		Latency: a.Extra + l.timing.L1Tag,
-		Value:   ln.Data,
+		Value:   value,
 		Served:  ServedL1,
 		Write:   a.Write,
 		WP:      a.WP,
 	}, true
+}
+
+// applyStore writes a store's value into its resident line — unless an
+// architecturally younger same-core store (higher Seq) already wrote the
+// block, in which case the stale value is discarded. Stores can arrive out
+// of program order when an older store's deferred translation lets a
+// younger same-block store overtake it; the protocol transitions and
+// completion timing proceed identically either way, only the data
+// application is ordered. Unsequenced stores (Seq 0: direct protocol
+// tests, probes) always apply.
+func (l *L1) applyStore(ln *cache.Line, block cache.Addr, a *Access) {
+	if a.Seq != 0 {
+		if last, ok := l.storeSeqs[block]; ok && a.Seq < last {
+			return
+		}
+		l.storeSeqs[block] = a.Seq
+	}
+	ln.Data = a.Value
+	ln.WP = false
 }
 
 // process examines an access after the tag lookup. It is also the replay
@@ -392,8 +435,7 @@ func (l *L1) process(a Access) {
 	switch ln.State {
 	case cache.Modified:
 		l.Stats.StoreHits++
-		ln.Data = a.Value
-		ln.WP = false
+		l.applyStore(ln, block, &a)
 		l.complete(a, a.Value, ServedL1)
 	case cache.Exclusive:
 		if l.policy.SilentUpgrade(ln.WP) {
@@ -402,8 +444,7 @@ func (l *L1) process(a Access) {
 			l.Stats.StoreHits++
 			l.Stats.SilentUpgrades++
 			ln.State = cache.Modified
-			ln.Data = a.Value
-			ln.WP = false
+			l.applyStore(ln, block, &a)
 			l.complete(a, a.Value, ServedL1)
 			return
 		}
@@ -423,7 +464,7 @@ func (l *L1) process(a Access) {
 		l.mshrs[block] = ms
 		l.toDir(Msg{Kind: MsgUpgrade, Addr: block, Src: l.ID})
 	default:
-		panic(fmt.Sprintf("L1 %d: store hit on invalid line %#x", l.ID, block))
+		l.violate(block, "store hit on invalid line")
 	}
 }
 
@@ -510,7 +551,7 @@ func (l *L1) Receive(m Msg) {
 	case MsgWBAck:
 		delete(l.wb, m.Addr)
 	default:
-		panic(fmt.Sprintf("L1 %d: unexpected message %v", l.ID, m.Kind))
+		l.violate(m.Addr, "unexpected message %v", m.Kind)
 	}
 }
 
@@ -527,7 +568,7 @@ func servedOf(m Msg) ServedBy {
 func (l *L1) onData(m Msg, grant cache.LineState) {
 	ms, ok := l.mshrs[m.Addr]
 	if !ok {
-		panic(fmt.Sprintf("L1 %d: data for %#x without MSHR", l.ID, m.Addr))
+		l.violate(m.Addr, "data response without MSHR")
 	}
 	served := servedOf(m)
 
@@ -586,8 +627,7 @@ func (l *L1) onData(m Msg, grant cache.LineState) {
 		return
 	}
 	if first.Write {
-		ln.Data = first.Value
-		ln.WP = false
+		l.applyStore(ln, m.Addr, &first)
 		l.complete(first, first.Value, served)
 	} else {
 		l.complete(first, ln.Data, served)
@@ -602,17 +642,17 @@ func (l *L1) onData(m Msg, grant cache.LineState) {
 func (l *L1) onUpgradeAck(m Msg) {
 	ms, ok := l.mshrs[m.Addr]
 	if !ok || (ms.state != TrSMA && ms.state != TrEMA) {
-		panic(fmt.Sprintf("L1 %d: unexpected UpgradeAck for %#x", l.ID, m.Addr))
+		l.violate(m.Addr, "unexpected UpgradeAck")
 	}
 	ln := l.arr.Lookup(m.Addr)
 	if ln == nil {
-		panic(fmt.Sprintf("L1 %d: UpgradeAck for absent line %#x", l.ID, m.Addr))
+		l.violate(m.Addr, "UpgradeAck for absent line")
 	}
 	ln.State = cache.Modified
 	ln.WP = false
 	delete(l.mshrs, m.Addr)
 	first := ms.pending[0]
-	ln.Data = first.Value
+	l.applyStore(ln, m.Addr, &first)
 	l.complete(first, first.Value, ServedUpgrade)
 	for _, a := range ms.pending[1:] {
 		l.process(a)
@@ -623,7 +663,7 @@ func (l *L1) onUpgradeAck(m Msg) {
 func (l *L1) onInv(m Msg) {
 	if ln := l.arr.Lookup(m.Addr); ln != nil {
 		if ln.State != cache.Shared && ln.State != cache.Owned && ln.State != cache.Forward {
-			panic(fmt.Sprintf("L1 %d: Inv for %v line %#x", l.ID, ln.State, m.Addr))
+			l.violate(m.Addr, "Inv for %v line", ln.State)
 		}
 		// Dropping a dirty Owned copy is safe here: an Inv only reaches
 		// an O holder when a sharer upgrades, and every S copy equals
@@ -672,7 +712,7 @@ func (l *L1) onFwdGETS(m Msg) {
 		l.respondOwner(m, wbe.data, wbe.dirty, true, false, l.policy.ForwardStateFor(m.WP))
 		return
 	}
-	panic(fmt.Sprintf("L1 %d: Fwd_GETS for unowned block %#x", l.ID, m.Addr))
+	l.violate(m.Addr, "Fwd_GETS for unowned block")
 }
 
 // onFwdGETX surrenders the block to a writing requestor.
@@ -692,7 +732,7 @@ func (l *L1) onFwdGETX(m Msg) {
 		l.respondOwner(m, wbe.data, wbe.dirty, true, true)
 		return
 	}
-	panic(fmt.Sprintf("L1 %d: Fwd_GETX for unowned block %#x", l.ID, m.Addr))
+	l.violate(m.Addr, "Fwd_GETX for unowned block")
 }
 
 // respondOwner implements the owner's half of a three-hop transaction:
@@ -797,6 +837,7 @@ func (l *L1) ForceInvalidate(block cache.Addr) (data uint64, dirty, had bool) {
 }
 
 func (l *L1) complete(a Access, value uint64, served ServedBy) {
+	l.eng.Progress()
 	res := AccessResult{
 		Latency: l.eng.Now() - a.start + a.Extra,
 		Value:   value,
@@ -810,4 +851,17 @@ func (l *L1) complete(a Access, value uint64, served ServedBy) {
 	if a.Done != nil {
 		a.Done(res)
 	}
+}
+
+// violate panics with a typed, contained protocol violation carrying the
+// full system state dump (see bank.violate). It never returns.
+func (l *L1) violate(addr cache.Addr, format string, args ...any) {
+	panic(&fault.Violation{
+		Kind:      fault.KindProtocol,
+		Cycle:     uint64(l.eng.Now()),
+		Component: fmt.Sprintf("L1 %d", l.ID),
+		Addr:      uint64(addr),
+		Msg:       fmt.Sprintf(format, args...),
+		Dump:      l.sys.DumpState(),
+	})
 }

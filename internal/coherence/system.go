@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/interconnect"
 	"repro/internal/sim"
 )
@@ -53,6 +54,14 @@ type SystemConfig struct {
 	// access through the event engine. The fast path is byte-identical by
 	// construction; the knob exists so equivalence tests can prove it.
 	NoFastPath bool
+
+	// Faults, if non-nil, threads the fault injector through the timing
+	// layers: extra crossbar occupancy per message, extra bank-local
+	// service latency per response, and extra DRAM queueing delay per
+	// request. All injected delays are protocol-legal timing perturbation;
+	// with Faults nil every hook is a single nil check and the system is
+	// byte-identical to one built without this field.
+	Faults *fault.Injector
 }
 
 // Validate checks the configuration.
@@ -94,8 +103,15 @@ type System struct {
 	tracer    *Tracer
 	msgCounts [MsgDataFromOwner + 1]uint64
 	xbar      *interconnect.Crossbar
+	faults    *fault.Injector
 	numL1     int
 	noFast    bool
+
+	// lastMsgs is a fixed ring of the most recently delivered coherence
+	// messages; DumpState renders it as the transaction transcript tail of
+	// a failure diagnostic. msgPos counts total deliveries.
+	lastMsgs [msgTailN]TraceEvent
+	msgPos   uint64
 
 	// Cached AccessSync fast-path completion state (see Handle).
 	fpDone bool
@@ -149,7 +165,18 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			return 0
 		}
 	}
-	s.xbar = interconnect.New(s.Eng, xcfg)
+	if cfg.Faults != nil {
+		s.faults = cfg.Faults
+		xcfg.Extra = cfg.Faults.LinkDelay
+		s.Mem.Extra = cfg.Faults.DRAMDelay
+		cfg.Faults.Attach(s.Eng)
+		cfg.Faults.Diagnose = s.DumpState
+	}
+	xbar, err := interconnect.New(s.Eng, xcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.xbar = xbar
 	for i := 0; i < cfg.Banks; i++ {
 		s.banks = append(s.banks, newBank(i, s, cfg.LLCParams))
 	}

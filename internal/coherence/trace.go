@@ -112,6 +112,8 @@ func (s *System) DetachTracer() { s.tracer = nil }
 
 func (s *System) trace(m Msg, dst int) {
 	s.msgCounts[m.Kind]++
+	s.lastMsgs[s.msgPos&(msgTailN-1)] = TraceEvent{When: s.Eng.Now(), Msg: m, Dst: dst}
+	s.msgPos++
 	if s.Observe != nil {
 		s.Observe(m, dst)
 	}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/mmu"
+)
+
+// ArchMemHash hashes the machine's architectural memory contents in
+// virtual-address space: for every process in creation order, every
+// faulted-in page, every block whose value has diverged from its initial
+// token, it hashes (process index, virtual address, value). Keying by
+// virtual rather than physical address makes the hash invariant under
+// physical-frame assignment, which depends on demand-paging *order* —
+// a timing artifact that fault injection legitimately perturbs in
+// multithreaded runs. Two runs of the same workload under different
+// timing-fault plans must produce identical hashes; that is the
+// machine-level metamorphic oracle (internal/soak).
+func (m *Machine) ArchMemHash() string {
+	h := sha256.New()
+	m.forEachArchValue(func(pi int, va mmu.VAddr, v uint64) {
+		fmt.Fprintf(h, "%d %x %x\n", pi, uint64(va), v)
+	})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ArchMemDump renders the exact lines ArchMemHash hashes, one per block:
+// "process virtual-address value". Diffing two dumps pinpoints which
+// blocks moved when the soak oracle reports a hash divergence.
+func (m *Machine) ArchMemDump() string {
+	var b strings.Builder
+	m.forEachArchValue(func(pi int, va mmu.VAddr, v uint64) {
+		fmt.Fprintf(&b, "%d %x %x\n", pi, uint64(va), v)
+	})
+	return b.String()
+}
+
+// forEachArchValue visits the architectural memory image in canonical
+// order: processes in creation order, pages ascending, blocks ascending.
+func (m *Machine) forEachArchValue(visit func(pi int, va mmu.VAddr, v uint64)) {
+	vals := m.Sys.MemValues()
+	block := uint64(m.Cfg.L1.BlockSize)
+	for pi, p := range m.processes {
+		for _, vpn := range p.AS.MappedVPNs() {
+			va := mmu.VAddr(vpn * mmu.PageSize)
+			pte := p.AS.PTEOf(va)
+			if pte == nil || !pte.Present {
+				continue
+			}
+			base := pte.PFN * mmu.PageSize
+			for off := uint64(0); off < mmu.PageSize; off += block {
+				if v, ok := vals[cache.Addr(base+off)]; ok {
+					visit(pi, va+mmu.VAddr(off), v)
+				}
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -84,6 +85,19 @@ type Config struct {
 	// statistics are identical either way; the knob exists for the
 	// fast-vs-slow equivalence tests.
 	NoFastPath bool
+
+	// Faults, if non-nil, attaches a deterministic timing-fault injector
+	// to the hierarchy (DESIGN.md §7). Runtime-only: it does not
+	// serialize with the configuration — replays reconstruct it from the
+	// bundled fault plan. Nil costs a single pointer check per hook site.
+	Faults *fault.Injector
+
+	// Watchdog, when enabled, arms the engine's liveness watchdog: if the
+	// configured event or cycle budget elapses with no architectural
+	// progress (no L1 access completion), the machine panics with a
+	// *fault.Violation carrying the full pending-event and transient-state
+	// dump. Runtime-only, like Faults.
+	Watchdog sim.WatchdogConfig
 }
 
 // DefaultConfig returns the Table V machine with the given core count and
@@ -160,6 +174,7 @@ func (c Config) coherenceConfig() coherence.SystemConfig {
 		DRAM:       c.DRAM,
 		Prefetch:   c.Prefetch,
 		NoFastPath: c.NoFastPath,
+		Faults:     c.Faults,
 	}
 }
 

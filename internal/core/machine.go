@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
+	"repro/internal/fault"
 	"repro/internal/mmu"
 	"repro/internal/sim"
 )
@@ -29,6 +30,18 @@ func NewMachine(cfg Config) (*Machine, error) {
 	sys, err := coherence.NewSystem(cfg.coherenceConfig())
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Watchdog.Enabled() {
+		sys.Eng.ArmWatchdog(cfg.Watchdog, func(ti sim.TripInfo) {
+			panic(&fault.Violation{
+				Kind:      fault.KindLiveness,
+				Cycle:     uint64(ti.Now),
+				Component: "watchdog",
+				Msg: fmt.Sprintf("no progress for %d events / %d cycles (last progress at cycle %d, %d events pending)",
+					ti.EventsSinceProgress, ti.CyclesSinceProgress, ti.LastProgress, ti.Pending),
+				Dump: "-- watchdog pending snapshot --\n" + ti.PendingDump + sys.DumpState(),
+			})
+		})
 	}
 	pm := mmu.NewPhysMem(0)
 	return &Machine{
@@ -161,6 +174,12 @@ type Context struct {
 	syncCb   func(coherence.AccessResult)
 	syncCond func() bool
 
+	// storeSeq stamps each store submitted through this context with a
+	// strictly increasing sequence number (coherence.Access.Seq), so the
+	// L1 can keep same-block data application in program order even when
+	// asymmetric translation delays reorder arrival.
+	storeSeq uint64
+
 	// Stats
 	DataAccesses uint64
 	TLBWalks     uint64
@@ -251,13 +270,14 @@ func (c *Context) instPort() int { return 2*c.Core + 1 }
 // submitTranslated routes a translated access to an L1 port with the
 // architecture-dependent translation latency: pre is charged before the
 // lookup, missExtra only if the access misses the L1 (VIVT).
-func (c *Context) submitTranslated(port int, res mmu.Result, write bool, value uint64,
+func (c *Context) submitTranslated(port int, res mmu.Result, write bool, value uint64, seq uint64,
 	pre, missExtra sim.Cycle, done func(coherence.AccessResult)) {
 	acc := coherence.Access{
 		Addr:        cache.Addr(res.PAddr),
 		Write:       write,
 		WP:          res.WriteProtected,
 		Value:       value,
+		Seq:         seq,
 		MissPenalty: missExtra,
 		// Report the access latency as the core sees it: translation
 		// time included.
@@ -281,7 +301,7 @@ func (c *Context) submitTranslated(port int, res mmu.Result, write bool, value u
 // the event path's tag-lookup event would have, so engine interleaving is
 // byte-identical; when sync is set and the engine is otherwise idle, even
 // that event is skipped and the clock advances directly.
-func (c *Context) fastSubmit(port int, res mmu.Result, write bool, value uint64,
+func (c *Context) fastSubmit(port int, res mmu.Result, write bool, value uint64, seq uint64,
 	pre sim.Cycle, done func(coherence.AccessResult), sync bool) bool {
 	if pre != 0 || len(c.subFree) != len(c.subs) {
 		return false
@@ -291,6 +311,7 @@ func (c *Context) fastSubmit(port int, res mmu.Result, write bool, value uint64,
 		Write: write,
 		WP:    res.WriteProtected,
 		Value: value,
+		Seq:   seq,
 	})
 	if !ok {
 		return false
@@ -320,15 +341,20 @@ func (c *Context) access(v mmu.VAddr, write bool, value uint64, done func(cohere
 		return err
 	}
 	c.DataAccesses++
+	var seq uint64
+	if write {
+		c.storeSeq++
+		seq = c.storeSeq
+	}
 	pre, missExtra := c.translationTiming(res, tlbHit)
 	if c.m.Cfg.WalkThroughCaches && !tlbHit {
-		c.walkAndSubmit(v, c.dataPort(), res, write, value, pre, missExtra, done)
+		c.walkAndSubmit(v, c.dataPort(), res, write, value, seq, pre, missExtra, done)
 		return nil
 	}
-	if c.fastSubmit(c.dataPort(), res, write, value, pre, done, sync) {
+	if c.fastSubmit(c.dataPort(), res, write, value, seq, pre, done, sync) {
 		return nil
 	}
-	c.submitTranslated(c.dataPort(), res, write, value, pre, missExtra, done)
+	c.submitTranslated(c.dataPort(), res, write, value, seq, pre, missExtra, done)
 	return nil
 }
 
@@ -342,19 +368,19 @@ func (c *Context) Fetch(v mmu.VAddr, done func(coherence.AccessResult)) error {
 	}
 	pre, missExtra := c.translationTiming(res, tlbHit)
 	if c.m.Cfg.WalkThroughCaches && !tlbHit {
-		c.walkAndSubmit(v, c.instPort(), res, false, 0, pre, missExtra, done)
+		c.walkAndSubmit(v, c.instPort(), res, false, 0, 0, pre, missExtra, done)
 		return nil
 	}
-	if c.fastSubmit(c.instPort(), res, false, 0, pre, done, false) {
+	if c.fastSubmit(c.instPort(), res, false, 0, 0, pre, done, false) {
 		return nil
 	}
-	c.submitTranslated(c.instPort(), res, false, 0, pre, missExtra, done)
+	c.submitTranslated(c.instPort(), res, false, 0, 0, pre, missExtra, done)
 	return nil
 }
 
 // walkAndSubmit performs the cache-coupled page-table walk and then the
 // real access, reporting total wall-clock latency from now.
-func (c *Context) walkAndSubmit(v mmu.VAddr, port int, res mmu.Result, write bool, value uint64,
+func (c *Context) walkAndSubmit(v mmu.VAddr, port int, res mmu.Result, write bool, value uint64, seq uint64,
 	pre, missExtra sim.Cycle, done func(coherence.AccessResult)) {
 	t0 := c.m.Now()
 	wrapped := done
@@ -368,7 +394,7 @@ func (c *Context) walkAndSubmit(v mmu.VAddr, port int, res mmu.Result, write boo
 	}
 	start := func() {
 		c.walkThenSubmit(v, func() {
-			c.submitTranslated(port, res, write, value, 0, missExtra, wrapped)
+			c.submitTranslated(port, res, write, value, seq, 0, missExtra, wrapped)
 		})
 	}
 	if pre > 0 {

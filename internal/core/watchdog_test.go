@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/fault"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// A machine armed with a watchdog must convert a wedged engine into a
+// typed liveness violation carrying both the engine's pending snapshot
+// and the hierarchy dump.
+func TestMachineWatchdogTripsAsLivenessViolation(t *testing.T) {
+	cfg := DefaultConfig(1, coherence.MESI)
+	cfg.Watchdog = sim.WatchdogConfig{MaxEvents: 200}
+	m := MustNewMachine(cfg)
+
+	// Wedge: a closure chain that reschedules itself forever without ever
+	// marking progress.
+	var spin func()
+	spin = func() { m.Engine().Schedule(1, spin) }
+	spin()
+
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		for i := 0; i < 1_000; i++ {
+			if !m.Engine().Step() {
+				break
+			}
+		}
+	}()
+	v := fault.AsViolation(recovered)
+	if v == nil {
+		t.Fatalf("recovered %v (%T), want *fault.Violation", recovered, recovered)
+	}
+	if v.Kind != fault.KindLiveness || v.Component != "watchdog" {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(v.Msg, "no progress for") {
+		t.Errorf("Msg = %q", v.Msg)
+	}
+	for _, frag := range []string{"-- watchdog pending snapshot --", "pending events", "=== system state at cycle"} {
+		if !strings.Contains(v.Dump, frag) {
+			t.Errorf("dump missing %q", frag)
+		}
+	}
+}
+
+// A healthy machine doing real memory work must never trip the watchdog:
+// every access completion marks progress, resetting the budget.
+func TestMachineWatchdogQuietOnHealthyRun(t *testing.T) {
+	cfg := DefaultConfig(1, coherence.SwiftDir)
+	// Tight budget relative to the whole run: total events far exceed
+	// MaxEvents, so only per-access progress marks keep it quiet.
+	cfg.Watchdog = sim.WatchdogConfig{MaxEvents: 5_000, MaxCycles: 50_000}
+	m := MustNewMachine(cfg)
+	p := m.NewProcess()
+	ctx := p.AttachContext(0)
+	heap := p.MmapAnon(64 * 1024)
+	for i := 0; i < 2_000; i++ {
+		v := heap + mmu.VAddr((i%512)*64)
+		ctx.MustAccessSync(v, i%3 == 0, uint64(i))
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A disabled watchdog config must leave the engine unwatched.
+func TestMachineWatchdogDisabledByDefault(t *testing.T) {
+	m := MustNewMachine(DefaultConfig(1, coherence.MESI))
+	var spin func()
+	n := 0
+	spin = func() {
+		if n++; n < 500 {
+			m.Engine().Schedule(1, spin)
+		}
+	}
+	spin()
+	m.Engine().Run() // 500 progress-free events: must not panic
+}

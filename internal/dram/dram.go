@@ -108,6 +108,13 @@ type Memory struct {
 	cfg      Config
 	channels []channel
 
+	// Extra, if non-nil, returns additional controller queueing delay for
+	// a request arriving at now — the fault-injection hook (extra refresh
+	// and row-conflict stalls). The delay pushes the request's start time,
+	// so the perturbed schedule is one the controller could legally
+	// produce.
+	Extra func(now sim.Cycle, addr uint64, write bool) sim.Cycle
+
 	// Stats
 	Reads, Writes            uint64
 	RowHits, RowMisses       uint64
@@ -161,6 +168,9 @@ func (m *Memory) AccessAt(now sim.Cycle, addr uint64, write bool) sim.Cycle {
 	b := &ch.banks[bkIdx]
 
 	start := now + m.cfg.FrontendLatency
+	if m.Extra != nil {
+		start += m.Extra(now, addr, write)
+	}
 	if b.freeAt > start {
 		start = b.freeAt
 	}

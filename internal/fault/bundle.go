@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Bundle file names. A crash bundle is a plain directory; every file is
+// independently readable, and replay.json alone is enough to reproduce
+// the failure with `swiftdir-sim -replay <dir>/replay.json`.
+const (
+	BundleViolationFile  = "violation.json"
+	BundlePlanFile       = "plan.json"
+	BundleConfigFile     = "config.json"
+	BundleReplayFile     = "replay.json"
+	BundleDiagnosticFile = "diagnostic.txt"
+	BundleStackFile      = "stack.txt"
+)
+
+// BundleSpec is everything a crash bundle records. Config and Replay are
+// opaque JSON documents supplied by the layer that owns those types (the
+// soak runner), keeping this package free of upward dependencies.
+type BundleSpec struct {
+	Violation *Violation
+	Plan      Plan
+	Config    []byte // machine config JSON
+	Replay    []byte // replay spec JSON for swiftdir-sim -replay
+	Stack     []byte // captured goroutine stack, if the failure was a panic
+}
+
+// WriteBundle writes a crash bundle under root and returns the bundle
+// directory. The directory name encodes the plan and failure kind so a
+// sweep's bundles are self-describing at a glance.
+func WriteBundle(root string, spec BundleSpec) (string, error) {
+	if spec.Violation == nil {
+		return "", fmt.Errorf("fault: bundle without violation")
+	}
+	name := fmt.Sprintf("%s-%s-c%d", spec.Plan.Name, spec.Violation.Kind, spec.Violation.Cycle)
+	dir := filepath.Join(root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	vio, err := spec.Violation.MarshalIndentJSON()
+	if err != nil {
+		return "", err
+	}
+	files := []struct {
+		name string
+		data []byte
+	}{
+		{BundleViolationFile, append(vio, '\n')},
+		{BundleDiagnosticFile, []byte(spec.Violation.Dump)},
+	}
+	if spec.Config != nil {
+		files = append(files, struct {
+			name string
+			data []byte
+		}{BundleConfigFile, spec.Config})
+	}
+	if spec.Replay != nil {
+		files = append(files, struct {
+			name string
+			data []byte
+		}{BundleReplayFile, spec.Replay})
+	}
+	if spec.Stack != nil {
+		files = append(files, struct {
+			name string
+			data []byte
+		}{BundleStackFile, spec.Stack})
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, 0o644); err != nil {
+			return "", err
+		}
+	}
+	if err := SavePlan(filepath.Join(dir, BundlePlanFile), spec.Plan); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// ReadBundleViolation loads a bundle's violation record; replay tests use
+// it to assert byte-identical reproduction.
+func ReadBundleViolation(dir string) (*Violation, error) {
+	data, err := os.ReadFile(filepath.Join(dir, BundleViolationFile))
+	if err != nil {
+		return nil, err
+	}
+	var v Violation
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("fault: bundle %s: %w", dir, err)
+	}
+	return &v, nil
+}

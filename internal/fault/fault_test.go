@@ -1,0 +1,340 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Start: 10, End: 20}
+	for c, want := range map[uint64]bool{9: false, 10: true, 19: true, 20: false} {
+		if got := w.Contains(c); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", c, got, want)
+		}
+	}
+	open := Window{Start: 100}
+	if open.Contains(99) || !open.Contains(100) || !open.Contains(1<<40) {
+		t.Error("open-ended window misbehaves")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of error, "" = valid
+	}{
+		{"zero", Plan{Name: "z"}, ""},
+		{"good", Plan{Name: "g", LinkSpikeProb: 0.1, LinkSpikeMax: 8}, ""},
+		{"prob-range", Plan{Name: "p", LinkSpikeProb: 1.5, LinkSpikeMax: 8}, "out of [0,1]"},
+		{"prob-no-max", Plan{Name: "m", BankBusyProb: 0.1}, "without bank_busy_max"},
+		{"storm-no-max", Plan{Name: "s", DRAMStorms: []Window{{Start: 1, End: 2}}}, "without dram_stall_max"},
+		{"max-bound", Plan{Name: "b", DRAMStallProb: 0.1, DRAMStallMax: maxExtra + 1}, "exceeds bound"},
+		{"empty-window", Plan{Name: "w", LinkSpikeMax: 4, LinkStorms: []Window{{Start: 5, End: 5}}}, "empty storm window"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := Plan{
+		Name: "rt", Seed: 42,
+		LinkSpikeProb: 0.25, LinkSpikeMax: 16,
+		LinkStorms:    []Window{{Start: 100, End: 900}},
+		DRAMStallProb: 0.1, DRAMStallMax: 64,
+		FailAt: 12345,
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := SavePlan(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+	if _, err := LoadPlan(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("LoadPlan on missing file succeeded")
+	}
+}
+
+func TestLoadPlanRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name":"bad","link_spike_prob":2.0,"link_spike_max":4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(path); err == nil {
+		t.Error("invalid plan loaded without error")
+	}
+}
+
+func TestRandomPlans(t *testing.T) {
+	a := RandomPlans(8, 7)
+	b := RandomPlans(8, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("RandomPlans not deterministic for same (n, seed)")
+	}
+	if len(a) != 8 {
+		t.Fatalf("got %d plans, want 8", len(a))
+	}
+	if a[0].Name != "no-fault" || !a[0].Zero() {
+		t.Errorf("plan 0 = %+v, want zero no-fault control", a[0])
+	}
+	for i, p := range a[1:] {
+		if p.Zero() {
+			t.Errorf("plan %d is zero: %+v", i+1, p)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("plan %d invalid: %v", i+1, err)
+		}
+	}
+	if reflect.DeepEqual(RandomPlans(8, 8)[1:], a[1:]) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestInjectorValidates(t *testing.T) {
+	if _, err := NewInjector(Plan{Name: "bad", LinkSpikeProb: 0.5}); err == nil {
+		t.Error("NewInjector accepted invalid plan")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{
+		Name: "det", Seed: 99,
+		LinkSpikeProb: 0.3, LinkSpikeMax: 20,
+		BankBusyProb: 0.2, BankBusyMax: 10,
+		DRAMStallProb: 0.4, DRAMStallMax: 50,
+	}
+	roll := func() []sim.Cycle {
+		in := MustNewInjector(plan)
+		var out []sim.Cycle
+		for c := sim.Cycle(0); c < 500; c++ {
+			out = append(out, in.LinkDelay(0, 1, c), in.BankDelay(c), in.DRAMDelay(c, uint64(c)*64, c%2 == 0))
+		}
+		return out
+	}
+	a, b := roll(), roll()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same plan produced different delay sequences")
+	}
+	var any bool
+	for _, d := range a {
+		if d < 0 {
+			t.Fatal("negative delay")
+		}
+		if d > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("plan with high probabilities injected nothing in 1500 draws")
+	}
+}
+
+// Per-class RNG streams are independent: skipping every DRAM consultation
+// must not change the link-delay sequence.
+func TestInjectorStreamIndependence(t *testing.T) {
+	plan := Plan{
+		Name: "ind", Seed: 5,
+		LinkSpikeProb: 0.3, LinkSpikeMax: 20,
+		DRAMStallProb: 0.4, DRAMStallMax: 50,
+	}
+	linkOnly := func(consultDRAM bool) []sim.Cycle {
+		in := MustNewInjector(plan)
+		var out []sim.Cycle
+		for c := sim.Cycle(0); c < 300; c++ {
+			if consultDRAM {
+				in.DRAMDelay(c, 0, false)
+			}
+			out = append(out, in.LinkDelay(0, 1, c))
+		}
+		return out
+	}
+	if !reflect.DeepEqual(linkOnly(true), linkOnly(false)) {
+		t.Error("DRAM consultations perturbed the link delay stream")
+	}
+}
+
+func TestInjectorStormForcesMax(t *testing.T) {
+	in := MustNewInjector(Plan{
+		Name: "storm", Seed: 1,
+		LinkSpikeMax: 7,
+		LinkStorms:   []Window{{Start: 100, End: 200}},
+	})
+	if d := in.LinkDelay(0, 1, 50); d != 0 {
+		t.Errorf("delay %d before storm, want 0", d)
+	}
+	for c := sim.Cycle(100); c < 200; c += 25 {
+		if d := in.LinkDelay(0, 1, c); d != 7 {
+			t.Errorf("delay %d during storm at %d, want 7", d, c)
+		}
+	}
+	if d := in.LinkDelay(0, 1, 200); d != 0 {
+		t.Errorf("delay %d after storm, want 0", d)
+	}
+	if in.Stats.LinkFaults != 4 || in.Stats.ExtraCycles != 28 {
+		t.Errorf("stats = %+v, want 4 faults / 28 extra cycles", in.Stats)
+	}
+}
+
+func TestInjectorZeroPlanInert(t *testing.T) {
+	in := MustNewInjector(Plan{Name: "zero"})
+	for c := sim.Cycle(0); c < 100; c++ {
+		if in.LinkDelay(0, 1, c)|in.BankDelay(c)|in.DRAMDelay(c, 0, false) != 0 {
+			t.Fatal("zero plan injected a delay")
+		}
+	}
+	if in.Stats != (InjectorStats{}) {
+		t.Errorf("zero plan recorded stats %+v", in.Stats)
+	}
+}
+
+func TestInjectorFailAt(t *testing.T) {
+	in := MustNewInjector(Plan{Name: "fail", FailAt: 1000})
+	in.Diagnose = func() string { return "STATE DUMP" }
+	if d := in.LinkDelay(0, 1, 999); d != 0 {
+		t.Fatalf("delay %d before FailAt", d)
+	}
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		in.BankDelay(1000)
+	}()
+	v := AsViolation(recovered)
+	if v == nil {
+		t.Fatalf("recovered %v, want *Violation", recovered)
+	}
+	if v.Kind != KindForced || v.Cycle != 1000 || v.Dump != "STATE DUMP" {
+		t.Errorf("violation %+v, want forced at 1000 with dump", v)
+	}
+	// One-shot: subsequent consultations do not re-fire.
+	if d := in.DRAMDelay(2000, 0, false); d != 0 {
+		t.Errorf("post-failure delay %d", d)
+	}
+}
+
+func TestInjectorHangAtWedgesEngine(t *testing.T) {
+	eng := sim.NewEngine()
+	in := MustNewInjector(Plan{Name: "hang", HangAt: 10})
+	in.Attach(eng)
+	in.LinkDelay(0, 1, 10) // arms the wedge at the engine's current time
+	// The wedge must keep the queue non-empty forever: run a bounded number
+	// of events and verify there is still a pending event afterwards.
+	for i := 0; i < 50; i++ {
+		if !eng.Step() {
+			t.Fatalf("engine drained after %d steps despite wedge", i)
+		}
+	}
+	if eng.Pending() == 0 {
+		t.Error("no pending events after wedge ran")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Kind: KindProtocol, Cycle: 77, Component: "bank 2", Addr: 0x1c0, Msg: "boom"}
+	got := v.Error()
+	for _, frag := range []string{"protocol", "cycle 77", "bank 2", "boom", "0x1c0"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("Error() = %q missing %q", got, frag)
+		}
+	}
+	noAddr := &Violation{Kind: KindLiveness, Cycle: 1, Component: "watchdog", Msg: "stuck"}
+	if strings.Contains(noAddr.Error(), "addr") {
+		t.Errorf("Error() = %q mentions addr for addr-less violation", noAddr.Error())
+	}
+}
+
+func TestAsViolation(t *testing.T) {
+	v := &Violation{Kind: KindResource, Cycle: 3, Component: "bank 0", Msg: "x"}
+	if AsViolation(v) != v {
+		t.Error("pointer passthrough failed")
+	}
+	if got := AsViolation(*v); got == nil || got.Cycle != 3 {
+		t.Error("value extraction failed")
+	}
+	wrapped := fmt.Errorf("job failed: %w", error(v))
+	if AsViolation(wrapped) != v {
+		t.Error("unwrap chain extraction failed")
+	}
+	if AsViolation("plain string panic") != nil || AsViolation(errors.New("plain")) != nil || AsViolation(nil) != nil {
+		t.Error("non-violation values misclassified")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	v := &Violation{
+		Kind: KindForced, Cycle: 4242, Component: "injector",
+		Msg: "forced violation (plan fail_at trigger)", Dump: "line1\nline2\n",
+	}
+	plan := Plan{Name: "bundle-test", Seed: 9, FailAt: 4242}
+	dir, err := WriteBundle(root, BundleSpec{
+		Violation: v,
+		Plan:      plan,
+		Config:    []byte(`{"cores":4}`),
+		Replay:    []byte(`{"benchmark":"mcf"}`),
+		Stack:     []byte("goroutine 1 [running]:\n"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		BundleViolationFile, BundlePlanFile, BundleConfigFile,
+		BundleReplayFile, BundleDiagnosticFile, BundleStackFile,
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("bundle missing %s: %v", f, err)
+		}
+	}
+	got, err := ReadBundleViolation(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Errorf("violation round trip:\n got %+v\nwant %+v", got, v)
+	}
+	diag, err := os.ReadFile(filepath.Join(dir, BundleDiagnosticFile))
+	if err != nil || string(diag) != v.Dump {
+		t.Errorf("diagnostic file = %q, err %v", diag, err)
+	}
+	gotPlan, err := LoadPlan(filepath.Join(dir, BundlePlanFile))
+	if err != nil || !reflect.DeepEqual(gotPlan, plan) {
+		t.Errorf("bundle plan = %+v, err %v", gotPlan, err)
+	}
+	if _, err := WriteBundle(root, BundleSpec{Plan: plan}); err == nil {
+		t.Error("bundle without violation accepted")
+	}
+}
+
+func TestBundleOptionalFilesOmitted(t *testing.T) {
+	dir, err := WriteBundle(t.TempDir(), BundleSpec{
+		Violation: &Violation{Kind: KindLiveness, Cycle: 1, Component: "watchdog", Msg: "stuck"},
+		Plan:      Plan{Name: "min"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{BundleConfigFile, BundleReplayFile, BundleStackFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err == nil {
+			t.Errorf("optional file %s written without data", f)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// Window is a half-open cycle interval [Start, End) during which a fault
+// storm is active. End == 0 means the window never closes.
+type Window struct {
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end,omitempty"`
+}
+
+// Contains reports whether cycle c falls inside the window.
+func (w Window) Contains(c uint64) bool {
+	return c >= w.Start && (w.End == 0 || c < w.End)
+}
+
+// maxExtra bounds any single injected delay. Keeping spikes far below the
+// watchdog's cycle budget guarantees a fault plan can slow the simulation
+// but never wedge it — an injected delay is always finite, so every
+// message still arrives and the blocking protocol still unblocks.
+const maxExtra = 1 << 20
+
+// Plan is a JSON-serializable fault schedule. All faults are timing-only
+// and protocol-legal:
+//
+//   - Link faults add extra crossbar occupancy per message (spikes with
+//     probability LinkSpikeProb, or unconditionally during LinkStorms).
+//     Occupancy flows through the same per-port bookkeeping as jitter, so
+//     per-port-pair delivery order is preserved.
+//   - Bank faults extend the directory bank's local service latency
+//     before a response enters the crossbar (a transient busy window).
+//   - DRAM faults push a memory request's start time (an extra
+//     refresh/row-conflict stall at the controller).
+//
+// FailAt and HangAt are forcing triggers for exercising the containment
+// pipeline itself: FailAt raises a synthetic KindForced Violation at the
+// first injector consultation at or after that cycle; HangAt wedges the
+// event engine with a self-rescheduling no-progress handler, which an
+// armed watchdog must catch.
+type Plan struct {
+	Name string `json:"name"`
+	Seed uint64 `json:"seed"`
+
+	LinkSpikeProb float64  `json:"link_spike_prob,omitempty"`
+	LinkSpikeMax  uint64   `json:"link_spike_max,omitempty"`
+	LinkStorms    []Window `json:"link_storms,omitempty"`
+
+	BankBusyProb float64  `json:"bank_busy_prob,omitempty"`
+	BankBusyMax  uint64   `json:"bank_busy_max,omitempty"`
+	BankStorms   []Window `json:"bank_storms,omitempty"`
+
+	DRAMStallProb float64  `json:"dram_stall_prob,omitempty"`
+	DRAMStallMax  uint64   `json:"dram_stall_max,omitempty"`
+	DRAMStorms    []Window `json:"dram_storms,omitempty"`
+
+	FailAt uint64 `json:"fail_at,omitempty"`
+	HangAt uint64 `json:"hang_at,omitempty"`
+}
+
+// Zero reports whether the plan injects nothing at all.
+func (p Plan) Zero() bool {
+	return p.LinkSpikeProb == 0 && len(p.LinkStorms) == 0 &&
+		p.BankBusyProb == 0 && len(p.BankStorms) == 0 &&
+		p.DRAMStallProb == 0 && len(p.DRAMStorms) == 0 &&
+		p.FailAt == 0 && p.HangAt == 0
+}
+
+// Validate checks the plan.
+func (p Plan) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"link_spike_prob", p.LinkSpikeProb},
+		{"bank_busy_prob", p.BankBusyProb},
+		{"dram_stall_prob", p.DRAMStallProb},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("fault: plan %q: %s = %v out of [0,1]", p.Name, f.name, f.v)
+		}
+	}
+	for _, m := range []struct {
+		name string
+		v    uint64
+	}{
+		{"link_spike_max", p.LinkSpikeMax},
+		{"bank_busy_max", p.BankBusyMax},
+		{"dram_stall_max", p.DRAMStallMax},
+	} {
+		if m.v > maxExtra {
+			return fmt.Errorf("fault: plan %q: %s = %d exceeds bound %d", p.Name, m.name, m.v, maxExtra)
+		}
+	}
+	if p.LinkSpikeProb > 0 && p.LinkSpikeMax == 0 {
+		return fmt.Errorf("fault: plan %q: link_spike_prob without link_spike_max", p.Name)
+	}
+	if p.BankBusyProb > 0 && p.BankBusyMax == 0 {
+		return fmt.Errorf("fault: plan %q: bank_busy_prob without bank_busy_max", p.Name)
+	}
+	if p.DRAMStallProb > 0 && p.DRAMStallMax == 0 {
+		return fmt.Errorf("fault: plan %q: dram_stall_prob without dram_stall_max", p.Name)
+	}
+	if len(p.LinkStorms) > 0 && p.LinkSpikeMax == 0 {
+		return fmt.Errorf("fault: plan %q: link_storms without link_spike_max", p.Name)
+	}
+	if len(p.BankStorms) > 0 && p.BankBusyMax == 0 {
+		return fmt.Errorf("fault: plan %q: bank_storms without bank_busy_max", p.Name)
+	}
+	if len(p.DRAMStorms) > 0 && p.DRAMStallMax == 0 {
+		return fmt.Errorf("fault: plan %q: dram_storms without dram_stall_max", p.Name)
+	}
+	for _, ws := range [][]Window{p.LinkStorms, p.BankStorms, p.DRAMStorms} {
+		for _, w := range ws {
+			if w.End != 0 && w.End <= w.Start {
+				return fmt.Errorf("fault: plan %q: empty storm window [%d,%d)", p.Name, w.Start, w.End)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadPlan reads and validates a JSON fault plan.
+func LoadPlan(path string) (Plan, error) {
+	var p Plan
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	if err := json.Unmarshal(data, &p); err != nil {
+		return p, fmt.Errorf("fault: plan %s: %w", path, err)
+	}
+	return p, p.Validate()
+}
+
+// SavePlan writes a plan as indented JSON.
+func SavePlan(path string, p Plan) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RandomPlans derives n distinct fault plans from a seed for a soak
+// sweep. Plan 0 is always the no-fault control; the rest mix spike
+// probabilities, storm windows, and fault classes pseudo-randomly but
+// reproducibly — the same (n, seed) always yields the same plans.
+func RandomPlans(n int, seed uint64) []Plan {
+	plans := make([]Plan, 0, n)
+	plans = append(plans, Plan{Name: "no-fault", Seed: seed})
+	rng := sim.NewRNG(seed | 1)
+	for i := 1; i < n; i++ {
+		p := Plan{
+			Name: fmt.Sprintf("plan-%02d", i),
+			Seed: rng.Uint64(),
+		}
+		// Each class joins the plan independently; a plan with no class at
+		// all is re-rolled into a link-spike plan so every non-control plan
+		// injects something.
+		if rng.Bool(0.7) {
+			p.LinkSpikeProb = 0.01 + rng.Float64()*0.15
+			p.LinkSpikeMax = 1 + rng.Uint64n(48)
+		}
+		if rng.Bool(0.5) {
+			p.BankBusyProb = 0.01 + rng.Float64()*0.10
+			p.BankBusyMax = 1 + rng.Uint64n(32)
+		}
+		if rng.Bool(0.5) {
+			p.DRAMStallProb = 0.02 + rng.Float64()*0.20
+			p.DRAMStallMax = 1 + rng.Uint64n(200)
+		}
+		if rng.Bool(0.4) {
+			start := rng.Uint64n(200_000)
+			p.LinkStorms = append(p.LinkStorms, Window{
+				Start: start, End: start + 1_000 + rng.Uint64n(20_000),
+			})
+			if p.LinkSpikeMax == 0 {
+				p.LinkSpikeMax = 1 + rng.Uint64n(48)
+			}
+		}
+		if rng.Bool(0.3) {
+			start := rng.Uint64n(200_000)
+			p.DRAMStorms = append(p.DRAMStorms, Window{
+				Start: start, End: start + 1_000 + rng.Uint64n(50_000),
+			})
+			if p.DRAMStallMax == 0 {
+				p.DRAMStallMax = 1 + rng.Uint64n(200)
+			}
+		}
+		if p.Zero() {
+			p.LinkSpikeProb = 0.05
+			p.LinkSpikeMax = 1 + rng.Uint64n(16)
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}

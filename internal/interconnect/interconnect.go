@@ -31,6 +31,13 @@ type Config struct {
 	// (src, dst) port pair — the hook NUMA topologies use to make
 	// cross-socket hops slower than local ones.
 	Distance func(src, dst int) sim.Cycle
+
+	// Extra, if non-nil, returns extra occupancy for a message admitted at
+	// now — the fault-injection hook. Like jitter, the extra cycles flow
+	// through the per-port bookkeeping, so injected latency spikes preserve
+	// per-port-pair delivery order: a perturbed network is still a legal
+	// network.
+	Extra func(src, dst int, now sim.Cycle) sim.Cycle
 }
 
 // Validate checks the configuration.
@@ -58,10 +65,12 @@ type Crossbar struct {
 	MaxQueue     sim.Cycle // worst single-message queueing delay
 }
 
-// New builds a crossbar over the engine.
-func New(eng *sim.Engine, cfg Config) *Crossbar {
+// New builds a crossbar over the engine. An invalid configuration — which
+// can now arrive from user-supplied JSON, not just code — returns an
+// error instead of panicking.
+func New(eng *sim.Engine, cfg Config) (*Crossbar, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	x := &Crossbar{
 		eng:      eng,
@@ -72,7 +81,7 @@ func New(eng *sim.Engine, cfg Config) *Crossbar {
 	if cfg.JitterMax > 0 {
 		x.rng = sim.NewRNG(cfg.JitterSeed | 1)
 	}
-	return x
+	return x, nil
 }
 
 // Config returns the crossbar configuration.
@@ -93,12 +102,16 @@ func (x *Crossbar) admit(src, dst int) sim.Cycle {
 	occ := x.cfg.Occupancy
 	if x.rng != nil {
 		occ += sim.Cycle(x.rng.Uint64n(uint64(x.cfg.JitterMax) + 1))
-	} else if occ == 0 {
+	}
+	if x.cfg.Extra != nil {
+		occ += x.cfg.Extra(src, dst, now)
+	}
+	if x.rng == nil && x.cfg.Extra == nil && occ == 0 {
 		return now + lat
 	}
-	// With jitter enabled every message flows through the port-time
-	// bookkeeping (even a zero-occupancy roll), which keeps per-port-pair
-	// delivery order monotone.
+	// With jitter or fault injection enabled every message flows through
+	// the port-time bookkeeping (even a zero-extra roll), which keeps
+	// per-port-pair delivery order monotone.
 	start := now
 	if x.txFreeAt[src] > start {
 		start = x.txFreeAt[src]

@@ -7,6 +7,15 @@ import (
 	"repro/internal/sim"
 )
 
+func mustNew(t *testing.T, eng *sim.Engine, cfg Config) *Crossbar {
+	t.Helper()
+	x, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
 func TestConfigValidate(t *testing.T) {
 	if (Config{Ports: 0}).Validate() == nil {
 		t.Fatal("zero ports accepted")
@@ -18,7 +27,7 @@ func TestConfigValidate(t *testing.T) {
 
 func TestZeroOccupancyIsPureLatency(t *testing.T) {
 	eng := sim.NewEngine()
-	x := New(eng, Config{Ports: 4, Latency: 3, Occupancy: 0})
+	x := mustNew(t, eng, Config{Ports: 4, Latency: 3, Occupancy: 0})
 	var arrivals []sim.Cycle
 	for i := 0; i < 10; i++ {
 		x.Send(0, 1, func() { arrivals = append(arrivals, eng.Now()) })
@@ -36,7 +45,7 @@ func TestZeroOccupancyIsPureLatency(t *testing.T) {
 
 func TestPortContentionSerializes(t *testing.T) {
 	eng := sim.NewEngine()
-	x := New(eng, Config{Ports: 4, Latency: 3, Occupancy: 2})
+	x := mustNew(t, eng, Config{Ports: 4, Latency: 3, Occupancy: 2})
 	var arrivals []sim.Cycle
 	// Three messages from the same source at t=0: egress admits one per
 	// 2 cycles.
@@ -57,7 +66,7 @@ func TestPortContentionSerializes(t *testing.T) {
 
 func TestDistinctPortPairsDoNotContend(t *testing.T) {
 	eng := sim.NewEngine()
-	x := New(eng, Config{Ports: 4, Latency: 3, Occupancy: 2})
+	x := mustNew(t, eng, Config{Ports: 4, Latency: 3, Occupancy: 2})
 	var arrivals []sim.Cycle
 	x.Send(0, 1, func() { arrivals = append(arrivals, eng.Now()) })
 	x.Send(2, 3, func() { arrivals = append(arrivals, eng.Now()) })
@@ -69,7 +78,7 @@ func TestDistinctPortPairsDoNotContend(t *testing.T) {
 
 func TestIngressContention(t *testing.T) {
 	eng := sim.NewEngine()
-	x := New(eng, Config{Ports: 4, Latency: 1, Occupancy: 5})
+	x := mustNew(t, eng, Config{Ports: 4, Latency: 1, Occupancy: 5})
 	var arrivals []sim.Cycle
 	// Two different sources target the same destination.
 	x.Send(0, 2, func() { arrivals = append(arrivals, eng.Now()) })
@@ -85,7 +94,7 @@ func TestIngressContention(t *testing.T) {
 func TestOrderingProperty(t *testing.T) {
 	f := func(gaps []uint8) bool {
 		eng := sim.NewEngine()
-		x := New(eng, Config{Ports: 2, Latency: 4, Occupancy: 3})
+		x := mustNew(t, eng, Config{Ports: 2, Latency: 4, Occupancy: 3})
 		var arrivals []sim.Cycle
 		var sends []sim.Cycle
 		t0 := sim.Cycle(0)
@@ -118,11 +127,61 @@ func TestOrderingProperty(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bad config accepted")
+func TestNewRejectsBadConfig(t *testing.T) {
+	x, err := New(sim.NewEngine(), Config{Ports: 0})
+	if err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if x != nil {
+		t.Fatal("crossbar returned alongside error")
+	}
+}
+
+// The Extra hook injects occupancy like jitter does: delays stretch
+// delivery but the per-port bookkeeping preserves send order.
+func TestExtraHookDelaysAndPreservesOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	calls := 0
+	x := mustNew(t, eng, Config{
+		Ports: 2, Latency: 3,
+		Extra: func(src, dst int, now sim.Cycle) sim.Cycle {
+			calls++
+			if calls == 1 {
+				return 10 // spike on the first message only
+			}
+			return 0
+		},
+	})
+	var arrivals []sim.Cycle
+	x.Send(0, 1, func() { arrivals = append(arrivals, eng.Now()) })
+	x.Send(0, 1, func() { arrivals = append(arrivals, eng.Now()) })
+	eng.Run()
+	// First message occupies the ports for 10 cycles; the second starts
+	// after it, so both the spike and the ordering are visible.
+	if len(arrivals) != 2 || arrivals[0] != 3 || arrivals[1] != 13 {
+		t.Fatalf("arrivals = %v, want [3 13]", arrivals)
+	}
+	if calls != 2 {
+		t.Fatalf("Extra consulted %d times, want 2", calls)
+	}
+}
+
+// A nil Extra hook and zero occupancy must keep the pure-latency shortcut:
+// no port bookkeeping, identical timing to the pre-hook crossbar.
+func TestNilExtraKeepsPureLatencyPath(t *testing.T) {
+	eng := sim.NewEngine()
+	x := mustNew(t, eng, Config{Ports: 2, Latency: 5})
+	var arrivals []sim.Cycle
+	for i := 0; i < 4; i++ {
+		x.Send(0, 1, func() { arrivals = append(arrivals, eng.Now()) })
+	}
+	eng.Run()
+	for _, a := range arrivals {
+		if a != 5 {
+			t.Fatalf("arrival at %d, want 5", a)
 		}
-	}()
-	New(sim.NewEngine(), Config{Ports: 0})
+	}
+	if x.QueuedCycles != 0 {
+		t.Fatal("pure-latency path did port bookkeeping")
+	}
 }

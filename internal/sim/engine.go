@@ -97,6 +97,10 @@ type Engine struct {
 	// min-heap ordered by (when, seq). Events migrate into the ring as the
 	// current cycle advances and their horizon opens.
 	overflow []event
+
+	// wd is the armed liveness watchdog, or nil. See watchdog.go. Kept as
+	// a single pointer so the disarmed hot path pays one nil check.
+	wd *watchdog
 }
 
 // NewEngine returns an engine with time set to cycle 0.
@@ -248,6 +252,9 @@ func (e *Engine) popRun() {
 		ev.fn()
 	} else {
 		ev.h.Handle(ev.p)
+	}
+	if e.wd != nil {
+		e.checkWatchdog()
 	}
 }
 

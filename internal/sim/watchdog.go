@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WatchdogConfig bounds how long the engine may run without anyone
+// calling Progress. Zero fields disable that bound; the zero value
+// disables the watchdog entirely. Both limits are deliberately generous
+// defaults for callers to tighten: a wedged protocol executes thousands
+// of events per retired op, so even a 10x-conservative budget trips
+// quickly relative to a full run.
+type WatchdogConfig struct {
+	// MaxEvents is the number of events the engine may execute with no
+	// progress mark before the watchdog trips.
+	MaxEvents uint64 `json:"max_events,omitempty"`
+	// MaxCycles is the number of simulated cycles that may elapse with no
+	// progress mark before the watchdog trips.
+	MaxCycles Cycle `json:"max_cycles,omitempty"`
+}
+
+// Enabled reports whether the config bounds anything.
+func (c WatchdogConfig) Enabled() bool { return c.MaxEvents > 0 || c.MaxCycles > 0 }
+
+// TripInfo is the watchdog's structured diagnostic: where the run stalled
+// and the complete pending-event queue at the moment of the trip. Higher
+// layers append their own state (MSHRs, directory transactions) on top.
+type TripInfo struct {
+	Now                 Cycle
+	LastProgress        Cycle // engine time of the last Progress call
+	EventsSinceProgress uint64
+	CyclesSinceProgress Cycle
+	Pending             int
+	// PendingDump renders every pending event in execution order, one per
+	// line: relative cycle, handler type, payload. Closure events carry no
+	// inspectable payload and render as "closure".
+	PendingDump string
+}
+
+// watchdog is the armed detector. lastCycle/lastEvents snapshot the
+// engine counters at the most recent progress mark.
+type watchdog struct {
+	cfg        WatchdogConfig
+	trip       func(TripInfo)
+	lastCycle  Cycle
+	lastEvents uint64
+}
+
+// ArmWatchdog installs a liveness watchdog: if the engine executes
+// cfg.MaxEvents events or advances cfg.MaxCycles cycles without a
+// Progress call, trip runs with a diagnostic. The watchdog disarms itself
+// before calling trip, so a trip callback that does not panic leaves the
+// engine runnable (and re-armable). Arming with a disabled config disarms
+// any existing watchdog.
+func (e *Engine) ArmWatchdog(cfg WatchdogConfig, trip func(TripInfo)) {
+	if !cfg.Enabled() {
+		e.wd = nil
+		return
+	}
+	if trip == nil {
+		panic("sim: ArmWatchdog with nil trip callback")
+	}
+	e.wd = &watchdog{cfg: cfg, trip: trip, lastCycle: e.now, lastEvents: e.executed}
+}
+
+// DisarmWatchdog removes the watchdog, if any.
+func (e *Engine) DisarmWatchdog() { e.wd = nil }
+
+// Progress marks forward progress — a core retired an operation, so the
+// run is not wedged. It resets the watchdog's event and cycle budgets.
+// With no watchdog armed it is a single nil check, cheap enough for the
+// hottest completion paths.
+func (e *Engine) Progress() {
+	if wd := e.wd; wd != nil {
+		wd.lastCycle = e.now
+		wd.lastEvents = e.executed
+	}
+}
+
+// checkWatchdog runs after each executed event while a watchdog is armed.
+func (e *Engine) checkWatchdog() {
+	wd := e.wd
+	events := e.executed - wd.lastEvents
+	cycles := e.now - wd.lastCycle
+	if (wd.cfg.MaxEvents == 0 || events < wd.cfg.MaxEvents) &&
+		(wd.cfg.MaxCycles == 0 || cycles < wd.cfg.MaxCycles) {
+		return
+	}
+	e.wd = nil // disarm before the callback: a non-panicking trip must not re-fire
+	wd.trip(TripInfo{
+		Now:                 e.now,
+		LastProgress:        wd.lastCycle,
+		EventsSinceProgress: events,
+		CyclesSinceProgress: cycles,
+		Pending:             e.pending,
+		PendingDump:         e.renderPending(),
+	})
+}
+
+// renderPending formats the pending-event queue for a trip diagnostic.
+// Failure-path only; allocation is fine here.
+func (e *Engine) renderPending() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pending events (%d), execution order:\n", e.pending)
+	e.ForEachPending(func(rel Cycle, h Handler, p Payload, isClosure bool) {
+		if isClosure {
+			fmt.Fprintf(&sb, "  +%-6d closure\n", rel)
+			return
+		}
+		fmt.Fprintf(&sb, "  +%-6d %-28T op=%d A=%#x B=%#x X=%d Y=%d Z=%d K=%d F=%d Aux=%d\n",
+			rel, h, p.Op, p.A, p.B, p.X, p.Y, p.Z, p.K, p.F, p.Aux)
+	})
+	return sb.String()
+}

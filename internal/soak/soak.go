@@ -1,0 +1,203 @@
+// Package soak is the randomized fault-injection campaign runner behind
+// `swiftdir-sim -soak` and the CI soak job. It ties the pieces of the
+// robustness story together: fault plans (internal/fault) perturb the
+// timing of full benchmark runs, the liveness watchdog (internal/sim)
+// bounds every run, and the metamorphic oracle asserts that timing faults
+// move cycles but never architectural results — the same instruction
+// streams retire, and the final memory image is byte-identical, under
+// every plan. A run that fails instead of diverging silently is captured
+// as a replayable crash bundle.
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Spec is one replayable soak run: everything needed to reconstruct the
+// simulation deterministically. It is the payload of a crash bundle's
+// replay.json — `swiftdir-sim -replay` feeds it straight back into
+// RunSpec and must reproduce the recorded failure exactly.
+type Spec struct {
+	Benchmark string             `json:"benchmark"`
+	Protocol  string             `json:"protocol"`
+	CPU       workload.CPUKind   `json:"cpu"`
+	Scale     float64            `json:"scale,omitempty"` // instruction-budget scale, 0 = 1.0
+	Plan      fault.Plan         `json:"plan"`
+	Watchdog  sim.WatchdogConfig `json:"watchdog"`
+}
+
+// DefaultWatchdog bounds a soak run generously: a healthy benchmark marks
+// progress every few hundred events, so these budgets are orders of
+// magnitude above any legitimate inter-progress gap while still tripping
+// a genuine wedge in well under a second of wall time.
+func DefaultWatchdog() sim.WatchdogConfig {
+	return sim.WatchdogConfig{MaxEvents: 2_000_000, MaxCycles: 5_000_000}
+}
+
+// ThreadArch is the architectural (timing-independent) slice of one
+// thread's statistics.
+type ThreadArch struct {
+	Instructions uint64 `json:"instructions"`
+	Loads        uint64 `json:"loads"`
+	Stores       uint64 `json:"stores"`
+}
+
+// ArchResult is the architectural projection of a workload.Result plus
+// the final memory image: exactly the fields a timing-only fault must
+// not move. Cycles, IPC, and every latency are deliberately absent.
+// Two runs of the same Spec modulo fault plan must produce byte-identical
+// CanonicalJSON — the metamorphic oracle of the soak sweep.
+type ArchResult struct {
+	Benchmark    string           `json:"benchmark"`
+	Protocol     string           `json:"protocol"`
+	CPU          workload.CPUKind `json:"cpu"`
+	Instrs       uint64           `json:"instrs"`
+	PerThread    []ThreadArch     `json:"per_thread"`
+	MemImageHash string           `json:"mem_image_hash"`
+}
+
+// CanonicalJSON renders the projection in its comparison form.
+func (r ArchResult) CanonicalJSON() string {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // static struct cannot fail to marshal
+	}
+	return string(data)
+}
+
+// profile resolves the spec's benchmark and scale.
+func (s Spec) profile() (workload.Profile, error) {
+	p, ok := workload.ProfileByName(s.Benchmark)
+	if !ok {
+		return workload.Profile{}, fmt.Errorf("soak: unknown benchmark %q", s.Benchmark)
+	}
+	if s.Scale > 0 {
+		p = p.Scale(s.Scale)
+	}
+	return p, nil
+}
+
+// machineConfig builds the Table V machine for the spec: protocol by
+// name, cores sized to the profile, the fault injector (for a non-empty
+// plan), and the watchdog.
+func (s Spec) machineConfig(p workload.Profile) (core.Config, error) {
+	proto := coherence.PolicyByName(s.Protocol)
+	if proto == nil {
+		return core.Config{}, fmt.Errorf("soak: unknown protocol %q", s.Protocol)
+	}
+	cores := 1
+	for cores < p.Threads {
+		cores *= 2
+	}
+	cfg := core.DefaultConfig(cores, proto)
+	cfg.Watchdog = s.Watchdog
+	if !s.Plan.Zero() {
+		inj, err := fault.NewInjector(s.Plan)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Faults = inj
+	}
+	return cfg, nil
+}
+
+// configJSON renders the spec's machine configuration for a crash
+// bundle; nil if the spec itself is broken (the violation still records
+// the failure).
+func (s Spec) configJSON() []byte {
+	p, err := s.profile()
+	if err != nil {
+		return nil
+	}
+	cfg, err := s.machineConfig(p)
+	if err != nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return nil
+	}
+	return append(data, '\n')
+}
+
+// specJSON renders the spec as a bundle's replay.json payload.
+func (s Spec) specJSON() []byte {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil
+	}
+	return append(data, '\n')
+}
+
+// kind returns the spec's CPU model, defaulting to the paper's DerivO3CPU.
+func (s Spec) kind() workload.CPUKind {
+	if s.CPU == "" {
+		return workload.DerivO3CPU
+	}
+	return s.CPU
+}
+
+// RunSpec executes one spec to completion and returns its architectural
+// projection. Contained failures (protocol violations, watchdog trips,
+// forced faults) surface as panics with *fault.Violation values — run it
+// under a campaign fence or Replay's recover.
+func RunSpec(s Spec) (ArchResult, error) {
+	p, err := s.profile()
+	if err != nil {
+		return ArchResult{}, err
+	}
+	cfg, err := s.machineConfig(p)
+	if err != nil {
+		return ArchResult{}, err
+	}
+	res, m, err := workload.RunDetailed(p, cfg, s.kind())
+	if err != nil {
+		return ArchResult{}, err
+	}
+	out := ArchResult{
+		Benchmark:    res.Benchmark,
+		Protocol:     res.Protocol,
+		CPU:          res.CPU,
+		Instrs:       res.Instrs,
+		MemImageHash: m.ArchMemHash(),
+	}
+	for _, t := range res.PerThread {
+		out.PerThread = append(out.PerThread, ThreadArch{
+			Instructions: t.Instructions, Loads: t.Loads, Stores: t.Stores,
+		})
+	}
+	return out, nil
+}
+
+// LoadSpec reads a replay spec from path, which may be a replay.json
+// file or a crash-bundle directory containing one.
+func LoadSpec(path string) (Spec, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	if info.IsDir() {
+		path = filepath.Join(path, fault.BundleReplayFile)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("soak: replay spec %s: %w", path, err)
+	}
+	if err := s.Plan.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,209 @@
+package soak
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// The headline metamorphic property, at full-machine scope: a randomized
+// sweep of fault plans over a real benchmark run must leave the
+// architectural projection — instruction counts, per-thread load/store
+// counts, final memory image — byte-identical to the no-fault control,
+// for every protocol under test. Only cycles may move.
+func TestSweepMetamorphicAcrossPlans(t *testing.T) {
+	plans := fault.RandomPlans(8, 0x50AC)
+	if plans[0].Name != "no-fault" {
+		t.Fatalf("plan 0 is %q, want the no-fault control", plans[0].Name)
+	}
+	for _, proto := range []string{"MESI", "S-MESI", "SwiftDir"} {
+		t.Run(proto, func(t *testing.T) {
+			base := Spec{
+				Benchmark: "dedup", // 4 threads, heavy sharing
+				Protocol:  proto,
+				CPU:       "DerivO3CPU", // overlapping misses: the hardest timing to perturb safely
+				Scale:     0.02,
+				Watchdog:  DefaultWatchdog(),
+			}
+			res := Sweep(base, plans, t.TempDir(), 0)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if len(res.Outcomes) != len(plans) {
+				t.Fatalf("%d outcomes for %d plans", len(res.Outcomes), len(plans))
+			}
+			control := res.Outcomes[0].Result
+			if control.Instrs == 0 || control.MemImageHash == "" {
+				t.Fatalf("empty control projection: %+v", control)
+			}
+		})
+	}
+}
+
+// A long, WAR-heavy healthy run must never false-positive the watchdog,
+// on any protocol: every access completion marks progress.
+func TestWatchdogNeverFalsePositivesOnHealthyRuns(t *testing.T) {
+	for _, proto := range []string{"MESI", "S-MESI", "SwiftDir"} {
+		spec := Spec{
+			Benchmark: "xalancbmk", // WARFrac 0.42: upgrade-heavy
+			Protocol:  proto,
+			CPU:       "DerivO3CPU",
+			Scale:     0.05,
+			Plan:      fault.Plan{Name: "no-fault"},
+			// Far tighter than DefaultWatchdog: the run executes orders of
+			// magnitude more events than this budget in total, so only the
+			// per-access progress marks keep it alive.
+			Watchdog: sim.WatchdogConfig{MaxEvents: 20_000, MaxCycles: 200_000},
+		}
+		r, err := RunSpec(spec) // a trip would panic
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if r.Instrs == 0 {
+			t.Fatalf("%s: empty run", proto)
+		}
+	}
+}
+
+// A forced violation mid-campaign must produce a crash bundle whose
+// replay.json reproduces the identical violation — same kind, same cycle,
+// byte-identical diagnostic — in one Replay call.
+func TestForcedViolationBundleReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	plans := []fault.Plan{
+		{Name: "no-fault"},
+		{Name: "forced", Seed: 7, FailAt: 2_000,
+			LinkSpikeProb: 0.05, LinkSpikeMax: 10},
+	}
+	base := Spec{
+		Benchmark: "mcf", Protocol: "SwiftDir", CPU: "TimingSimpleCPU",
+		Scale: 0.02, Watchdog: DefaultWatchdog(),
+	}
+	res := Sweep(base, plans, dir, 2)
+	if res.Err == nil {
+		t.Fatal("forced plan did not fail the sweep")
+	}
+	po := res.Outcomes[1]
+	if po.Bundle == "" {
+		t.Fatalf("no bundle for forced plan; outcome err: %v", po.Err)
+	}
+	recorded, err := fault.ReadBundleViolation(po.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded.Kind != fault.KindForced {
+		t.Fatalf("bundled violation kind %q, want forced", recorded.Kind)
+	}
+
+	out, err := Replay(po.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatalf("replay did not reproduce a violation (err=%v, result=%+v)", out.Err, out.Result)
+	}
+	if out.Violation.Kind != recorded.Kind || out.Violation.Cycle != recorded.Cycle ||
+		out.Violation.Msg != recorded.Msg || out.Violation.Component != recorded.Component {
+		t.Errorf("replayed violation differs:\n  bundled:  %s\n  replayed: %s",
+			recorded.Error(), out.Violation.Error())
+	}
+	if out.Violation.Dump != recorded.Dump {
+		t.Errorf("replayed diagnostic is not byte-identical (%d vs %d bytes)",
+			len(out.Violation.Dump), len(recorded.Dump))
+	}
+	// The on-disk diagnostic file is the same bytes.
+	diag, err := os.ReadFile(filepath.Join(po.Bundle, fault.BundleDiagnosticFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(diag) != out.Violation.Dump {
+		t.Error("diagnostic.txt does not match the replayed dump")
+	}
+}
+
+// A forced hang must be caught by the watchdog as a liveness violation,
+// bundled, and reproduced by replay at the identical cycle with the
+// identical diagnostic.
+func TestHangBundleReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	plans := []fault.Plan{{Name: "wedge", Seed: 3, HangAt: 1_000}}
+	base := Spec{
+		Benchmark: "mcf", Protocol: "MESI", CPU: "TimingSimpleCPU",
+		Scale:    0.02,
+		Watchdog: sim.WatchdogConfig{MaxEvents: 10_000, MaxCycles: 100_000},
+	}
+	res := Sweep(base, plans, dir, 1)
+	if res.Err == nil {
+		t.Fatal("hang plan did not fail the sweep")
+	}
+	po := res.Outcomes[0]
+	if po.Bundle == "" {
+		t.Fatalf("no bundle for hang plan; outcome err: %v", po.Err)
+	}
+	recorded, err := fault.ReadBundleViolation(po.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded.Kind != fault.KindLiveness || recorded.Component != "watchdog" {
+		t.Fatalf("bundled violation = %+v, want a watchdog liveness trip", recorded)
+	}
+	if !strings.Contains(recorded.Dump, "-- watchdog pending snapshot --") ||
+		!strings.Contains(recorded.Dump, "=== system state at cycle") {
+		t.Errorf("liveness dump missing sections:\n%.400s", recorded.Dump)
+	}
+
+	out, err := Replay(po.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("replay did not reproduce the hang")
+	}
+	if out.Violation.Kind != fault.KindLiveness || out.Violation.Cycle != recorded.Cycle {
+		t.Errorf("replayed %s, bundled %s", out.Violation.Error(), recorded.Error())
+	}
+	if out.Violation.Dump != recorded.Dump {
+		t.Error("replayed liveness diagnostic is not byte-identical")
+	}
+}
+
+// Replay of a bundle for a run that would now succeed reports completion
+// rather than inventing a failure, and spec loading validates the plan.
+func TestReplaySpecLoading(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{
+		Benchmark: "leela", Protocol: "MESI", CPU: "TimingSimpleCPU",
+		Scale: 0.01, Plan: fault.Plan{Name: "mild", Seed: 5, LinkSpikeProb: 0.1, LinkSpikeMax: 4},
+		Watchdog: DefaultWatchdog(),
+	}
+	path := filepath.Join(dir, "replay.json")
+	if err := os.WriteFile(path, spec.specJSON(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation != nil || out.Err != nil {
+		t.Fatalf("healthy replay failed: violation=%v err=%v", out.Violation, out.Err)
+	}
+	if out.Result.Instrs == 0 {
+		t.Fatal("empty replay result")
+	}
+	if !strings.Contains(out.Describe(), "completed without failure") {
+		t.Errorf("Describe() = %q", out.Describe())
+	}
+
+	bad := Spec{Benchmark: "leela", Protocol: "MESI",
+		Plan: fault.Plan{Name: "bad", LinkSpikeProb: 0.5}} // prob without max
+	if err := os.WriteFile(path, bad.specJSON(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(path); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

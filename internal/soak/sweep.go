@@ -1,0 +1,162 @@
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+)
+
+// PlanOutcome is one plan's result within a sweep.
+type PlanOutcome struct {
+	Plan   fault.Plan
+	Result ArchResult // valid only when Err == nil
+	Err    error      // run failure (possibly a captured *fault.Violation)
+	Bundle string     // crash-bundle directory, when a failure was bundled
+}
+
+// SweepResult aggregates a soak sweep.
+type SweepResult struct {
+	Outcomes []PlanOutcome
+	// Err joins every failure: runs that crashed and runs whose
+	// architectural projection diverged from the control plan's.
+	Err error
+}
+
+// Sweep runs base once per plan (fanning out over the campaign pool) and
+// applies the metamorphic oracle: every successful run's architectural
+// projection must be byte-identical to the first successful one —
+// conventionally plan 0, the no-fault control of fault.RandomPlans. A run
+// that panics is captured on its worker and written as a crash bundle
+// under bundleDir (when non-empty), with a replay.json that reproduces
+// the failure via Replay or `swiftdir-sim -replay`.
+func Sweep(base Spec, plans []fault.Plan, bundleDir string, workers int) SweepResult {
+	var mu sync.Mutex
+	bundles := make(map[string]string) // plan name -> bundle dir
+
+	jobs := make([]campaign.Job[ArchResult], 0, len(plans))
+	for _, plan := range plans {
+		spec := base
+		spec.Plan = plan
+		jobs = append(jobs, campaign.Job[ArchResult]{
+			Name: plan.Name,
+			Run:  func() (ArchResult, error) { return RunSpec(spec) },
+			OnPanic: func(pe *campaign.PanicError) {
+				if bundleDir == "" {
+					return
+				}
+				dir, err := writeBundle(bundleDir, spec, pe)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "soak: bundle for plan %q: %v\n", spec.Plan.Name, err)
+					return
+				}
+				mu.Lock()
+				bundles[spec.Plan.Name] = dir
+				mu.Unlock()
+			},
+		})
+	}
+
+	results, _ := campaign.Run(workers, jobs)
+	out := SweepResult{Outcomes: make([]PlanOutcome, len(plans))}
+	var errs []error
+	control := ""
+	for i, r := range results {
+		po := PlanOutcome{Plan: plans[i], Result: r.Value, Err: r.Err, Bundle: bundles[plans[i].Name]}
+		out.Outcomes[i] = po
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("plan %q: %w", plans[i].Name, r.Err))
+			continue
+		}
+		got := r.Value.CanonicalJSON()
+		if control == "" {
+			control = got
+			continue
+		}
+		if got != control {
+			errs = append(errs, fmt.Errorf(
+				"plan %q: architectural result diverged from control:\n--- control ---\n%s\n--- plan %q ---\n%s",
+				plans[i].Name, control, plans[i].Name, got))
+		}
+	}
+	out.Err = errors.Join(errs...)
+	return out
+}
+
+// writeBundle turns a captured job panic into a crash bundle for spec.
+func writeBundle(root string, spec Spec, pe *campaign.PanicError) (string, error) {
+	v := fault.AsViolation(pe.Value)
+	if v == nil {
+		v = &fault.Violation{
+			Kind:      fault.KindPanic,
+			Component: "campaign job " + pe.Job,
+			Msg:       fmt.Sprint(pe.Value),
+		}
+	}
+	return fault.WriteBundle(root, fault.BundleSpec{
+		Violation: v,
+		Plan:      spec.Plan,
+		Config:    spec.configJSON(),
+		Replay:    spec.specJSON(),
+		Stack:     pe.Stack,
+	})
+}
+
+// ReplayOutcome reports what re-executing a replay spec did.
+type ReplayOutcome struct {
+	Spec      Spec
+	Violation *fault.Violation // the reproduced failure, nil if the run completed
+	Result    ArchResult       // valid when Violation == nil and Err == nil
+	Err       error            // non-failure error (bad spec, unknown benchmark)
+}
+
+// Replay re-executes the spec at path (a replay.json or a bundle
+// directory) under a capture fence. Determinism end to end — seeded
+// workload, seeded per-class injector streams, canonical dump ordering —
+// means a replayed failure reproduces the bundled violation byte for
+// byte, cycle included.
+func Replay(path string) (ReplayOutcome, error) {
+	spec, err := LoadSpec(path)
+	if err != nil {
+		return ReplayOutcome{}, err
+	}
+	out := ReplayOutcome{Spec: spec}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if v := fault.AsViolation(r); v != nil {
+					out.Violation = v
+					return
+				}
+				out.Violation = &fault.Violation{
+					Kind: fault.KindPanic, Component: "replay", Msg: fmt.Sprint(r),
+				}
+			}
+		}()
+		out.Result, out.Err = RunSpec(spec)
+	}()
+	return out, nil
+}
+
+// Describe renders a replay outcome for the CLI.
+func (o ReplayOutcome) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay: %s on %s (%s), plan %q\n",
+		o.Spec.Benchmark, o.Spec.Protocol, o.Spec.kind(), o.Spec.Plan.Name)
+	switch {
+	case o.Err != nil:
+		fmt.Fprintf(&b, "error: %v\n", o.Err)
+	case o.Violation != nil:
+		fmt.Fprintf(&b, "reproduced: %s\n", o.Violation.Error())
+		if o.Violation.Dump != "" {
+			b.WriteString(o.Violation.Dump)
+		}
+	default:
+		fmt.Fprintf(&b, "completed without failure:\n%s\n", o.Result.CanonicalJSON())
+	}
+	return b.String()
+}
