@@ -9,7 +9,11 @@
 #   make bench-gate  — hot-path ns/op ceiling + zero-alloc pins (CI)
 #   make fuzz        — brief run of the campaign scheduler fuzz target
 #   make soak        — fault-injection soak sweep under -race (watchdog armed)
-#   make mcheck      — exhaustive protocol model check of the 3 policies
+#   make mcheck      — exhaustive protocol model check (3 paper policies
+#                      + Phase-Priority)
+#   make proto-verify— single-source-of-truth gate: table invariants,
+#                      differential conformance goldens, 0-alloc pins,
+#                      table-dispatch fuzz corpus, model check
 #   make cover       — coverage of the protocol+checker packages vs floor
 #   make staticcheck — staticcheck, skipped when the binary is absent
 
@@ -43,7 +47,7 @@ BENCHDATE   := $(shell date +%Y-%m-%d)$(BENCHTAG)
 # with  make benchdiff BENCHBASE=BENCH_2026-08-05.json
 BENCHBASE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check build test vet race bench bench-smoke benchdiff bench-gate fuzz fuzz-long soak mcheck cover staticcheck
+.PHONY: check build test vet race bench bench-smoke benchdiff bench-gate fuzz fuzz-long soak mcheck proto-verify cover staticcheck
 
 check: vet test race
 
@@ -122,13 +126,34 @@ soak:
 fuzz-long:
 	$(GO) test -run=^$$ -fuzz=$(FUZZTARGET) -fuzztime=$(FUZZTIME_LONG) $(FUZZPKG)
 
-# Bounded-exhaustive model check of the three paper protocols on the
-# default 2-core/1-line configuration, every interleaving explored. On a
-# violation the minimal counterexample lands in MCHECK_ARTIFACTS (CI
-# uploads that directory); locally it also prints to stdout.
+# Bounded-exhaustive model check of the three paper protocols plus
+# Phase-Priority on the default 2-core/1-line configuration, every
+# interleaving explored. On a violation the minimal counterexample lands
+# in MCHECK_ARTIFACTS (CI uploads that directory); locally it also
+# prints to stdout.
 MCHECK_ARTIFACTS ?= mcheck-artifacts
 mcheck: build
 	$(GO) run ./cmd/swiftdir-mcheck -policy all -coverage -artifacts '$(MCHECK_ARTIFACTS)'
+
+# Single-source-of-truth gate for the table-driven protocol engine:
+#   1. proto package invariants — every table total (no unclassified
+#      cells), the pre-refactor relations preserved verbatim,
+#      Phase-Priority structurally identical to MESI, lookups 0-alloc;
+#   2. the differential conformance harness — golden transcripts and
+#      table-vs-controller dispatch parity in internal/coherence, plus
+#      the steady-state/fast-path 0-alloc pins the refactor must not
+#      regress;
+#   3. the checker-side completeness and shared-instance tests and the
+#      4-policy transition-coverage matrix;
+#   4. a brief run of the table-dispatch fuzzer (regression corpus runs
+#      in `make test`; this also explores new schedules);
+#   5. the exhaustive model check of all four policies (see mcheck).
+proto-verify: build
+	$(GO) test -count=1 ./internal/proto
+	$(GO) test -count=1 -run 'TestProtocolConformance|TestTranscriptGoldens|TestSteadyStateL1HitZeroAlloc|TestSteadyStateMissZeroAlloc|TestFastPathZeroAlloc' ./internal/coherence
+	$(GO) test -count=1 -run 'TestTablesComplete|TestTablesAreSharedWithDispatch|TestTransitionCoverage' ./internal/mcheck
+	$(GO) test -run=^$$ -fuzz=FuzzTableDispatch -fuzztime=$(FUZZTIME) ./internal/mcheck
+	$(GO) run ./cmd/swiftdir-mcheck -policy all -artifacts '$(MCHECK_ARTIFACTS)'
 
 # Statement-coverage gate over the protocol and model-checker packages.
 # awk compares against the floor so the gate needs no extra tooling.

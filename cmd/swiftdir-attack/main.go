@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	swiftdir-attack [-bits n] [-trials n] [-secret text]
+//	swiftdir-attack [-bits n] [-trials n] [-secret text] [-policies a,b,...]
+//
+// -policies selects which protocols the exfiltration demo runs against
+// (any names coherence.PolicyByName resolves, e.g. Phase-Priority to show
+// that directory arbitration alone leaves the channel open).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/attack"
 	"repro/internal/coherence"
@@ -24,6 +29,8 @@ func main() {
 	bits := flag.Int("bits", 1024, "covert-channel bits")
 	trials := flag.Int("trials", 512, "side-channel trials")
 	secret := flag.String("secret", "SwiftDir", "ASCII secret to exfiltrate in the demo")
+	policyList := flag.String("policies", "MESI,SwiftDir",
+		"comma-separated policies for the exfiltration demo")
 	var pf prof.Flags
 	pf.Register(flag.CommandLine)
 	flag.Parse()
@@ -39,13 +46,23 @@ func main() {
 		}
 	}()
 
+	var demoPolicies []coherence.Policy
+	for _, name := range strings.Split(*policyList, ",") {
+		p := coherence.PolicyByName(strings.TrimSpace(name))
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "swiftdir-attack: unknown policy %q\n", name)
+			os.Exit(2)
+		}
+		demoPolicies = append(demoPolicies, p)
+	}
+
 	_, _, report := experiments.Security(*bits, *trials)
 	fmt.Println(report)
 
 	// Bonus demo: exfiltrate an actual ASCII secret through the channel.
 	fmt.Printf("Exfiltrating %q through the covert channel:\n", *secret)
 	payload := []byte(*secret)
-	for _, p := range []coherence.Policy{coherence.MESI, coherence.SwiftDir} {
+	for _, p := range demoPolicies {
 		ch, err := attack.NewChannel(core.DefaultConfig(4, p), len(payload)*8)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "swiftdir-attack: %v\n", err)

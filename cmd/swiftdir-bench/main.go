@@ -5,8 +5,13 @@
 //	swiftdir-bench [-exp all|table4|table5|fig4|fig5|fig6|fig6jitter|security
 //	               |fig7|fig8|fig9|fig10a|fig10b|ablation|traffic|futurework
 //	               |moesi|snoop|multiprogram|lru|prefetch|numa|kernels|sweep
-//	               |msi|overhead]
+//	               |msi|overhead|arbitration]
 //	               [-scale f] [-samples n] [-bits n] [-passes n] [-j n] [-out file]
+//	swiftdir-bench -policy
+//
+// -policy lists every selectable coherence policy with the size of its
+// transition table (the internal/proto relation shared by the dispatchers
+// and the model checker) and exits.
 //
 // -scale shrinks the SPEC/PARSEC instruction budgets (1.0 = the default
 // 200k/120k instructions per thread); the protocol comparison is stable
@@ -31,7 +36,9 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/coherence"
 	"repro/internal/experiments"
+	"repro/internal/proto"
 	"repro/internal/prof"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -44,7 +51,7 @@ var experimentNames = []string{
 	"table5", "table4", "fig4", "fig5", "fig6", "fig6jitter", "security",
 	"fig7", "fig8", "fig9", "fig10a", "fig10b", "ablation", "traffic",
 	"futurework", "moesi", "snoop", "multiprogram", "lru", "prefetch",
-	"numa", "kernels", "sweep", "msi", "overhead",
+	"numa", "kernels", "sweep", "msi", "overhead", "arbitration",
 }
 
 func main() {
@@ -64,10 +71,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	passes := fs.Int("passes", 4, "measured passes for fig10")
 	jobs := fs.Int("j", 0, "concurrent simulation jobs (0 = $SWIFTDIR_JOBS, else NumCPU)")
 	outPath := fs.String("out", "", "also append the report to this file")
+	listPolicies := fs.Bool("policy", false,
+		"list the selectable coherence policies with their transition-table sizes, then exit")
 	var pf prof.Flags
 	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *listPolicies {
+		for _, p := range coherence.ExtendedPolicies {
+			pt := proto.TableFor(p.Name())
+			if pt == nil {
+				fmt.Fprintf(stdout, "%-16s (no transition table)\n", p.Name())
+				continue
+			}
+			defined, defensive, impossible, illegal := pt.Counts()
+			fmt.Fprintf(stdout, "%-16s table: %3d defined, %3d defensive, %3d impossible, %3d illegal\n",
+				p.Name(), defined, defensive, impossible, illegal)
+		}
+		return 0
 	}
 
 	stopProf, err := pf.Start()
@@ -188,6 +211,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	run("sweep", experiments.TimingSweep)
 	run("msi", func() string { return experiments.MSIStudy(*bits/4, *passes) })
 	run("overhead", func() string { return experiments.Overhead(4) })
+	run("arbitration", func() string { return experiments.Arbitration(*bits / 4) })
 
 	if *exp == "all" && len(campaignTotal.Jobs) > 0 {
 		campaignTotal.Label = "all"

@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	policy := flag.String("policy", "all", "protocol to check (MESI, SwiftDir, S-MESI, ...), or 'all' for the three paper protocols")
+	policy := flag.String("policy", "all", "protocol to check (MESI, SwiftDir, S-MESI, Phase-Priority, ...), or 'all' for the three paper protocols plus Phase-Priority")
 	cores := flag.Int("cores", 2, "number of cores (1-4)")
 	lines := flag.Int("lines", 1, "distinct cache lines accessed (1-8)")
 	depth := flag.Int("depth", 4, "total accesses injected along any schedule")
@@ -39,7 +39,7 @@ func main() {
 
 	var policies []coherence.Policy
 	if *policy == "all" {
-		policies = coherence.Policies
+		policies = append(append([]coherence.Policy{}, coherence.Policies...), coherence.PhasePriority)
 	} else {
 		p := coherence.PolicyByName(*policy)
 		if p == nil {

@@ -43,7 +43,7 @@ func main() {
 	bench := flag.String("bench", "mcf", "benchmark name or comma-separated list (see -list)")
 	kernel := flag.String("kernel", "", "memory kernel to run instead of a benchmark (stream-triad, gups, pointer-chase)")
 	kernelKB := flag.Int("kernelkb", 512, "kernel working-set size in KB")
-	protoName := flag.String("protocol", "SwiftDir", "MESI, SwiftDir, S-MESI, SwiftDir-Ewp, MOESI, SwiftDir-MOESI")
+	protoName := flag.String("protocol", "SwiftDir", strings.Join(coherence.PolicyNames(), ", "))
 	cpuKind := flag.String("cpu", "DerivO3CPU", "TimingSimpleCPU or DerivO3CPU")
 	scale := flag.Float64("scale", 1.0, "instruction-budget scale")
 	configPath := flag.String("config", "", "machine configuration JSON (overrides -protocol)")

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/coherence"
 	"repro/internal/cpu"
@@ -26,7 +27,8 @@ func main() {
 	out := flag.String("o", "trace.swtr", "output file for -record")
 	info := flag.String("info", "", "trace file to summarize")
 	replay := flag.String("replay", "", "trace file to replay")
-	protoName := flag.String("protocol", "SwiftDir", "protocol for -replay")
+	protoName := flag.String("protocol", "SwiftDir",
+		"protocol for -replay ("+strings.Join(coherence.PolicyNames(), ", ")+")")
 	cpuKind := flag.String("cpu", "DerivO3CPU", "CPU model for -replay")
 	scale := flag.Float64("scale", 0.25, "instruction-budget scale for -record")
 	var pf prof.Flags

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/fault"
+	"repro/internal/proto"
 	"repro/internal/sim"
 )
 
@@ -38,22 +39,11 @@ const (
 	DirOwned
 )
 
+// String renders the proto-table name for the state (the stable prefix
+// of proto.DirState), so directory dumps, transcripts, and relation
+// entries are spelled identically by construction.
 func (s DirState) String() string {
-	switch s {
-	case DirInvalid:
-		return "DirI"
-	case DirPresent:
-		return "DirP"
-	case DirShared:
-		return "DirS"
-	case DirExclusive:
-		return "DirE"
-	case DirModifiedL1:
-		return "DirM"
-	case DirOwned:
-		return "DirO"
-	}
-	return fmt.Sprintf("DirState(%d)", uint8(s))
+	return proto.DirState(s).String()
 }
 
 // dirEntry is the directory sidecar for an LLC-resident block.
@@ -111,6 +101,7 @@ type BankStats struct {
 type bank struct {
 	id      int
 	sys     *System
+	tab     *proto.Table // canonical transition relation (drives dispatch)
 	arr     *cache.Array
 	entries map[cache.Addr]*dirEntry
 	busy    map[cache.Addr]*txn
@@ -129,6 +120,16 @@ type bank struct {
 	lastAddr cache.Addr
 	lastEnt  *dirEntry
 
+	// arb, when the policy implements Arbiter, orders each transaction's
+	// queued requests by arbitration class (see enqueue). nil keeps the
+	// plain FIFO append, byte-identical to a build without arbitration.
+	arb Arbiter
+
+	// arbPromotions counts queued requests that were inserted ahead of at
+	// least one earlier arrival (kept outside BankStats: report surfaces
+	// hash BankStats fields, and arbitration is additive).
+	arbPromotions uint64
+
 	Stats BankStats
 }
 
@@ -138,13 +139,16 @@ func newBank(id int, sys *System, params cache.Params) *bank {
 	if esz < 256 {
 		esz = 256
 	}
+	arb, _ := sys.Policy.(Arbiter)
 	return &bank{
 		id:      id,
 		sys:     sys,
+		tab:     sys.table,
 		arr:     cache.NewArray(params),
 		entries: make(map[cache.Addr]*dirEntry, esz),
 		busy:    make(map[cache.Addr]*txn, 256),
 		pinned:  make(map[cache.Addr]int, 64),
+		arb:     arb,
 	}
 }
 
@@ -250,6 +254,9 @@ func (b *bank) Handle(p sim.Payload) {
 		m := msgFromPayload(p)
 		b.sys.trace(m, DirID)
 		b.dispatch(m)
+		if b.sys.ObservePost != nil {
+			b.sys.ObservePost(m, DirID)
+		}
 	case opBankSendStage:
 		dst := int(p.Z)
 		p.Op = opL1Recv
@@ -265,6 +272,9 @@ func (b *bank) Handle(p sim.Payload) {
 		dst := int(p.Z)
 		b.sys.trace(m, dst)
 		b.sys.L1s[dst].Receive(m)
+		if b.sys.ObservePost != nil {
+			b.sys.ObservePost(m, dst)
+		}
 	case opBankFetchIssue:
 		done := b.sys.Mem.AccessAt(b.eng().Now(), p.A, false)
 		p.Op = opBankInstall
@@ -281,126 +291,227 @@ func (b *bank) Handle(p sim.Payload) {
 // time: directory/LLC lookup plus the return hop.
 func (b *bank) respDelay() sim.Cycle { return b.timing().LLCTag + b.timing().Hop }
 
-// dispatch is the bank's single entry point.
+// dirTabEntry is the generic dispatch step, mirroring (*L1).l1Entry:
+// resolve (state-of-block, event) in the canonical table and fail with a
+// typed protocol violation unless the pair is Defined or Defensive.
+func (b *bank) dirTabEntry(addr cache.Addr, ev proto.Event) *proto.DirEntry {
+	st := b.protoDirState(addr)
+	ent := &b.tab.Dir[st][ev]
+	if ent.Class != proto.Defined && ent.Class != proto.Defensive {
+		b.violate(addr, "%v in state %v is %v under %s", ev, st, ent.Class, b.tab.Policy)
+	}
+	return ent
+}
+
+// dispatch is the bank's single entry point: the generic table step plus
+// a switch from the entry's named action to its handler body. Replays of
+// queued requests (maybeComplete) re-enter here and re-resolve against
+// the block's current state exactly as a fresh arrival would. A request
+// counts once, at the dispatch that actually services or starts it —
+// queued arrivals count when replayed, and an Upgrade that re-resolves
+// as a GETX (resolveAsStore) is not double-counted.
 func (b *bank) dispatch(m Msg) {
-	switch m.Kind {
-	case MsgGETS, MsgGETSWP, MsgGETX, MsgUpgrade, MsgPUTS, MsgPUTX:
-		if t, ok := b.busy[m.Addr]; ok {
-			t.queued = append(t.queued, m)
+	ent := b.dirTabEntry(m.Addr, protoEvent(m.Kind))
+	if ent.Act != proto.DirActQueue {
+		switch m.Kind {
+		case MsgGETS, MsgGETSWP, MsgGETX, MsgUpgrade:
+			b.Stats.Requests++
+		}
+	}
+	b.runDir(ent.Act, m)
+}
+
+// resolveAsStore re-resolves a raced Upgrade — the requestor's copy was
+// recalled or invalidated mid-flight — as a GETX through the same table
+// entry a fresh GETX would hit. The request was already counted at
+// dispatch, so Stats.Requests is untouched.
+func (b *bank) resolveAsStore(m Msg) {
+	b.runDir(b.dirTabEntry(m.Addr, proto.EvGETX).Act, m)
+}
+
+// runDir executes a table action's handler body.
+func (b *bank) runDir(act proto.DirAction, m Msg) {
+	switch act {
+	case proto.DirActQueue:
+		b.enqueue(b.busy[m.Addr], m)
+	case proto.DirActFetchLoad:
+		b.fetchAndGrant(m, false)
+	case proto.DirActFetchStore:
+		b.fetchAndGrant(m, true)
+	case proto.DirActGrantLoadP:
+		b.grantLoad(m, b.entry(m.Addr), b.arr.Probe(m.Addr).Data, ServedLLC, 0)
+	case proto.DirActGrantStoreP:
+		b.grantStore(m, b.entry(m.Addr), b.arr.Probe(m.Addr).Data, ServedLLC, 0)
+	case proto.DirActLoadS:
+		b.onLoadShared(m)
+	case proto.DirActLoadE:
+		b.onLoadExclusive(m)
+	case proto.DirActLoadOwner:
+		b.arr.Probe(m.Addr)
+		b.forwardLoad(m, b.entry(m.Addr))
+	case proto.DirActStoreS:
+		b.onStoreShared(m)
+	case proto.DirActStoreOwner:
+		b.onStoreOwner(m)
+	case proto.DirActStoreO:
+		b.onStoreOwned(m)
+	case proto.DirActUpgradeMiss:
+		b.resolveAsStore(m)
+	case proto.DirActUpgradeS:
+		b.onUpgradeShared(m)
+	case proto.DirActUpgradeOwner:
+		e := b.entry(m.Addr)
+		if e.owner != m.Src {
+			// Raced: the requestor is no longer the owner (S-MESI recall
+			// window). Resolve as GETX.
+			b.resolveAsStore(m)
 			return
 		}
-		b.start(m)
-	case MsgUnblock, MsgExclusiveUnblock:
-		t := b.busy[m.Addr]
-		if t == nil {
-			b.violate(m.Addr, "%v for idle block", m.Kind)
+		b.ackUpgrade(m, e)
+	case proto.DirActUpgradeO:
+		b.onUpgradeOwned(m)
+	case proto.DirActPUTS:
+		b.onPUTS(m)
+	case proto.DirActPUTSStale:
+		// Eviction notice for a recalled block: nothing to clear, and
+		// PUTS is fire-and-forget (no ack).
+	case proto.DirActPUTX:
+		b.onPUTX(m)
+	case proto.DirActPUTXStale:
+		if m.Dirty {
+			// The block was recalled while the writeback was in flight;
+			// commit the data straight to memory.
+			b.sys.memWrite(m.Addr, m.Data)
 		}
+		b.send(m.Src, Msg{Kind: MsgWBAck, Addr: m.Addr}, b.respDelay())
+	case proto.DirActUnblock:
+		t := b.busy[m.Addr]
 		t.waitUnblock = false
 		b.maybeComplete(m.Addr, t)
-	case MsgWBData:
+	case proto.DirActInvAck:
+		b.onInvAck(m)
+	case proto.DirActInvAckStale:
+		// Late ack for a transaction that already completed: dropped.
+	case proto.DirActWBData:
 		b.onWBData(m)
-	case MsgInvAck:
-		t := b.busy[m.Addr]
-		if t == nil {
-			return // ack for an already-completed transaction
-		}
-		t.waitAcks--
-		if t.waitAcks == 0 && t.pendKind != pendNone {
-			kind := t.pendKind
-			t.pendKind = pendNone
-			// The entry pointer is stable across the ack window: the block
-			// stayed busy, so no install or eviction could replace it.
-			e := b.entry(m.Addr)
-			switch kind {
-			case pendStore:
-				b.grantStore(t.req, e, t.pendData, ServedLLC, 0)
-			case pendUpgrade:
-				b.ackUpgrade(t.req, e)
-			}
-		}
-		b.maybeComplete(m.Addr, t)
 	default:
-		b.violate(m.Addr, "unexpected message %v", m.Kind)
+		b.violate(m.Addr, "directory action %v unhandled for %v", act, m.Kind)
 	}
 }
 
-func (b *bank) start(m Msg) {
-	switch m.Kind {
-	case MsgGETS, MsgGETSWP:
-		b.Stats.Requests++
-		b.handleLoad(m)
-	case MsgGETX:
-		b.Stats.Requests++
-		b.handleStoreMiss(m)
-	case MsgUpgrade:
-		b.Stats.Requests++
-		b.handleUpgrade(m)
-	case MsgPUTS:
-		b.handlePUTS(m)
-	case MsgPUTX:
-		b.handlePUTX(m)
+// onInvAck retires one outstanding invalidation ack and performs the
+// deferred grant once the last ack arrives.
+func (b *bank) onInvAck(m Msg) {
+	t := b.busy[m.Addr]
+	t.waitAcks--
+	if t.waitAcks == 0 && t.pendKind != pendNone {
+		kind := t.pendKind
+		t.pendKind = pendNone
+		// The entry pointer is stable across the ack window: the block
+		// stayed busy, so no install or eviction could replace it.
+		e := b.entry(m.Addr)
+		switch kind {
+		case pendStore:
+			b.grantStore(t.req, e, t.pendData, ServedLLC, 0)
+		case pendUpgrade:
+			b.ackUpgrade(t.req, e)
+		}
 	}
+	b.maybeComplete(m.Addr, t)
 }
 
-// handleLoad implements GETS and GETS_WP (Figure 4(a)-(b), 4(c), 4(e)).
-func (b *bank) handleLoad(m Msg) {
-	e := b.entry(m.Addr)
-	if e == nil {
-		b.fetchAndGrant(m, false)
+// enqueue parks a request behind addr's in-flight transaction. Without
+// an arbiter this is a FIFO append. With one, the request is inserted by
+// arbitration class (stable within a class), except that it never
+// overtakes an earlier request from the same source: per-source order is
+// load-bearing — replaying a core's GETX ahead of its own still-queued
+// PUTX for the block would make the directory see its owner re-request
+// the block, a protocol violation.
+func (b *bank) enqueue(t *txn, m Msg) {
+	if b.arb == nil {
+		t.queued = append(t.queued, m)
 		return
 	}
+	c := b.arb.QueueClass(m.Kind)
+	i := len(t.queued)
+	for i > 0 {
+		prev := t.queued[i-1]
+		if prev.Src == m.Src || b.arb.QueueClass(prev.Kind) <= c {
+			break
+		}
+		i--
+	}
+	if i == len(t.queued) {
+		t.queued = append(t.queued, m)
+		return
+	}
+	b.arbPromotions++
+	t.queued = append(t.queued, Msg{})
+	copy(t.queued[i+1:], t.queued[i:])
+	t.queued[i] = m
+}
+
+// onLoadShared implements GETS/GETS_WP at DirShared (Figure 1(b)/4(b)):
+// the designated MESIF forwarder supplies the data cache-to-cache, or
+// the LLC serves directly.
+func (b *bank) onLoadShared(m Msg) {
+	e := b.entry(m.Addr)
 	ln := b.arr.Probe(m.Addr)
-	switch e.state {
-	case DirPresent:
-		b.grantLoad(m, e, ln.Data, ServedLLC, 0)
-	case DirShared:
-		if b.policy().ForwardStateFor(e.wp) && e.forwarder >= 0 {
-			// MESIF: the designated forwarder supplies the data
-			// cache-to-cache; the requestor becomes the new forwarder.
-			t := b.newTxn(m)
-			t.waitUnblock, t.waitWB = true, true
-			b.busy[m.Addr] = t
-			b.Stats.Forwards++
-			b.send(e.forwarder, Msg{Kind: MsgFwdGETS, Addr: m.Addr, Requestor: m.Src, WP: e.wp}, b.respDelay())
-			return
-		}
-		// Figure 1(b)/4(b): served directly from the LLC.
-		e.sharers |= bit(m.Src)
-		mf := b.policy().ForwardStateFor(e.wp)
-		if mf {
-			e.forwarder = m.Src
-		}
+	// Forward-state decisions key on the REQUESTOR's protection bit, not
+	// the entry's: a write-protected requestor must get the constant LLC
+	// service in state S even if earlier unprotected accesses left a
+	// forwarder behind (otherwise it would inherit F, re-opening the
+	// timing channel the SwiftDir adaptation closes).
+	if b.policy().ForwardStateFor(m.WP) && e.forwarder >= 0 {
+		// MESIF: the designated forwarder supplies the data
+		// cache-to-cache; the requestor becomes the new forwarder.
+		t := b.newTxn(m)
+		t.waitUnblock, t.waitWB = true, true
+		b.busy[m.Addr] = t
+		b.Stats.Forwards++
+		b.send(e.forwarder, Msg{Kind: MsgFwdGETS, Addr: m.Addr, Requestor: m.Src, WP: m.WP}, b.respDelay())
+		return
+	}
+	// Figure 1(b)/4(b): served directly from the LLC.
+	e.sharers |= bit(m.Src)
+	mf := b.policy().ForwardStateFor(m.WP)
+	if mf {
+		e.forwarder = m.Src
+	}
+	t := b.newTxn(m)
+	t.waitUnblock = true
+	b.busy[m.Addr] = t
+	b.Stats.LLCServed++
+	b.send(m.Src, Msg{Kind: MsgData, Addr: m.Addr, Data: ln.Data, Served: ServedLLC, MakeForward: mf}, b.respDelay())
+}
+
+// onLoadExclusive implements GETS/GETS_WP at DirExclusive: the paper's
+// crux. The silent-upgrade protocols must forward (the copy may be
+// dirty); S-MESI and the E_wp ablation serve the provably clean LLC copy
+// and downgrade the owner (Figure 4(a)-(b), 4(c), 4(e)).
+func (b *bank) onLoadExclusive(m Msg) {
+	e := b.entry(m.Addr)
+	ln := b.arr.Probe(m.Addr)
+	if e.owner == m.Src {
+		b.violate(m.Addr, "owner %d re-requests the block", m.Src)
+	}
+	if b.policy().ServeExclusiveFromLLC(e.wp) {
+		// S-MESI (always) or the E_wp ablation (write-protected
+		// blocks): E at the directory is provably clean; serve from
+		// the LLC and downgrade the owner.
+		owner := e.owner
+		e.state = DirShared
+		e.sharers = bit(owner) | bit(m.Src)
+		e.owner = -1
 		t := b.newTxn(m)
 		t.waitUnblock = true
 		b.busy[m.Addr] = t
 		b.Stats.LLCServed++
-		b.send(m.Src, Msg{Kind: MsgData, Addr: m.Addr, Data: ln.Data, Served: ServedLLC, MakeForward: mf}, b.respDelay())
-	case DirExclusive:
-		if e.owner == m.Src {
-			b.violate(m.Addr, "owner %d re-requests the block", m.Src)
-		}
-		if b.policy().ServeExclusiveFromLLC(e.wp) {
-			// S-MESI (always) or the E_wp ablation (write-protected
-			// blocks): E at the directory is provably clean; serve from
-			// the LLC and downgrade the owner.
-			owner := e.owner
-			e.state = DirShared
-			e.sharers = bit(owner) | bit(m.Src)
-			e.owner = -1
-			t := b.newTxn(m)
-			t.waitUnblock = true
-			b.busy[m.Addr] = t
-			b.Stats.LLCServed++
-			b.send(m.Src, Msg{Kind: MsgData, Addr: m.Addr, Data: ln.Data, Served: ServedLLC}, b.respDelay())
-			b.send(owner, Msg{Kind: MsgDowngrade, Addr: m.Addr}, b.respDelay())
-			return
-		}
-		b.forwardLoad(m, e)
-	case DirModifiedL1, DirOwned:
-		b.forwardLoad(m, e)
-	default:
-		b.violate(m.Addr, "load for entry in %v", e.state)
+		b.send(m.Src, Msg{Kind: MsgData, Addr: m.Addr, Data: ln.Data, Served: ServedLLC}, b.respDelay())
+		b.send(owner, Msg{Kind: MsgDowngrade, Addr: m.Addr}, b.respDelay())
+		return
 	}
+	b.forwardLoad(m, e)
 }
 
 // forwardLoad relays a GETS to the owner (Figure 1(a)): the directory
@@ -410,7 +521,7 @@ func (b *bank) forwardLoad(m Msg, e *dirEntry) {
 	t.waitUnblock, t.waitWB = true, true
 	b.busy[m.Addr] = t
 	b.Stats.Forwards++
-	b.send(e.owner, Msg{Kind: MsgFwdGETS, Addr: m.Addr, Requestor: m.Src, WP: e.wp}, b.respDelay())
+	b.send(e.owner, Msg{Kind: MsgFwdGETS, Addr: m.Addr, Requestor: m.Src, WP: m.WP}, b.respDelay())
 }
 
 // onWBData absorbs the owner's copy after a forwarded GETS and finalizes
@@ -435,9 +546,10 @@ func (b *bank) onWBData(m Msg) {
 		b.maybeComplete(m.Addr, t)
 		return
 	}
-	if b.policy().ForwardStateFor(e.wp) {
+	if b.policy().ForwardStateFor(t.req.WP) {
 		// MESIF: the requestor that just received the data becomes the
-		// forwarder.
+		// forwarder (never a write-protected requestor, whose copy must
+		// stay plain S).
 		e.forwarder = t.req.Src
 	}
 	if m.Dirty {
@@ -467,102 +579,105 @@ func (b *bank) onWBData(m Msg) {
 	b.maybeComplete(m.Addr, t)
 }
 
-// handleStoreMiss implements GETX.
-func (b *bank) handleStoreMiss(m Msg) {
+// onStoreShared implements GETX at DirShared: invalidate the other
+// sharers, deferring the grant until their acks arrive.
+func (b *bank) onStoreShared(m Msg) {
 	e := b.entry(m.Addr)
-	if e == nil {
-		b.fetchAndGrant(m, true)
+	ln := b.arr.Probe(m.Addr)
+	targets := e.sharers &^ bit(m.Src)
+	if targets == 0 {
+		b.grantStore(m, e, ln.Data, ServedLLC, 0)
 		return
 	}
-	ln := b.arr.Probe(m.Addr)
-	switch e.state {
-	case DirPresent:
-		b.grantStore(m, e, ln.Data, ServedLLC, 0)
-	case DirShared:
-		targets := e.sharers &^ bit(m.Src)
-		if targets == 0 {
-			b.grantStore(m, e, ln.Data, ServedLLC, 0)
-			return
-		}
-		t := b.newTxn(m)
-		b.busy[m.Addr] = t
-		b.invalidate(m.Addr, targets, m.Src, t)
-		t.pendKind, t.pendData = pendStore, ln.Data
-	case DirExclusive, DirModifiedL1:
-		if e.owner == m.Src {
-			b.violate(m.Addr, "owner %d GETX on own block", m.Src)
-		}
-		owner := e.owner
-		e.state = DirModifiedL1
-		e.owner = m.Src
-		e.sharers = 0
-		t := b.newTxn(m)
-		t.waitUnblock = true
-		b.busy[m.Addr] = t
-		b.Stats.Forwards++
-		b.send(owner, Msg{Kind: MsgFwdGETX, Addr: m.Addr, Requestor: m.Src}, b.respDelay())
-	case DirOwned:
-		// MOESI: the data come from the O holder; any S copies (and the
-		// requestor's own stale S copy never exists here: sharers store
-		// with Upgrade) must be invalidated in parallel.
-		owner := e.owner
-		targets := e.sharers &^ bit(m.Src)
-		t := b.newTxn(m)
-		t.waitUnblock = true
-		b.busy[m.Addr] = t
-		if targets != 0 {
-			b.invalidate(m.Addr, targets, m.Src, t)
-		}
-		e.state = DirModifiedL1
-		e.owner = m.Src
-		e.sharers = 0
-		b.Stats.Forwards++
-		b.send(owner, Msg{Kind: MsgFwdGETX, Addr: m.Addr, Requestor: m.Src}, b.respDelay())
-	}
+	t := b.newTxn(m)
+	b.busy[m.Addr] = t
+	b.invalidate(m.Addr, targets, m.Src, t)
+	t.pendKind, t.pendData = pendStore, ln.Data
 }
 
-// handleUpgrade implements the Upgrade request: S→M in every protocol, and
-// S-MESI's explicit E→M (Figure 2).
-func (b *bank) handleUpgrade(m Msg) {
+// onStoreOwner implements GETX at DirExclusive/DirModifiedL1: the owner
+// surrenders the block to the requestor via Fwd_GETX.
+func (b *bank) onStoreOwner(m Msg) {
 	e := b.entry(m.Addr)
-	if e == nil {
-		// The requestor lost its copy to a recall; full store miss.
-		b.handleStoreMiss(m)
+	b.arr.Probe(m.Addr)
+	if e.owner == m.Src {
+		b.violate(m.Addr, "owner %d GETX on own block", m.Src)
+	}
+	owner := e.owner
+	e.state = DirModifiedL1
+	e.owner = m.Src
+	e.sharers = 0
+	t := b.newTxn(m)
+	t.waitUnblock = true
+	b.busy[m.Addr] = t
+	b.Stats.Forwards++
+	b.send(owner, Msg{Kind: MsgFwdGETX, Addr: m.Addr, Requestor: m.Src}, b.respDelay())
+}
+
+// onStoreOwned implements GETX at DirOwned (MOESI): the data come from
+// the O holder; any S copies (and the requestor's own stale S copy never
+// exists here: sharers store with Upgrade) must be invalidated in
+// parallel.
+func (b *bank) onStoreOwned(m Msg) {
+	e := b.entry(m.Addr)
+	b.arr.Probe(m.Addr)
+	owner := e.owner
+	targets := e.sharers &^ bit(m.Src)
+	t := b.newTxn(m)
+	t.waitUnblock = true
+	b.busy[m.Addr] = t
+	if targets != 0 {
+		b.invalidate(m.Addr, targets, m.Src, t)
+	}
+	e.state = DirModifiedL1
+	e.owner = m.Src
+	e.sharers = 0
+	b.Stats.Forwards++
+	b.send(owner, Msg{Kind: MsgFwdGETX, Addr: m.Addr, Requestor: m.Src}, b.respDelay())
+}
+
+// onUpgradeShared implements Upgrade at DirShared: S→M in every protocol
+// (Figure 2). A requestor that is no longer a sharer lost its copy to a
+// racing invalidation and resolves as a full GETX.
+func (b *bank) onUpgradeShared(m Msg) {
+	e := b.entry(m.Addr)
+	if e.sharers&bit(m.Src) == 0 {
+		b.resolveAsStore(m)
 		return
 	}
-	switch {
-	case e.state == DirShared && e.sharers&bit(m.Src) != 0:
-		targets := e.sharers &^ bit(m.Src)
-		if targets == 0 {
-			b.ackUpgrade(m, e)
-			return
-		}
-		t := b.newTxn(m)
-		b.busy[m.Addr] = t
-		b.invalidate(m.Addr, targets, m.Src, t)
-		t.pendKind = pendUpgrade
-	case e.state == DirOwned && (e.owner == m.Src || e.sharers&bit(m.Src) != 0):
-		// MOESI: either the O holder upgrades O->M (invalidating the S
-		// copies) or a sharer upgrades S->M (invalidating the O holder
-		// too — safe, since every S copy equals the O copy's value).
-		targets := e.sharers &^ bit(m.Src)
-		if e.owner != m.Src {
-			targets |= bit(e.owner)
-		}
-		if targets == 0 {
-			b.ackUpgrade(m, e)
-			return
-		}
-		t := b.newTxn(m)
-		b.busy[m.Addr] = t
-		b.invalidate(m.Addr, targets, m.Src, t)
-		t.pendKind = pendUpgrade
-	case (e.state == DirExclusive || e.state == DirModifiedL1) && e.owner == m.Src:
+	targets := e.sharers &^ bit(m.Src)
+	if targets == 0 {
 		b.ackUpgrade(m, e)
-	default:
-		// Raced: the requestor is no longer a sharer. Resolve as GETX.
-		b.handleStoreMiss(m)
+		return
 	}
+	t := b.newTxn(m)
+	b.busy[m.Addr] = t
+	b.invalidate(m.Addr, targets, m.Src, t)
+	t.pendKind = pendUpgrade
+}
+
+// onUpgradeOwned implements Upgrade at DirOwned (MOESI): either the O
+// holder upgrades O->M (invalidating the S copies) or a sharer upgrades
+// S->M (invalidating the O holder too — safe, since every S copy equals
+// the O copy's value).
+func (b *bank) onUpgradeOwned(m Msg) {
+	e := b.entry(m.Addr)
+	if e.owner != m.Src && e.sharers&bit(m.Src) == 0 {
+		b.resolveAsStore(m)
+		return
+	}
+	targets := e.sharers &^ bit(m.Src)
+	if e.owner != m.Src {
+		targets |= bit(e.owner)
+	}
+	if targets == 0 {
+		b.ackUpgrade(m, e)
+		return
+	}
+	t := b.newTxn(m)
+	b.busy[m.Addr] = t
+	b.invalidate(m.Addr, targets, m.Src, t)
+	t.pendKind = pendUpgrade
 }
 
 // ackUpgrade grants write permission and records the known-modified owner.
@@ -599,11 +714,9 @@ func (b *bank) invalidate(addr cache.Addr, targets uint64, requestor int, t *txn
 	}
 }
 
-func (b *bank) handlePUTS(m Msg) {
+// onPUTS clears an evicting sharer; PUTS is fire-and-forget (no ack).
+func (b *bank) onPUTS(m Msg) {
 	e := b.entry(m.Addr)
-	if e == nil {
-		return // block already recalled
-	}
 	e.sharers &^= bit(m.Src)
 	if e.forwarder == m.Src {
 		// The MESIF forwarder evicted; until the next shared grant there
@@ -615,10 +728,12 @@ func (b *bank) handlePUTS(m Msg) {
 	}
 }
 
-func (b *bank) handlePUTX(m Msg) {
+// onPUTX absorbs an owner's (or demoted holder's) writeback and always
+// acks so the evictor can release its writeback buffer entry.
+func (b *bank) onPUTX(m Msg) {
 	e := b.entry(m.Addr)
 	switch {
-	case e != nil && e.owner == m.Src && e.state == DirOwned:
+	case e.owner == m.Src && e.state == DirOwned:
 		// The O holder evicts: the LLC absorbs the dirty data; any S
 		// copies remain valid sharers of the now-clean LLC line.
 		e.owner = -1
@@ -631,7 +746,7 @@ func (b *bank) handlePUTX(m Msg) {
 		} else {
 			e.state = DirShared
 		}
-	case e != nil && e.owner == m.Src && (e.state == DirExclusive || e.state == DirModifiedL1):
+	case e.owner == m.Src && (e.state == DirExclusive || e.state == DirModifiedL1):
 		e.state = DirPresent
 		e.owner = -1
 		if m.Dirty {
@@ -640,7 +755,7 @@ func (b *bank) handlePUTX(m Msg) {
 			}
 			e.llcDirty = true
 		}
-	case e != nil:
+	default:
 		// Stale or non-owner writeback: an S-MESI Downgrade demoted the
 		// sender to a sharer, or a MESIF Forward holder evicted. Its
 		// copy is gone either way.
@@ -651,10 +766,6 @@ func (b *bank) handlePUTX(m Msg) {
 		if e.state == DirShared && e.sharers == 0 {
 			e.state = DirPresent
 		}
-	case m.Dirty:
-		// The block was recalled while the writeback was in flight;
-		// commit the data straight to memory.
-		b.sys.memWrite(m.Addr, m.Data)
 	}
 	b.send(m.Src, Msg{Kind: MsgWBAck, Addr: m.Addr}, b.respDelay())
 }
@@ -794,7 +905,7 @@ func (b *bank) maybeComplete(addr cache.Addr, t *txn) {
 			return
 		}
 		b.Stats.QueuedWakeups++
-		b.start(m)
+		b.dispatch(m)
 	}
 	b.freeTxn(t)
 }

@@ -135,7 +135,7 @@ func TestProtocolPanicIsTypedViolation(t *testing.T) {
 	if !strings.Contains(v.Dump, "=== system state at cycle") {
 		t.Errorf("violation dump missing system state:\n%s", v.Dump)
 	}
-	if !strings.Contains(v.Error(), "unexpected UpgradeAck") {
+	if !strings.Contains(v.Error(), "Upgrade_ACK in state I is illegal") {
 		t.Errorf("Error() = %q", v.Error())
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/fault"
+	"repro/internal/proto"
 	"repro/internal/sim"
 )
 
@@ -89,8 +90,11 @@ const (
 	TrEMA                  // E->M, waiting for LLC's ACK (S-MESI only)
 )
 
+// String renders the proto-table name for the state, so MSHR dumps,
+// transcripts, and relation entries are spelled identically by
+// construction (there is no second name table to drift).
 func (t Transient) String() string {
-	return [...]string{"IS^D", "IM^D", "SM^A", "EM^A"}[t]
+	return (proto.L1ISD + proto.L1State(t)).String()
 }
 
 type mshr struct {
@@ -153,6 +157,7 @@ type L1 struct {
 	eng    *sim.Engine
 	timing Timing
 	policy Policy
+	tab    *proto.Table // canonical transition relation (drives dispatch)
 	arr    *cache.Array
 
 	mshrs map[cache.Addr]*mshr
@@ -189,6 +194,7 @@ func newL1(id int, sys *System, params cache.Params) *L1 {
 		eng:       sys.Eng,
 		timing:    sys.Timing,
 		policy:    sys.Policy,
+		tab:       sys.table,
 		arr:       cache.NewArray(params),
 		mshrs:     make(map[cache.Addr]*mshr, msz),
 		wb:        make(map[cache.Addr]wbEntry, 64),
@@ -262,6 +268,9 @@ func (l *L1) Handle(p sim.Payload) {
 		m := msgFromPayload(p)
 		l.sys.trace(m, l.ID)
 		l.Receive(m)
+		if l.sys.ObservePost != nil {
+			l.sys.ObservePost(m, l.ID)
+		}
 	case opL1Process:
 		l.process(l.takeAccess(int32(p.A)))
 	case opL1ProcessMiss:
@@ -409,12 +418,40 @@ func (l *L1) process(a Access) {
 	if l.sys.ObserveCPU != nil {
 		l.sys.ObserveCPU(l.ID, block, a.Write)
 	}
-	if ms, ok := l.mshrs[block]; ok {
-		ms.pending = append(ms.pending, a)
-		return
+	l.examine(block, a)
+	if l.sys.ObserveCPUPost != nil {
+		l.sys.ObserveCPUPost(l.ID, block, a.Write)
 	}
-	ln := l.arr.Probe(block)
-	if ln == nil {
+}
+
+// l1Entry is the generic dispatch step shared by CPU examinations and
+// message deliveries: resolve (state-of-block, event) in the canonical
+// table and fail with a typed protocol violation unless the pair is part
+// of the relation (Defined) or explicitly tolerated (Defensive). The
+// lookup is allocation-free: protoState is a map/array probe and the
+// table is a fixed array indexed by the enums.
+func (l *L1) l1Entry(block cache.Addr, ev proto.Event) *proto.L1Entry {
+	st := l.protoState(block)
+	ent := &l.tab.L1[st][ev]
+	if ent.Class != proto.Defined && ent.Class != proto.Defensive {
+		l.violate(block, "%v in state %v is %v under %s", ev, st, ent.Class, l.tab.Policy)
+	}
+	return ent
+}
+
+// examine is the body of process: one observed CPU examination, resolved
+// through the transition table. Each action body performs the Probe the
+// pre-table controller did at the same point, so array statistics and
+// LRU order are untouched by the dispatch change.
+func (l *L1) examine(block cache.Addr, a Access) {
+	ent := l.l1Entry(block, cpuEvent(a.Write))
+	switch ent.Act {
+	case proto.L1ActMerge:
+		// A transaction is outstanding for the block: merge behind it.
+		ms := l.mshrs[block]
+		ms.pending = append(ms.pending, a)
+	case proto.L1ActMiss:
+		l.arr.Probe(block) // counts the miss
 		if a.MissPenalty > 0 {
 			// Deferred translation (VIVT): pay it now, once.
 			d := a.MissPenalty
@@ -425,19 +462,17 @@ func (l *L1) process(a Access) {
 			return
 		}
 		l.miss(block, a)
-		return
-	}
-	if !a.Write {
+	case proto.L1ActLoadHit:
+		ln := l.arr.Probe(block)
 		l.Stats.LoadHits++
 		l.complete(a, ln.Data, ServedL1)
-		return
-	}
-	switch ln.State {
-	case cache.Modified:
+	case proto.L1ActStoreHitM:
+		ln := l.arr.Probe(block)
 		l.Stats.StoreHits++
 		l.applyStore(ln, block, &a)
 		l.complete(a, a.Value, ServedL1)
-	case cache.Exclusive:
+	case proto.L1ActStoreHitE:
+		ln := l.arr.Probe(block)
 		if l.policy.SilentUpgrade(ln.WP) {
 			// The MESI speedup S-MESI revokes: E->M entirely within
 			// the L1 (Figure 3(a), Figure 4(d)).
@@ -454,17 +489,18 @@ func (l *L1) process(a Access) {
 		ms.pending = append(ms.pending, a)
 		l.mshrs[block] = ms
 		l.toDir(Msg{Kind: MsgUpgrade, Addr: block, Src: l.ID})
-	case cache.Shared, cache.Owned, cache.Forward:
+	case proto.L1ActStoreShared:
 		// Neither an Owned nor a Forward holder is exclusive: other
 		// caches may hold S copies, so the store needs the same Upgrade
 		// round trip.
+		l.arr.Probe(block)
 		l.Stats.ExplicitUpgrades++
 		ms := l.newMSHR(TrSMA, false)
 		ms.pending = append(ms.pending, a)
 		l.mshrs[block] = ms
 		l.toDir(Msg{Kind: MsgUpgrade, Addr: block, Src: l.ID})
 	default:
-		l.violate(block, "store hit on invalid line")
+		l.violate(block, "CPU action %v unhandled", ent.Act)
 	}
 }
 
@@ -525,33 +561,28 @@ func (l *L1) maybePrefetch(block cache.Addr, wp bool) {
 }
 
 // Receive handles a message from the directory or a peer L1. Delivery
-// latency was charged by the sender.
+// latency was charged by the sender. Dispatch is the same generic table
+// step as examine: the (state, event) pair must be in the policy's
+// relation, and the entry's action names the handler.
 func (l *L1) Receive(m Msg) {
-	switch m.Kind {
-	case MsgData:
-		l.onData(m, cache.Shared)
-	case MsgDataExclusive:
-		l.onData(m, cache.Exclusive)
-	case MsgDataFromOwner:
-		if m.Excl {
-			l.onData(m, cache.Exclusive)
-		} else {
-			l.onData(m, cache.Shared)
-		}
-	case MsgUpgradeAck:
+	ent := l.l1Entry(m.Addr, protoEvent(m.Kind))
+	switch ent.Act {
+	case proto.L1ActData:
+		l.onData(m, grantOf(m))
+	case proto.L1ActUpgradeAck:
 		l.onUpgradeAck(m)
-	case MsgInv:
+	case proto.L1ActInv:
 		l.onInv(m)
-	case MsgFwdGETS:
+	case proto.L1ActFwdGETS:
 		l.onFwdGETS(m)
-	case MsgFwdGETX:
+	case proto.L1ActFwdGETX:
 		l.onFwdGETX(m)
-	case MsgDowngrade:
+	case proto.L1ActDowngrade:
 		l.onDowngrade(m)
-	case MsgWBAck:
+	case proto.L1ActWBAck:
 		delete(l.wb, m.Addr)
 	default:
-		l.violate(m.Addr, "unexpected message %v", m.Kind)
+		l.violate(m.Addr, "message action %v unhandled for %v", ent.Act, m.Kind)
 	}
 }
 

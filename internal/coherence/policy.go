@@ -200,6 +200,42 @@ func (msiPolicy) ServeExclusiveFromLLC(bool) bool { return false }
 func (msiPolicy) OwnershipTransfer() bool         { return false }
 func (msiPolicy) ForwardStateFor(bool) bool       { return false }
 
+// Arbiter is an optional policy extension: a policy that also implements
+// it installs a priority discipline on the directory's per-transaction
+// request queues. QueueClass maps a request kind to its arbitration
+// class (lower wins); queued requests are kept sorted by class, stably,
+// with one soundness constraint the bank enforces regardless of class: a
+// request never overtakes an earlier request from the same source (a
+// core's eviction notice must stay ahead of its own re-request for the
+// block, or the directory would see the owner re-request its own block).
+type Arbiter interface {
+	QueueClass(k MsgKind) uint8
+}
+
+// phasePriorityPolicy is MESI plus phase-priority directory arbitration
+// (after the at-memory request-priority schemes of arXiv:1305.3038):
+// requests that retire an already-started coherence phase drain before
+// requests that would open a new one. Upgrades (a sharer finishing its
+// store) beat GETX (a new writer), which beat loads. The transition
+// relation is exactly MESI's — arbitration only reorders the replay of
+// queued requests, which is not an externally observable event — so the
+// model checker verifies it against the MESI-shaped table for free.
+type phasePriorityPolicy struct{ mesiPolicy }
+
+func (phasePriorityPolicy) Name() string { return "Phase-Priority" }
+
+func (phasePriorityPolicy) QueueClass(k MsgKind) uint8 {
+	switch k {
+	case MsgUpgrade:
+		return 0
+	case MsgGETX:
+		return 1
+	case MsgGETS, MsgGETSWP:
+		return 2
+	}
+	return 3 // PUTS/PUTX keep their arrival order at the back
+}
+
 // The protocols under evaluation.
 var (
 	MESI          Policy = mesiPolicy{}
@@ -211,18 +247,36 @@ var (
 	MESIF         Policy = mesifPolicy{}
 	SwiftDirMESIF Policy = swiftDirMesifPolicy{}
 	MSI           Policy = msiPolicy{}
+	PhasePriority Policy = phasePriorityPolicy{}
 )
 
 // Policies lists the paper's three protocols in its comparison order.
 var Policies = []Policy{MESI, SwiftDir, SMESI}
 
 // AllPolicies additionally includes the E_wp ablation, the MOESI and
-// MESIF families, and the MSI baseline.
+// MESIF families, and the MSI baseline. The ablation sweep iterates this
+// list, so its membership is part of the golden report surface; purely
+// additive policies (arbitration variants) go in ExtendedPolicies.
 var AllPolicies = []Policy{MESI, SwiftDir, SMESI, SwiftDirEwp, MOESI, SwiftDirMOESI, MESIF, SwiftDirMESIF, MSI}
+
+// ExtendedPolicies is every selectable policy: AllPolicies plus the
+// arbitration variants that are protocol-identical to a baseline.
+var ExtendedPolicies = append(append([]Policy{}, AllPolicies...), PhasePriority)
+
+// PolicyNames lists every selectable policy name, in ExtendedPolicies
+// order — the single source for CLI flag help, so the lists cannot go
+// stale as policies are added.
+func PolicyNames() []string {
+	names := make([]string, len(ExtendedPolicies))
+	for i, p := range ExtendedPolicies {
+		names[i] = p.Name()
+	}
+	return names
+}
 
 // PolicyByName resolves a protocol by its Name, or nil.
 func PolicyByName(name string) Policy {
-	for _, p := range AllPolicies {
+	for _, p := range ExtendedPolicies {
 		if p.Name() == name {
 			return p
 		}

@@ -1,0 +1,90 @@
+package coherence
+
+import (
+	"repro/internal/cache"
+	"repro/internal/proto"
+)
+
+// This file is the bridge between the runtime controllers and the
+// canonical transition tables in internal/proto. The proto enums were
+// laid out to mirror cache.LineState, Transient, DirState and MsgKind,
+// so every conversion is a cast plus an offset; proto_bridge_test.go
+// asserts the alignment value by value and name by name.
+
+// protoEvent maps a message kind to its transition-table event.
+func protoEvent(k MsgKind) proto.Event { return proto.EvGETS + proto.Event(k) }
+
+// cpuEvent maps a CPU examination to its transition-table event.
+func cpuEvent(write bool) proto.Event {
+	if write {
+		return proto.EvStore
+	}
+	return proto.EvLoad
+}
+
+// protoState returns the L1's transition-table state for a block: the
+// MSHR transient state if a transaction is outstanding, else the stable
+// line state (L1I when not resident). It is stats-neutral (Lookup, not
+// Probe): dispatch consults it before the action body performs the
+// accounted array access.
+func (l *L1) protoState(block cache.Addr) proto.L1State {
+	if ms, ok := l.mshrs[block]; ok {
+		return proto.L1ISD + proto.L1State(ms.state)
+	}
+	if ln := l.arr.Lookup(block); ln != nil {
+		return proto.L1State(ln.State)
+	}
+	return proto.L1I
+}
+
+// protoDirState returns the bank's transition-table state for a block:
+// DirBusy if a blocking transaction is in flight, else the entry state
+// (DirI when absent).
+func (b *bank) protoDirState(addr cache.Addr) proto.DirState {
+	if _, ok := b.busy[addr]; ok {
+		return proto.DirBusy
+	}
+	if e, ok := b.entries[addr]; ok {
+		return proto.DirState(e.state)
+	}
+	return proto.DirI
+}
+
+// ProtoTable returns the system policy's canonical transition relation.
+// Dispatch in both controllers is driven by this table, so it is always
+// non-nil: registered policies resolve by name, and an unregistered
+// policy (an experiment or a deliberately buggy test double) gets a
+// table derived from its Policy interface answers.
+func (s *System) ProtoTable() *proto.Table { return s.table }
+
+// tableForPolicy resolves the canonical table for a policy, deriving one
+// from the interface for policies outside the registry. The derivation
+// asks the same questions the controllers ask at runtime, so the derived
+// relation matches what the action bodies will actually do — including
+// for deliberately broken policies, whose bugs manifest as protocol
+// invariant violations (SWMR, stale data), not as dispatch gaps.
+func tableForPolicy(p Policy) *proto.Table {
+	if t := proto.TableFor(p.Name()); t != nil {
+		return t
+	}
+	tri := func(plain, wp bool) proto.Tri {
+		switch {
+		case plain && wp:
+			return proto.TriAlways
+		case plain:
+			return proto.TriNoWP
+		case wp:
+			return proto.TriWPOnly
+		default:
+			return proto.TriNever
+		}
+	}
+	return proto.Build(p.Name(), proto.Features{
+		WPLoads:   p.LoadRequest(true) == MsgGETSWP,
+		HasE:      p.GrantExclusiveOnLoad(false) || p.GrantExclusiveOnLoad(true),
+		SilentE:   tri(p.SilentUpgrade(false), p.SilentUpgrade(true)),
+		LLCServeE: tri(p.ServeExclusiveFromLLC(false), p.ServeExclusiveFromLLC(true)),
+		Owned:     p.OwnershipTransfer(),
+		Forward:   tri(p.ForwardStateFor(false), p.ForwardStateFor(true)),
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/interconnect"
+	"repro/internal/proto"
 	"repro/internal/sim"
 )
 
@@ -98,6 +99,7 @@ type System struct {
 	Mem    *dram.Memory
 
 	banks     []*bank
+	table     *proto.Table // canonical transition relation driving dispatch
 	mapper    *cache.BankMapper
 	image     map[cache.Addr]uint64 // main-memory shadow values
 	tracer    *Tracer
@@ -132,6 +134,18 @@ type System struct {
 	// mutation). Replays of accesses that were queued behind an MSHR are
 	// observed again — each examination is a transition-table event.
 	ObserveCPU func(port int, block cache.Addr, write bool)
+
+	// ObservePost, if set, fires after the receiving controller has fully
+	// processed a message Observe saw, with the receiver's post-event
+	// state inspectable. Processing can nest (a data grant synchronously
+	// replays merged accesses, which re-enter ObserveCPU): the Post hooks
+	// unwind in strict LIFO order relative to their pre-hooks, so a
+	// recorder can bracket each transition with a stack. The transcript
+	// recorder and the model checker's next-state conformance use these.
+	ObservePost func(m Msg, dst int)
+
+	// ObserveCPUPost is ObservePost for CPU examinations.
+	ObserveCPUPost func(port int, block cache.Addr, write bool)
 }
 
 // NewSystem builds and wires a hierarchy on a fresh engine.
@@ -149,6 +163,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		numL1:  cfg.NumL1,
 		noFast: cfg.NoFastPath,
 	}
+	s.table = tableForPolicy(cfg.Policy)
 	// Crossbar ports: L1s first, then LLC banks.
 	xcfg := interconnect.Config{
 		Ports:      cfg.NumL1 + cfg.Banks,
@@ -347,6 +362,17 @@ func (s *System) BankStatsTotal() BankStats {
 		t.QueuedWakeups += b.Stats.QueuedWakeups
 	}
 	return t
+}
+
+// ArbPromotions sums, over all banks, the queued requests the arbiter
+// inserted ahead of at least one earlier arrival. Always 0 unless the
+// policy implements Arbiter.
+func (s *System) ArbPromotions() uint64 {
+	var n uint64
+	for _, b := range s.banks {
+		n += b.arbPromotions
+	}
+	return n
 }
 
 // DirStateOf reports the directory state of a block (DirInvalid if not

@@ -92,7 +92,27 @@ var allowlist = map[string][]Pair{
 		{CtrlDir, "DirP", "PUTS"},
 		{CtrlDir, "DirS", "PUTX"},
 	},
+	// Phase-Priority is MESI plus bank-queue arbitration; arbitration
+	// reorders replays of already-queued requests but adds no states or
+	// events, so the relation and the unreachable set are MESI's
+	// (asserted structurally by proto's TestPhasePriorityRelationIsMESI).
+	"Phase-Priority": {
+		{CtrlL1, "IS^D", "Inv"},
+		{CtrlL1, "IM^D", "Inv"},
+		{CtrlDir, "DirE", "Upgrade"},
+		{CtrlDir, "DirM", "Upgrade"},
+		{CtrlDir, "DirI", "PUTS"},
+		{CtrlDir, "DirI", "PUTX"},
+		{CtrlDir, "DirP", "PUTS"},
+		{CtrlDir, "DirS", "PUTX"},
+	},
 }
+
+// coveragePolicies is the matrix's policy axis: the three paper
+// protocols plus the arbitration variant the shared tables admit for
+// free.
+var coveragePolicies = append(append([]coherence.Policy{},
+	coherence.Policies...), coherence.PhasePriority)
 
 // TestTransitionCoverage runs the verification matrix for each paper
 // protocol and asserts the observed (state, event) pairs cover the
@@ -105,7 +125,7 @@ func TestTransitionCoverage(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-config exhaustive exploration; skipped with -short")
 	}
-	for _, p := range coherence.Policies {
+	for _, p := range coveragePolicies {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
 			skip := make(map[Pair]bool)

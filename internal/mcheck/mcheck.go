@@ -13,9 +13,12 @@
 //   - Deadlock freedom: whenever the event engine drains, every injected
 //     access has completed.
 //   - No unexpected transition: every observed (controller state, event)
-//     pair appears in the protocol's transition relation (the paper's
-//     Tables I-III, extended with the race transitions the real
-//     controllers exhibit); the relation doubles as a coverage report.
+//     pair appears in the protocol's transition relation — the SAME
+//     internal/proto table the controllers dispatch from (the paper's
+//     Tables I-III, extended with the race transitions the real blocking
+//     directory exhibits) — and after each dispatch the receiver's state
+//     must be inside that table cell's next-state mask. The relation
+//     doubles as a coverage report.
 //
 // The checker explores by replay: the deterministic engine makes an
 // action sequence a complete description of a state, so a BFS node is

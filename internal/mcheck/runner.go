@@ -6,11 +6,12 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
+	"repro/internal/proto"
 )
 
 // Violation is one invariant failure.
 type Violation struct {
-	Kind   string // "panic", "swmr", "wp-exclusive", "data-value", "deadlock", "invariant", "unexpected-transition"
+	Kind   string // "panic", "swmr", "wp-exclusive", "data-value", "deadlock", "invariant", "unexpected-transition", "next-state"
 	Detail string
 }
 
@@ -46,7 +47,24 @@ type runner struct {
 	table    *Table        // nil disables unexpected-transition checking
 	observed map[Pair]bool // shared across runners; nil disables recording
 
+	// frames brackets in-flight deliveries for next-state conformance:
+	// the pre-observation hook pushes the receiver's state and the proto
+	// table cell, the post hook pops and checks the post-dispatch state
+	// against the cell's next-state mask. Deliveries nest LIFO (a data
+	// grant synchronously replays a merged store), so a stack suffices.
+	frames []postFrame
+
 	vio *Violation // first violation raised
+}
+
+// postFrame is one bracketed delivery awaiting its post-state check.
+type postFrame struct {
+	dir   bool
+	id    int
+	addr  cache.Addr
+	l1St  proto.L1State
+	dirSt proto.DirState
+	ev    proto.Event
 }
 
 // tokenFor derives the unique value core's idx-th store writes. The bias
@@ -73,6 +91,10 @@ func (c *checker) newRunner() *runner {
 	}
 	sys.Observe = r.observeMsg
 	sys.ObserveCPU = r.observeCPU
+	if r.table != nil && r.table.Proto != nil {
+		sys.ObservePost = r.observeMsgPost
+		sys.ObserveCPUPost = r.observeCPUPost
+	}
 	r.runPrelude(c.cfg.Prelude)
 	return r
 }
@@ -199,43 +221,115 @@ func fmtTokens(set map[uint64]bool) string {
 	return s + "}"
 }
 
-// l1Label is the transition-table state label of an L1 for a block: the
+// l1ProtoState is an L1's transition-relation state for a block: the
 // MSHR transient state if a transaction is outstanding, else the stable
-// line state ("I" when not resident).
-func (r *runner) l1Label(id int, block cache.Addr) string {
+// line state (I when not resident). The proto enums mirror the coherence
+// enums by construction (asserted on the coherence side), so the labels
+// recorded from them match the controllers' own state names.
+func (r *runner) l1ProtoState(id int, block cache.Addr) proto.L1State {
 	if st, ok := r.sys.L1s[id].MSHRStateOf(block); ok {
-		return st.String()
+		return proto.L1ISD + proto.L1State(st)
 	}
 	if ln := r.sys.L1s[id].Array().Lookup(block); ln != nil {
-		return ln.State.String()
+		return proto.L1State(ln.State)
 	}
-	return "I"
+	return proto.L1I
+}
+
+// dirProtoState is the directory's transition-relation state for a
+// block: DirBusy if a blocking transaction is in flight, else the entry
+// state (DirI when absent).
+func (r *runner) dirProtoState(addr cache.Addr) proto.DirState {
+	if r.sys.BankBusy(addr) {
+		return proto.DirBusy
+	}
+	return proto.DirState(r.sys.DirStateOf(addr))
 }
 
 // observeMsg is the System.Observe hook: it labels the receiver's
-// pre-delivery state and validates the (state, event) pair.
+// pre-delivery state, validates the (state, event) pair, and brackets
+// the delivery for the post-state check.
 func (r *runner) observeMsg(m coherence.Msg, dst int) {
-	var p Pair
+	f := postFrame{addr: m.Addr, ev: proto.EvGETS + proto.Event(m.Kind)}
 	if dst == coherence.DirID {
-		st := dirBusy
-		if !r.sys.BankBusy(m.Addr) {
-			st = r.sys.DirStateOf(m.Addr).String()
-		}
-		p = Pair{CtrlDir, st, m.Kind.String()}
+		f.dir = true
+		f.dirSt = r.dirProtoState(m.Addr)
+		r.record(Pair{CtrlDir, f.dirSt.String(), m.Kind.String()})
 	} else {
-		p = Pair{CtrlL1, r.l1Label(dst, m.Addr), m.Kind.String()}
+		f.id = dst
+		f.l1St = r.l1ProtoState(dst, m.Addr)
+		r.record(Pair{CtrlL1, f.l1St.String(), m.Kind.String()})
 	}
-	r.record(p)
+	if r.table != nil && r.table.Proto != nil {
+		r.frames = append(r.frames, f)
+	}
 }
 
 // observeCPU is the System.ObserveCPU hook: CPU examinations are
-// transition-table events too ("Load"/"Store").
+// transition-relation events too ("Load"/"Store").
 func (r *runner) observeCPU(port int, block cache.Addr, write bool) {
-	ev := evLoad
+	ev := proto.EvLoad
 	if write {
-		ev = evStore
+		ev = proto.EvStore
 	}
-	r.record(Pair{CtrlL1, r.l1Label(port, block), ev})
+	st := r.l1ProtoState(port, block)
+	r.record(Pair{CtrlL1, st.String(), ev.String()})
+	if r.table != nil && r.table.Proto != nil {
+		r.frames = append(r.frames, postFrame{id: port, addr: block, l1St: st, ev: ev})
+	}
+}
+
+// observeMsgPost / observeCPUPost close the bracket opened by the pre
+// hooks: the receiver has fully dispatched the event, so its state must
+// now be inside the table cell's next-state mask.
+func (r *runner) observeMsgPost(m coherence.Msg, dst int) {
+	r.closeFrame(dst == coherence.DirID, max(dst, 0), m.Addr,
+		proto.EvGETS+proto.Event(m.Kind))
+}
+
+func (r *runner) observeCPUPost(port int, block cache.Addr, write bool) {
+	ev := proto.EvLoad
+	if write {
+		ev = proto.EvStore
+	}
+	r.closeFrame(false, port, block, ev)
+}
+
+func (r *runner) closeFrame(dir bool, id int, addr cache.Addr, ev proto.Event) {
+	if len(r.frames) == 0 {
+		return
+	}
+	f := r.frames[len(r.frames)-1]
+	r.frames = r.frames[:len(r.frames)-1]
+	if f.dir != dir || (!dir && f.id != id) || f.addr != addr || f.ev != ev {
+		// The bracketing only breaks after a recovered dispatch panic,
+		// which has already been recorded as a violation; stop matching
+		// rather than cascade spurious next-state failures.
+		r.frames = r.frames[:0]
+		return
+	}
+	pt := r.table.Proto
+	if f.dir {
+		ent := &pt.Dir[f.dirSt][f.ev]
+		if ent.Class != proto.Defined && ent.Class != proto.Defensive {
+			return // the membership check already failed this pair
+		}
+		if post := r.dirProtoState(addr); !proto.HasDir(ent.Next, post) {
+			r.fail("next-state", fmt.Sprintf(
+				"Dir[%s] <- %s dispatched to %s, outside the %s next-state mask",
+				f.dirSt, f.ev, post, r.table.Policy))
+		}
+		return
+	}
+	ent := &pt.L1[f.l1St][f.ev]
+	if ent.Class != proto.Defined && ent.Class != proto.Defensive {
+		return
+	}
+	if post := r.l1ProtoState(f.id, addr); !proto.HasL1(ent.Next, post) {
+		r.fail("next-state", fmt.Sprintf(
+			"L1(%d)[%s] <- %s dispatched to %s, outside the %s next-state mask",
+			f.id, f.l1St, f.ev, post, r.table.Policy))
+	}
 }
 
 func (r *runner) record(p Pair) {
@@ -264,9 +358,11 @@ func (r *runner) checkState() *Violation {
 // just quiescent ones: at most one copy in an exclusive-like state
 // (E/M/O), and no writer-capable copy alongside any other copy. A copy
 // is writer-capable if it can be written without a directory round trip:
-// M and O always, E iff the policy allows silent upgrades for it. (An E
-// copy coexisting with fresh S copies is legal mid-serve for S-MESI,
-// where E is read-only until an explicit upgrade.)
+// M always, E iff the policy allows silent upgrades for it. (An E copy
+// coexisting with fresh S copies is legal mid-serve for S-MESI, where E
+// is read-only until an explicit upgrade; an O copy coexists with the
+// sharers it supplies by design — MOESI stores on O pay an explicit
+// Upgrade, so O is dirty but not writer-capable.)
 func (r *runner) checkSWMR() {
 	for li, addr := range r.addrs {
 		var exclusive, copies, forwards int
@@ -283,9 +379,11 @@ func (r *runner) checkSWMR() {
 				if r.cfg.Policy.SilentUpgrade(ln.WP) {
 					writers++
 				}
-			case cache.Modified, cache.Owned:
+			case cache.Modified:
 				exclusive++
 				writers++
+			case cache.Owned:
+				exclusive++
 			case cache.Forward:
 				forwards++
 			}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/coherence"
+	"repro/internal/proto"
 )
 
 // Ctrl identifies which controller class observed an event.
@@ -39,36 +40,50 @@ func (p Pair) String() string {
 	return fmt.Sprintf("%s[%s] <- %s", p.Ctrl, p.State, p.Event)
 }
 
-// dirBusy is the Pair.State label for a block with an in-flight
-// directory transaction (arriving requests queue behind it).
-const dirBusy = "DirBusy"
+// Event-name shorthands for CPU examinations (message events use the
+// MsgKind names directly, which proto asserts equal its Event names).
+const (
+	evLoad  = "Load"
+	evStore = "Store"
+)
 
-// Table is a protocol's transition relation: the set of (state, event)
-// pairs the controllers are expected to encounter. It encodes the
-// paper's Tables I-III plus the race transitions the real blocking
-// directory exhibits (stale evictions crossing invalidations, recalls
-// racing upgrades, writebacks racing forwards). An observed pair outside
-// the table is an unexpected-transition violation; a table pair never
-// observed shows up in the coverage report.
+// Table is a protocol's transition relation as the checker consumes it.
+// It is a view over the policy's canonical proto.Table — the SAME table
+// the runtime controllers dispatch from — so the relation the simulator
+// executes and the relation the checker verifies cannot drift apart.
+//
+// Allowed is the set of Defined (state, event) pairs, keyed by the
+// canonical state/event name strings. Defensive cells are deliberately
+// NOT allowed: the controllers handle them gracefully because wider
+// configurations (deeper queues, injected delays) could produce them,
+// but the bounded model should never reach one, so observing one is
+// still an unexpected-transition violation. Proto carries the full
+// cells for next-state mask conformance after each dispatch.
 type Table struct {
 	Policy  string
+	Proto   *proto.Table
 	Allowed map[Pair]bool
 }
 
-func newTable(policy string) *Table {
-	return &Table{Policy: policy, Allowed: make(map[Pair]bool)}
-}
-
-func (t *Table) l1(state string, events ...string) {
-	for _, e := range events {
-		t.Allowed[Pair{CtrlL1, state, e}] = true
+// fromProto projects a canonical table onto the checker's string-keyed
+// view of its Defined relation.
+func fromProto(pt *proto.Table) *Table {
+	t := &Table{Policy: pt.Policy, Proto: pt, Allowed: make(map[Pair]bool)}
+	for s := proto.L1State(0); s < proto.NumL1States; s++ {
+		for e := proto.Event(0); e < proto.NumEvents; e++ {
+			if pt.L1[s][e].Class == proto.Defined {
+				t.Allowed[Pair{CtrlL1, s.String(), e.String()}] = true
+			}
+		}
 	}
-}
-
-func (t *Table) dir(state string, events ...string) {
-	for _, e := range events {
-		t.Allowed[Pair{CtrlDir, state, e}] = true
+	for s := proto.DirState(0); s < proto.NumDirStates; s++ {
+		for e := proto.Event(0); e < proto.NumEvents; e++ {
+			if pt.Dir[s][e].Class == proto.Defined {
+				t.Allowed[Pair{CtrlDir, s.String(), e.String()}] = true
+			}
+		}
 	}
+	return t
 }
 
 // Pairs returns the table entries sorted (Ctrl, State, Event).
@@ -90,145 +105,14 @@ func (t *Table) Pairs() []Pair {
 	return out
 }
 
-// Event-name shorthands, taken from the canonical MsgKind names so the
-// table cannot drift from the message vocabulary.
-var (
-	evLoad  = "Load"
-	evStore = "Store"
-
-	evGETS    = coherence.MsgGETS.String()
-	evGETSWP  = coherence.MsgGETSWP.String()
-	evGETX    = coherence.MsgGETX.String()
-	evUpgrade = coherence.MsgUpgrade.String()
-	evPUTS    = coherence.MsgPUTS.String()
-	evPUTX    = coherence.MsgPUTX.String()
-	evUnblock = coherence.MsgUnblock.String()
-	evExUnblk = coherence.MsgExclusiveUnblock.String()
-	evInvAck  = coherence.MsgInvAck.String()
-	evWBData  = coherence.MsgWBData.String()
-
-	evData    = coherence.MsgData.String()
-	evDataEx  = coherence.MsgDataExclusive.String()
-	evUpgAck  = coherence.MsgUpgradeAck.String()
-	evInv     = coherence.MsgInv.String()
-	evFwdGETS = coherence.MsgFwdGETS.String()
-	evFwdGETX = coherence.MsgFwdGETX.String()
-	evDowng   = coherence.MsgDowngrade.String()
-	evWBAck   = coherence.MsgWBAck.String()
-	evDataOwn = coherence.MsgDataFromOwner.String()
-)
-
-// mesiBase is the transition relation shared by MESI and SwiftDir (whose
-// only protocol delta is the GETS_WP request kind and the shared-only
-// grant for write-protected data — no new states or events at the L1).
-func mesiBase(policy string) *Table {
-	t := newTable(policy)
-
-	// L1 stable states.
-	// "I" sees messages for blocks it no longer (or does not yet) hold:
-	// Inv crossing a PUTS or arriving after a recall; Fwd_GETS/Fwd_GETX
-	// answered from the writeback buffer after an owner eviction; WB_Ack
-	// completing an eviction.
-	t.l1("I", evLoad, evStore, evInv, evFwdGETS, evFwdGETX, evWBAck)
-	t.l1("S", evLoad, evStore, evInv)
-	t.l1("E", evLoad, evStore, evFwdGETS, evFwdGETX)
-	t.l1("M", evLoad, evStore, evFwdGETS, evFwdGETX)
-
-	// L1 transient states. Load/Store are merges into the outstanding
-	// MSHR. Inv in IS^D/IM^D targets a stale sharer record (the local
-	// copy was evicted or recalled before this transaction re-requested
-	// the block); Inv in SM^A is the upgrade-vs-GETX race that downgrades
-	// the upgrade to a full miss. WB_Ack, Fwd_GETS, and Fwd_GETX in
-	// IS^D/IM^D belong to an earlier eviction of the same block that the
-	// re-miss overtook: the eviction's PUTX is still in flight and the
-	// forward is answered from the writeback buffer.
-	t.l1("IS^D", evLoad, evStore, evData, evDataEx, evDataOwn, evInv,
-		evWBAck, evFwdGETS, evFwdGETX)
-	t.l1("IM^D", evLoad, evStore, evDataEx, evDataOwn, evInv,
-		evWBAck, evFwdGETS, evFwdGETX)
-	t.l1("SM^A", evLoad, evStore, evUpgAck, evInv)
-
-	// Directory, by entry state at delivery. Upgrade at DirI/DirE/DirM is
-	// the recall-vs-upgrade race (the requestor's S copy was recalled or
-	// invalidated while its Upgrade was in flight; the directory demotes
-	// it to a store miss). PUTS/PUTX at states that no longer record the
-	// evictor are stale eviction notices crossing invalidations.
-	t.dir("DirI", evGETS, evGETX, evUpgrade, evPUTS, evPUTX)
-	t.dir("DirP", evGETS, evGETX, evPUTS)
-	t.dir("DirS", evGETS, evGETX, evUpgrade, evPUTS, evPUTX)
-	t.dir("DirE", evGETS, evGETX, evUpgrade, evPUTX)
-	t.dir("DirM", evGETS, evGETX, evUpgrade, evPUTX)
-
-	// A busy block queues new requests and accepts the completion
-	// traffic of the in-flight transaction.
-	t.dir(dirBusy, evGETS, evGETX, evUpgrade, evPUTS, evPUTX,
-		evUnblock, evExUnblk, evInvAck, evWBData)
-
-	return t
-}
-
-func mesiTable() *Table { return mesiBase("MESI") }
-
-func swiftDirTable() *Table {
-	t := mesiBase("SwiftDir")
-	// Write-protected load misses use GETS_WP; the directory handles it
-	// wherever GETS is legal.
-	t.dir("DirI", evGETSWP)
-	t.dir("DirP", evGETSWP)
-	t.dir("DirS", evGETSWP)
-	t.dir("DirE", evGETSWP)
-	t.dir("DirM", evGETSWP)
-	t.dir(dirBusy, evGETSWP)
-	return t
-}
-
-func smesiTable() *Table {
-	t := newTable("S-MESI")
-
-	// S-MESI revokes silent upgrades: stores on E go through an explicit
-	// EM^A upgrade, loads on DirE are served from the LLC (clean by
-	// construction) with a Downgrade to the owner instead of a forward.
-	// Downgrade at I is the owner-evicted race (PUTX crossed the serve).
-	t.l1("I", evLoad, evStore, evInv, evFwdGETS, evFwdGETX, evWBAck, evDowng)
-	t.l1("S", evLoad, evStore, evInv)
-	// E never sees Fwd_GETS (loads at DirE are LLC-served), but GETX
-	// still forwards to the owner.
-	t.l1("E", evLoad, evStore, evFwdGETX, evDowng)
-	t.l1("M", evLoad, evStore, evFwdGETS, evFwdGETX)
-
-	// Transients also see the wb-race messages of an overtaken eviction
-	// (see mesiBase), plus Downgrade when the evicted copy was E and the
-	// directory LLC-served a load before the PUTX landed.
-	t.l1("IS^D", evLoad, evStore, evData, evDataEx, evDataOwn, evInv,
-		evWBAck, evFwdGETS, evFwdGETX, evDowng)
-	t.l1("IM^D", evLoad, evStore, evDataEx, evDataOwn, evInv,
-		evWBAck, evFwdGETS, evFwdGETX, evDowng)
-	t.l1("SM^A", evLoad, evStore, evUpgAck, evInv)
-	t.l1("EM^A", evLoad, evStore, evUpgAck, evFwdGETX, evDowng)
-
-	t.dir("DirI", evGETS, evGETX, evUpgrade, evPUTS, evPUTX)
-	t.dir("DirP", evGETS, evGETX, evPUTS)
-	t.dir("DirS", evGETS, evGETX, evUpgrade, evPUTS, evPUTX)
-	// Upgrade at DirE is S-MESI's EM^A in the common (unraced) case.
-	t.dir("DirE", evGETS, evGETX, evUpgrade, evPUTX)
-	t.dir("DirM", evGETS, evGETX, evUpgrade, evPUTX)
-	t.dir(dirBusy, evGETS, evGETX, evUpgrade, evPUTS, evPUTX,
-		evUnblock, evExUnblk, evInvAck, evWBData)
-
-	return t
-}
-
-// TableFor returns the transition relation for a policy, or nil for
-// policies without one (the semantic invariants still run; only
-// unexpected-transition checking and coverage are disabled).
+// TableFor returns the transition relation for a policy — a view over the
+// same proto.Table its controllers dispatch from — or nil for ad-hoc
+// policies without a registered table (the semantic invariants still run;
+// only membership checking, next-state conformance, and coverage are
+// disabled).
 func TableFor(p coherence.Policy) *Table {
-	switch p.Name() {
-	case "MESI":
-		return mesiTable()
-	case "SwiftDir":
-		return swiftDirTable()
-	case "S-MESI":
-		return smesiTable()
+	if pt := proto.TableFor(p.Name()); pt != nil {
+		return fromProto(pt)
 	}
 	return nil
 }
