@@ -97,11 +97,11 @@ benchdiff:
 # under a generous ns/op ceiling (≈3x the committed baseline, so only a
 # real regression trips it on shared runners) and allocation-free.
 bench-gate:
-	$(GO) test -bench='^BenchmarkAccess' -benchmem -benchtime=50000x -run=^$$ . > bench.raw
+	$(GO) test -bench='^BenchmarkAccess|^BenchmarkShardedEngine' -benchmem -benchtime=50000x -run=^$$ . > bench.raw
 	@cat bench.raw
 	$(GO) run ./cmd/bench2json \
-		-ceiling 'BenchmarkAccessMESI=2500' \
-		-zeroalloc '^BenchmarkAccess' < bench.raw > /dev/null
+		-ceiling 'BenchmarkAccessMESI=2500,BenchmarkAccessSharded4=7000,BenchmarkShardedEngineSeq=1500,BenchmarkShardedEngineShards4=1500' \
+		-zeroalloc '^BenchmarkAccess|^BenchmarkShardedEngine' < bench.raw > /dev/null
 	@rm -f bench.raw
 	@echo "bench gate ok"
 

@@ -107,6 +107,132 @@ func BenchmarkAccessHitMESI(b *testing.B)     { benchAccessHit(b, coherence.MESI
 func BenchmarkAccessHitSwiftDir(b *testing.B) { benchAccessHit(b, coherence.SwiftDir) }
 func BenchmarkAccessHitSMESI(b *testing.B)    { benchAccessHit(b, coherence.SMESI) }
 
+// --- Sharded-engine benchmarks -------------------------------------------
+//
+// The speedup pair: BenchmarkShardedEngineSeq is the plain sequential
+// engine, BenchmarkShardedEngineShards4 the same 8-bank event load split
+// across 4 shards running parallel epochs. Their ns/op ratio is the
+// engine-level parallel speedup on this host; it scales with GOMAXPROCS
+// (a single-CPU container shows barrier overhead instead of speedup —
+// see DESIGN.md §5).
+
+// benchBank models one directory bank's event load: per event it does a
+// fixed slice of handler work, reschedules itself, and every fourth event
+// forwards a message to the next bank over the crossbar (delay = the
+// 3-cycle hop, so cross-shard sends respect the lookahead).
+type benchBank struct {
+	eng     *sim.Engine
+	dst     *benchBank
+	dstSh   int
+	left    int
+	counter int
+	state   uint64
+}
+
+func (n *benchBank) Handle(p sim.Payload) {
+	// ~64 rounds of integer mixing: the cost of a realistic protocol
+	// handler (map lookup + state transition), so the benchmark measures
+	// engine orchestration against real work, not empty events.
+	s := n.state
+	for i := 0; i < 64; i++ {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+	}
+	n.state = s
+	if p.Op == 1 {
+		return // absorbed crossbar message
+	}
+	n.left--
+	if n.left <= 0 {
+		return
+	}
+	n.eng.ScheduleEvent(1, n, sim.Payload{})
+	n.counter++
+	if n.counter%4 == 0 {
+		n.eng.SendRemote(n.dstSh, 3, n.dst, sim.Payload{Op: 1})
+	}
+}
+
+// benchBanks wires 8 banks in a forwarding ring, mapped bank*shards/8.
+func benchBanks(engFor func(bank int) (*sim.Engine, int), events int) []*benchBank {
+	const banks = 8
+	nodes := make([]*benchBank, banks)
+	for i := range nodes {
+		e, sh := engFor(i)
+		nodes[i] = &benchBank{eng: e, dstSh: sh, left: events/banks + 1, state: uint64(i) + 1}
+	}
+	for i, n := range nodes {
+		n.dst = nodes[(i+1)%banks]
+		_, n.dstSh = engFor((i + 1) % banks)
+	}
+	return nodes
+}
+
+func BenchmarkShardedEngineSeq(b *testing.B) {
+	eng := sim.NewEngine()
+	nodes := benchBanks(func(int) (*sim.Engine, int) { return eng, 0 }, b.N)
+	b.ResetTimer()
+	for i, n := range nodes {
+		eng.ScheduleEvent(sim.Cycle(1+i), n, sim.Payload{})
+	}
+	eng.Run()
+}
+
+func benchShardedEngine(b *testing.B, shards int) {
+	sh := sim.NewSharded(shards, 3)
+	engFor := func(bank int) (*sim.Engine, int) {
+		s := bank * shards / 8
+		return sh.Shard(s), s
+	}
+	nodes := benchBanks(engFor, b.N)
+	b.ResetTimer()
+	for i, n := range nodes {
+		n.eng.ScheduleEvent(sim.Cycle(1+i), n, sim.Payload{})
+	}
+	sh.Run()
+}
+
+func BenchmarkShardedEngineShards2(b *testing.B) { benchShardedEngine(b, 2) }
+func BenchmarkShardedEngineShards4(b *testing.B) { benchShardedEngine(b, 4) }
+
+// BenchmarkAccessSharded4 is benchAccess on a 4-shard machine: the
+// sequential-stepping path every default sharded run takes. Compare with
+// BenchmarkAccessSwiftDir (the unsharded engine) for the stepping
+// overhead; the gate pins it allocation-free like every access path.
+func BenchmarkAccessSharded4(b *testing.B) {
+	cfg := core.DefaultConfig(2, coherence.SwiftDir)
+	cfg.Shards = 4
+	m := core.MustNewMachine(cfg)
+	proc := m.NewProcess()
+	ctx := proc.AttachContext(0)
+	heap := proc.MmapAnon(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.MustAccessSync(heap+mmu.VAddr(i%8192)*64, i%4 == 0, uint64(i))
+	}
+}
+
+// benchShardedWorkload runs a full 4-thread benchmark with parallel
+// epochs unlocked (NoFastPath + Prefault); shards=1 is the sequential
+// control. The pair's ratio is the end-to-end machine-level speedup.
+func benchShardedWorkload(b *testing.B, shards int) {
+	p := workload.PARSEC3()[1].Scale(0.10)
+	p.BarrierEvery = 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(4, coherence.SwiftDir)
+		cfg.Shards = shards
+		cfg.NoFastPath = true
+		cfg.Prefault = true
+		if _, _, err := workload.RunDetailed(p, cfg, workload.DerivO3CPU); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedWorkloadSeq(b *testing.B)     { benchShardedWorkload(b, 1) }
+func BenchmarkShardedWorkloadShards4(b *testing.B) { benchShardedWorkload(b, 4) }
+
 // BenchmarkDirectoryWARLookup stresses the directory's address-map lookups
 // under a write-after-read pattern: core 0 installs a shared copy, core 1
 // immediately writes the same block, so every iteration drives a GETS plus

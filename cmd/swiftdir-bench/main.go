@@ -6,7 +6,7 @@
 //	               |fig7|fig8|fig9|fig10a|fig10b|ablation|traffic|futurework
 //	               |moesi|snoop|multiprogram|lru|prefetch|numa|kernels|sweep
 //	               |msi|overhead|arbitration]
-//	               [-scale f] [-samples n] [-bits n] [-passes n] [-j n] [-out file]
+//	               [-scale f] [-samples n] [-bits n] [-passes n] [-j n] [-shards n] [-out file]
 //	swiftdir-bench -policy
 //
 // -policy lists every selectable coherence policy with the size of its
@@ -22,6 +22,12 @@
 // byte-identical at every worker count; the per-experiment campaign
 // accounting (wall time, busy time, speedup) goes to stderr so the
 // report stream stays deterministic.
+//
+// -shards shards each simulated machine's event engine (default: the
+// SWIFTDIR_SHARDS environment variable, else 1 — the sequential engine).
+// Reports are byte-identical at every shard count; the per-experiment
+// [shards] engine accounting goes to stderr. Shards compose with -j:
+// each concurrent job runs its own machine on that many shards.
 //
 // An experiment that diverges (a simulation panic) is reported as FAILED
 // and the sweep continues; the exit status is then 1.
@@ -70,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bits := fs.Int("bits", 1024, "covert-channel bits for security")
 	passes := fs.Int("passes", 4, "measured passes for fig10")
 	jobs := fs.Int("j", 0, "concurrent simulation jobs (0 = $SWIFTDIR_JOBS, else NumCPU)")
+	shards := fs.Int("shards", 0, "event-engine shards per machine, 1..64 (0 = $SWIFTDIR_SHARDS, else 1); reports are byte-identical at every value")
 	outPath := fs.String("out", "", "also append the report to this file")
 	listPolicies := fs.Bool("policy", false,
 		"list the selectable coherence policies with their transition-table sizes, then exit")
@@ -116,10 +123,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	nshards, err := campaign.ResolveShards(*shards)
+	if err != nil {
+		fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
+		fs.Usage()
+		return 2
+	}
 	campaign.SetWorkers(*jobs)
+	campaign.SetShards(nshards)
 	defer campaign.SetWorkers(0)
+	defer campaign.SetShards(0)
 	campaign.TakeSummaries() // start from a clean accounting slate
 	stats.TakeFastPaths()
+	stats.TakeShards()
 
 	var out io.Writer = stdout
 	if *outPath != "" {
@@ -134,6 +150,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var campaignTotal stats.CampaignSummary
 	var fpTotal stats.FastPathSummary
+	var shTotal stats.ShardSummary
 	totalStart := time.Now()
 	failed := 0
 	run := func(name string, fn func() string) {
@@ -182,6 +199,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fpTotal.Fast += fp.Fast
 			fpTotal.Slow += fp.Slow
 		}
+		// And the shard accounting: engine internals, stderr only, so
+		// stdout stays byte-identical at any -shards value.
+		if sh := stats.MergeShards(name, stats.TakeShards()); sh.Shards() > 0 {
+			fmt.Fprintln(stderr, sh.Footer())
+			shTotal = stats.MergeShards("all", []stats.ShardSummary{shTotal, sh})
+		}
 	}
 
 	run("table5", experiments.Table5)
@@ -221,6 +244,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *exp == "all" && fpTotal.Total() > 0 {
 		fpTotal.Label = "all"
 		fmt.Fprintln(stderr, fpTotal.Footer())
+	}
+	if *exp == "all" && shTotal.Shards() > 0 {
+		fmt.Fprintln(stderr, shTotal.Footer())
 	}
 	if failed > 0 {
 		return 1

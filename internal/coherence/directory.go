@@ -101,10 +101,15 @@ type BankStats struct {
 type bank struct {
 	id      int
 	sys     *System
+	engine  *sim.Engine  // home engine (the bank's shard when sharded)
 	tab     *proto.Table // canonical transition relation (drives dispatch)
 	arr     *cache.Array
 	entries map[cache.Addr]*dirEntry
 	busy    map[cache.Addr]*txn
+	// image is this bank's slice of the shadow memory: blocks homed here.
+	// Partitioning the image per bank lets bank-local events read and write
+	// it from their own shard without synchronization.
+	image map[cache.Addr]uint64
 	// pinned counts in-flight grants (UpgradeAcks) per address. Such a
 	// grant carries no follow-up unblock, so no busy transaction covers
 	// its flight; pinning keeps victim selection from recalling the block
@@ -143,11 +148,13 @@ func newBank(id int, sys *System, params cache.Params) *bank {
 	return &bank{
 		id:      id,
 		sys:     sys,
+		engine:  sys.engineForBank(id),
 		tab:     sys.table,
 		arr:     cache.NewArray(params),
 		entries: make(map[cache.Addr]*dirEntry, esz),
 		busy:    make(map[cache.Addr]*txn, 256),
 		pinned:  make(map[cache.Addr]int, 64),
+		image:   make(map[cache.Addr]uint64),
 		arb:     arb,
 	}
 }
@@ -202,7 +209,7 @@ func (b *bank) newEntry() *dirEntry {
 	return &dirEntry{}
 }
 
-func (b *bank) eng() *sim.Engine { return b.sys.Eng }
+func (b *bank) eng() *sim.Engine { return b.engine }
 func (b *bank) timing() Timing   { return b.sys.Timing }
 func (b *bank) policy() Policy   { return b.sys.Policy }
 
@@ -246,13 +253,21 @@ func (b *bank) sendPinned(dst int, m Msg, delay sim.Cycle) {
 	b.eng().ScheduleEvent(local, b, p)
 }
 
+// unpinNow releases one pin on addr immediately. Driver or barrier-replay
+// context only; mid-epoch releases go through System.unpin.
+func (b *bank) unpinNow(addr cache.Addr) {
+	if b.pinned[addr]--; b.pinned[addr] <= 0 {
+		delete(b.pinned, addr)
+	}
+}
+
 // Handle dispatches the bank's payload events (see the op constants in
 // message.go).
 func (b *bank) Handle(p sim.Payload) {
 	switch p.Op {
 	case opBankDispatch:
 		m := msgFromPayload(p)
-		b.sys.trace(m, DirID)
+		b.sys.trace(b.engine, m, DirID)
 		b.dispatch(m)
 		if b.sys.ObservePost != nil {
 			b.sys.ObservePost(m, DirID)
@@ -265,21 +280,27 @@ func (b *bank) Handle(p sim.Payload) {
 		p.Op = opBankDeliverPin
 		b.sys.xbar.SendEvent(b.sys.bankPort(b.id), int(p.Z), b, p)
 	case opBankDeliverPin:
+		// The crossbar delivered this to the destination L1's port, so when
+		// sharded it executes on that L1's engine, not the bank's; the pin
+		// release defers to the barrier replay mid-epoch (see System.unpin).
 		m := msgFromPayload(p)
-		if b.pinned[m.Addr]--; b.pinned[m.Addr] <= 0 {
-			delete(b.pinned, m.Addr)
-		}
 		dst := int(p.Z)
-		b.sys.trace(m, dst)
+		e := b.sys.engineForL1(dst)
+		b.sys.unpin(e, b, m.Addr)
+		b.sys.trace(e, m, dst)
 		b.sys.L1s[dst].Receive(m)
 		if b.sys.ObservePost != nil {
 			b.sys.ObservePost(m, dst)
 		}
 	case opBankFetchIssue:
-		done := b.sys.Mem.AccessAt(b.eng().Now(), p.A, false)
+		// Runs as a global event (see fetchAndGrant): DRAM port state is
+		// shared across banks, so the access must observe globally ordered
+		// time. The install is global too — it may recall lines from any L1.
+		now := b.eng().Now()
+		done := b.sys.Mem.AccessAt(now, p.A, false)
 		p.Op = opBankInstall
 		p.B = 0 // stall cycles accumulated so far
-		b.eng().ScheduleEventAt(done, b, p)
+		b.eng().ScheduleGlobalEvent(done-now, b, p)
 	case opBankInstall:
 		b.installAndGrant(cache.Addr(p.A), p.Z != 0, sim.Cycle(p.B))
 	default:
@@ -781,7 +802,10 @@ func (b *bank) fetchAndGrant(m Msg, store bool) {
 	if store {
 		p.Z = 1
 	}
-	b.eng().ScheduleEvent(b.timing().LLCTag, b, p)
+	// Global event: the fetch touches the shared DRAM model. The LLC tag
+	// latency is at least the lookahead when sharded (Validate enforces it),
+	// so issuing from a mid-epoch dispatch is always legal.
+	b.eng().ScheduleGlobalEvent(b.timing().LLCTag, b, p)
 }
 
 // installAndGrant completes an LLC miss once DRAM has responded. A victim
@@ -815,7 +839,10 @@ func (b *bank) installAndGrant(addr cache.Addr, store bool, stalled sim.Cycle) {
 		if store {
 			p.Z = 1
 		}
-		b.eng().ScheduleEvent(retry, b, p)
+		// Installs run as global events (driver context), so the retry may
+		// use any delay: re-scheduling a global from the driver skips the
+		// lookahead constraint.
+		b.eng().ScheduleGlobalEvent(retry, b, p)
 		return
 	}
 	m := b.busy[addr].req

@@ -65,8 +65,7 @@ func (s *System) DumpState() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "=== system state at cycle %d ===\n", s.Eng.Now())
 
-	fmt.Fprintf(&sb, "-- pending events (%d, execution order) --\n", s.Eng.Pending())
-	s.Eng.ForEachPending(func(rel sim.Cycle, h sim.Handler, p sim.Payload, isClosure bool) {
+	renderEvent := func(rel sim.Cycle, h sim.Handler, p sim.Payload, isClosure bool) {
 		if isClosure {
 			fmt.Fprintf(&sb, "  +%-6d closure\n", rel)
 			return
@@ -88,7 +87,23 @@ func (s *System) DumpState() string {
 			fmt.Fprintf(&sb, " A=%#x B=%#x X=%d Z=%d", p.A, p.B, p.X, p.Z)
 		}
 		sb.WriteByte('\n')
-	})
+	}
+	if s.sh == nil {
+		fmt.Fprintf(&sb, "-- pending events (%d, execution order) --\n", s.Eng.Pending())
+		s.Eng.ForEachPending(renderEvent)
+	} else {
+		// Merged global execution order — (cycle, key) across every shard
+		// queue, the cross-shard merge buffers, and the global queue. In
+		// stepping mode every key is exact and the clocks are lockstep, so
+		// these bytes are identical to the sequential branch above: a crash
+		// bundle recorded at any shard count replays byte-for-byte at any
+		// other.
+		now := s.sh.Now()
+		fmt.Fprintf(&sb, "-- pending events (%d, execution order) --\n", s.sh.PendingAll())
+		s.sh.ForEachPendingMerged(func(when sim.Cycle, h sim.Handler, p sim.Payload, isClosure bool) {
+			renderEvent(when-now, h, p, isClosure)
+		})
+	}
 
 	sb.WriteString("-- directory transient transactions --\n")
 	s.ForEachBusy(func(bank int, addr cache.Addr, v TxnView) {
@@ -121,6 +136,24 @@ func (s *System) DumpState() string {
 		sb.WriteString(s.lastMsgs[i&(msgTailN-1)].String())
 		sb.WriteByte('\n')
 	}
+	// Messages delivered inside parallel epochs land in per-shard rings
+	// (diagnostic-only; see traceShard). Render any that exist so a
+	// watchdog trip mid-epoch still shows the freshest traffic.
+	for si := range s.shardTrace {
+		ts := &s.shardTrace[si]
+		if ts.msgPos == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "-- shard %d recent messages (oldest first) --\n", si)
+		start := uint64(0)
+		if ts.msgPos > msgTailN {
+			start = ts.msgPos - msgTailN
+		}
+		for i := start; i < ts.msgPos; i++ {
+			sb.WriteString(ts.lastMsgs[i&(msgTailN-1)].String())
+			sb.WriteByte('\n')
+		}
+	}
 	return sb.String()
 }
 
@@ -148,9 +181,15 @@ func (s *System) MemImageHash() string {
 // re-keys it by virtual address for the machine-level soak oracle, where
 // physical-frame assignment is itself timing-dependent.
 func (s *System) MemValues() map[cache.Addr]uint64 {
-	vals := make(map[cache.Addr]uint64, len(s.image))
-	for a, v := range s.image {
-		vals[a] = v
+	n := 0
+	for _, b := range s.banks {
+		n += len(b.image)
+	}
+	vals := make(map[cache.Addr]uint64, n)
+	for _, b := range s.banks {
+		for a, v := range b.image {
+			vals[a] = v
+		}
 	}
 	for _, b := range s.banks {
 		b.arr.ForEachValid(func(a cache.Addr, ln *cache.Line) {

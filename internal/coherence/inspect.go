@@ -120,10 +120,17 @@ func (s *System) ForEachPinned(fn func(bank int, addr cache.Addr, n int)) {
 }
 
 // ForEachMemImage visits the main-memory shadow values that differ from
-// the initial image, in ascending address order.
+// the initial image, in ascending address order. The shadow is partitioned
+// per bank (see bank.image); this merges the slices.
 func (s *System) ForEachMemImage(fn func(addr cache.Addr, v uint64)) {
-	for _, addr := range sortedAddrs(s.image) {
-		fn(addr, s.image[addr])
+	merged := make(map[cache.Addr]uint64)
+	for _, b := range s.banks {
+		for a, v := range b.image {
+			merged[a] = v
+		}
+	}
+	for _, addr := range sortedAddrs(merged) {
+		fn(addr, merged[addr])
 	}
 }
 

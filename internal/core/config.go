@@ -86,6 +86,23 @@ type Config struct {
 	// fast-vs-slow equivalence tests.
 	NoFastPath bool
 
+	// Shards selects the event-engine layout (DESIGN.md §5 "Parallel
+	// discrete-event simulation"): 0 or 1 runs the machine on one
+	// sequential engine; N > 1 shards the engines per core cluster, with
+	// each core's D- and I-cache controllers pinned to the core's shard.
+	// Results are byte-identical for every value — sharding changes
+	// wall-clock simulation time only.
+	Shards int
+
+	// Prefault makes the workload runners fault in every mapped page
+	// before the measured region (Machine.Prefault), removing page-fault
+	// servicing from the timings and freezing the page tables. Combined
+	// with Shards > 1 and NoFastPath it unlocks parallel epochs
+	// (Machine.CanRunParallel); without it sharded machines run in
+	// byte-identical sequential-stepping mode. Like any workload knob it
+	// changes the measured timings, so compare runs with it held fixed.
+	Prefault bool
+
 	// Faults, if non-nil, attaches a deterministic timing-fault injector
 	// to the hierarchy (DESIGN.md §7). Runtime-only: it does not
 	// serialize with the configuration — replays reconstruct it from the
@@ -151,6 +168,9 @@ func (c Config) Validate() error {
 	if c.ITLBEntries <= 0 || c.DTLBEntries <= 0 {
 		return fmt.Errorf("core: non-positive TLB size")
 	}
+	if c.Shards < 0 || c.Shards > 64 {
+		return fmt.Errorf("core: shard count %d out of range [0,64]", c.Shards)
+	}
 	if err := c.L1.Validate(); err != nil {
 		return err
 	}
@@ -162,9 +182,12 @@ func (c Config) Validate() error {
 
 // coherenceConfig derives the hierarchy configuration. Each core
 // contributes two L1 controllers: port 2i is core i's D-cache and port
-// 2i+1 its I-cache, both coherent peers of the banked LLC.
+// 2i+1 its I-cache, both coherent peers of the banked LLC. When sharded,
+// both of core i's controllers are pinned to the core's shard, so a
+// core's ticks, translations, and L1 lookups all execute on one event
+// queue and parallel epochs stay legal.
 func (c Config) coherenceConfig() coherence.SystemConfig {
-	return coherence.SystemConfig{
+	cfg := coherence.SystemConfig{
 		NumL1:      2 * c.Cores,
 		L1Params:   c.L1,
 		LLCParams:  c.L2Bank,
@@ -175,7 +198,17 @@ func (c Config) coherenceConfig() coherence.SystemConfig {
 		Prefetch:   c.Prefetch,
 		NoFastPath: c.NoFastPath,
 		Faults:     c.Faults,
+		Shards:     c.Shards,
 	}
+	if c.Shards > 1 {
+		cfg.ShardOfL1 = make([]int, 2*c.Cores)
+		for core := 0; core < c.Cores; core++ {
+			sh := core * c.Shards / c.Cores
+			cfg.ShardOfL1[2*core] = sh
+			cfg.ShardOfL1[2*core+1] = sh
+		}
+	}
+	return cfg
 }
 
 // Describe renders the configuration as the paper's Table V.

@@ -45,6 +45,8 @@ type configJSON struct {
 	Prefetch string           `json:"prefetch,omitempty"`
 
 	NoFastPath bool `json:"no_fast_path,omitempty"`
+	Shards     int  `json:"shards,omitempty"`
+	Prefault   bool `json:"prefault,omitempty"`
 }
 
 func prefetchFromString(s string) (coherence.PrefetchMode, error) {
@@ -91,6 +93,7 @@ func (c Config) MarshalJSON() ([]byte, error) {
 		Timing: c.Timing, Protocol: proto, DRAM: c.DRAM,
 		Prefetch:   c.Prefetch.String(),
 		NoFastPath: c.NoFastPath,
+		Shards:     c.Shards, Prefault: c.Prefault,
 	})
 }
 
@@ -130,6 +133,7 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		Timing: j.Timing, Protocol: proto, DRAM: j.DRAM,
 		Prefetch:   pf,
 		NoFastPath: j.NoFastPath,
+		Shards:     j.Shards, Prefault: j.Prefault,
 	}
 	return nil
 }

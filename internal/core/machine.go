@@ -20,6 +20,12 @@ type Machine struct {
 
 	processes []*Process
 	contexts  []*Context
+
+	// Parallel-epoch eligibility (see CanRunParallel): prefaulted is set by
+	// Prefault, seqOnly by ForceSequential and by machine features whose
+	// shared state parallel epochs cannot touch (KSM scans).
+	prefaulted bool
+	seqOnly    bool
 }
 
 // NewMachine builds a machine from cfg.
@@ -32,7 +38,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	if cfg.Watchdog.Enabled() {
-		sys.Eng.ArmWatchdog(cfg.Watchdog, func(ti sim.TripInfo) {
+		sys.ArmWatchdog(cfg.Watchdog, func(ti sim.TripInfo) {
 			panic(&fault.Violation{
 				Kind:      fault.KindLiveness,
 				Cycle:     uint64(ti.Now),
@@ -61,11 +67,52 @@ func MustNewMachine(cfg Config) *Machine {
 	return m
 }
 
-// Engine returns the machine's event engine.
+// Engine returns the machine's driver event engine (shard 0 when the
+// machine is sharded). Synchronous callers and cross-core structures
+// (barriers, KSM ticks) schedule here; per-core work goes through
+// Context.Engine.
 func (m *Machine) Engine() *sim.Engine { return m.Sys.Eng }
 
 // Now returns the current cycle.
 func (m *Machine) Now() sim.Cycle { return m.Sys.Eng.Now() }
+
+// RunWhile executes events in exact sequential order while cond holds.
+func (m *Machine) RunWhile(cond func() bool) { m.Sys.RunWhile(cond) }
+
+// Prefault faults in every mapped page of every process up front —
+// demand faults, then write faults on writable pages so the Dirty bits
+// are set — leaving the page tables read-only for the rest of the run
+// (copy-on-write pages stay write-protected; a store to one still
+// duplicates mid-run). Run before the measured region, it removes
+// page-fault servicing from the timings and is what makes parallel
+// epochs legal at machine level: concurrent per-core walks then only
+// read MMU state. Byte-identity across shard counts needs the same
+// Prefault decision on both sides, like any other workload knob.
+func (m *Machine) Prefault() error {
+	for _, p := range m.processes {
+		if err := p.AS.Prefault(); err != nil {
+			return err
+		}
+	}
+	m.prefaulted = true
+	return nil
+}
+
+// ForceSequential pins the machine to exact sequential event order even
+// when sharded (stepping mode). Workloads whose cross-core structures
+// mutate shared state mid-run outside the coherence fabric — trace
+// barriers, KSM scans — must call it; CanRunParallel then reports false.
+func (m *Machine) ForceSequential() { m.seqOnly = true }
+
+// CanRunParallel reports whether cpu.Run may drive this machine with
+// parallel epochs: a parallel-safe hierarchy (sharded, routed crossbar,
+// no fast path, no fault injector or observation hooks), page tables
+// frozen by Prefault, and no sequential-only machine feature armed.
+// When false, sharded machines still run — in byte-identical
+// sequential-stepping mode.
+func (m *Machine) CanRunParallel() bool {
+	return m.Sys.ParallelSafe() && m.prefaulted && !m.seqOnly
+}
 
 // Process is an OS process: one address space, any number of contexts
 // (threads) pinned to cores.
@@ -254,9 +301,13 @@ func (c *Context) putFastDone(done func(coherence.AccessResult), r coherence.Acc
 	return int32(len(c.fds) - 1)
 }
 
-// Engine returns the machine's event engine (for CPU models built on
-// this context).
-func (c *Context) Engine() *sim.Engine { return c.m.Engine() }
+// Engine returns this core's home event engine (for CPU models built on
+// this context): the shard hosting the core's L1 controllers when the
+// machine is sharded, else the machine engine. Everything a core
+// schedules for itself — ticks, translation delays, submissions — goes
+// here, so a parallel epoch keeps the whole core-local chain on one
+// shard.
+func (c *Context) Engine() *sim.Engine { return c.m.Sys.EngineForL1(c.dataPort()) }
 
 // Machine returns the owning machine.
 func (c *Context) Machine() *Machine { return c.m }
@@ -288,7 +339,7 @@ func (c *Context) submitTranslated(port int, res mmu.Result, write bool, value u
 		c.m.Sys.Submit(port, acc)
 		return
 	}
-	c.m.Sys.Eng.ScheduleEvent(pre, c, sim.Payload{Op: ctxOpSubmit, A: uint64(c.putSubmit(port, acc))})
+	c.Engine().ScheduleEvent(pre, c, sim.Payload{Op: ctxOpSubmit, A: uint64(c.putSubmit(port, acc))})
 }
 
 // fastSubmit attempts the synchronous hit fast path for a translated
@@ -316,15 +367,14 @@ func (c *Context) fastSubmit(port int, res mmu.Result, write bool, value uint64,
 	if !ok {
 		return false
 	}
-	eng := c.m.Sys.Eng
-	if sync && eng.Pending() == 0 {
-		eng.RunTo(eng.Now() + r.Latency)
+	if sync && c.m.Sys.PendingAll() == 0 {
+		c.m.Sys.RunTo(c.m.Now() + r.Latency)
 		if done != nil {
 			done(r)
 		}
 		return true
 	}
-	eng.ScheduleEvent(r.Latency, c, sim.Payload{Op: ctxOpFastDone, A: uint64(c.putFastDone(done, r))})
+	c.Engine().ScheduleEvent(r.Latency, c, sim.Payload{Op: ctxOpFastDone, A: uint64(c.putFastDone(done, r))})
 	return true
 }
 
@@ -382,13 +432,15 @@ func (c *Context) Fetch(v mmu.VAddr, done func(coherence.AccessResult)) error {
 // real access, reporting total wall-clock latency from now.
 func (c *Context) walkAndSubmit(v mmu.VAddr, port int, res mmu.Result, write bool, value uint64, seq uint64,
 	pre, missExtra sim.Cycle, done func(coherence.AccessResult)) {
-	t0 := c.m.Now()
+	t0 := c.Engine().Now()
 	wrapped := done
 	if done != nil {
 		wrapped = func(r coherence.AccessResult) {
 			// The L1 measured only the final access; report the full
-			// walk-inclusive latency the core observed.
-			r.Latency = c.m.Now() - t0
+			// walk-inclusive latency the core observed. Clocks are read on
+			// the core's own engine: inside a parallel epoch the machine
+			// clock is a foreign shard's.
+			r.Latency = c.Engine().Now() - t0
 			done(r)
 		}
 	}
@@ -398,7 +450,7 @@ func (c *Context) walkAndSubmit(v mmu.VAddr, port int, res mmu.Result, write boo
 		})
 	}
 	if pre > 0 {
-		c.m.Sys.Eng.Schedule(pre, start)
+		c.Engine().Schedule(pre, start)
 	} else {
 		start()
 	}
@@ -420,7 +472,7 @@ func (c *Context) AccessSync(v mmu.VAddr, write bool, value uint64) (coherence.A
 	if err != nil {
 		return coherence.AccessResult{}, err
 	}
-	c.m.Sys.Eng.RunWhile(c.syncCond)
+	c.m.Sys.RunWhile(c.syncCond)
 	if !c.syncDone {
 		panic("core: access did not complete")
 	}
@@ -441,6 +493,10 @@ func (c *Context) MustAccessSync(v mmu.VAddr, write bool, value uint64) coherenc
 // after a scan that merged pages (the kernel's TLB shootdown after
 // write_protect_page). A bounded count keeps the event queue drainable.
 func (m *Machine) ScheduleKSMScans(period sim.Cycle, count int) {
+	// Scans mutate every address space and flush every TLB from one
+	// closure: inherently cross-shard, so the machine drops to sequential
+	// stepping when sharded.
+	m.ForceSequential()
 	var tick func(remaining int)
 	tick = func(remaining int) {
 		if remaining == 0 {

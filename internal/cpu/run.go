@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -14,17 +16,35 @@ type CPU interface {
 // Run starts every CPU and drives the machine until all traces commit,
 // returning the wall-clock execution time (the paper's multi-threaded
 // metric: ROI execution time).
+//
+// On a machine eligible for parallel epochs (core.Machine.CanRunParallel)
+// the shards run concurrently and the stop condition is only checked at
+// epoch barriers, so the engine may execute past the last commit before
+// stopping; the returned time is therefore measured to the latest
+// per-thread FinishCycle, which both modes stamp at the exact commit
+// event, keeping the result byte-identical to the sequential run.
 func Run(m *core.Machine, cpus []CPU) sim.Cycle {
 	start := m.Now()
-	remaining := len(cpus)
+	var remaining atomic.Int64
+	remaining.Store(int64(len(cpus)))
 	for _, c := range cpus {
-		c.Start(func() { remaining-- })
+		c.Start(func() { remaining.Add(-1) })
 	}
-	m.Engine().RunWhile(func() bool { return remaining > 0 })
-	if remaining > 0 {
+	cond := func() bool { return remaining.Load() > 0 }
+	if sh := m.Sys.ShardedEngine(); sh != nil && m.CanRunParallel() {
+		sh.RunWhile(cond)
+	} else {
+		m.RunWhile(cond)
+	}
+	if remaining.Load() > 0 {
 		panic("cpu: threads did not finish (deadlock or missing barrier party)")
 	}
-	end := m.Now()
+	end := start
+	for _, c := range cpus {
+		if f := c.Stats().FinishCycle; f > end {
+			end = f
+		}
+	}
 	m.Quiesce()
 	return end - start
 }

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestShardedGoldenReportEquivalence re-renders the full golden grid with
+// every simulated machine's event engine split across four shards and
+// compares against the SAME committed hashes as the sequential run. There
+// is deliberately no update mode: if a hash moves here, sharding changed
+// observable behaviour, which is a bug by construction — the sharded
+// engine's merge order must reproduce the sequential (cycle, seq) order
+// byte for byte.
+func TestShardedGoldenReportEquivalence(t *testing.T) {
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate via TestGoldenReportEquivalence): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+
+	defer campaign.SetWorkers(0)
+	defer campaign.SetShards(0)
+	campaign.SetWorkers(1)
+	campaign.SetShards(4)
+
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.heavy && testing.Short() {
+				t.Skip("suite runs are slow")
+			}
+			report := tc.run()
+			if len(report) == 0 {
+				t.Fatalf("%s: empty report", tc.name)
+			}
+			sum := sha256.Sum256([]byte(report))
+			h := hex.EncodeToString(sum[:])
+			w, ok := want[tc.name]
+			if !ok {
+				t.Fatalf("%s: no golden hash recorded", tc.name)
+			}
+			if h != w {
+				t.Errorf("%s: sharded report hash %s differs from golden %s\n--- report ---\n%s",
+					tc.name, h, w, report)
+			}
+		})
+	}
+}

@@ -1,0 +1,914 @@
+// Conservative parallel discrete-event simulation over the calendar-queue
+// engine.
+//
+// A Sharded engine is N ordinary Engines — one per shard — driven in
+// lookahead-sized epochs. Model components are partitioned across shards
+// (directory banks and core clusters in the coherence model) and interact
+// across shards only through the crossbar, whose minimum hop latency L is
+// the lookahead: an event executing at cycle t can influence another shard
+// no earlier than t+L. Each epoch the driver computes the globally
+// earliest pending event time T0 and lets every shard drain its local
+// queue concurrently up to the exclusive horizon (T0+L, key 0); events
+// bound for other shards are buffered and merged at the barrier.
+//
+// The merge reproduces the sequential engine's (cycle, seq) tie-break
+// exactly. The sequential seq is assigned in creation order, and creation
+// order is execution order of the creating events — so the barrier
+// reconstructs it: each executed event that created events is logged with
+// the contiguous range it created; a K-way merge of the per-shard logs by
+// (cycle, key) replays the epoch's execution order and assigns the next
+// exact keys to each record's creations in call order. Events created and
+// consumed within one epoch run under per-shard provisional keys (high
+// bit set, per-shard birth order), which order correctly against every
+// key they can meet mid-epoch: provisional > exact matches "created after
+// everything already queued", and same-shard provisional order is birth
+// order. No provisional key survives a barrier, because local creations
+// at or beyond the epoch limit are buffered like remote ones.
+//
+// Work that must see globally ordered shared state — a DRAM fetch issue,
+// an LLC install that may recall lines from any L1 — is scheduled as a
+// global event: it becomes the epoch limit when it is the earliest
+// pending work and executes on the driver, alone, with every shard
+// stopped exactly at its (cycle, key). Fire-and-forget shared-state
+// operations (DRAM writeback bandwidth accounting) are recorded as side
+// ops attached to the execution log and replayed by the driver in merge
+// order, so order-dependent models observe the sequential call sequence.
+//
+// The result is byte-identical to running the same model on one Engine;
+// the equivalence suites in sharded_test.go and internal/coherence assert
+// exactly that, and DESIGN.md §5 sketches the proof.
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// provisionalBase marks per-shard provisional merge keys: events created
+// during an epoch and inserted live carry provisionalBase+birthIndex until
+// the barrier assigns exact keys. Exact keys are a shared counter far below
+// 1<<63, so provisional keys compare greater than every exact key — which
+// is also the correct sequential order (they were created last).
+const provisionalBase = uint64(1) << 63
+
+// LookaheadViolation is the typed panic raised when a shard schedules
+// cross-shard (or global) work closer than the lookahead allows. It always
+// indicates a model bug: some component bypassed the crossbar's minimum
+// hop latency.
+type LookaheadViolation struct {
+	Shard     int   // scheduling shard
+	Dst       int   // destination shard, or -1 for a global event
+	When      Cycle // target cycle
+	Delay     Cycle // offending delay
+	Lookahead Cycle
+}
+
+func (v *LookaheadViolation) Error() string {
+	dst := fmt.Sprintf("shard %d", v.Dst)
+	if v.Dst < 0 {
+		dst = "global barrier"
+	}
+	return fmt.Sprintf("sim: lookahead violation: shard %d -> %s at cycle %d (delay %d < lookahead %d)",
+		v.Shard, dst, v.When, v.Delay, v.Lookahead)
+}
+
+// born-record kinds: what became of an event created during an epoch.
+const (
+	bornLive     uint8 = iota // inserted live in the creating shard under a provisional key
+	bornDeferred              // buffered for barrier insertion into dst (cross-shard or at/past the limit)
+	bornGlobal                // buffered for the global queue
+)
+
+// bornRec records one event created during an epoch, in creation order.
+// The barrier merge assigns trueKey; deferred kinds carry the event itself.
+type bornRec struct {
+	trueKey uint64
+	kind    uint8
+	dst     int32
+	ev      event
+}
+
+// execRec logs one executed event that created events or emitted side ops:
+// the merge needs exactly those to replay creation order.
+type execRec struct {
+	when               Cycle
+	rawKey             uint64
+	bornStart, bornEnd int32
+	sideStart, sideEnd int32
+}
+
+// sideOp is a deferred order-dependent operation against shared state
+// (DeferOp); the driver replays it in merge order via the replay hook.
+type sideOp struct {
+	when Cycle
+	a, b uint64
+	op   uint8
+}
+
+// gevent is a queued global event.
+type gevent struct {
+	when Cycle
+	key  uint64
+	fn   func()
+	h    Handler
+	p    Payload
+}
+
+func gLess(a, b *gevent) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.key < b.key
+}
+
+// shardState is the per-shard sharding extension of an Engine. Epoch
+// buffers retain capacity across epochs, so steady-state execution stays
+// allocation-free.
+type shardState struct {
+	sh *Sharded
+	id int
+
+	// Epoch parameters, published by the driver before workers wake.
+	inEpoch   bool
+	limitWhen Cycle
+	limitKey  uint64
+
+	born    []bornRec
+	execLog []execRec
+	sideOps []sideOp
+
+	// Worker-side failure capture, consumed by the driver at the barrier.
+	panicked bool
+	panicVal any
+	tripInfo TripInfo
+	tripped  bool
+}
+
+// shardTripMark is the sentinel panic a shard watchdog raises so the
+// worker's recover can hand the trip to the driver.
+type shardTripMark struct{}
+
+// Sharded drives N shard engines in conservative lookahead epochs. All
+// methods are driver-side and single-threaded; shard engines may only be
+// touched from their own epoch worker while a run is in progress.
+type Sharded struct {
+	shards    []*Engine
+	lookahead Cycle
+
+	key        uint64 // exact merge-key counter (the sequential engine's seq)
+	globalQ    []gevent
+	barriers   uint64
+	globalsRun uint64 // globals executed on the driver (not in any shard's count)
+	running    bool
+
+	replayOp func(now Cycle, a, b uint64, op uint8)
+
+	wdCfg           WatchdogConfig
+	wdTrip          func(TripInfo)
+	progressGlobals uint64 // globalsRun at the last progress mark (stepping accounting)
+}
+
+// NewSharded builds a sharded engine with the given shard count and
+// lookahead. The lookahead must be the minimum cross-shard interaction
+// latency of the model (the crossbar's base hop latency); zero lookahead
+// admits no parallelism and is rejected.
+func NewSharded(shards int, lookahead Cycle) *Sharded {
+	if shards < 1 || shards > 64 {
+		panic(fmt.Sprintf("sim: NewSharded with %d shards (want 1..64)", shards))
+	}
+	if lookahead == 0 {
+		panic("sim: NewSharded with zero lookahead")
+	}
+	sh := &Sharded{lookahead: lookahead}
+	for i := 0; i < shards; i++ {
+		e := NewEngine()
+		e.ss = &shardState{sh: sh, id: i}
+		sh.shards = append(sh.shards, e)
+	}
+	return sh
+}
+
+// Shard returns shard i's engine. Components are wired to their home
+// shard's engine at model build time and use the ordinary Engine API.
+func (sh *Sharded) Shard(i int) *Engine { return sh.shards[i] }
+
+// NumShards returns the shard count.
+func (sh *Sharded) NumShards() int { return len(sh.shards) }
+
+// Lookahead returns the epoch lookahead in cycles.
+func (sh *Sharded) Lookahead() Cycle { return sh.lookahead }
+
+// Barriers returns the number of epoch barriers executed so far.
+func (sh *Sharded) Barriers() uint64 { return sh.barriers }
+
+// Now returns the maximum shard clock. After Run it is single-valued
+// across shards, like the sequential engine's final cycle.
+func (sh *Sharded) Now() Cycle {
+	var max Cycle
+	for _, e := range sh.shards {
+		if e.now > max {
+			max = e.now
+		}
+	}
+	return max
+}
+
+// Pending reports queued events across all shards plus queued globals.
+func (sh *Sharded) Pending() int {
+	n := len(sh.globalQ)
+	for _, e := range sh.shards {
+		n += e.pending
+	}
+	return n
+}
+
+// deferredPending counts events parked in cross-shard merge buffers,
+// awaiting barrier insertion. Zero outside epochs.
+func (sh *Sharded) deferredPending() int {
+	n := 0
+	for _, e := range sh.shards {
+		for i := range e.ss.born {
+			if e.ss.born[i].kind != bornLive {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PendingAll is Pending plus events parked in cross-shard merge buffers —
+// the full population a dump renders.
+func (sh *Sharded) PendingAll() int { return sh.Pending() + sh.deferredPending() }
+
+// Executed sums executed events across shards, plus global events run on
+// the driver — the same population the sequential engine counts.
+func (sh *Sharded) Executed() uint64 {
+	n := sh.globalsRun
+	for _, e := range sh.shards {
+		n += e.executed
+	}
+	return n
+}
+
+// ExecutedPerShard returns per-shard executed-event counts (the [shards]
+// footer's payload).
+func (sh *Sharded) ExecutedPerShard() []uint64 {
+	out := make([]uint64, len(sh.shards))
+	for i, e := range sh.shards {
+		out[i] = e.executed
+	}
+	return out
+}
+
+// GlobalsRun returns the count of global events executed on the driver
+// (scheduled via ScheduleGlobalEvent; not in any shard's count).
+func (sh *Sharded) GlobalsRun() uint64 { return sh.globalsRun }
+
+// OnReplayOp installs the side-op replayer invoked (in merge order) for
+// every Engine.DeferOp emitted during an epoch.
+func (sh *Sharded) OnReplayOp(fn func(now Cycle, a, b uint64, op uint8)) { sh.replayOp = fn }
+
+// ArmWatchdog arms a liveness watchdog on every shard plus a barrier-time
+// global quiescence check. Each shard gets the full per-shard budget, so a
+// single wedged shard trips even while the others idle at the barrier; the
+// global check additionally trips when the shards collectively exceed the
+// event budget with no shard marking progress. The combined trip carries
+// every shard's pending-event dump, including cross-shard merge buffers.
+func (sh *Sharded) ArmWatchdog(cfg WatchdogConfig, trip func(TripInfo)) {
+	if !cfg.Enabled() {
+		sh.wdCfg, sh.wdTrip = WatchdogConfig{}, nil
+		for _, e := range sh.shards {
+			e.DisarmWatchdog()
+		}
+		return
+	}
+	if trip == nil {
+		panic("sim: ArmWatchdog with nil trip callback")
+	}
+	sh.wdCfg, sh.wdTrip = cfg, trip
+	sh.progressGlobals = sh.globalsRun
+	for _, e := range sh.shards {
+		ss := e.ss
+		e.ArmWatchdog(cfg, func(ti TripInfo) {
+			if ss.inEpoch {
+				ss.tripInfo = ti
+				ss.tripped = true
+				panic(shardTripMark{})
+			}
+			// Driver context (sequential stepping): no worker recover is
+			// in place, so fire the combined trip directly.
+			ss.sh.fireTrip(ti)
+		})
+	}
+}
+
+// Run executes events until every shard queue and the global queue drain,
+// then settles all shard clocks on the global maximum and returns it.
+func (sh *Sharded) Run() Cycle { return sh.runLoop(nil) }
+
+// RunWhile executes epochs while cond returns true and events remain. The
+// condition is evaluated at epoch barriers, not per event — coarser than
+// the sequential engine, so a run may execute past the cycle where cond
+// first turned false. Callers needing an exact stop cycle must derive it
+// from model state (see cpu.Run), not from the engine clock.
+func (sh *Sharded) RunWhile(cond func() bool) Cycle { return sh.runLoop(cond) }
+
+// worker is one shard's epoch loop. The recover sits outside the epoch
+// loop (one defer per worker lifetime, not per epoch) so steady-state
+// epochs allocate nothing; after capturing a panic for the driver the
+// worker re-enters its loop, since a non-fatal trip lets the run continue.
+func (sh *Sharded) worker(e *Engine, start chan struct{}, wg *sync.WaitGroup) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.ss.panicVal = r
+			e.ss.panicked = true
+			wg.Done()
+			sh.worker(e, start, wg)
+		}
+	}()
+	for range start {
+		e.runEpoch()
+		wg.Done()
+	}
+}
+
+func (sh *Sharded) runLoop(cond func() bool) Cycle {
+	if sh.running {
+		panic("sim: reentrant Sharded run")
+	}
+	sh.running = true
+	defer func() { sh.running = false }()
+
+	n := len(sh.shards)
+	starts := make([]chan struct{}, n)
+	var wg sync.WaitGroup
+	for i, e := range sh.shards {
+		starts[i] = make(chan struct{}, 1)
+		go sh.worker(e, starts[i], &wg)
+	}
+	defer func() {
+		for _, c := range starts {
+			close(c)
+		}
+	}()
+
+	for {
+		if cond != nil && !cond() {
+			break
+		}
+		var t0 Cycle
+		haveT0 := false
+		for _, e := range sh.shards {
+			if t, ok := e.nextTime(); ok && (!haveT0 || t < t0) {
+				t0, haveT0 = t, true
+			}
+		}
+		haveG := len(sh.globalQ) > 0
+		if !haveT0 && !haveG {
+			break
+		}
+
+		var limW Cycle
+		var limK uint64
+		runGlobal := false
+		if haveT0 {
+			limW, limK = t0+sh.lookahead, 0
+		}
+		if haveG {
+			g := &sh.globalQ[0]
+			if !haveT0 || g.when < limW {
+				limW, limK = g.when, g.key
+				runGlobal = true
+			}
+		}
+
+		if haveT0 {
+			var wdMark [64]uint64
+			for i, e := range sh.shards {
+				ss := e.ss
+				ss.limitWhen, ss.limitKey = limW, limK
+				ss.inEpoch = true
+				if e.wd != nil && i < len(wdMark) {
+					wdMark[i] = e.wd.lastEvents
+				}
+			}
+			wg.Add(n)
+			for _, c := range starts {
+				c <- struct{}{}
+			}
+			wg.Wait()
+			for _, e := range sh.shards {
+				e.ss.inEpoch = false
+			}
+			sh.checkPanics()
+			sh.mergeAndCommit()
+			sh.checkGlobalWatchdog(wdMark[:min(n, len(wdMark))])
+			sh.broadcastProgress(wdMark[:min(n, len(wdMark))])
+		}
+
+		lim := gevent{when: limW, key: limK}
+		if runGlobal && len(sh.globalQ) > 0 && !gLess(&lim, &sh.globalQ[0]) {
+			g := sh.gPop()
+			for _, e := range sh.shards {
+				e.advanceTo(g.when)
+			}
+			sh.globalsRun++
+			if g.fn != nil {
+				g.fn()
+			} else {
+				g.h.Handle(g.p)
+			}
+		}
+	}
+
+	var max Cycle
+	for _, e := range sh.shards {
+		if e.now > max {
+			max = e.now
+		}
+	}
+	for _, e := range sh.shards {
+		e.advanceTo(max)
+	}
+	return max
+}
+
+// runEpoch drains this shard's queue up to the exclusive (limitWhen,
+// limitKey) bound, logging executed events that created events or emitted
+// side ops. Runs on the shard's worker goroutine.
+func (e *Engine) runEpoch() {
+	ss := e.ss
+	for e.pending > 0 {
+		t, ok := e.nextTime()
+		if !ok || t > ss.limitWhen {
+			break
+		}
+		e.advanceTo(t)
+		idx := uint32(t) & ringMask
+		b := &e.ring[idx]
+		ev := b.evs[b.head]
+		// Provisional keys compare greater than any exact limit key, so
+		// same-cycle events born this epoch correctly defer to a global
+		// limit (their exact keys would be assigned after it).
+		if t == ss.limitWhen && ev.seq >= ss.limitKey {
+			break
+		}
+		b.evs[b.head] = event{}
+		b.head++
+		if b.head == len(b.evs) {
+			b.evs = b.evs[:0]
+			b.head = 0
+			e.occ[idx>>6] &^= 1 << (idx & 63)
+		}
+		e.pending--
+		e.executed++
+		bornStart, sideStart := len(ss.born), len(ss.sideOps)
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.h.Handle(ev.p)
+		}
+		if len(ss.born) > bornStart || len(ss.sideOps) > sideStart {
+			ss.execLog = append(ss.execLog, execRec{
+				when: t, rawKey: ev.seq,
+				bornStart: int32(bornStart), bornEnd: int32(len(ss.born)),
+				sideStart: int32(sideStart), sideEnd: int32(len(ss.sideOps)),
+			})
+		}
+		if e.wd != nil {
+			e.checkWatchdog()
+		}
+	}
+}
+
+// mergeAndCommit is the epoch barrier: replay the epoch's global execution
+// order from the per-shard logs, assign exact keys to every event created
+// during the epoch in sequential creation order, replay deferred side ops,
+// then insert buffered events into their destination shards.
+func (sh *Sharded) mergeAndCommit() {
+	var cur [64]int
+	heads := cur[:len(sh.shards)]
+	for {
+		best := -1
+		var bw Cycle
+		var bk uint64
+		for s, e := range sh.shards {
+			ss := e.ss
+			i := heads[s]
+			if i >= len(ss.execLog) {
+				continue
+			}
+			rec := &ss.execLog[i]
+			k := rec.rawKey
+			if k >= provisionalBase {
+				// The creator of a provisionally keyed event is earlier in
+				// the same shard's log, so its range is already assigned.
+				k = ss.born[k-provisionalBase].trueKey
+			}
+			if best < 0 || rec.when < bw || (rec.when == bw && k < bk) {
+				best, bw, bk = s, rec.when, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ss := sh.shards[best].ss
+		rec := &ss.execLog[heads[best]]
+		heads[best]++
+		for i := rec.bornStart; i < rec.bornEnd; i++ {
+			sh.key++
+			ss.born[i].trueKey = sh.key
+		}
+		if fn := sh.replayOp; fn != nil {
+			for i := rec.sideStart; i < rec.sideEnd; i++ {
+				op := &ss.sideOps[i]
+				fn(op.when, op.a, op.b, op.op)
+			}
+		}
+	}
+	for _, e := range sh.shards {
+		ss := e.ss
+		for i := range ss.born {
+			br := &ss.born[i]
+			switch br.kind {
+			case bornDeferred:
+				ev := br.ev
+				ev.seq = br.trueKey
+				dst := sh.shards[br.dst]
+				dst.pending++
+				dst.insert(ev)
+			case bornGlobal:
+				sh.gPush(gevent{when: br.ev.when, key: br.trueKey, fn: br.ev.fn, h: br.ev.h, p: br.ev.p})
+			}
+			br.ev = event{} // no retained fn/handler refs
+		}
+		ss.born = ss.born[:0]
+		ss.execLog = ss.execLog[:0]
+		ss.sideOps = ss.sideOps[:0]
+	}
+	sh.barriers++
+}
+
+// checkPanics surfaces worker failures on the driver goroutine: watchdog
+// trips become one combined trip with every shard's dump; any other panic
+// (protocol violations, lookahead violations) re-panics verbatim, lowest
+// shard first for determinism.
+func (sh *Sharded) checkPanics() {
+	tripped := -1
+	for i, e := range sh.shards {
+		ss := e.ss
+		if !ss.panicked {
+			continue
+		}
+		if _, isTrip := ss.panicVal.(shardTripMark); !isTrip {
+			v := ss.panicVal
+			ss.panicked, ss.panicVal = false, nil
+			panic(v)
+		}
+		ss.panicked, ss.panicVal = false, nil
+		if tripped < 0 {
+			tripped = i
+		}
+	}
+	if tripped >= 0 {
+		sh.fireTrip(sh.shards[tripped].ss.tripInfo)
+	}
+}
+
+// checkGlobalWatchdog trips when no shard marked progress across the epoch
+// and the summed per-shard event counts since their last marks exceed the
+// budget — the collective-livelock case no single shard's budget catches.
+func (sh *Sharded) checkGlobalWatchdog(marks []uint64) {
+	if !sh.wdCfg.Enabled() || sh.wdCfg.MaxEvents == 0 {
+		return
+	}
+	var total uint64
+	worst := -1
+	var worstEvents uint64
+	for i, e := range sh.shards {
+		wd := e.wd
+		if wd == nil {
+			return // disarmed (a trip already fired)
+		}
+		if i < len(marks) && wd.lastEvents != marks[i] {
+			return // this shard progressed during the epoch
+		}
+		since := e.executed - wd.lastEvents
+		total += since
+		if worst < 0 || since > worstEvents {
+			worst, worstEvents = i, since
+		}
+	}
+	if total < sh.wdCfg.MaxEvents {
+		return
+	}
+	e := sh.shards[worst]
+	sh.fireTrip(TripInfo{
+		Now:                 e.now,
+		LastProgress:        e.wd.lastCycle,
+		EventsSinceProgress: total,
+		CyclesSinceProgress: e.now - e.wd.lastCycle,
+	})
+}
+
+// broadcastProgress resets every shard watchdog's budget at the barrier
+// when any shard marked progress during the epoch, mirroring the
+// sequential engine's single watchdog, where any core's mark resets the
+// one shared budget. Without it a shard whose components have gone quiet
+// — a finished core's caches absorbing invalidations — would burn cycles
+// against its own budget even though the run as a whole is healthy.
+// Epochs are lookahead-sized, so barrier-granular broadcast is
+// indistinguishable from the sequential per-event reset at watchdog
+// scale; and a shard wedged *inside* its epoch never reaches a barrier,
+// so its own per-shard budget still trips it.
+func (sh *Sharded) broadcastProgress(marks []uint64) {
+	progressed := false
+	for i, e := range sh.shards {
+		if wd := e.wd; wd != nil && i < len(marks) && wd.lastEvents != marks[i] {
+			progressed = true
+			break
+		}
+	}
+	if !progressed {
+		return
+	}
+	for _, e := range sh.shards {
+		if wd := e.wd; wd != nil {
+			wd.lastCycle = e.now
+			wd.lastEvents = e.executed
+		}
+	}
+}
+
+// fireTrip disarms every shard and invokes the combined trip callback with
+// all shards' pending events (live queues, merge buffers, global queue).
+func (sh *Sharded) fireTrip(src TripInfo) {
+	for _, e := range sh.shards {
+		e.wd = nil
+	}
+	trip := sh.wdTrip
+	sh.wdCfg, sh.wdTrip = WatchdogConfig{}, nil
+	if trip == nil {
+		return
+	}
+	src.Now = sh.Now()
+	src.Pending = sh.PendingAll()
+	src.PendingDump = sh.renderPending()
+	trip(src)
+}
+
+// ForEachGlobalPending visits queued global events in execution order —
+// (when, key), the order the driver would run them. Complements the
+// per-shard Engine.ForEachPending for dumps and crash bundles.
+func (sh *Sharded) ForEachGlobalPending(fn func(when Cycle, h Handler, p Payload, isClosure bool)) {
+	if len(sh.globalQ) == 0 {
+		return
+	}
+	gs := append([]gevent(nil), sh.globalQ...)
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gLess(&gs[j], &gs[j-1]); j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+	for i := range gs {
+		fn(gs[i].when, gs[i].h, gs[i].p, gs[i].fn != nil)
+	}
+}
+
+// pendingEvent is one entry of the merged pending view: an event from a
+// shard queue, a merge buffer, or the global queue, under its merge key.
+type pendingEvent struct {
+	when    Cycle
+	key     uint64
+	shard   int32 // tie-break for colliding provisional keys; -1 = global
+	closure bool
+	h       Handler
+	p       Payload
+}
+
+// ForEachPendingMerged visits every pending event across all shard
+// queues, the cross-shard merge buffers, and the global queue in global
+// execution order — (cycle, key), the order stepping would execute them.
+// Outside epochs every key is exact, so the visit order is identical to
+// the order one sequential Engine's ForEachPending would report the same
+// events: dumps rendered from this view are byte-identical at every shard
+// count. The engine must not be mutated during iteration.
+func (sh *Sharded) ForEachPendingMerged(fn func(when Cycle, h Handler, p Payload, isClosure bool)) {
+	evs := make([]pendingEvent, 0, sh.PendingAll())
+	for s, e := range sh.shards {
+		s32 := int32(s)
+		e.ForEachPendingAbs(func(when Cycle, key uint64, h Handler, p Payload, isClosure bool) {
+			evs = append(evs, pendingEvent{when: when, key: key, shard: s32, closure: isClosure, h: h, p: p})
+		})
+	}
+	for i := range sh.globalQ {
+		g := &sh.globalQ[i]
+		evs = append(evs, pendingEvent{when: g.when, key: g.key, shard: -1, closure: g.fn != nil, h: g.h, p: g.p})
+	}
+	less := func(a, b *pendingEvent) bool {
+		if a.when != b.when {
+			return a.when < b.when
+		}
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.shard < b.shard
+	}
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && less(&evs[j], &evs[j-1]); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	for i := range evs {
+		ev := &evs[i]
+		fn(ev.when, ev.h, ev.p, ev.closure)
+	}
+}
+
+// renderPending formats the merged pending view — shard queues, merge
+// buffers, global queue — in global execution order, byte-compatible with
+// the sequential Engine.renderPending so a trip diagnostic recorded on a
+// sharded machine matches its sequential replay exactly.
+func (sh *Sharded) renderPending() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pending events (%d), execution order:\n", sh.PendingAll())
+	now := sh.Now()
+	sh.ForEachPendingMerged(func(when Cycle, h Handler, p Payload, isClosure bool) {
+		rel := when - now
+		if isClosure {
+			fmt.Fprintf(&sb, "  +%-6d closure\n", rel)
+			return
+		}
+		fmt.Fprintf(&sb, "  +%-6d %-28T op=%d A=%#x B=%#x X=%d Y=%d Z=%d K=%d F=%d Aux=%d\n",
+			rel, h, p.Op, p.A, p.B, p.X, p.Y, p.Z, p.K, p.F, p.Aux)
+	})
+	return sb.String()
+}
+
+// --- global-event min-heap on (when, key) --------------------------------
+
+func (sh *Sharded) gPush(g gevent) {
+	h := append(sh.globalQ, g)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !gLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	sh.globalQ = h
+}
+
+func (sh *Sharded) gPop() gevent {
+	h := sh.globalQ
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = gevent{}
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && gLess(&h[l], &h[small]) {
+			small = l
+		}
+		if r < n && gLess(&h[r], &h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	sh.globalQ = h
+	return top
+}
+
+// --- Engine-side sharding API --------------------------------------------
+
+// nextKey hands out the next exact merge key. Driver-context only.
+func (sh *Sharded) nextKey() uint64 {
+	sh.key++
+	return sh.key
+}
+
+// schedule is the sharded replacement for the sequential key-assign+insert
+// path. Driver context (setup, barriers, global events) assigns exact keys
+// immediately; mid-epoch, events that will execute before the limit are
+// inserted live under provisional keys and everything else is buffered for
+// the barrier.
+func (ss *shardState) schedule(e *Engine, ev event) {
+	e.scheduled++
+	if !ss.inEpoch {
+		ev.seq = ss.sh.nextKey()
+		e.pending++
+		e.insert(ev)
+		return
+	}
+	if ev.when < ss.limitWhen {
+		ev.seq = provisionalBase + uint64(len(ss.born))
+		ss.born = append(ss.born, bornRec{kind: bornLive})
+		e.pending++
+		e.insert(ev)
+		return
+	}
+	ss.born = append(ss.born, bornRec{kind: bornDeferred, dst: int32(ss.id), ev: ev})
+}
+
+// ShardID returns this engine's shard index (0 when unsharded).
+func (e *Engine) ShardID() int {
+	if e.ss != nil {
+		return e.ss.id
+	}
+	return 0
+}
+
+// Sharded returns the owning sharded engine, or nil for a plain engine.
+func (e *Engine) Sharded() *Sharded {
+	if e.ss != nil {
+		return e.ss.sh
+	}
+	return nil
+}
+
+// SendRemote schedules a (handler, payload) event on shard dst, delay
+// cycles from this shard's now. On a plain engine, or when dst is the
+// scheduling shard, it is ScheduleEvent. Cross-shard sends must respect
+// the lookahead — a shorter delay panics with a *LookaheadViolation,
+// because the receiving shard may already have executed past the target
+// cycle.
+func (e *Engine) SendRemote(dst int, delay Cycle, h Handler, p Payload) {
+	if h == nil {
+		panic("sim: SendRemote called with nil handler")
+	}
+	ss := e.ss
+	if ss == nil || dst == ss.id {
+		e.ScheduleEvent(delay, h, p)
+		return
+	}
+	e.scheduled++
+	ev := event{when: e.now + delay, h: h, p: p}
+	if !ss.inEpoch {
+		ev.seq = ss.sh.nextKey()
+		de := ss.sh.shards[dst]
+		if ev.when < de.now {
+			panic(fmt.Sprintf("sim: SendRemote to shard %d at cycle %d in the past (now=%d)", dst, ev.when, de.now))
+		}
+		de.pending++
+		de.insert(ev)
+		return
+	}
+	if delay < ss.sh.lookahead {
+		panic(&LookaheadViolation{Shard: ss.id, Dst: dst, When: ev.when, Delay: delay, Lookahead: ss.sh.lookahead})
+	}
+	ss.born = append(ss.born, bornRec{kind: bornDeferred, dst: int32(dst), ev: ev})
+}
+
+// ScheduleGlobalEvent schedules a stop-the-world event: it executes on the
+// driver with every shard stopped exactly at its (cycle, key), so its
+// handler may touch any shard's state. On a plain engine it is
+// ScheduleEvent. Mid-epoch scheduling must respect the lookahead, since
+// other shards may already have executed past a nearer cycle.
+func (e *Engine) ScheduleGlobalEvent(delay Cycle, h Handler, p Payload) {
+	if h == nil {
+		panic("sim: ScheduleGlobalEvent called with nil handler")
+	}
+	ss := e.ss
+	if ss == nil {
+		e.ScheduleEvent(delay, h, p)
+		return
+	}
+	e.scheduled++
+	when := e.now + delay
+	if !ss.inEpoch {
+		ss.sh.gPush(gevent{when: when, key: ss.sh.nextKey(), h: h, p: p})
+		return
+	}
+	if delay < ss.sh.lookahead {
+		panic(&LookaheadViolation{Shard: ss.id, Dst: -1, When: when, Delay: delay, Lookahead: ss.sh.lookahead})
+	}
+	ss.born = append(ss.born, bornRec{kind: bornGlobal, ev: event{when: when, h: h, p: p}})
+}
+
+// DeferOp records an order-dependent fire-and-forget operation against
+// shared state (e.g. a DRAM writeback's bandwidth accounting). Mid-epoch
+// it is buffered and replayed by the driver in merge order — the exact
+// sequence the sequential engine would have produced; in driver context it
+// replays immediately. Only valid on shard engines with a replayer
+// installed (OnReplayOp).
+func (e *Engine) DeferOp(a, b uint64, op uint8) {
+	ss := e.ss
+	if ss == nil {
+		panic("sim: DeferOp on an unsharded engine")
+	}
+	if !ss.inEpoch {
+		ss.sh.replayOp(e.now, a, b, op)
+		return
+	}
+	ss.sideOps = append(ss.sideOps, sideOp{when: e.now, a: a, b: b, op: op})
+}

@@ -1,0 +1,433 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// --- synthetic traffic model ---------------------------------------------
+//
+// A mesh of nodes exchanging events. Each node lives on a shard, keeps a
+// running hash of everything it observes, and on every event consults its
+// private RNG to schedule follow-up traffic: self-sends at any delay,
+// cross-shard sends at >= lookahead (the crossbar contract), global events
+// touching shared state, and deferred side ops against a shared log. The
+// exact same model code runs on one Engine (where SendRemote and
+// ScheduleGlobalEvent degenerate to ScheduleEvent) and on a Sharded
+// engine; equivalence of every node hash, the shared state, the side-op
+// log, the executed-event count, and the final cycle is the byte-identity
+// claim at engine level.
+
+type meshNode struct {
+	id     int
+	eng    *Engine
+	mesh   *mesh
+	rng    *RNG
+	hash   uint64
+	budget int
+}
+
+type mesh struct {
+	nodes     []*meshNode
+	shardOf   []int
+	lookahead Cycle
+	sharded   bool
+
+	// Shared state: only touched by global events and replayed side ops,
+	// both of which the driver serializes.
+	globalHash uint64
+	sideLog    []uint64
+}
+
+const (
+	meshOpDeliver uint8 = 1
+	meshOpGlobal  uint8 = 2
+)
+
+func (n *meshNode) Handle(p Payload) {
+	now := uint64(n.eng.Now())
+	n.hash = n.hash*1099511628211 ^ now ^ p.A ^ uint64(p.X)<<32
+	if n.budget <= 0 {
+		return
+	}
+	n.budget--
+	for i := 0; i < 1+int(n.rng.Uint64n(3)); i++ {
+		r := n.rng.Uint64()
+		dst := n.mesh.nodes[int(r%uint64(len(n.mesh.nodes)))]
+		p := Payload{A: r, X: int32(n.id), Op: meshOpDeliver}
+		switch {
+		case r%13 == 0:
+			// Global event: stop-the-world work against shared state.
+			n.eng.ScheduleGlobalEvent(n.mesh.lookahead+Cycle(r%5), n.mesh, Payload{A: r, X: int32(n.id), Op: meshOpGlobal})
+		case r%17 == 0 && n.mesh.sharded:
+			// Deferred side op against the shared log; the sequential run
+			// applies it inline, the sharded run replays it at the
+			// barrier in merge order.
+			n.eng.DeferOp(r, now, 1)
+		case r%17 == 0:
+			n.mesh.applySideOp(Cycle(now), r, now, 1)
+		case n.mesh.shardOf[dst.id] != n.mesh.shardOf[n.id]:
+			// Cross-shard: must respect the lookahead. r%3 == 0 lands
+			// exactly on the epoch horizon — the boundary case.
+			n.eng.SendRemote(n.mesh.shardOf[dst.id], n.mesh.lookahead+Cycle(r%3), dst, p)
+		default:
+			// Same shard: any delay, including zero (same-cycle churn).
+			dst.eng.ScheduleEvent(Cycle(r%7), dst, p)
+		}
+	}
+}
+
+// Handle on the mesh itself is the global-event handler: it mutates shared
+// state and schedules fresh traffic from driver context at any delay.
+func (m *mesh) Handle(p Payload) {
+	m.globalHash = m.globalHash*31 ^ p.A ^ uint64(p.X)
+	src := m.nodes[int(p.A%uint64(len(m.nodes)))]
+	r := p.A % 11
+	dst := m.nodes[int((p.A>>8)%uint64(len(m.nodes)))]
+	dst.eng.ScheduleEvent(Cycle(r), dst, Payload{A: p.A ^ 0xbeef, X: int32(src.id), Op: meshOpDeliver})
+}
+
+func (m *mesh) applySideOp(now Cycle, a, b uint64, op uint8) {
+	m.sideLog = append(m.sideLog, uint64(now)*2654435761^a^b^uint64(op))
+}
+
+// buildMesh wires nodes either onto one sequential engine or onto a
+// Sharded engine's shards. The shard topology (`topo`) is fixed
+// independently of how many engines actually run, so the model makes
+// byte-identical decisions in both modes: the sequential reference run
+// sees the same "cross-shard" delays, it just executes them on one engine.
+func buildMesh(nodes, shards, topo, budget int, lookahead Cycle, seed uint64) (*mesh, *Engine, *Sharded) {
+	m := &mesh{lookahead: lookahead, shardOf: make([]int, nodes), sharded: shards > 1}
+	var seq *Engine
+	var sh *Sharded
+	if shards > 1 {
+		if shards != topo {
+			panic("sharded mesh must run on its own topology")
+		}
+		sh = NewSharded(shards, lookahead)
+		sh.OnReplayOp(m.applySideOp)
+	} else {
+		seq = NewEngine()
+	}
+	for i := 0; i < nodes; i++ {
+		m.shardOf[i] = i % topo
+		n := &meshNode{id: i, mesh: m, rng: NewRNG(seed + uint64(i)*0x9e37), budget: budget}
+		if sh != nil {
+			n.eng = sh.Shard(m.shardOf[i])
+		} else {
+			n.eng = seq
+		}
+		m.nodes = append(m.nodes, n)
+	}
+	for i, n := range m.nodes {
+		n.eng.ScheduleEvent(Cycle(i%9), n, Payload{A: uint64(i) * 7919, X: -1, Op: meshOpDeliver})
+	}
+	return m, seq, sh
+}
+
+type meshResult struct {
+	hashes     []uint64
+	globalHash uint64
+	sideLog    []uint64
+	executed   uint64
+	end        Cycle
+}
+
+func runMesh(t testing.TB, nodes, shards, topo, budget int, lookahead Cycle, seed uint64) meshResult {
+	m, seq, sh := buildMesh(nodes, shards, topo, budget, lookahead, seed)
+	var res meshResult
+	if sh != nil {
+		res.end = sh.Run()
+		res.executed = sh.Executed()
+		if sh.Pending() != 0 {
+			t.Fatalf("sharded run left %d pending events", sh.Pending())
+		}
+	} else {
+		res.end = seq.Run()
+		res.executed = seq.Executed()
+	}
+	for _, n := range m.nodes {
+		res.hashes = append(res.hashes, n.hash)
+	}
+	res.globalHash = m.globalHash
+	res.sideLog = m.sideLog
+	return res
+}
+
+func checkMeshEqual(t *testing.T, want, got meshResult, label string) {
+	t.Helper()
+	if want.end != got.end {
+		t.Errorf("%s: final cycle = %d, want %d", label, got.end, want.end)
+	}
+	if want.executed != got.executed {
+		t.Errorf("%s: executed = %d, want %d", label, got.executed, want.executed)
+	}
+	if want.globalHash != got.globalHash {
+		t.Errorf("%s: global hash = %#x, want %#x", label, got.globalHash, want.globalHash)
+	}
+	for i := range want.hashes {
+		if want.hashes[i] != got.hashes[i] {
+			t.Errorf("%s: node %d hash = %#x, want %#x", label, i, got.hashes[i], want.hashes[i])
+		}
+	}
+	if len(want.sideLog) != len(got.sideLog) {
+		t.Fatalf("%s: side log length %d, want %d", label, len(got.sideLog), len(want.sideLog))
+	}
+	for i := range want.sideLog {
+		if want.sideLog[i] != got.sideLog[i] {
+			t.Fatalf("%s: side log[%d] = %#x, want %#x", label, i, got.sideLog[i], want.sideLog[i])
+		}
+	}
+}
+
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		for _, lookahead := range []Cycle{1, 3, 16} {
+			for seed := uint64(1); seed <= 5; seed++ {
+				label := fmt.Sprintf("shards=%d/L=%d/seed=%d", shards, lookahead, seed)
+				want := runMesh(t, 16, 1, shards, 400, lookahead, seed)
+				got := runMesh(t, 16, shards, shards, 400, lookahead, seed)
+				checkMeshEqual(t, want, got, label)
+			}
+		}
+	}
+}
+
+func TestShardedFewerNodesThanShards(t *testing.T) {
+	want := runMesh(t, 3, 1, 8, 200, 4, 99)
+	got := runMesh(t, 3, 8, 8, 200, 4, 99)
+	checkMeshEqual(t, want, got, "3 nodes on 8 shards")
+}
+
+func TestShardedRunTwice(t *testing.T) {
+	// A drained sharded engine must accept fresh driver-context work and
+	// stay equivalent across a second run (Quiesce-style reuse).
+	m, _, sh := buildMesh(8, 4, 4, 100, 3, 7)
+	sh.Run()
+	h1 := m.nodes[0].hash
+	for _, n := range m.nodes {
+		n.budget = 50
+		n.eng.ScheduleEvent(1, n, Payload{A: 42, X: -1, Op: meshOpDeliver})
+	}
+	sh.Run()
+	if m.nodes[0].hash == h1 {
+		t.Fatal("second run did not execute")
+	}
+
+	ms, seq, _ := buildMesh(8, 1, 4, 100, 3, 7)
+	seq.Run()
+	for _, n := range ms.nodes {
+		n.budget = 50
+		n.eng.ScheduleEvent(1, n, Payload{A: 42, X: -1, Op: meshOpDeliver})
+	}
+	seq.Run()
+	for i := range ms.nodes {
+		if ms.nodes[i].hash != m.nodes[i].hash {
+			t.Fatalf("node %d diverged across second run", i)
+		}
+	}
+}
+
+func TestShardedRunWhile(t *testing.T) {
+	m, _, sh := buildMesh(8, 4, 4, 10_000, 3, 21)
+	stop := false
+	m.nodes[3].budget = 5 // node 3 quiesces early; use its hash settling as the condition
+	sh.RunWhile(func() bool { return !stop && sh.Executed() < 5000 })
+	if sh.Executed() == 0 {
+		t.Fatal("RunWhile executed nothing")
+	}
+	// The condition is checked at barriers: the run may overshoot but must
+	// have stopped long before draining the full budget.
+	if sh.Pending() == 0 {
+		t.Fatal("RunWhile drained the queue despite the stop condition")
+	}
+	sh.Run() // drain cleanly so worker goroutines exit
+}
+
+func TestShardedCrossShardLookaheadViolationPanics(t *testing.T) {
+	sh := NewSharded(2, 4)
+	bad := &violator{dst: 1, delay: 3} // < lookahead 4
+	bad.eng = sh.Shard(0)
+	sh.Shard(0).ScheduleEvent(1, bad, Payload{})
+	sh.Shard(1).ScheduleEvent(1, &sink{}, Payload{}) // give shard 1 work so the epoch runs
+	defer func() {
+		v, ok := recover().(*LookaheadViolation)
+		if !ok {
+			t.Fatalf("expected *LookaheadViolation, got %v", v)
+		}
+		if v.Shard != 0 || v.Dst != 1 || v.Delay != 3 || v.Lookahead != 4 {
+			t.Fatalf("violation fields = %+v", v)
+		}
+		if !strings.Contains(v.Error(), "lookahead violation") {
+			t.Fatalf("error text = %q", v.Error())
+		}
+	}()
+	sh.Run()
+}
+
+func TestShardedGlobalLookaheadViolationPanics(t *testing.T) {
+	sh := NewSharded(2, 4)
+	bad := &violator{dst: -1, delay: 0}
+	bad.eng = sh.Shard(0)
+	sh.Shard(0).ScheduleEvent(1, bad, Payload{})
+	defer func() {
+		v, ok := recover().(*LookaheadViolation)
+		if !ok {
+			t.Fatalf("expected *LookaheadViolation, got %v", v)
+		}
+		if v.Dst != -1 || !strings.Contains(v.Error(), "global barrier") {
+			t.Fatalf("violation = %+v", v)
+		}
+	}()
+	sh.Run()
+}
+
+type violator struct {
+	eng   *Engine
+	dst   int
+	delay Cycle
+}
+
+func (v *violator) Handle(Payload) {
+	if v.dst < 0 {
+		v.eng.ScheduleGlobalEvent(v.delay, v, Payload{})
+		return
+	}
+	v.eng.SendRemote(v.dst, v.delay, v, Payload{})
+}
+
+type sink struct{}
+
+func (*sink) Handle(Payload) {}
+
+// wedger re-schedules itself forever without marking progress, and parks a
+// cross-shard send in the merge buffer so trip dumps must surface it. The
+// remote handler is a sink owned by the peer shard: a handler must only
+// touch the engine it executes on.
+type wedger struct {
+	eng  *Engine
+	peer int
+	drop sink
+}
+
+func (w *wedger) Handle(p Payload) {
+	w.eng.ScheduleEvent(1, w, p)
+	if w.peer >= 0 {
+		w.eng.SendRemote(w.peer, 100, &w.drop, Payload{Op: 77})
+	}
+}
+
+func TestShardedWatchdogTripsOnWedgedShard(t *testing.T) {
+	sh := NewSharded(4, 3)
+	w := &wedger{eng: sh.Shard(1), peer: 2}
+	sh.Shard(1).ScheduleEvent(1, w, Payload{})
+	sh.Shard(0).ScheduleEvent(1, &sink{}, Payload{}) // healthy shard, quiesces at once
+	var got TripInfo
+	sh.ArmWatchdog(WatchdogConfig{MaxEvents: 500}, func(ti TripInfo) {
+		got = ti
+		panic("tripped")
+	})
+	defer func() {
+		if r := recover(); r != "tripped" {
+			t.Fatalf("expected trip panic, got %v", r)
+		}
+		if got.EventsSinceProgress < 500 {
+			t.Fatalf("EventsSinceProgress = %d, want >= 500", got.EventsSinceProgress)
+		}
+		if !strings.Contains(got.PendingDump, "wedger") {
+			t.Fatalf("dump missing wedged shard's handler:\n%s", got.PendingDump)
+		}
+		// The cross-shard sends parked in shard 1's merge buffer must
+		// appear in the dump (op=77 payloads).
+		if !strings.Contains(got.PendingDump, "Op=77") && !strings.Contains(got.PendingDump, "op=77") {
+			t.Fatalf("dump missing merge-buffer events:\n%s", got.PendingDump)
+		}
+	}()
+	sh.Run()
+}
+
+func TestShardedWatchdogProgressSuppressesTrip(t *testing.T) {
+	// A self-rescheduling node that marks progress every event never
+	// trips, and the run ends when its budget drains.
+	sh := NewSharded(2, 3)
+	n := &progresser{eng: sh.Shard(0), left: 5000}
+	sh.Shard(0).ScheduleEvent(1, n, Payload{})
+	sh.ArmWatchdog(WatchdogConfig{MaxEvents: 100}, func(ti TripInfo) {
+		t.Fatalf("unexpected trip: %+v", ti)
+	})
+	sh.Run()
+	if n.left != 0 {
+		t.Fatalf("budget not drained: %d", n.left)
+	}
+}
+
+type progresser struct {
+	eng  *Engine
+	left int
+}
+
+func (p *progresser) Handle(pl Payload) {
+	p.eng.Progress()
+	if p.left--; p.left > 0 {
+		p.eng.ScheduleEvent(1, p, pl)
+	}
+}
+
+func TestShardedForEachPendingIncludesMergeBuffers(t *testing.T) {
+	// White-box: park an event in shard 0's cross-shard merge buffer and
+	// check Engine.ForEachPending surfaces it.
+	sh := NewSharded(2, 3)
+	e := sh.Shard(0)
+	ss := e.ss
+	ss.inEpoch = true
+	ss.limitWhen, ss.limitKey = 10, 0
+	e.SendRemote(1, 5, &sink{}, Payload{Op: 42})
+	var ops []uint8
+	e.ForEachPending(func(rel Cycle, h Handler, p Payload, isClosure bool) {
+		ops = append(ops, p.Op)
+	})
+	if len(ops) != 1 || ops[0] != 42 {
+		t.Fatalf("ForEachPending saw %v, want the buffered op 42", ops)
+	}
+	ss.inEpoch = false
+}
+
+func TestShardedRejectsBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		shards    int
+		lookahead Cycle
+	}{
+		{0, 3}, {65, 3}, {4, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSharded(%d, %d) did not panic", tc.shards, tc.lookahead)
+				}
+			}()
+			NewSharded(tc.shards, tc.lookahead)
+		}()
+	}
+}
+
+func TestShardedAccessors(t *testing.T) {
+	sh := NewSharded(4, 7)
+	if sh.NumShards() != 4 || sh.Lookahead() != 7 {
+		t.Fatal("accessor mismatch")
+	}
+	if sh.Shard(2).ShardID() != 2 {
+		t.Fatalf("ShardID = %d", sh.Shard(2).ShardID())
+	}
+	if sh.Shard(2).Sharded() != sh {
+		t.Fatal("Sharded() owner mismatch")
+	}
+	plain := NewEngine()
+	if plain.ShardID() != 0 || plain.Sharded() != nil {
+		t.Fatal("plain engine shard accessors")
+	}
+	per := sh.ExecutedPerShard()
+	if len(per) != 4 {
+		t.Fatalf("ExecutedPerShard len = %d", len(per))
+	}
+}

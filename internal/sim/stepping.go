@@ -1,0 +1,130 @@
+// Sequential stepping over a sharded engine.
+//
+// Stepping is the Sharded engine's second execution mode: the driver pops
+// the globally earliest event by (cycle, key) — across every shard queue
+// and the global queue — and executes it on its own goroutine, advancing
+// all shard clocks in lockstep. Every insertion then happens in driver
+// context and receives an exact merge key immediately, so the executed
+// schedule IS the sequential engine's schedule, event for event: stepping
+// is byte-identical by construction and carries none of the epoch mode's
+// preconditions. Models with observability hooks, fault injection, or
+// non-uniform interconnect latencies step correctly; cpu.Run falls back
+// to stepping whenever parallel epochs are not provably safe.
+package sim
+
+// InEpoch reports whether the engine is currently executing inside a
+// parallel epoch worker. Driver-context callers (setup, stepping, global
+// events, barriers) see false. Components use it to decide whether a
+// shared-state mutation must be deferred (DeferOp) or may apply directly.
+func (e *Engine) InEpoch() bool { return e.ss != nil && e.ss.inEpoch }
+
+// peekNext reports the timestamp and sequence key of the engine's
+// earliest pending event without executing it. Outside epochs every
+// queued key is exact, and the head of the first occupied ring bucket is
+// the bucket's minimum (plain engines append in seq order; shard engines
+// keep buckets sorted by (when, key) — see enqueueNear), so the peek is
+// O(ring scan) like nextTime.
+func (e *Engine) peekNext() (Cycle, uint64, bool) {
+	if e.pending == 0 {
+		return 0, 0, false
+	}
+	if d, ok := e.scanRing(); ok {
+		t := e.now + Cycle(d)
+		b := &e.ring[uint32(t)&ringMask]
+		return t, b.evs[b.head].seq, true
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].when, e.overflow[0].seq, true
+	}
+	return 0, 0, false
+}
+
+// peekMin locates the globally earliest pending event by (cycle, key):
+// its cycle, merge key, and owning shard, with shard -1 denoting the
+// global queue's head.
+func (sh *Sharded) peekMin() (when Cycle, key uint64, shard int, ok bool) {
+	shard = -2
+	for s, e := range sh.shards {
+		if t, k, o := e.peekNext(); o && (shard == -2 || t < when || (t == when && k < key)) {
+			when, key, shard = t, k, s
+		}
+	}
+	if len(sh.globalQ) > 0 {
+		g := &sh.globalQ[0]
+		if shard == -2 || g.when < when || (g.when == when && g.key < key) {
+			when, key, shard = g.when, g.key, -1
+		}
+	}
+	return when, key, shard, shard != -2
+}
+
+// runMin advances every shard clock to when — stepping keeps the clocks
+// uniform, so components reading their local engine's Now observe the
+// single global clock exactly as on one Engine — then executes the chosen
+// event on the caller's goroutine.
+func (sh *Sharded) runMin(when Cycle, shard int) {
+	for _, e := range sh.shards {
+		e.advanceTo(when)
+	}
+	if shard < 0 {
+		g := sh.gPop()
+		sh.globalsRun++
+		if g.fn != nil {
+			g.fn()
+		} else {
+			g.h.Handle(g.p)
+		}
+		// Globals execute on the driver, outside any shard's popRun, but
+		// they still count against the (global, stepping-mode) watchdog
+		// budget exactly as on one Engine.
+		for _, e := range sh.shards {
+			if e.wd != nil {
+				e.checkWatchdog()
+				break
+			}
+		}
+		return
+	}
+	sh.shards[shard].popRun()
+}
+
+// Step executes the single globally earliest pending event — across all
+// shard queues and the global queue — and reports whether one ran. It is
+// the sharded analogue of Engine.Step.
+func (sh *Sharded) Step() bool {
+	when, _, shard, ok := sh.peekMin()
+	if !ok {
+		return false
+	}
+	sh.runMin(when, shard)
+	return true
+}
+
+// StepWhile executes globally ordered single events while cond returns
+// true and events remain, returning the final cycle. Unlike RunWhile the
+// condition is evaluated per event, so the stop cycle matches the
+// sequential engine's RunWhile exactly.
+func (sh *Sharded) StepWhile(cond func() bool) Cycle {
+	for cond() && sh.Step() {
+	}
+	return sh.Now()
+}
+
+// StepTo executes every event with timestamp <= t in global order, then
+// advances all shard clocks to exactly t — the sharded RunTo, used by
+// synchronous callers that complete work without scheduling events.
+func (sh *Sharded) StepTo(t Cycle) Cycle {
+	for {
+		when, _, shard, ok := sh.peekMin()
+		if !ok || when > t {
+			break
+		}
+		sh.runMin(when, shard)
+	}
+	for _, e := range sh.shards {
+		if e.now < t {
+			e.advanceTo(t)
+		}
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// runMeshStepping drives a sharded mesh through the sequential-stepping
+// mode instead of parallel epochs.
+func runMeshStepping(t testing.TB, nodes, shards, budget int, lookahead Cycle, seed uint64) meshResult {
+	m, _, sh := buildMesh(nodes, shards, shards, budget, lookahead, seed)
+	var res meshResult
+	for sh.Step() {
+	}
+	res.end = sh.Now()
+	res.executed = sh.Executed()
+	if sh.Pending() != 0 {
+		t.Fatalf("stepping run left %d pending events", sh.Pending())
+	}
+	for _, n := range m.nodes {
+		res.hashes = append(res.hashes, n.hash)
+	}
+	res.globalHash = m.globalHash
+	res.sideLog = m.sideLog
+	return res
+}
+
+// TestSteppingMatchesSequential: stepping a sharded engine is the
+// sequential schedule by construction — the full mesh result must match
+// the one-Engine reference, like the epoch mode does.
+func TestSteppingMatchesSequential(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			label := fmt.Sprintf("step/shards=%d/seed=%d", shards, seed)
+			want := runMesh(t, 16, 1, shards, 400, 3, seed)
+			got := runMeshStepping(t, 16, shards, 400, 3, seed)
+			checkMeshEqual(t, want, got, label)
+		}
+	}
+}
+
+// TestSteppingMixedWithEpochs: a run may interleave epoch mode and
+// stepping (cpu.Run picks per call); state carried across the mode switch
+// must stay equivalent to the sequential engine.
+func TestSteppingMixedWithEpochs(t *testing.T) {
+	m, _, sh := buildMesh(8, 4, 4, 100, 3, 11)
+	sh.Run() // phase 1: parallel epochs
+	for _, n := range m.nodes {
+		n.budget = 60
+		n.eng.ScheduleEvent(1, n, Payload{A: 5, X: -1, Op: meshOpDeliver})
+	}
+	end := sh.StepWhile(func() bool { return true }) // phase 2: stepping
+	if sh.Pending() != 0 {
+		t.Fatalf("mixed run left %d pending", sh.Pending())
+	}
+
+	ms, seq, _ := buildMesh(8, 1, 4, 100, 3, 11)
+	seq.Run()
+	for _, n := range ms.nodes {
+		n.budget = 60
+		n.eng.ScheduleEvent(1, n, Payload{A: 5, X: -1, Op: meshOpDeliver})
+	}
+	wantEnd := seq.Run()
+	if end != wantEnd {
+		t.Errorf("mixed final cycle = %d, want %d", end, wantEnd)
+	}
+	if sh.Executed() != seq.Executed() {
+		t.Errorf("mixed executed = %d, want %d", sh.Executed(), seq.Executed())
+	}
+	for i := range ms.nodes {
+		if ms.nodes[i].hash != m.nodes[i].hash {
+			t.Fatalf("node %d diverged across mixed-mode run", i)
+		}
+	}
+}
+
+// TestStepToMatchesRunTo: StepTo must run exactly the events at or before
+// t and land every clock on t, like the sequential RunTo.
+func TestStepToMatchesRunTo(t *testing.T) {
+	const cut = Cycle(40)
+	m, _, sh := buildMesh(8, 4, 4, 300, 3, 23)
+	if got := sh.StepTo(cut); got != cut {
+		t.Fatalf("StepTo returned %d, want %d", got, cut)
+	}
+	if sh.Now() != cut {
+		t.Fatalf("Now() = %d after StepTo(%d)", sh.Now(), cut)
+	}
+
+	ms, seq, _ := buildMesh(8, 1, 4, 300, 3, 23)
+	seq.RunTo(cut)
+	if seq.Executed() != sh.Executed() {
+		t.Fatalf("executed at cut = %d, want %d", sh.Executed(), seq.Executed())
+	}
+	for i := range ms.nodes {
+		if ms.nodes[i].hash != m.nodes[i].hash {
+			t.Fatalf("node %d diverged at StepTo(%d)", i, cut)
+		}
+	}
+
+	// Drain the remainder in stepping mode and compare the full run.
+	for sh.Step() {
+	}
+	seq.Run()
+	for i := range ms.nodes {
+		if ms.nodes[i].hash != m.nodes[i].hash {
+			t.Fatalf("node %d diverged after drain", i)
+		}
+	}
+}
+
+// TestSteppingWatchdogTrips: in stepping mode the per-shard watchdog
+// fires from driver context — no worker recover in the stack — and must
+// still deliver the combined all-shards trip dump.
+func TestSteppingWatchdogTrips(t *testing.T) {
+	sh := NewSharded(4, 3)
+	w := &wedger{eng: sh.Shard(1), peer: -1}
+	sh.Shard(1).ScheduleEvent(1, w, Payload{})
+	var got TripInfo
+	sh.ArmWatchdog(WatchdogConfig{MaxEvents: 300}, func(ti TripInfo) {
+		got = ti
+		panic("tripped")
+	})
+	defer func() {
+		if r := recover(); r != "tripped" {
+			t.Fatalf("expected trip panic, got %v", r)
+		}
+		if got.EventsSinceProgress < 300 {
+			t.Fatalf("EventsSinceProgress = %d, want >= 300", got.EventsSinceProgress)
+		}
+		if !strings.Contains(got.PendingDump, "wedger") {
+			t.Fatalf("dump missing wedged shard's handler:\n%s", got.PendingDump)
+		}
+	}()
+	for sh.Step() {
+	}
+}
+
+// TestSteppingProgressSuppressesTrip: a driver-context Progress mark
+// resets every shard's budget (sequential semantics), so a healthy
+// stepping run of any length never trips.
+func TestSteppingProgressSuppressesTrip(t *testing.T) {
+	sh := NewSharded(2, 3)
+	n := &progresser{eng: sh.Shard(0), left: 5000}
+	sh.Shard(0).ScheduleEvent(1, n, Payload{})
+	sh.ArmWatchdog(WatchdogConfig{MaxEvents: 100}, func(ti TripInfo) {
+		t.Fatalf("unexpected trip: %+v", ti)
+	})
+	for sh.Step() {
+	}
+	if n.left != 0 {
+		t.Fatalf("budget not drained: %d", n.left)
+	}
+}
+
+// TestInEpochAccessors: InEpoch is false for plain engines and in driver
+// context, true only inside an epoch.
+func TestInEpochAccessors(t *testing.T) {
+	if NewEngine().InEpoch() {
+		t.Fatal("plain engine reports InEpoch")
+	}
+	sh := NewSharded(2, 3)
+	e := sh.Shard(0)
+	if e.InEpoch() {
+		t.Fatal("driver context reports InEpoch")
+	}
+	e.ss.inEpoch = true
+	if !e.InEpoch() {
+		t.Fatal("epoch context not reported")
+	}
+	e.ss.inEpoch = false
+}

@@ -1,0 +1,110 @@
+package soak
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// A crash bundle recorded on a sharded machine must replay byte-identically
+// on the sequential engine: the bundle captures architectural state and
+// event timing, and sharding moves neither. This is the debugging
+// guarantee of the sharded engine — wind a parallel-campaign failure back
+// on one engine and single-step it.
+func TestShardedBundleReplaysSequentially(t *testing.T) {
+	dir := t.TempDir()
+	plans := []fault.Plan{
+		{Name: "forced", Seed: 7, FailAt: 2_000,
+			LinkSpikeProb: 0.05, LinkSpikeMax: 10},
+	}
+	base := Spec{
+		Benchmark: "dedup", Protocol: "SwiftDir", CPU: "DerivO3CPU",
+		Scale: 0.02, Watchdog: DefaultWatchdog(),
+	}
+
+	// Record the failure with every machine split across 4 shards.
+	campaign.SetShards(4)
+	res := Sweep(base, plans, dir, 1)
+	campaign.SetShards(0)
+	if res.Err == nil {
+		t.Fatal("forced plan did not fail the sweep")
+	}
+	po := res.Outcomes[0]
+	if po.Bundle == "" {
+		t.Fatalf("no bundle for forced plan; outcome err: %v", po.Err)
+	}
+	recorded, err := fault.ReadBundleViolation(po.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay on the plain sequential engine (shards = 1).
+	campaign.SetShards(1)
+	defer campaign.SetShards(0)
+	out, err := Replay(po.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatalf("sequential replay did not reproduce the violation (err=%v)", out.Err)
+	}
+	if out.Violation.Kind != recorded.Kind || out.Violation.Cycle != recorded.Cycle ||
+		out.Violation.Msg != recorded.Msg || out.Violation.Component != recorded.Component {
+		t.Errorf("sequential replay differs from sharded recording:\n  bundled:  %s\n  replayed: %s",
+			recorded.Error(), out.Violation.Error())
+	}
+	if out.Violation.Dump != recorded.Dump {
+		t.Errorf("replayed diagnostic is not byte-identical (%d vs %d bytes)",
+			len(out.Violation.Dump), len(recorded.Dump))
+	}
+}
+
+// The same property for a watchdog liveness trip: a wedge caught at
+// shards=4 — where the pending snapshot must also cover events parked in
+// the cross-shard merge buffers — reproduces at shards=1 with the
+// identical cycle and diagnostic bytes.
+func TestShardedHangBundleReplaysSequentially(t *testing.T) {
+	dir := t.TempDir()
+	plans := []fault.Plan{{Name: "wedge", Seed: 3, HangAt: 1_000}}
+	base := Spec{
+		Benchmark: "mcf", Protocol: "MESI", CPU: "TimingSimpleCPU",
+		Scale:    0.02,
+		Watchdog: sim.WatchdogConfig{MaxEvents: 10_000, MaxCycles: 100_000},
+	}
+
+	campaign.SetShards(4)
+	res := Sweep(base, plans, dir, 1)
+	campaign.SetShards(0)
+	if res.Err == nil {
+		t.Fatal("hang plan did not fail the sweep")
+	}
+	po := res.Outcomes[0]
+	if po.Bundle == "" {
+		t.Fatalf("no bundle for hang plan; outcome err: %v", po.Err)
+	}
+	recorded, err := fault.ReadBundleViolation(po.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded.Kind != fault.KindLiveness {
+		t.Fatalf("bundled violation = %+v, want a watchdog liveness trip", recorded)
+	}
+
+	campaign.SetShards(1)
+	defer campaign.SetShards(0)
+	out, err := Replay(po.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("sequential replay did not reproduce the hang")
+	}
+	if out.Violation.Kind != recorded.Kind || out.Violation.Cycle != recorded.Cycle {
+		t.Errorf("replayed %s, bundled %s", out.Violation.Error(), recorded.Error())
+	}
+	if out.Violation.Dump != recorded.Dump {
+		t.Error("replayed liveness diagnostic is not byte-identical")
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ShardSummary reports one sharded run's event-engine accounting: how
+// many events each shard executed, how many global (driver-run) events
+// there were, and how many epoch barriers the run crossed (DESIGN.md §5
+// "Parallel discrete-event simulation"). Like FastPathSummary it is pure
+// observability: results are byte-identical at every shard count, so the
+// summary never goes on the deterministic report stream (the CLIs print
+// it to stderr).
+type ShardSummary struct {
+	Label    string
+	Executed []uint64 // per-shard executed-event counts
+	Globals  uint64   // global events run on the driver
+	Barriers uint64   // epoch barriers crossed
+}
+
+// Shards returns the shard count of the run.
+func (s ShardSummary) Shards() int { return len(s.Executed) }
+
+// Total returns the run's executed-event count across shards and driver.
+func (s ShardSummary) Total() uint64 {
+	n := s.Globals
+	for _, e := range s.Executed {
+		n += e
+	}
+	return n
+}
+
+// Footer renders the one-line shard accounting printed under a report.
+func (s ShardSummary) Footer() string {
+	label := s.Label
+	if label == "" {
+		label = "run"
+	}
+	per := make([]string, len(s.Executed))
+	for i, e := range s.Executed {
+		per[i] = fmt.Sprintf("%d", e)
+	}
+	return fmt.Sprintf("[shards %s] %d shards: %d events (%s per shard, %d global), %d epoch barriers",
+		label, s.Shards(), s.Total(), strings.Join(per, "/"), s.Globals, s.Barriers)
+}
+
+// MergeShards folds the per-run summaries of one experiment into a
+// single line under the given label; per-shard counts add element-wise
+// (runs with more shards extend the vector).
+func MergeShards(label string, summaries []ShardSummary) ShardSummary {
+	out := ShardSummary{Label: label}
+	for _, s := range summaries {
+		for len(out.Executed) < len(s.Executed) {
+			out.Executed = append(out.Executed, 0)
+		}
+		for i, e := range s.Executed {
+			out.Executed[i] += e
+		}
+		out.Globals += s.Globals
+		out.Barriers += s.Barriers
+	}
+	return out
+}
+
+var (
+	shMu      sync.Mutex
+	shPending []ShardSummary
+)
+
+// AddShards queues a sharded run's engine accounting for TakeShards; the
+// workload runners call it so CLI frontends can print the [shards]
+// footer without threading it through every experiment signature. The
+// queue is bounded like the fast-path queue.
+func AddShards(s ShardSummary) {
+	shMu.Lock()
+	defer shMu.Unlock()
+	shPending = append(shPending, s)
+	const keep = 4096
+	if len(shPending) > keep {
+		shPending = append(shPending[:0], shPending[len(shPending)-keep:]...)
+	}
+}
+
+// TakeShards drains and returns the summaries queued since the previous
+// drain, in completion order.
+func TakeShards() []ShardSummary {
+	shMu.Lock()
+	defer shMu.Unlock()
+	out := shPending
+	shPending = nil
+	return out
+}

@@ -20,7 +20,7 @@ func RunReadOnly(amount int, protocol coherence.Policy, kind CPUKind) (Result, e
 	if amount <= 0 {
 		return Result{}, fmt.Errorf("workload: non-positive shared-data amount %d", amount)
 	}
-	m, err := core.NewMachine(core.DefaultConfig(2, protocol))
+	m, err := core.NewMachine(shardedDefault(core.DefaultConfig(2, protocol)))
 	if err != nil {
 		return Result{}, err
 	}
@@ -44,6 +44,7 @@ func RunReadOnly(amount int, protocol coherence.Policy, kind CPUKind) (Result, e
 	}
 
 	bar := cpu.NewBarrier(m.Engine(), 2)
+	m.ForceSequential()
 	accessor := loop()
 	accessor.Instrs = append(accessor.Instrs, cpu.Instr{Op: cpu.OpBarrier})
 	reaccessor := &cpu.SliceTrace{Instrs: append([]cpu.Instr{{Op: cpu.OpBarrier}}, loop().Instrs...)}
@@ -55,6 +56,7 @@ func RunReadOnly(amount int, protocol coherence.Policy, kind CPUKind) (Result, e
 		return Result{}, err
 	}
 	publishFastPath(fmt.Sprintf("readonly-%d", amount), protocol.Name(), m)
+	publishShards(fmt.Sprintf("readonly-%d", amount), protocol.Name(), m)
 	return Result{
 		Benchmark:  fmt.Sprintf("readonly-%d", amount),
 		Protocol:   protocol.Name(),
@@ -161,7 +163,7 @@ func RunWAR(app WARApp, protocol coherence.Policy, kind CPUKind, passes int) (Re
 	if passes <= 0 {
 		return Result{}, fmt.Errorf("workload: non-positive pass count")
 	}
-	m, err := core.NewMachine(core.DefaultConfig(1, protocol))
+	m, err := core.NewMachine(shardedDefault(core.DefaultConfig(1, protocol)))
 	if err != nil {
 		return Result{}, err
 	}
@@ -185,6 +187,7 @@ func RunWAR(app WARApp, protocol coherence.Policy, kind CPUKind, passes int) (Re
 		return Result{}, err
 	}
 	publishFastPath(app.Name, protocol.Name(), m)
+	publishShards(app.Name, protocol.Name(), m)
 	return Result{
 		Benchmark:  app.Name,
 		Protocol:   protocol.Name(),

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/coherence"
+	"repro/internal/core"
+)
+
+// runAtShards executes profile p with the machine's engine split across n
+// shards (0 = the plain sequential engine) and returns the full Result.
+func runAtShards(t *testing.T, p Profile, n int, kind CPUKind) Result {
+	t.Helper()
+	cores := 1
+	for cores < p.Threads {
+		cores *= 2
+	}
+	cfg := core.DefaultConfig(cores, coherence.SwiftDir)
+	cfg.Shards = n
+	r, _, err := RunDetailed(p, cfg, kind)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", n, err)
+	}
+	return r
+}
+
+// TestShardedWorkloadEquivalence runs representative profiles — a
+// single-threaded SPEC profile, a multi-threaded PARSEC profile with
+// trace barriers (which forces sequential-stepping mode), and a
+// barrier-free multi-threaded profile — at shards 1, 2, 4 and 8 and
+// requires every Result field (cycles, IPC, per-thread stats) to be
+// identical to the sequential run. Sharding is a performance knob, never
+// a behaviour knob.
+func TestShardedWorkloadEquivalence(t *testing.T) {
+	profiles := []Profile{
+		SPEC2017()[2].Scale(0.05),
+		PARSEC3()[3].Scale(0.03), // dedup: 4 threads, barriers
+	}
+	noBar := PARSEC3()[1].Scale(0.03)
+	noBar.BarrierEvery = 0
+	profiles = append(profiles, noBar)
+
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			want := runAtShards(t, p, 1, DerivO3CPU)
+			for _, n := range []int{2, 4, 8} {
+				got := runAtShards(t, p, n, DerivO3CPU)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("shards=%d diverged from sequential:\nwant %+v\ngot  %+v", n, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedKernelEquivalence covers the kernel runner, driven through
+// the campaign-wide knob exactly as the CLI -shards flag sets it.
+func TestShardedKernelEquivalence(t *testing.T) {
+	defer campaign.SetShards(0)
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			results := map[int]Result{}
+			for _, n := range []int{1, 4} {
+				campaign.SetShards(n)
+				r, err := RunKernel(k, coherence.SwiftDir, DerivO3CPU, 32*1024)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", n, err)
+				}
+				results[n] = r
+			}
+			if !reflect.DeepEqual(results[1], results[4]) {
+				t.Errorf("shards=4 diverged:\nwant %+v\ngot  %+v", results[1], results[4])
+			}
+		})
+	}
+}
+
+// TestShardedParallelMode exercises the opt-in parallel-epoch path:
+// NoFastPath plus Prefault on a barrier-free multi-threaded profile makes
+// the machine eligible for true concurrent execution, and the results and
+// final architectural memory image must still match the sequential engine
+// bit for bit.
+func TestShardedParallelMode(t *testing.T) {
+	p := PARSEC3()[1].Scale(0.04)
+	p.BarrierEvery = 0
+
+	run := func(n int) (Result, string) {
+		cfg := core.DefaultConfig(4, coherence.SwiftDir)
+		cfg.Shards = n
+		cfg.NoFastPath = true
+		cfg.Prefault = true
+		r, m, err := RunDetailed(p, cfg, DerivO3CPU)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if n > 1 {
+			if !m.CanRunParallel() {
+				t.Fatalf("shards=%d: machine not parallel-eligible (want NoFastPath+Prefault to unlock epochs)", n)
+			}
+			sh := m.Sys.ShardedEngine()
+			if sh == nil {
+				t.Fatalf("shards=%d: no sharded engine", n)
+			}
+			if sh.Barriers() == 0 {
+				t.Errorf("shards=%d: zero epoch barriers — parallel path never engaged", n)
+			}
+		}
+		return r, m.ArchMemHash()
+	}
+
+	wantRes, wantHash := run(1)
+	for _, n := range []int{2, 4} {
+		gotRes, gotHash := run(n)
+		if !reflect.DeepEqual(wantRes, gotRes) {
+			t.Errorf("shards=%d result diverged:\nwant %+v\ngot  %+v", n, wantRes, gotRes)
+		}
+		if gotHash != wantHash {
+			t.Errorf("shards=%d memory image hash %s != sequential %s", n, gotHash, wantHash)
+		}
+	}
+}
+
+// TestShardedReplayAndMicroEquivalence pins the remaining runners (trace
+// replay with barriers, the Figure 9 read-only micro) at shards=4 against
+// the sequential engine via the campaign knob, exactly as the CLIs set it.
+func TestShardedReplayAndMicroEquivalence(t *testing.T) {
+	runBoth := func(f func() (Result, error)) (Result, Result) {
+		campaign.SetShards(0)
+		seq, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		campaign.SetShards(4)
+		defer campaign.SetShards(0)
+		shr, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seq, shr
+	}
+
+	t.Run("readonly", func(t *testing.T) {
+		seq, shr := runBoth(func() (Result, error) {
+			return RunReadOnly(200, coherence.SwiftDir, DerivO3CPU)
+		})
+		if !reflect.DeepEqual(seq, shr) {
+			t.Errorf("readonly diverged:\nwant %+v\ngot  %+v", seq, shr)
+		}
+	})
+
+	t.Run("war", func(t *testing.T) {
+		seq, shr := runBoth(func() (Result, error) {
+			return RunWAR(WARApps()[0], coherence.SwiftDir, DerivO3CPU, 1)
+		})
+		if !reflect.DeepEqual(seq, shr) {
+			t.Errorf("war diverged:\nwant %+v\ngot  %+v", seq, shr)
+		}
+	})
+}
