@@ -21,6 +21,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/experiments"
 	"repro/internal/mmu"
+	"repro/internal/resultcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -69,6 +70,15 @@ func benchAccess(b *testing.B, p coherence.Policy) {
 	proc := m.NewProcess()
 	ctx := proc.AttachContext(0)
 	heap := proc.MmapAnon(1 << 20)
+	// Warm the full 8192-block working set before the timer. The first
+	// pass faults every page and grows page tables and free lists — a
+	// fixed ~800 KB that, inside the timed region, amortizes to
+	// total/b.N and makes B/op read 0 or 1 depending on the iteration
+	// count the framework happens to pick (the BENCH_2026-08-05 vs
+	// 2026-08-08 drift). The steady state itself is allocation-free.
+	for i := 0; i < 8192; i++ {
+		ctx.MustAccessSync(heap+mmu.VAddr(i)*64, i%4 == 0, uint64(i))
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx.MustAccessSync(heap+mmu.VAddr(i%8192)*64, i%4 == 0, uint64(i))
@@ -207,6 +217,9 @@ func BenchmarkAccessSharded4(b *testing.B) {
 	proc := m.NewProcess()
 	ctx := proc.AttachContext(0)
 	heap := proc.MmapAnon(1 << 20)
+	for i := 0; i < 8192; i++ { // warm the working set (see benchAccess)
+		ctx.MustAccessSync(heap+mmu.VAddr(i)*64, i%4 == 0, uint64(i))
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx.MustAccessSync(heap+mmu.VAddr(i%8192)*64, i%4 == 0, uint64(i))
@@ -249,6 +262,49 @@ func BenchmarkDirectoryWARLookup(b *testing.B) {
 		a := heap + mmu.VAddr(i%512)*64
 		reader.MustAccessSync(a, false, 0)
 		writer.MustAccessSync(a, true, uint64(i))
+	}
+}
+
+// --- Result-cache benchmarks ---------------------------------------------
+//
+// The server's per-request fast path is cache.Get (memory hit) and
+// Flight.Do (uncontended leader); both are pinned allocation-free by the
+// bench gate alongside the access paths.
+
+func BenchmarkResultCacheHit(b *testing.B) {
+	var st stats.CacheStats
+	c := resultcache.New(16, "", &st, func(string, ...any) {})
+	key, err := resultcache.NewKey("table5", experiments.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Put(&resultcache.Entry{Key: key, Report: []byte("pinned report bytes")})
+	id := key.ID()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(id); !ok {
+			b.Fatal("hit path missed")
+		}
+	}
+}
+
+func BenchmarkSingleflightDo(b *testing.B) {
+	f := resultcache.NewFlight(nil)
+	key, err := resultcache.NewKey("table5", experiments.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := key.ID()
+	entry := &resultcache.Entry{Report: []byte("r")}
+	fn := func() (*resultcache.Entry, error) { return entry, nil }
+	if _, _, err := f.Do(id, fn); err != nil { // warm the frame pool
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := f.Do(id, fn); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

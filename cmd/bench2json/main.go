@@ -18,6 +18,17 @@
 //
 //	... | bench2json -diff BENCH_2026-08-05.json
 //	... | bench2json -ceiling 'BenchmarkAccessMESI=2500' -zeroalloc '^BenchmarkAccess' > /dev/null
+//
+// -zeroalloc gates on allocs/op ONLY, never B/op. `go test -benchmem`
+// reports both as total/N with B/op truncated to an integer, so a fixed
+// one-time warmup cost inside the timed region (page-table growth, free
+// lists) reads as 0 or 1 B/op purely depending on the iteration count the
+// framework picks — exactly the BENCH_2026-08-05 (0 B/op) vs
+// BENCH_2026-08-08-shards (1 B/op) drift on the BenchmarkAccess* rows,
+// with allocs/op identically 0 in both records. allocs/op counts discrete
+// allocation events, so a genuinely allocation-free steady state pins at
+// 0 regardless of N; benchmarks should still hoist warmup before
+// b.ResetTimer so the committed B/op numbers stay stable too.
 package main
 
 import (

@@ -2,12 +2,18 @@
 //
 // Usage:
 //
-//	swiftdir-bench [-exp all|table4|table5|fig4|fig5|fig6|fig6jitter|security
+//	swiftdir-bench [-exp all|table5|table4|fig4|fig5|fig6|fig6jitter|security
 //	               |fig7|fig8|fig9|fig10a|fig10b|ablation|traffic|futurework
 //	               |moesi|snoop|multiprogram|lru|prefetch|numa|kernels|sweep
 //	               |msi|overhead|arbitration]
 //	               [-scale f] [-samples n] [-bits n] [-passes n] [-j n] [-shards n] [-out file]
 //	swiftdir-bench -policy
+//
+// -exp also accepts a comma-separated list (e.g. -exp fig6,security);
+// the selected experiments run in report order, deduplicated. The valid
+// names come from the internal/experiments registry — the same dispatch
+// table the swiftdir-serve HTTP server executes, so a CLI run and a
+// server request with the same parameters render identical report bytes.
 //
 // -policy lists every selectable coherence policy with the size of its
 // transition table (the internal/proto relation shared by the dispatchers
@@ -44,21 +50,16 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/experiments"
-	"repro/internal/proto"
 	"repro/internal/prof"
+	"repro/internal/proto"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
-// experimentNames lists every -exp value, in report order. The flag help
-// and the package doc comment above are generated from / kept in lockstep
-// with this list (TestUsageListsAllExperiments enforces it).
-var experimentNames = []string{
-	"table5", "table4", "fig4", "fig5", "fig6", "fig6jitter", "security",
-	"fig7", "fig8", "fig9", "fig10a", "fig10b", "ablation", "traffic",
-	"futurework", "moesi", "snoop", "multiprogram", "lru", "prefetch",
-	"numa", "kernels", "sweep", "msi", "overhead", "arbitration",
-}
+// experimentNames lists every -exp value, in report order — straight from
+// the internal/experiments registry, the single dispatch table shared with
+// the HTTP server. The flag help and the package doc comment above are
+// kept in lockstep with it (TestUsageListsAllExperiments enforces it).
+var experimentNames = experiments.Names()
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -70,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("swiftdir-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "all",
-		"experiment to run (all, "+strings.Join(experimentNames, ", ")+")")
+		"experiment(s) to run, comma-separated (all, "+strings.Join(experimentNames, ", ")+")")
 	scale := fs.Float64("scale", 0.25, "instruction-budget scale for fig7/fig8")
 	samples := fs.Int("samples", 2000, "latency samples for fig6")
 	bits := fs.Int("bits", 1024, "covert-channel bits for security")
@@ -100,6 +101,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	selected, err := experiments.ParseNames(*exp)
+	if err != nil {
+		fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+
 	stopProf, err := pf.Start()
 	if err != nil {
 		fmt.Fprintf(stderr, "swiftdir-bench: %v\n", err)
@@ -110,18 +118,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "swiftdir-bench: profile: %v\n", err)
 		}
 	}()
-
-	known := *exp == "all"
-	for _, name := range experimentNames {
-		if *exp == name {
-			known = true
-		}
-	}
-	if !known {
-		fmt.Fprintf(stderr, "swiftdir-bench: unknown experiment %q\n", *exp)
-		fs.Usage()
-		return 2
-	}
 
 	nshards, err := campaign.ResolveShards(*shards)
 	if err != nil {
@@ -148,15 +144,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out = io.MultiWriter(stdout, f)
 	}
 
+	// The flag knobs map onto registry Params; Normalize resolves the
+	// knobs each experiment ignores (kernels' working set, overhead's
+	// core count, fig9's sweep points keep their registry defaults, as
+	// they always have in this CLI).
+	params := experiments.Params{Scale: *scale, Samples: *samples, Bits: *bits, Passes: *passes}
+
 	var campaignTotal stats.CampaignSummary
 	var fpTotal stats.FastPathSummary
 	var shTotal stats.ShardSummary
 	totalStart := time.Now()
 	failed := 0
-	run := func(name string, fn func() string) {
-		if *exp != "all" && *exp != name {
-			return
-		}
+	for _, name := range selected {
+		e, _ := experiments.Lookup(name)
 		start := time.Now()
 		report, err := func() (r string, err error) {
 			// The experiment functions panic on error (including labelled
@@ -167,7 +167,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 					err = fmt.Errorf("%v", p)
 				}
 			}()
-			return fn(), nil
+			return e.Run(params), nil
 		}()
 		if err != nil {
 			failed++
@@ -207,45 +207,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	run("table5", experiments.Table5)
-	run("table4", func() string { _, s := experiments.Table4(); return s })
-	run("fig4", experiments.Fig4)
-	run("fig5", experiments.Fig5)
-	run("fig6", func() string { return experiments.Fig6(*samples).Rendered })
-	run("fig6jitter", func() string { return experiments.Fig6Jitter(*samples / 4).Rendered })
-	run("security", func() string { _, _, s := experiments.Security(*bits, *bits); return s })
-	run("fig7", func() string { _, s := experiments.Fig7(*scale); return s })
-	run("fig8", func() string { _, s := experiments.Fig8(*scale); return s })
-	run("fig9", func() string { _, s := experiments.Fig9(experiments.Fig9Amounts); return s })
-	run("fig10a", func() string { _, s := experiments.Fig10(workload.TimingSimpleCPU, *passes); return s })
-	run("fig10b", func() string { _, s := experiments.Fig10(workload.DerivO3CPU, *passes); return s })
-	run("ablation", func() string {
-		return experiments.AblationEwp(*bits) + "\n" + experiments.AblationWAR(*passes)
-	})
-	run("traffic", experiments.Traffic)
-	run("futurework", func() string { return experiments.FutureWork(*bits / 4) })
-	run("moesi", func() string { return experiments.MOESIStudy(*bits/4, *passes) })
-	run("snoop", func() string { return experiments.SnoopStudy(*bits / 4) })
-	run("multiprogram", func() string { _, s := experiments.Multiprogram(*scale); return s })
-	run("lru", func() string { return experiments.AblationLRU(*scale) })
-	run("prefetch", func() string { return experiments.Prefetch(*bits / 4) })
-	run("numa", experiments.NUMA)
-	run("kernels", func() string { return experiments.KernelStudy(512) })
-	run("sweep", experiments.TimingSweep)
-	run("msi", func() string { return experiments.MSIStudy(*bits/4, *passes) })
-	run("overhead", func() string { return experiments.Overhead(4) })
-	run("arbitration", func() string { return experiments.Arbitration(*bits / 4) })
-
-	if *exp == "all" && len(campaignTotal.Jobs) > 0 {
+	if len(selected) > 1 && len(campaignTotal.Jobs) > 0 {
 		campaignTotal.Label = "all"
 		campaignTotal.Wall = time.Since(totalStart)
 		fmt.Fprintln(stderr, campaignTotal.Footer())
 	}
-	if *exp == "all" && fpTotal.Total() > 0 {
+	if len(selected) > 1 && fpTotal.Total() > 0 {
 		fpTotal.Label = "all"
 		fmt.Fprintln(stderr, fpTotal.Footer())
 	}
-	if *exp == "all" && shTotal.Shards() > 0 {
+	if len(selected) > 1 && shTotal.Shards() > 0 {
 		fmt.Fprintln(stderr, shTotal.Footer())
 	}
 	if failed > 0 {

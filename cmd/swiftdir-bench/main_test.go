@@ -64,6 +64,30 @@ func TestUnknownExperimentRejected(t *testing.T) {
 	if !strings.Contains(stderr.String(), "unknown experiment") {
 		t.Fatalf("stderr = %q", stderr.String())
 	}
+	// The rejection teaches the vocabulary: every registry name listed.
+	for _, name := range experimentNames {
+		if !strings.Contains(stderr.String(), name) {
+			t.Errorf("unknown-experiment error omits %q", name)
+		}
+	}
+	// One bad name poisons a whole comma list.
+	stderr.Reset()
+	if code := run([]string{"-exp", "table5,fig99"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad name in list: code = %d", code)
+	}
+}
+
+// -exp takes a comma-separated list, executed in report order and
+// deduplicated, and the combined stream equals the single runs stitched
+// together.
+func TestCommaSeparatedExperimentList(t *testing.T) {
+	// overhead precedes traffic in request order here, but the registry
+	// (report) order is traffic then overhead; the duplicate collapses.
+	combined := report(t, "-exp", "overhead,traffic,overhead")
+	want := report(t, "-exp", "traffic") + report(t, "-exp", "overhead")
+	if combined != want {
+		t.Fatalf("comma list != stitched single runs:\n--- list ---\n%s\n--- stitched ---\n%s", combined, want)
+	}
 }
 
 // The -exp flag help and the package doc comment's usage block must both

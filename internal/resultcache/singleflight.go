@@ -1,0 +1,120 @@
+package resultcache
+
+import (
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Flight deduplicates concurrent identical work: N goroutines asking for
+// the same ID while one is computing it all share the leader's result —
+// exactly one underlying run. Completed call frames are recycled on a
+// free list, so the uncontended leader path allocates nothing (it is on
+// the server's per-request path and benchmarked in bench_test.go).
+//
+// Unlike golang.org/x/sync/singleflight (which the toolchain image does
+// not carry), Flight is specialized to (ID -> *Entry) and counts dedup
+// waiters into stats.CacheStats.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[ID]*call
+	free  []*call
+	stats *stats.CacheStats
+}
+
+// call is one in-flight computation. waiters tracks the goroutines
+// sharing it so the frame is recycled only after the last reader leaves.
+type call struct {
+	wg      sync.WaitGroup
+	entry   *Entry
+	err     error
+	waiters int
+	done    bool
+}
+
+// NewFlight builds a dedup group reporting into st (nil gets a private
+// counter set).
+func NewFlight(st *stats.CacheStats) *Flight {
+	if st == nil {
+		st = &stats.CacheStats{}
+	}
+	return &Flight{calls: make(map[ID]*call), stats: st}
+}
+
+// Do executes fn under id, deduplicating concurrent calls: the first
+// caller (the leader) runs fn, every caller that arrives before the
+// leader finishes waits and shares the same (*Entry, error). shared
+// reports whether this caller was a waiter — each waiter also counts
+// one Dedups tick; the leader counts one Runs tick.
+func (f *Flight) Do(id ID, fn func() (*Entry, error)) (e *Entry, shared bool, err error) {
+	f.mu.Lock()
+	if c, ok := f.calls[id]; ok {
+		c.waiters++
+		f.mu.Unlock()
+		f.stats.Dedups.Add(1)
+		c.wg.Wait()
+		e, err = c.entry, c.err
+		f.release(c)
+		return e, true, err
+	}
+	c := f.take()
+	f.calls[id] = c
+	f.mu.Unlock()
+
+	f.stats.Runs.Add(1)
+	func() {
+		// A panicking fn (a diverging simulation that escaped the runner's
+		// recover) must still release the flight, or every later request
+		// for this id would block forever. The whole unwind — unregister,
+		// publish, wake waiters, maybe recycle — happens under one lock
+		// hold: after the map delete no new waiter can join, so the frame
+		// is recycled exactly once, by the leader iff no waiter is
+		// registered, else by the last waiter to leave (see release).
+		defer func() {
+			f.mu.Lock()
+			delete(f.calls, id)
+			c.done = true
+			e, err = c.entry, c.err
+			c.wg.Done()
+			if c.waiters == 0 {
+				f.recycle(c)
+			}
+			f.mu.Unlock()
+		}()
+		c.entry, c.err = fn()
+	}()
+	return e, false, err
+}
+
+// take pops a recycled call frame or allocates the first few.
+func (f *Flight) take() *call {
+	var c *call
+	if n := len(f.free); n > 0 {
+		c = f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		c.entry, c.err, c.waiters, c.done = nil, nil, 0, false
+	} else {
+		c = &call{}
+	}
+	c.wg.Add(1)
+	return c
+}
+
+// release is the waiter-side exit: the last waiter of a completed call
+// returns the frame to the pool.
+func (f *Flight) release(c *call) {
+	f.mu.Lock()
+	c.waiters--
+	if c.done && c.waiters == 0 {
+		f.recycle(c)
+	}
+	f.mu.Unlock()
+}
+
+func (f *Flight) recycle(c *call) {
+	const keep = 64
+	if len(f.free) < keep {
+		f.free = append(f.free, c)
+	}
+}

@@ -1,0 +1,184 @@
+package resultcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// N concurrent identical requests must observe exactly one underlying
+// run, with the dedup counter accounting for the other N-1.
+func TestFlightDedupsConcurrentIdenticalWork(t *testing.T) {
+	var st stats.CacheStats
+	f := NewFlight(&st)
+	id := mustID(t, "table5")
+
+	const n = 16
+	var runs atomic.Int64
+	release := make(chan struct{})
+	entry := &Entry{Report: []byte("the one report")}
+
+	var wg sync.WaitGroup
+	results := make([]*Entry, n)
+	sharedCount := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, shared, err := f.Do(id, func() (*Entry, error) {
+				runs.Add(1)
+				<-release // hold the flight open until every caller has arrived
+				return entry, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = e
+		}(i)
+	}
+
+	// Wait until the other n-1 callers are registered as waiters, then
+	// let the leader finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Dedups.Load() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters joined", st.Dedups.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Errorf("underlying runs = %d, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Errorf("shared results = %d, want %d", got, n-1)
+	}
+	for i, e := range results {
+		if e != entry {
+			t.Fatalf("caller %d got a different entry", i)
+		}
+	}
+	s := st.Snapshot()
+	if s.Dedups != n-1 || s.Runs != 1 {
+		t.Errorf("dedups/runs = %d/%d, want %d/1", s.Dedups, s.Runs, n-1)
+	}
+}
+
+// Sequential calls each run: the flight dedups only concurrent work
+// (completed results belong to the cache, not the flight).
+func TestFlightSequentialCallsRunEachTime(t *testing.T) {
+	f := NewFlight(nil)
+	id := mustID(t, "table5")
+	var runs int
+	for i := 0; i < 3; i++ {
+		_, shared, err := f.Do(id, func() (*Entry, error) { runs++; return nil, nil })
+		if shared || err != nil {
+			t.Fatalf("call %d: shared=%v err=%v", i, shared, err)
+		}
+	}
+	if runs != 3 {
+		t.Errorf("runs = %d, want 3", runs)
+	}
+}
+
+// Distinct IDs never share a flight.
+func TestFlightDistinctIDsIndependent(t *testing.T) {
+	f := NewFlight(nil)
+	a, b := mustID(t, "table5"), mustID(t, "fig4")
+	var runs atomic.Int64
+	block := make(chan struct{})
+	go f.Do(a, func() (*Entry, error) { runs.Add(1); <-block; return nil, nil })
+	for f.inflight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, shared, _ := f.Do(b, func() (*Entry, error) { runs.Add(1); return nil, nil }); shared {
+		t.Error("distinct id was deduplicated")
+	}
+	close(block)
+	if got := runs.Load(); got != 2 {
+		t.Errorf("runs = %d, want 2", got)
+	}
+}
+
+// Errors propagate to the leader and every waiter alike, and the flight
+// is reusable afterwards.
+func TestFlightErrorSharedAndCleared(t *testing.T) {
+	f := NewFlight(nil)
+	id := mustID(t, "table5")
+	boom := errors.New("diverged")
+	release := make(chan struct{})
+	var st = f.stats
+
+	errs := make(chan error, 2)
+	go func() {
+		_, _, err := f.Do(id, func() (*Entry, error) { <-release; return nil, boom })
+		errs <- err
+	}()
+	for f.inflight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		_, _, err := f.Do(id, func() (*Entry, error) { return nil, nil })
+		errs <- err
+	}()
+	for st.Dedups.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Errorf("error not shared: %v", err)
+		}
+	}
+	// The failed flight is gone; a fresh call runs again.
+	ran := false
+	if _, shared, err := f.Do(id, func() (*Entry, error) { ran = true; return nil, nil }); shared || err != nil || !ran {
+		t.Errorf("flight not cleared: shared=%v err=%v ran=%v", shared, err, ran)
+	}
+}
+
+// A panicking leader must not strand later callers.
+func TestFlightPanicReleasesFlight(t *testing.T) {
+	f := NewFlight(nil)
+	id := mustID(t, "table5")
+	func() {
+		defer func() { recover() }()
+		f.Do(id, func() (*Entry, error) { panic("diverging simulation") })
+	}()
+	done := make(chan struct{})
+	go func() {
+		f.Do(id, func() (*Entry, error) { return nil, nil })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("flight stranded after leader panic")
+	}
+}
+
+// inflight reports the registered call count (test helper).
+func (f *Flight) inflight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+func mustID(t *testing.T, name string) ID {
+	t.Helper()
+	k, err := NewKey(name, experiments.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k.ID()
+}

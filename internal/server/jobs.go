@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/resultcache"
+)
+
+// Job states, in order. A job moves queued → running → done|failed and
+// never back.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// job is one batch entry's lifecycle. The entry/source/wall fields are
+// written exactly once (at finish) before the terminal state is
+// published, so readers that observe stateDone may read them without the
+// lock the way handleJobReport does.
+type job struct {
+	id  string
+	key resultcache.Key
+
+	mu      sync.Mutex
+	state   string
+	source  string // hit | miss | dedup, set at finish
+	wall    time.Duration
+	errText string
+	entry   *resultcache.Entry
+	changed chan struct{} // closed and replaced on every transition
+}
+
+func newJob(id string, key resultcache.Key) *job {
+	return &job{id: id, key: key, state: stateQueued, changed: make(chan struct{})}
+}
+
+// transition publishes a state change and wakes every watcher.
+func (j *job) transition(fn func()) {
+	j.mu.Lock()
+	fn()
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+func (j *job) setRunning() {
+	j.transition(func() { j.state = stateRunning })
+}
+
+func (j *job) finish(e *resultcache.Entry, source string, wall time.Duration, err error) {
+	j.transition(func() {
+		j.entry, j.source, j.wall = e, source, wall
+		if err != nil {
+			j.state, j.errText = stateFailed, err.Error()
+			return
+		}
+		j.state = stateDone
+	})
+}
+
+// jobStatus is the wire form of GET /v1/jobs/{id}.
+type jobStatus struct {
+	ID          string `json:"id"`
+	Experiment  string `json:"experiment"`
+	Key         string `json:"key"`
+	State       string `json:"state"`
+	Cache       string `json:"cache,omitempty"`
+	WallNS      int64  `json:"wall_ns,omitempty"`
+	RunWallNS   int64  `json:"run_wall_ns,omitempty"`
+	ReportBytes int    `json:"report_bytes,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+func (j *job) status() jobStatus {
+	st, _ := j.watch()
+	return st
+}
+
+// watch returns the current status plus the channel that closes on the
+// next transition — the primitive behind the stream endpoint.
+func (j *job) watch() (jobStatus, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID:         j.id,
+		Experiment: j.key.Experiment,
+		Key:        j.key.ID().String(),
+		State:      j.state,
+		Cache:      j.source,
+		WallNS:     j.wall.Nanoseconds(),
+		Error:      j.errText,
+	}
+	if j.entry != nil {
+		st.RunWallNS = j.entry.Wall.Nanoseconds()
+		st.ReportBytes = len(j.entry.Report)
+	}
+	return st, j.changed
+}

@@ -1,0 +1,106 @@
+#!/bin/sh
+# serve-e2e.sh — end-to-end proof of the swiftdir-serve result cache
+# against a real server process (the `make serve-e2e` / CI "serve" job):
+#
+#   1. boot swiftdir-serve on a loopback port with a disk cache;
+#   2. submit a 3-experiment batch, wait for every job, save the reports;
+#   3. submit the identical batch again and assert every job resolves as
+#      a cache hit with byte-identical report bytes;
+#   4. cross-check /statsz (exactly 3 underlying runs, 0 corrupt);
+#   5. SIGTERM and assert a clean graceful drain (exit 0, cache footer).
+#
+# Needs only a POSIX shell, curl, and grep/sed — no jq.
+set -eu
+
+WORKDIR=$(mktemp -d)
+LOG="$WORKDIR/serve.log"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+fail() {
+    echo "serve-e2e: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+go build -o "$WORKDIR/swiftdir-serve" ./cmd/swiftdir-serve
+
+"$WORKDIR/swiftdir-serve" -addr 127.0.0.1:0 -cachedir "$WORKDIR/cache" \
+    -workers 2 -j 2 2>"$LOG" &
+SERVER_PID=$!
+
+# The server logs "listening on 127.0.0.1:<port>" once bound.
+BASE=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$LOG" | head -n 1)
+    if [ -n "$ADDR" ]; then BASE="http://$ADDR"; break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$BASE" ] || fail "server never announced its address"
+
+BATCH='{"specs":[{"experiment":"table5"},{"experiment":"overhead"},{"experiment":"traffic"}]}'
+
+# submit_batch <pass> — posts the batch and echoes the job ids in order.
+submit_batch() {
+    OUT=$(curl -sf -XPOST "$BASE/v1/batch" -d "$BATCH") \
+        || fail "pass $1: batch submission failed"
+    IDS=$(printf '%s' "$OUT" | grep -o '"id":"[^"]*"' | sed 's/"id":"\(.*\)"/\1/')
+    [ "$(printf '%s\n' $IDS | wc -l)" -eq 3 ] || fail "pass $1: want 3 jobs, got: $OUT"
+    printf '%s\n' $IDS
+}
+
+# wait_job <pass> <id> — polls until the job is done; echoes its status JSON.
+wait_job() {
+    j=0
+    while [ $j -lt 600 ]; do
+        ST=$(curl -sf "$BASE/v1/jobs/$2") || fail "pass $1: job $2 status failed"
+        case "$ST" in
+        *'"state":"done"'*) printf '%s' "$ST"; return 0 ;;
+        *'"state":"failed"'*) fail "pass $1: job $2 failed: $ST" ;;
+        esac
+        j=$((j + 1))
+        sleep 0.1
+    done
+    fail "pass $1: job $2 never finished"
+}
+
+for PASS in 1 2; do
+    n=1
+    for ID in $(submit_batch "$PASS"); do
+        ST=$(wait_job "$PASS" "$ID")
+        if [ "$PASS" = 2 ]; then
+            case "$ST" in
+            *'"cache":"hit"'*) ;;
+            *) fail "second pass job $ID not a cache hit: $ST" ;;
+            esac
+        fi
+        curl -sf "$BASE/v1/jobs/$ID/report" >"$WORKDIR/pass$PASS-$n.txt" \
+            || fail "pass $PASS: report $ID failed"
+        n=$((n + 1))
+    done
+done
+
+for n in 1 2 3; do
+    cmp -s "$WORKDIR/pass1-$n.txt" "$WORKDIR/pass2-$n.txt" \
+        || fail "report $n differs between passes (cache hit not byte-identical)"
+    [ -s "$WORKDIR/pass1-$n.txt" ] || fail "report $n is empty"
+done
+
+STATS=$(curl -sf "$BASE/statsz") || fail "statsz failed"
+case "$STATS" in
+*'"runs":3'*) ;;
+*) fail "statsz: want exactly 3 underlying runs: $STATS" ;;
+esac
+case "$STATS" in
+*'"corrupt":0'*) ;;
+*) fail "statsz: corrupt entries reported: $STATS" ;;
+esac
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero after SIGTERM"
+grep -q '\[cache\]' "$LOG" || fail "cache footer missing from shutdown log"
+
+echo "serve-e2e: OK (second pass 100% cache hits, byte-identical reports)"
