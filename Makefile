@@ -102,11 +102,11 @@ benchdiff:
 # result-cache lookup and singleflight leader paths (swiftdir-serve's
 # per-request fast path) are pinned the same way.
 bench-gate:
-	$(GO) test -bench='^BenchmarkAccess|^BenchmarkShardedEngine|^BenchmarkResultCache|^BenchmarkSingleflight' -benchmem -benchtime=50000x -run=^$$ . > bench.raw
+	$(GO) test -bench='^BenchmarkAccess|^BenchmarkShardedEngine|^BenchmarkResultCache|^BenchmarkSingleflight|^BenchmarkMeshRoute' -benchmem -benchtime=50000x -run=^$$ . > bench.raw
 	@cat bench.raw
 	$(GO) run ./cmd/bench2json \
-		-ceiling 'BenchmarkAccessMESI=2500,BenchmarkAccessSharded4=7000,BenchmarkShardedEngineSeq=1500,BenchmarkShardedEngineShards4=1500,BenchmarkResultCacheHit=500,BenchmarkSingleflightDo=1000' \
-		-zeroalloc '^BenchmarkAccess|^BenchmarkShardedEngine|^BenchmarkResultCache|^BenchmarkSingleflight' < bench.raw > /dev/null
+		-ceiling 'BenchmarkAccessMESI=2500,BenchmarkAccessSharded4=7000,BenchmarkShardedEngineSeq=1500,BenchmarkShardedEngineShards4=1500,BenchmarkResultCacheHit=500,BenchmarkSingleflightDo=1000,BenchmarkMeshRoute=500,BenchmarkAccessMesh64=8000' \
+		-zeroalloc '^BenchmarkAccess|^BenchmarkShardedEngine|^BenchmarkResultCache|^BenchmarkSingleflight|^BenchmarkMeshRoute' < bench.raw > /dev/null
 	@rm -f bench.raw
 	@echo "bench gate ok"
 

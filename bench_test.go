@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/experiments"
+	"repro/internal/interconnect"
 	"repro/internal/mmu"
 	"repro/internal/resultcache"
 	"repro/internal/sim"
@@ -245,6 +246,69 @@ func benchShardedWorkload(b *testing.B, shards int) {
 
 func BenchmarkShardedWorkloadSeq(b *testing.B)     { benchShardedWorkload(b, 1) }
 func BenchmarkShardedWorkloadShards4(b *testing.B) { benchShardedWorkload(b, 4) }
+
+// --- Mesh + two-level directory benchmarks -------------------------------
+
+// meshHop forwards one message per delivery: each Handle sends to the
+// port 17 positions ahead (gcd(17, 256) = 1, so the tour covers every
+// router), so each op is one full mesh traversal — XY link walk,
+// per-link occupancy bookkeeping, and event dispatch.
+type meshHop struct {
+	m    *interconnect.Mesh
+	port int
+	left int
+}
+
+func (h *meshHop) Handle(sim.Payload) {
+	if h.left <= 0 {
+		return
+	}
+	h.left--
+	next := (h.port + 17) % 256
+	h.m.SendEvent(h.port, next, h, sim.Payload{})
+	h.port = next
+}
+
+// BenchmarkMeshRoute measures one routed message per op on the 16x16
+// mesh (the 256-core machine's network) with link occupancy enabled —
+// the most bookkeeping a message can pay. The gate pins it
+// allocation-free: routing is index arithmetic over preallocated link
+// state, and the steady-state event queue holds one in-flight message.
+func BenchmarkMeshRoute(b *testing.B) {
+	eng := sim.NewEngine()
+	m, err := interconnect.NewMesh(eng, interconnect.MeshConfig{
+		Ports: 256, W: 16, H: 16, Latency: 3, PerHop: 1, LinkOccupancy: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := &meshHop{m: m, left: b.N}
+	b.ResetTimer()
+	eng.ScheduleEvent(1, h, sim.Payload{})
+	eng.Run()
+}
+
+// BenchmarkAccessMesh64 is benchAccess on the scaled machine: 64 cores
+// on an 8x8 mesh with the two-level directory (8 clusters), so every
+// miss pays hub hops and distance-dependent mesh latency. LLC banks are
+// shrunk to 256 KB — the 512 KB working set still fits the 16 MB
+// aggregate — to keep the benchmark's setup cheap. The gate pins the
+// steady state allocation-free like every access path.
+func BenchmarkAccessMesh64(b *testing.B) {
+	cfg := core.DefaultScaledConfig(64, coherence.SwiftDir)
+	cfg.L2Bank.SizeBytes = 256 << 10
+	m := core.MustNewMachine(cfg)
+	proc := m.NewProcess()
+	ctx := proc.AttachContext(0)
+	heap := proc.MmapAnon(1 << 20)
+	for i := 0; i < 8192; i++ { // warm the working set (see benchAccess)
+		ctx.MustAccessSync(heap+mmu.VAddr(i)*64, i%4 == 0, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.MustAccessSync(heap+mmu.VAddr(i%8192)*64, i%4 == 0, uint64(i))
+	}
+}
 
 // BenchmarkDirectoryWARLookup stresses the directory's address-map lookups
 // under a write-after-read pattern: core 0 installs a shared copy, core 1

@@ -6,10 +6,15 @@
 // Usage:
 //
 //	swiftdir-attack [-bits n] [-trials n] [-secret text] [-policies a,b,...]
+//	                [-scale] [-shards n]
 //
 // -policies selects which protocols the exfiltration demo runs against
 // (any names coherence.PolicyByName resolves, e.g. Phase-Priority to show
-// that directory arbitration alone leaves the channel open).
+// that directory arbitration alone leaves the channel open). -scale
+// appends the machine-scaling study: the covert channel re-run on 16- and
+// 64-core mesh machines with a two-level directory, against both a naive
+// and a calibrating attacker. -shards shards each simulated machine's
+// event engine; every report is byte-identical at any value.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/attack"
+	"repro/internal/campaign"
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -31,9 +37,19 @@ func main() {
 	secret := flag.String("secret", "SwiftDir", "ASCII secret to exfiltrate in the demo")
 	policyList := flag.String("policies", "MESI,SwiftDir",
 		"comma-separated policies for the exfiltration demo")
+	scale := flag.Bool("scale", false, "append the covert-channel scaling study (mesh, two-level directory)")
+	shards := flag.Int("shards", 0, "event-engine shards per machine, 1..64 (0 = $SWIFTDIR_SHARDS, else 1)")
 	var pf prof.Flags
 	pf.Register(flag.CommandLine)
 	flag.Parse()
+
+	nshards, err := campaign.ResolveShards(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swiftdir-attack: %v\n", err)
+		os.Exit(2)
+	}
+	campaign.SetShards(nshards)
+	defer campaign.SetShards(0)
 
 	stopProf, err := pf.Start()
 	if err != nil {
@@ -85,6 +101,11 @@ func main() {
 			}
 		}
 		fmt.Printf("  %-9s receiver decoded: %q\n", p.Name(), printable(out))
+	}
+
+	if *scale {
+		fmt.Println()
+		fmt.Println(experiments.ScaleAttack(*bits / 8))
 	}
 }
 

@@ -5,7 +5,7 @@
 //	swiftdir-bench [-exp all|table5|table4|fig4|fig5|fig6|fig6jitter|security
 //	               |fig7|fig8|fig9|fig10a|fig10b|ablation|traffic|futurework
 //	               |moesi|snoop|multiprogram|lru|prefetch|numa|kernels|sweep
-//	               |msi|overhead|arbitration]
+//	               |msi|overhead|arbitration|scale|scale-attack]
 //	               [-scale f] [-samples n] [-bits n] [-passes n] [-j n] [-shards n] [-out file]
 //	swiftdir-bench -policy
 //

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	swiftdir-mcheck [-policy name|all] [-cores n] [-lines n] [-depth n]
-//	                [-outstanding n] [-maxstates n] [-coverage]
+//	swiftdir-mcheck [-policy name|all] [-cores n] [-clusters n] [-lines n]
+//	                [-depth n] [-outstanding n] [-maxstates n] [-coverage]
 //	                [-artifacts dir]
 //
 // On a violation it prints the minimal counterexample schedule and the
@@ -29,6 +29,7 @@ import (
 func main() {
 	policy := flag.String("policy", "all", "protocol to check (MESI, SwiftDir, S-MESI, Phase-Priority, ...), or 'all' for the three paper protocols plus Phase-Priority")
 	cores := flag.Int("cores", 2, "number of cores (1-4)")
+	clusters := flag.Int("clusters", 0, "cluster count for the two-level directory (0/1 = flat; must divide -cores)")
 	lines := flag.Int("lines", 1, "distinct cache lines accessed (1-8)")
 	depth := flag.Int("depth", 4, "total accesses injected along any schedule")
 	outstanding := flag.Int("outstanding", 2, "max in-flight accesses per core")
@@ -40,6 +41,11 @@ func main() {
 	var policies []coherence.Policy
 	if *policy == "all" {
 		policies = append(append([]coherence.Policy{}, coherence.Policies...), coherence.PhasePriority)
+		if *clusters > 1 {
+			// The two-level directory requires FIFO bank queues, so the
+			// arbitration variant is excluded from the default sweep.
+			policies = policies[:len(coherence.Policies)]
+		}
 	} else {
 		p := coherence.PolicyByName(*policy)
 		if p == nil {
@@ -54,6 +60,7 @@ func main() {
 		res, err := mcheck.Run(mcheck.Config{
 			Policy:         p,
 			Cores:          *cores,
+			Clusters:       *clusters,
 			Lines:          *lines,
 			Depth:          *depth,
 			MaxOutstanding: *outstanding,

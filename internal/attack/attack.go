@@ -48,7 +48,19 @@ type Channel struct {
 	// Threshold separating "fast" (LLC, S) from "slow" (remote, E)
 	// loads, placed midway between the two calibrated service times.
 	Threshold sim.Cycle
+
+	// thresholds, when set, overrides Threshold per payload line (see
+	// SetThresholds). On a mesh the LLC-served latency of a line depends
+	// on the receiver-to-home-bank distance, so one global cut-off
+	// misclassifies distant lines; a calibrating attacker measures each
+	// line's baseline first.
+	thresholds []sim.Cycle
 }
+
+// SetThresholds installs per-line decision thresholds — typically from
+// CalibrateThresholds on an identically configured machine — overriding
+// the global Threshold for lines i < len(t).
+func (c *Channel) SetThresholds(t []sim.Cycle) { c.thresholds = t }
 
 // Machine wraps a core.Machine prepared for the attack: a shared library
 // mapped into a sender process (two threads on cores 0 and 1) and a
@@ -130,7 +142,40 @@ func (c *Channel) Probe(i int) (bit bool, latency sim.Cycle, err error) {
 	if err != nil {
 		return false, 0, err
 	}
-	return r.Latency > c.Threshold, r.Latency, nil
+	th := c.Threshold
+	if i < len(c.thresholds) {
+		th = c.thresholds[i]
+	}
+	return r.Latency > th, r.Latency, nil
+}
+
+// CalibrateThresholds plays the calibrating attacker's warm-up: on a
+// throwaway machine with the same configuration it transmits an all-zero
+// pattern and times every probe, yielding each line's S-state (LLC-
+// served) baseline. The returned per-line thresholds sit half the E/S
+// service gap above that baseline, so a subsequent run on a fresh,
+// identically configured machine decodes each line against its own
+// distance-dependent floor. The simulator is deterministic, which makes
+// the throwaway machine a perfect stand-in — on real hardware the same
+// pass costs the attacker one extra scan of the mapped library.
+func CalibrateThresholds(cfg core.Config, nBits int) ([]sim.Cycle, error) {
+	ch, err := NewChannel(cfg, nBits)
+	if err != nil {
+		return nil, err
+	}
+	half := (cfg.Timing.RemoteLoadLatency() - cfg.Timing.LLCLoadLatency()) / 2
+	th := make([]sim.Cycle, nBits)
+	for i := range th {
+		if err := ch.Transmit(i, false); err != nil {
+			return nil, err
+		}
+		_, lat, err := ch.Probe(i)
+		if err != nil {
+			return nil, err
+		}
+		th[i] = lat + half
+	}
+	return th, nil
 }
 
 // Result summarizes a covert-channel run.

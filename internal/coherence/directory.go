@@ -253,6 +253,33 @@ func (b *bank) sendPinned(dst int, m Msg, delay sim.Cycle) {
 	b.eng().ScheduleEvent(local, b, p)
 }
 
+// sendHub delivers a message to a cluster hub after delay (two-level
+// only; currently the Inv multicast). It mirrors send(): the final Hop of
+// the delay traverses the fabric, preceded by a bank-local stage.
+func (b *bank) sendHub(c int, m Msg, delay sim.Cycle) {
+	m.Src = DirID
+	hop := b.timing().Hop
+	var local sim.Cycle
+	if delay > hop {
+		local = delay - hop
+	}
+	if f := b.sys.faults; f != nil {
+		local += f.BankDelay(b.eng().Now())
+	}
+	p := m.payload(opBankSendStageHub)
+	p.Z = int32(c)
+	b.eng().ScheduleEvent(local, b, p)
+}
+
+// sharerBit returns the sharer-bitmask bit a requestor contributes: its
+// cluster under the two-level directory, its L1 id flat.
+func (b *bank) sharerBit(src int) uint64 {
+	if b.sys.twoLevel {
+		return bit(b.sys.clusterOf(src))
+	}
+	return bit(src)
+}
+
 // unpinNow releases one pin on addr immediately. Driver or barrier-replay
 // context only; mid-epoch releases go through System.unpin.
 func (b *bank) unpinNow(addr cache.Addr) {
@@ -274,11 +301,29 @@ func (b *bank) Handle(p sim.Payload) {
 		}
 	case opBankSendStage:
 		dst := int(p.Z)
+		if b.sys.twoLevel {
+			// Route through the destination's hub so its record sees
+			// every grant and demand entering the cluster.
+			c := b.sys.clusterOf(dst)
+			p.Op = opHubDown
+			b.sys.net.SendEvent(b.sys.bankPort(b.id), b.sys.hubPort(c), b.sys.hubs[c], p)
+			return
+		}
 		p.Op = opL1Recv
-		b.sys.xbar.SendEvent(b.sys.bankPort(b.id), dst, b.sys.L1s[dst], p)
+		b.sys.net.SendEvent(b.sys.bankPort(b.id), dst, b.sys.L1s[dst], p)
 	case opBankSendStagePin:
+		if b.sys.twoLevel {
+			c := b.sys.clusterOf(int(p.Z))
+			p.Op = opHubDownPin
+			b.sys.net.SendEvent(b.sys.bankPort(b.id), b.sys.hubPort(c), b.sys.hubs[c], p)
+			return
+		}
 		p.Op = opBankDeliverPin
-		b.sys.xbar.SendEvent(b.sys.bankPort(b.id), int(p.Z), b, p)
+		b.sys.net.SendEvent(b.sys.bankPort(b.id), int(p.Z), b, p)
+	case opBankSendStageHub:
+		c := int(p.Z)
+		p.Op = opHubInv
+		b.sys.net.SendEvent(b.sys.bankPort(b.id), b.sys.hubPort(c), b.sys.hubs[c], p)
 	case opBankDeliverPin:
 		// The crossbar delivered this to the destination L1's port, so when
 		// sharded it executes on that L1's engine, not the bank's; the pin
@@ -494,7 +539,7 @@ func (b *bank) onLoadShared(m Msg) {
 		return
 	}
 	// Figure 1(b)/4(b): served directly from the LLC.
-	e.sharers |= bit(m.Src)
+	e.sharers |= b.sharerBit(m.Src)
 	mf := b.policy().ForwardStateFor(m.WP)
 	if mf {
 		e.forwarder = m.Src
@@ -522,7 +567,7 @@ func (b *bank) onLoadExclusive(m Msg) {
 		// the LLC and downgrade the owner.
 		owner := e.owner
 		e.state = DirShared
-		e.sharers = bit(owner) | bit(m.Src)
+		e.sharers = b.sharerBit(owner) | b.sharerBit(m.Src)
 		e.owner = -1
 		t := b.newTxn(m)
 		t.waitUnblock = true
@@ -577,7 +622,18 @@ func (b *bank) onWBData(m Msg) {
 		ln.Data = m.Data
 		e.llcDirty = true
 	}
-	if e.state == DirShared || e.state == DirOwned {
+	if b.sys.twoLevel {
+		// Only the E/M owner-downgrade path is reachable: owned and
+		// forward-state policies are rejected with Clusters > 1. E/M
+		// ownership is globally exclusive and the block stayed busy, so
+		// the owner's and requestor's clusters are the only holders (a
+		// served-from-writeback owner holds nothing, and its hub record
+		// bit was already cleared when its PUTX passed through).
+		e.sharers = b.sharerBit(t.req.Src)
+		if !m.FromWB {
+			e.sharers |= b.sharerBit(m.Src)
+		}
+	} else if e.state == DirShared || e.state == DirOwned {
 		// MESIF forwarder transfer, or a MOESI owned block whose owner
 		// downgraded/evicted: other sharers are untouched and must be
 		// preserved.
@@ -605,7 +661,14 @@ func (b *bank) onWBData(m Msg) {
 func (b *bank) onStoreShared(m Msg) {
 	e := b.entry(m.Addr)
 	ln := b.arr.Probe(m.Addr)
-	targets := e.sharers &^ bit(m.Src)
+	targets := e.sharers
+	if !b.sys.twoLevel {
+		// Flat: the requestor holds nothing (a GETX is a miss), so its
+		// own bit — if stale — is simply dropped. Two-level keeps the
+		// requestor's CLUSTER in the target set: other locals of the
+		// cluster may hold copies only the hub can enumerate.
+		targets &^= bit(m.Src)
+	}
 	if targets == 0 {
 		b.grantStore(m, e, ln.Data, ServedLLC, 0)
 		return
@@ -662,6 +725,16 @@ func (b *bank) onStoreOwned(m Msg) {
 // racing invalidation and resolves as a full GETX.
 func (b *bank) onUpgradeShared(m Msg) {
 	e := b.entry(m.Addr)
+	if b.sys.twoLevel {
+		// The home tracks clusters, not locals, so it cannot grant an
+		// upgrade without invalidating the requestor's own cluster (which
+		// would invalidate the requestor too). Resolve every shared-state
+		// upgrade as a full GETX: the requestor's S copy falls to the hub
+		// multicast (its MSHR moves SM^A -> IM^D, the defined raced-
+		// upgrade path) and a fresh exclusive grant follows.
+		b.resolveAsStore(m)
+		return
+	}
 	if e.sharers&bit(m.Src) == 0 {
 		b.resolveAsStore(m)
 		return
@@ -720,12 +793,24 @@ func (b *bank) ackUpgrade(m Msg, e *dirEntry) {
 	}
 }
 
-// invalidate issues Inv demands and arms the ack counter.
+// invalidate issues Inv demands and arms the ack counter. Flat, each
+// target bit is an L1; two-level, each is a cluster whose hub multicasts
+// to its recorded locals and returns ONE aggregate ack.
 func (b *bank) invalidate(addr cache.Addr, targets uint64, requestor int, t *txn) {
 	n := bits.OnesCount64(targets)
 	t.waitAcks = n
 	b.Stats.Invals += uint64(n)
 	e := b.entry(addr)
+	if b.sys.twoLevel {
+		for c := 0; targets != 0; c++ {
+			if targets&1 != 0 {
+				e.sharers &^= bit(c)
+				b.sendHub(c, Msg{Kind: MsgInv, Addr: addr, Requestor: requestor}, b.respDelay())
+			}
+			targets >>= 1
+		}
+		return
+	}
 	for id := 0; targets != 0; id++ {
 		if targets&1 != 0 {
 			e.sharers &^= bit(id)
@@ -736,9 +821,12 @@ func (b *bank) invalidate(addr cache.Addr, targets uint64, requestor int, t *txn
 }
 
 // onPUTS clears an evicting sharer; PUTS is fire-and-forget (no ack).
+// Under the two-level directory a PUTS only reaches the home when the
+// evictor's hub determined the whole cluster is (and stays) empty, so
+// clearing the cluster bit is exact.
 func (b *bank) onPUTS(m Msg) {
 	e := b.entry(m.Addr)
-	e.sharers &^= bit(m.Src)
+	e.sharers &^= b.sharerBit(m.Src)
 	if e.forwarder == m.Src {
 		// The MESIF forwarder evicted; until the next shared grant there
 		// is no designated responder and the LLC serves.
@@ -779,8 +867,17 @@ func (b *bank) onPUTX(m Msg) {
 	default:
 		// Stale or non-owner writeback: an S-MESI Downgrade demoted the
 		// sender to a sharer, or a MESIF Forward holder evicted. Its
-		// copy is gone either way.
-		e.sharers &^= bit(m.Src)
+		// copy is gone either way. Two-level, the cluster bit may only
+		// be cleared when the hub certified the evictor was the last
+		// holder with no grant in flight (ClusterLast); otherwise other
+		// locals — or an in-flight grant — still populate the cluster.
+		if b.sys.twoLevel {
+			if m.ClusterLast {
+				e.sharers &^= b.sharerBit(m.Src)
+			}
+		} else {
+			e.sharers &^= bit(m.Src)
+		}
 		if e.forwarder == m.Src {
 			e.forwarder = -1
 		}
@@ -880,7 +977,7 @@ func (b *bank) grantLoad(m Msg, e *dirEntry, data uint64, served ServedBy, extra
 	}
 	e.state = DirShared
 	e.owner = -1
-	e.sharers |= bit(m.Src)
+	e.sharers |= b.sharerBit(m.Src)
 	mf := b.policy().ForwardStateFor(m.WP)
 	if mf {
 		e.forwarder = m.Src
@@ -985,6 +1082,23 @@ func (b *bank) evictLLC(victim cache.Addr, ln *cache.Line) sim.Cycle {
 	case DirShared:
 		b.Stats.Recalls++
 		extra = b.timing().RecallPenalty
+		if b.sys.twoLevel {
+			// The hubs' records — not the home's conservative cluster
+			// bits — enumerate the actual holders. Sweep every hub: a
+			// record can outlive its home bit only transiently, and the
+			// sweep makes the recall exact regardless.
+			for _, h := range b.sys.hubs {
+				base := h.base()
+				for lid, rec := 0, h.record[victim]; rec != 0; lid++ {
+					if rec&1 != 0 {
+						recall(base + lid)
+					}
+					rec >>= 1
+				}
+				delete(h.record, victim)
+			}
+			break
+		}
 		for id, s := 0, e.sharers; s != 0; id++ {
 			if s&1 != 0 {
 				recall(id)
@@ -995,6 +1109,9 @@ func (b *bank) evictLLC(victim cache.Addr, ln *cache.Line) sim.Cycle {
 		b.Stats.Recalls++
 		extra = b.timing().RecallPenalty
 		recall(e.owner)
+		if b.sys.twoLevel {
+			b.sys.hubs[b.sys.clusterOf(e.owner)].clearBit(victim, e.owner)
+		}
 	case DirOwned:
 		b.Stats.Recalls++
 		extra = b.timing().RecallPenalty

@@ -22,13 +22,16 @@ var opNames = [...]string{
 	opBankDispatch: "BankDispatch", opBankSendStage: "BankSendStage",
 	opBankSendStagePin: "BankSendStagePin", opBankDeliverPin: "BankDeliverPin",
 	opBankFetchIssue: "BankFetchIssue", opBankInstall: "BankInstall",
+	opHubUp: "HubUp", opHubDown: "HubDown", opHubDownPin: "HubDownPin",
+	opHubInv: "HubInv", opBankSendStageHub: "BankSendStageHub",
 }
 
 // msgCarrying reports whether op's payload encodes a full Msg (so the
 // dump can decode it with msgFromPayload).
 func msgCarrying(op uint8) bool {
 	switch op {
-	case opL1Recv, opL1DataRetry, opBankDispatch, opBankSendStage, opBankSendStagePin, opBankDeliverPin:
+	case opL1Recv, opL1DataRetry, opBankDispatch, opBankSendStage, opBankSendStagePin, opBankDeliverPin,
+		opHubUp, opHubDown, opHubDownPin, opHubInv, opBankSendStageHub:
 		return true
 	}
 	return false
@@ -49,6 +52,10 @@ func (s *System) handlerName(h sim.Handler) string {
 	case *System:
 		if v == s {
 			return "system"
+		}
+	case *hub:
+		if v.sys == s {
+			return fmt.Sprintf("hub(%d)", v.id)
 		}
 	}
 	return fmt.Sprintf("%T", h)
@@ -114,6 +121,13 @@ func (s *System) DumpState() string {
 	s.ForEachPinned(func(bank int, addr cache.Addr, n int) {
 		fmt.Fprintf(&sb, "  bank %d %#x: pinned x%d\n", bank, uint64(addr), n)
 	})
+	if s.twoLevel {
+		sb.WriteString("-- hub records --\n")
+		s.ForEachHubState(func(hub int, addr cache.Addr, record uint64, pending, upReqs int) {
+			fmt.Fprintf(&sb, "  hub %d %#x: record=%#x pending=%d upReqs=%d\n",
+				hub, uint64(addr), record, pending, upReqs)
+		})
+	}
 
 	sb.WriteString("-- L1 MSHR / writeback state --\n")
 	for _, l1 := range s.L1s {

@@ -145,9 +145,9 @@ func InitialToken(addr cache.Addr) uint64 { return initialToken(addr) }
 
 // HandlerID maps an event handler belonging to this system to a stable
 // small integer: L1 i -> i, bank j -> NumL1+j, the System itself (fast
-// path completions) -> NumL1+NumBanks. Handlers from other components
-// return -1. Model checkers use it to identify pending events without
-// depending on pointer values.
+// path completions) -> NumL1+NumBanks, hub c -> NumL1+NumBanks+1+c.
+// Handlers from other components return -1. Model checkers use it to
+// identify pending events without depending on pointer values.
 func (s *System) HandlerID(h sim.Handler) int {
 	switch v := h.(type) {
 	case *L1:
@@ -162,9 +162,40 @@ func (s *System) HandlerID(h sim.Handler) int {
 		if v == s {
 			return s.numL1 + len(s.banks)
 		}
+	case *hub:
+		if v.sys == s {
+			return s.numL1 + len(s.banks) + 1 + v.id
+		}
 	}
 	return -1
 }
+
+// ForEachHubState visits every cluster hub's per-block bookkeeping — the
+// exact local-holder record, outstanding invalidation-ack count, and
+// in-flight up-request count — hub by hub, in ascending address order
+// within each hub. Blocks appear once even when tracked by several maps;
+// absent counters read as zero. Flat systems have no hubs and get no
+// visits.
+func (s *System) ForEachHubState(fn func(hub int, addr cache.Addr, record uint64, pending, upReqs int)) {
+	for _, h := range s.hubs {
+		merged := make(map[cache.Addr]struct{}, len(h.record)+len(h.pending)+len(h.upReqs))
+		for a := range h.record {
+			merged[a] = struct{}{}
+		}
+		for a := range h.pending {
+			merged[a] = struct{}{}
+		}
+		for a := range h.upReqs {
+			merged[a] = struct{}{}
+		}
+		for _, addr := range sortedAddrs(merged) {
+			fn(h.id, addr, h.record[addr], h.pending[addr], h.upReqs[addr])
+		}
+	}
+}
+
+// NumClusters returns the hub count (0 for a flat system).
+func (s *System) NumClusters() int { return len(s.hubs) }
 
 // MSHRStateOf returns the transient state of port's outstanding
 // transaction for block, if one exists.

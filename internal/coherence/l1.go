@@ -202,16 +202,31 @@ func newL1(id int, sys *System, params cache.Params) *L1 {
 	}
 }
 
-// toDir schedules delivery of m to the owning bank (adds Hop via the
-// crossbar).
+// toDir schedules delivery of m toward the owning bank (adds Hop via the
+// fabric). Under the two-level directory the message funnels through the
+// cluster hub, which filters or forwards it (one extra fabric traversal).
 func (l *L1) toDir(m Msg) {
+	if l.sys.twoLevel {
+		c := l.sys.clusterOf(l.ID)
+		l.sys.net.SendEvent(l.ID, l.sys.hubPort(c), l.sys.hubs[c], m.payload(opHubUp))
+		return
+	}
 	b := l.sys.bankFor(m.Addr)
-	l.sys.xbar.SendEvent(l.ID, l.sys.bankPort(b.id), b, m.payload(opBankDispatch))
+	l.sys.net.SendEvent(l.ID, l.sys.bankPort(b.id), b, m.payload(opBankDispatch))
 }
 
-// toL1 schedules delivery of m to a peer controller.
+// toL1 schedules delivery of m to a peer controller. Under the two-level
+// directory the message routes through the DESTINATION's hub so the hub
+// record sees every grant entering its cluster.
 func (l *L1) toL1(dst int, m Msg) {
-	l.sys.xbar.SendEvent(l.ID, dst, l.sys.L1s[dst], m.payload(opL1Recv))
+	if l.sys.twoLevel {
+		c := l.sys.clusterOf(dst)
+		p := m.payload(opHubDown)
+		p.Z = int32(dst)
+		l.sys.net.SendEvent(l.ID, l.sys.hubPort(c), l.sys.hubs[c], p)
+		return
+	}
+	l.sys.net.SendEvent(l.ID, dst, l.sys.L1s[dst], m.payload(opL1Recv))
 }
 
 // putAccess parks an in-flight access in the slot pool and returns its

@@ -89,6 +89,7 @@ type Msg struct {
 	Excl        bool     // DataFromOwner: grant carries exclusivity (GETX forward)
 	Owned       bool     // WBData: sender retains the dirty copy in state O (MOESI)
 	MakeForward bool     // Data/DataFromOwner: requestor becomes the MESIF forwarder
+	ClusterLast bool     // PUTX via a hub: the evictor was its cluster's last holder
 	Served      ServedBy // Data/DataExclusive: where the grant was served from
 }
 
@@ -111,6 +112,15 @@ const (
 	opBankDeliverPin                     // pinned grant arriving: unpin, then deliver
 	opBankFetchIssue                     // LLC tag miss confirmed; issue the DRAM access
 	opBankInstall                        // DRAM responded; install and grant (retries on stall)
+
+	// Two-level directory routing (cluster hubs). Hub events are pure
+	// routing plus exact-local-set bookkeeping: they never resolve a
+	// protocol table entry and are invisible to the Observe hooks.
+	opHubUp            // L1 -> hub: filter/forward a request toward the home bank
+	opHubDown          // bank/owner -> hub: record and deliver a message to a local L1 (Z = dst)
+	opHubDownPin       // like opHubDown for a pinned grant (forwards opBankDeliverPin)
+	opHubInv           // home -> hub: multicast Inv to the recorded locals, aggregate acks
+	opBankSendStageHub // bank-local latency elapsed; enter the fabric toward a hub (Z = cluster)
 )
 
 // Msg flag bits packed into sim.Payload.F.
@@ -121,6 +131,7 @@ const (
 	pfExcl
 	pfOwned
 	pfMakeForward
+	pfClusterLast
 )
 
 // payload packs the message into a fixed-size event payload. Z is left
@@ -145,6 +156,9 @@ func (m Msg) payload(op uint8) sim.Payload {
 	if m.MakeForward {
 		f |= pfMakeForward
 	}
+	if m.ClusterLast {
+		f |= pfClusterLast
+	}
 	return sim.Payload{
 		A: uint64(m.Addr), B: m.Data,
 		X: int32(m.Src), Y: int32(m.Requestor),
@@ -166,6 +180,7 @@ func msgFromPayload(p sim.Payload) Msg {
 		Excl:        p.F&pfExcl != 0,
 		Owned:       p.F&pfOwned != 0,
 		MakeForward: p.F&pfMakeForward != 0,
+		ClusterLast: p.F&pfClusterLast != 0,
 		Served:      ServedBy(p.Aux),
 	}
 }

@@ -51,6 +51,36 @@ type SystemConfig struct {
 	DRAM      dram.Config
 	Prefetch  PrefetchMode // L1 next-line prefetcher
 
+	// Topology selects the interconnect model: "" or "crossbar" builds
+	// the full crossbar (the default, byte-identical to every pre-mesh
+	// build), "mesh" a MeshW x MeshH 2D mesh with XY dimension-order
+	// routing. Timing.Hop is the base traversal latency in both.
+	Topology string
+
+	// MeshW, MeshH are the mesh dimensions (required for Topology
+	// "mesh"). MeshPerHop adds latency per inter-router hop, and
+	// MeshLinkOccupancy serializes messages per directed link (the
+	// congestion model; 0 keeps the mesh pure-latency and routable onto
+	// a sharded engine). MeshRouterOf optionally pins each fabric port
+	// (L1s, then banks, then cluster hubs) to a router; when nil, L1s,
+	// banks, and hubs spread evenly in index order.
+	MeshW, MeshH      int
+	MeshPerHop        sim.Cycle
+	MeshLinkOccupancy sim.Cycle
+	MeshRouterOf      []int
+
+	// Clusters > 1 enables the two-level directory: the NumL1 controllers
+	// partition into Clusters equal contiguous clusters, each with a hub —
+	// a cluster-level directory that records exactly which locals hold
+	// each block, filters evictions, multicasts invalidations, and
+	// aggregates their acks — while the home directory tracks sharer
+	// CLUSTERS (one bit each) instead of individual L1s. This lifts the
+	// flat 64-sharer bitmask limit to 64 clusters x 64 locals. Owners are
+	// still tracked by exact L1 id at the home, so the E/M paths (the
+	// paper's timing channel) are unchanged. 0 or 1 keeps the flat
+	// directory, byte-identical to a build without this field.
+	Clusters int
+
 	// NoFastPath disables the synchronous hit fast path, forcing every
 	// access through the event engine. The fast path is byte-identical by
 	// construction; the knob exists so equivalence tests can prove it.
@@ -83,8 +113,49 @@ type SystemConfig struct {
 
 // Validate checks the configuration.
 func (c SystemConfig) Validate() error {
-	if c.NumL1 <= 0 || c.NumL1 > 64 {
-		return fmt.Errorf("coherence: NumL1 %d out of range [1,64]", c.NumL1)
+	if c.Clusters > 1 {
+		if c.Clusters > 64 {
+			return fmt.Errorf("coherence: cluster count %d out of range [2,64]", c.Clusters)
+		}
+		if c.NumL1 <= 0 || c.NumL1%c.Clusters != 0 {
+			return fmt.Errorf("coherence: NumL1 %d not divisible into %d clusters", c.NumL1, c.Clusters)
+		}
+		if locals := c.NumL1 / c.Clusters; locals > 64 {
+			return fmt.Errorf("coherence: %d L1s per cluster exceeds the 64-local hub limit", locals)
+		}
+		if c.Policy != nil && (c.Policy.OwnershipTransfer() || c.Policy.ForwardStateFor(false) || c.Policy.ForwardStateFor(true)) {
+			return fmt.Errorf("coherence: two-level directory does not support owned/forward-state policies (%s)", c.Policy.Name())
+		}
+		if c.Timing.SocketCores > 0 {
+			return fmt.Errorf("coherence: two-level directory is incompatible with NUMA socket distance")
+		}
+		if _, ok := c.Policy.(Arbiter); ok {
+			// A bank arbiter may promote a queued request ahead of an older
+			// eviction notice from the same cluster, reordering the hub's
+			// emission order at the home and invalidating the hub's
+			// "cluster last" certification.
+			return fmt.Errorf("coherence: two-level directory requires FIFO bank queues (policy %s arbitrates)", c.Policy.Name())
+		}
+	} else if c.NumL1 <= 0 || c.NumL1 > 64 {
+		return fmt.Errorf("coherence: NumL1 %d out of range [1,64] (use Clusters for larger machines)", c.NumL1)
+	}
+	switch c.Topology {
+	case "", "crossbar":
+	case "mesh":
+		if c.MeshW < 1 || c.MeshH < 1 {
+			return fmt.Errorf("coherence: mesh topology requires positive dimensions, got %dx%d", c.MeshW, c.MeshH)
+		}
+		if c.Timing.SocketCores > 0 || c.Timing.JitterMax > 0 || c.Timing.LinkOccupancy > 0 {
+			return fmt.Errorf("coherence: mesh topology is incompatible with crossbar occupancy, jitter, and socket distance (use MeshLinkOccupancy)")
+		}
+		if c.Faults != nil {
+			return fmt.Errorf("coherence: mesh topology does not support fault injection")
+		}
+		if c.Shards > 1 && c.MeshLinkOccupancy > 0 {
+			return fmt.Errorf("coherence: a link-occupancy mesh cannot be sharded (per-link FIFO state is engine-global)")
+		}
+	default:
+		return fmt.Errorf("coherence: unknown topology %q", c.Topology)
 	}
 	if c.Banks <= 0 || c.Banks&(c.Banks-1) != 0 {
 		return fmt.Errorf("coherence: bank count %d not a power of two", c.Banks)
@@ -143,19 +214,27 @@ type System struct {
 	mapper    *cache.BankMapper
 	tracer    *Tracer
 	msgCounts [MsgDataFromOwner + 1]uint64
-	xbar      *interconnect.Crossbar
+	net       interconnect.Fabric
 	faults    *fault.Injector
 	numL1     int
 	noFast    bool
 
+	// Two-level directory state: hubs are the per-cluster directories
+	// (empty when flat), localsPer the cluster width. twoLevel gates the
+	// routing funnels and the home directory's cluster-bit bookkeeping.
+	hubs      []*hub
+	localsPer int
+	twoLevel  bool
+
 	// Sharded-engine state: sh is the sharded driver (nil on one engine),
-	// shardOfL1/shardOfBank the component-to-shard maps, routed whether
-	// the crossbar delivers through the shard Route hook (pure-latency
-	// networks only), shardTrace the per-shard message accounting used
-	// inside parallel epochs.
+	// shardOfL1/shardOfBank/shardOfHub the component-to-shard maps, routed
+	// whether the fabric delivers through the shard Route hook
+	// (pure-latency networks only), shardTrace the per-shard message
+	// accounting used inside parallel epochs.
 	sh          *sim.Sharded
 	shardOfL1   []int
 	shardOfBank []int
+	shardOfHub  []int
 	routed      bool
 	shardTrace  []traceShard
 
@@ -211,15 +290,36 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		numL1:  cfg.NumL1,
 		noFast: cfg.NoFastPath,
 	}
+	numHubs := 0
+	if cfg.Clusters > 1 {
+		s.twoLevel = true
+		s.localsPer = cfg.NumL1 / cfg.Clusters
+		numHubs = cfg.Clusters
+	}
+	// Fabric ports: L1s first, then LLC banks, then cluster hubs.
+	ports := cfg.NumL1 + cfg.Banks + numHubs
+	mesh := cfg.Topology == "mesh"
+	var routerOf []int
+	if mesh {
+		routerOf = cfg.MeshRouterOf
+		if routerOf == nil {
+			routers := cfg.MeshW * cfg.MeshH
+			routerOf = make([]int, ports)
+			for i := 0; i < cfg.NumL1; i++ {
+				routerOf[i] = i * routers / cfg.NumL1
+			}
+			for b := 0; b < cfg.Banks; b++ {
+				routerOf[cfg.NumL1+b] = b * routers / cfg.Banks
+			}
+			for c := 0; c < numHubs; c++ {
+				// A hub sits on its cluster's first tile.
+				routerOf[cfg.NumL1+cfg.Banks+c] = routerOf[c*s.localsPer]
+			}
+		}
+	}
 	if cfg.Shards > 1 {
-		// Sharded layout: one engine per shard, lookahead = the crossbar's
-		// minimum hop latency (nothing crosses shards faster). Shard 0's
-		// engine doubles as s.Eng, the driver-context handle every
-		// synchronous caller uses.
-		s.sh = sim.NewSharded(cfg.Shards, cfg.Timing.Hop)
-		s.Eng = s.sh.Shard(0)
-		s.sh.OnReplayOp(s.applySideOp)
-		s.shardTrace = make([]traceShard, cfg.Shards)
+		// Sharded layout: one engine per shard. Shard 0's engine doubles as
+		// s.Eng, the driver-context handle every synchronous caller uses.
 		s.shardOfL1 = make([]int, cfg.NumL1)
 		for i := range s.shardOfL1 {
 			if cfg.ShardOfL1 != nil {
@@ -232,51 +332,110 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		for b := range s.shardOfBank {
 			s.shardOfBank[b] = b * cfg.Shards / cfg.Banks
 		}
+		s.shardOfHub = make([]int, numHubs)
+		for c := range s.shardOfHub {
+			// A hub lives on its cluster's shard: with the default
+			// cluster-contiguous L1 map the whole cluster plus its hub
+			// share one shard and intra-cluster traffic never crosses.
+			s.shardOfHub[c] = s.shardOfL1[c*s.localsPer]
+		}
+		// The lookahead is the fabric's minimum cross-shard latency: the
+		// crossbar's hop latency, or on a mesh the smallest distance-
+		// dependent latency between ports on different shards — clamped to
+		// LLCTag, because mid-epoch dispatches issue DRAM fetches as global
+		// events after the LLC tag latency (see fetchAndGrant).
+		la := cfg.Timing.Hop
+		if mesh && cfg.MeshPerHop > 0 {
+			la = meshCrossShardLookahead(cfg, routerOf, func(port int) int {
+				if port < cfg.NumL1 {
+					return s.shardOfL1[port]
+				}
+				if b := port - cfg.NumL1; b < cfg.Banks {
+					return s.shardOfBank[b]
+				}
+				return s.shardOfHub[port-cfg.NumL1-cfg.Banks]
+			})
+		}
+		s.sh = sim.NewSharded(cfg.Shards, la)
+		s.Eng = s.sh.Shard(0)
+		s.sh.OnReplayOp(s.applySideOp)
+		s.shardTrace = make([]traceShard, cfg.Shards)
 	} else {
 		s.Eng = sim.NewEngine()
 	}
 	s.table = tableForPolicy(cfg.Policy)
-	// Crossbar ports: L1s first, then LLC banks.
-	xcfg := interconnect.Config{
-		Ports:      cfg.NumL1 + cfg.Banks,
-		Latency:    cfg.Timing.Hop,
-		Occupancy:  cfg.Timing.LinkOccupancy,
-		JitterMax:  cfg.Timing.JitterMax,
-		JitterSeed: cfg.Timing.JitterSeed,
-	}
-	if cfg.Timing.SocketCores > 0 {
-		xcfg.Distance = func(src, dst int) sim.Cycle {
-			if s.socketOf(src) != s.socketOf(dst) {
-				return s.Timing.CrossSocketExtra
+	if mesh {
+		mcfg := interconnect.MeshConfig{
+			Ports:         ports,
+			W:             cfg.MeshW,
+			H:             cfg.MeshH,
+			Latency:       cfg.Timing.Hop,
+			PerHop:        cfg.MeshPerHop,
+			LinkOccupancy: cfg.MeshLinkOccupancy,
+			RouterOf:      routerOf,
+		}
+		if s.sh != nil && mcfg.LinkOccupancy == 0 {
+			// Pure-latency mesh on a sharded engine: deliver each message
+			// directly onto the destination's home shard with its full
+			// distance-dependent latency. Every latency is at least the hop
+			// latency and every cross-shard latency at least the lookahead
+			// (which was derived from the cross-shard minimum), so mid-epoch
+			// sends are always legal.
+			s.routed = true
+			mcfg.Route = func(src, dst int, lat sim.Cycle, h sim.Handler, p sim.Payload) {
+				s.portEngine(src).SendRemote(s.shardOfPort(dst), lat, h, p)
 			}
-			return 0
 		}
-	}
-	if cfg.Faults != nil {
-		s.faults = cfg.Faults
-		xcfg.Extra = cfg.Faults.LinkDelay
-		s.Mem.Extra = cfg.Faults.DRAMDelay
-		cfg.Faults.Attach(s.Eng)
-		cfg.Faults.Diagnose = s.DumpState
-	}
-	if s.sh != nil && xcfg.Occupancy == 0 && xcfg.JitterMax == 0 && xcfg.Distance == nil && xcfg.Extra == nil {
-		// Pure-latency crossbar on a sharded engine: deliver each message
-		// directly onto the destination's home shard. The delivery latency is
-		// the hop latency — exactly the lookahead — so mid-epoch cross-shard
-		// sends are always legal. Port-time features (occupancy, jitter,
-		// NUMA distance, fault extra) serialize through shared bookkeeping and
-		// keep the closure-free default path; those systems still run sharded,
-		// but only in sequential-stepping mode (see ParallelSafe).
-		s.routed = true
-		xcfg.Route = func(src, dst int, lat sim.Cycle, h sim.Handler, p sim.Payload) {
-			s.portEngine(src).SendRemote(s.shardOfPort(dst), lat, h, p)
+		net, err := interconnect.NewMesh(s.Eng, mcfg)
+		if err != nil {
+			return nil, err
 		}
+		s.net = net
+	} else {
+		xcfg := interconnect.Config{
+			Ports:      ports,
+			Latency:    cfg.Timing.Hop,
+			Occupancy:  cfg.Timing.LinkOccupancy,
+			JitterMax:  cfg.Timing.JitterMax,
+			JitterSeed: cfg.Timing.JitterSeed,
+		}
+		if cfg.Timing.SocketCores > 0 {
+			xcfg.Distance = func(src, dst int) sim.Cycle {
+				if s.socketOf(src) != s.socketOf(dst) {
+					return s.Timing.CrossSocketExtra
+				}
+				return 0
+			}
+		}
+		if cfg.Faults != nil {
+			s.faults = cfg.Faults
+			xcfg.Extra = cfg.Faults.LinkDelay
+			s.Mem.Extra = cfg.Faults.DRAMDelay
+			cfg.Faults.Attach(s.Eng)
+			cfg.Faults.Diagnose = s.DumpState
+		}
+		if s.sh != nil && xcfg.Occupancy == 0 && xcfg.JitterMax == 0 && xcfg.Distance == nil && xcfg.Extra == nil {
+			// Pure-latency crossbar on a sharded engine: deliver each message
+			// directly onto the destination's home shard. The delivery latency is
+			// the hop latency — exactly the lookahead — so mid-epoch cross-shard
+			// sends are always legal. Port-time features (occupancy, jitter,
+			// NUMA distance, fault extra) serialize through shared bookkeeping and
+			// keep the closure-free default path; those systems still run sharded,
+			// but only in sequential-stepping mode (see ParallelSafe).
+			s.routed = true
+			xcfg.Route = func(src, dst int, lat sim.Cycle, h sim.Handler, p sim.Payload) {
+				s.portEngine(src).SendRemote(s.shardOfPort(dst), lat, h, p)
+			}
+		}
+		xbar, err := interconnect.New(s.Eng, xcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.net = xbar
 	}
-	xbar, err := interconnect.New(s.Eng, xcfg)
-	if err != nil {
-		return nil, err
+	for c := 0; c < numHubs; c++ {
+		s.hubs = append(s.hubs, newHub(c, s))
 	}
-	s.xbar = xbar
 	for i := 0; i < cfg.Banks; i++ {
 		s.banks = append(s.banks, newBank(i, s, cfg.LLCParams))
 	}
@@ -286,6 +445,35 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		s.L1s = append(s.L1s, l1)
 	}
 	return s, nil
+}
+
+// meshCrossShardLookahead returns the minimum mesh latency between ports
+// living on different shards, clamped to LLCTag (Validate guarantees
+// LLCTag >= Hop when sharded, so the result is always at least Hop).
+func meshCrossShardLookahead(cfg SystemConfig, routerOf []int, shardOf func(int) int) sim.Cycle {
+	la := cfg.Timing.LLCTag
+	w := cfg.MeshW
+	for a := range routerOf {
+		for b := range routerOf {
+			if shardOf(a) == shardOf(b) {
+				continue
+			}
+			ax, ay := routerOf[a]%w, routerOf[a]/w
+			bx, by := routerOf[b]%w, routerOf[b]/w
+			dx, dy := ax-bx, ay-by
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			lat := cfg.Timing.Hop + cfg.MeshPerHop*sim.Cycle(dx+dy)
+			if lat < la {
+				la = lat
+			}
+		}
+	}
+	return la
 }
 
 // MustNewSystem is NewSystem for static configurations.
@@ -301,8 +489,14 @@ func (s *System) bankFor(addr cache.Addr) *bank {
 	return s.banks[s.mapper.Bank(addr)]
 }
 
-// bankPort returns a bank's crossbar port.
+// bankPort returns a bank's fabric port.
 func (s *System) bankPort(bankID int) int { return s.numL1 + bankID }
+
+// clusterOf maps an L1 id to its cluster. Only meaningful when twoLevel.
+func (s *System) clusterOf(l1 int) int { return l1 / s.localsPer }
+
+// hubPort returns a cluster hub's fabric port (after L1s and banks).
+func (s *System) hubPort(cluster int) int { return s.numL1 + len(s.banks) + cluster }
 
 // socketOf maps a crossbar port (L1 or bank) to its NUMA socket: L1s are
 // grouped SocketCores at a time; LLC banks distribute round-robin across
@@ -321,8 +515,8 @@ func (s *System) socketOf(port int) int {
 	return (port - s.numL1) % sockets
 }
 
-// Network returns the interconnect for statistics inspection.
-func (s *System) Network() *interconnect.Crossbar { return s.xbar }
+// Network returns the interconnect fabric for statistics inspection.
+func (s *System) Network() interconnect.Fabric { return s.net }
 
 // initialToken derives the shadow value of untouched memory from its
 // address, so the data-value invariant can be checked without
@@ -353,13 +547,16 @@ func (s *System) memWrite(addr cache.Addr, v uint64) { s.bankFor(addr).image[add
 // epochs are reserved for the paths that can tolerate barrier-granular
 // stopping (cpu.Run) and satisfy ParallelSafe.
 
-// shardOfPort maps a crossbar port (L1s first, then banks) to its home
-// shard. Only meaningful when sharded.
+// shardOfPort maps a fabric port (L1s first, then banks, then hubs) to its
+// home shard. Only meaningful when sharded.
 func (s *System) shardOfPort(port int) int {
 	if port < s.numL1 {
 		return s.shardOfL1[port]
 	}
-	return s.shardOfBank[port-s.numL1]
+	if b := port - s.numL1; b < len(s.shardOfBank) {
+		return s.shardOfBank[b]
+	}
+	return s.shardOfHub[port-s.numL1-len(s.shardOfBank)]
 }
 
 // portEngine returns the engine hosting a crossbar port's component.
@@ -384,6 +581,14 @@ func (s *System) engineForBank(id int) *sim.Engine {
 		return s.Eng
 	}
 	return s.sh.Shard(s.shardOfBank[id])
+}
+
+// engineForHub returns the engine cluster hub c is wired to.
+func (s *System) engineForHub(c int) *sim.Engine {
+	if s.sh == nil {
+		return s.Eng
+	}
+	return s.sh.Shard(s.shardOfHub[c])
 }
 
 // EngineForL1 exposes an L1's home engine for the core layer, which must
@@ -726,6 +931,45 @@ func (s *System) CheckInvariants() error {
 			return fmt.Errorf("SWMR: block %#x has both O=%v and F=%v holders", addr, h.owned, h.forward)
 		}
 	}
+	// Two-level agreement: hubs quiesced, and the hub records are exact —
+	// every L1-resident block has its local bit set and every set bit maps
+	// to a valid line.
+	if s.twoLevel {
+		for _, h := range s.hubs {
+			if len(h.pending) != 0 {
+				return fmt.Errorf("hub %d: %d invalidation aggregations still pending", h.id, len(h.pending))
+			}
+			if len(h.upReqs) != 0 {
+				return fmt.Errorf("hub %d: %d up-requests still awaiting grants", h.id, len(h.upReqs))
+			}
+		}
+		for _, l1 := range s.L1s {
+			c := s.clusterOf(l1.ID)
+			lid := uint(l1.ID - c*s.localsPer)
+			var err error
+			l1.Array().ForEachValid(func(addr cache.Addr, ln *cache.Line) {
+				if s.hubs[c].record[addr]&(1<<lid) == 0 {
+					err = fmt.Errorf("hub %d: L1 %d holds %#x but its record bit is clear", c, l1.ID, addr)
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+		for _, h := range s.hubs {
+			for addr, rec := range h.record {
+				for lid := 0; rec != 0; lid++ {
+					if rec&1 != 0 {
+						id := h.id*s.localsPer + lid
+						if st := s.L1StateOf(id, addr); st == cache.Invalid {
+							return fmt.Errorf("hub %d: record bit for L1 %d on %#x but the line is invalid", h.id, id, addr)
+						}
+					}
+					rec >>= 1
+				}
+			}
+		}
+	}
 	// Directory agreement.
 	for _, b := range s.banks {
 		for addr, e := range b.entries {
@@ -736,6 +980,29 @@ func (s *System) CheckInvariants() error {
 					return fmt.Errorf("dir: block %#x %v owner %d holds %v", addr, e.state, e.owner, st)
 				}
 			case DirShared:
+				if s.twoLevel {
+					// Sharer bits are clusters: each set bit must map to a
+					// nonempty hub record whose locals all hold S.
+					for c, sh := 0, e.sharers; sh != 0; c++ {
+						if sh&1 != 0 {
+							rec := s.hubs[c].record[addr]
+							if rec == 0 {
+								return fmt.Errorf("dir: block %#x sharer cluster %d has an empty hub record", addr, c)
+							}
+							for lid := 0; rec != 0; lid++ {
+								if rec&1 != 0 {
+									id := c*s.localsPer + lid
+									if st := s.L1StateOf(id, addr); st != cache.Shared {
+										return fmt.Errorf("dir: block %#x cluster %d local %d holds %v", addr, c, id, st)
+									}
+								}
+								rec >>= 1
+							}
+						}
+						sh >>= 1
+					}
+					break
+				}
 				for id, sh := 0, e.sharers; sh != 0; id++ {
 					if sh&1 != 0 {
 						st := s.L1StateOf(id, addr)

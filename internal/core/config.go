@@ -76,6 +76,31 @@ type Config struct {
 	Protocol coherence.Policy
 	DRAM     dram.Config
 
+	// Topology selects the interconnect model: "" or "crossbar" (the
+	// paper's Table V machine), or "mesh" for a 2D mesh with XY
+	// dimension-order routing whose latency grows with Manhattan
+	// distance. Mesh dimensions derive from the core count (a near-square
+	// W x H with W*H = Cores) unless MeshW/MeshH are set explicitly. A
+	// core's D- and I-cache controllers and its LLC bank share the core's
+	// tile; cluster hubs sit on their cluster's first tile.
+	Topology     string
+	MeshW, MeshH int
+
+	// MeshPerHop is the per-link latency added on top of Timing.Hop per
+	// Manhattan hop; MeshLinkOccupancy serializes each link at the given
+	// cycles per message (0 = infinite link bandwidth; incompatible with
+	// Shards > 1).
+	MeshPerHop        sim.Cycle
+	MeshLinkOccupancy sim.Cycle
+
+	// Clusters > 1 organizes the directory hierarchically: the cores
+	// partition into Clusters contiguous clusters, each with a hub
+	// directory that tracks its locals exactly, while the home directory
+	// tracks sharer clusters. Must divide Cores. Required beyond 32
+	// cores — the flat directory addresses at most 64 L1 controllers and
+	// each core contributes two (D and I).
+	Clusters int
+
 	// Prefetch selects the L1 next-line prefetcher mode (off by default;
 	// see coherence.PrefetchMode for the naive mode's security hazard).
 	Prefetch coherence.PrefetchMode
@@ -115,6 +140,38 @@ type Config struct {
 	// *fault.Violation carrying the full pending-event and transient-state
 	// dump. Runtime-only, like Faults.
 	Watchdog sim.WatchdogConfig
+}
+
+// MeshDims returns the default near-square mesh for cores tiles:
+// W = 2^ceil(k/2), H = 2^floor(k/2) for cores = 2^k, so W*H = cores and
+// W/H <= 2.
+func MeshDims(cores int) (w, h int) {
+	w, h = 1, 1
+	for w*h < cores {
+		if w <= h {
+			w *= 2
+		} else {
+			h *= 2
+		}
+	}
+	return w, h
+}
+
+// DefaultScaledConfig returns the Table V machine scaled to large core
+// counts: the same per-core resources, on a 2D mesh sized by MeshDims,
+// with a two-level directory once the flat directory can no longer
+// address the machine (cores > 32). Cluster size is capped at 8 cores
+// (16 L1 controllers per hub), so invalidation fan-out stays bounded as
+// the machine grows.
+func DefaultScaledConfig(cores int, protocol coherence.Policy) Config {
+	cfg := DefaultConfig(cores, protocol)
+	cfg.Topology = "mesh"
+	cfg.MeshW, cfg.MeshH = MeshDims(cores)
+	cfg.MeshPerHop = 1
+	if cores > 32 {
+		cfg.Clusters = cores / 8
+	}
+	return cfg
 }
 
 // DefaultConfig returns the Table V machine with the given core count and
@@ -171,6 +228,17 @@ func (c Config) Validate() error {
 	if c.Shards < 0 || c.Shards > 64 {
 		return fmt.Errorf("core: shard count %d out of range [0,64]", c.Shards)
 	}
+	switch c.Topology {
+	case "", "crossbar", "mesh":
+	default:
+		return fmt.Errorf("core: unknown topology %q", c.Topology)
+	}
+	if c.Clusters > 1 && c.Cores%c.Clusters != 0 {
+		return fmt.Errorf("core: clusters %d does not divide cores %d", c.Clusters, c.Cores)
+	}
+	if c.Cores > 32 && c.Clusters <= 1 {
+		return fmt.Errorf("core: %d cores need %d L1 ports, beyond the flat directory's 64; set Clusters", c.Cores, 2*c.Cores)
+	}
 	if err := c.L1.Validate(); err != nil {
 		return err
 	}
@@ -199,6 +267,16 @@ func (c Config) coherenceConfig() coherence.SystemConfig {
 		NoFastPath: c.NoFastPath,
 		Faults:     c.Faults,
 		Shards:     c.Shards,
+		Clusters:   c.Clusters,
+	}
+	if c.Topology == "mesh" {
+		cfg.Topology = "mesh"
+		cfg.MeshW, cfg.MeshH = c.MeshW, c.MeshH
+		if cfg.MeshW == 0 || cfg.MeshH == 0 {
+			cfg.MeshW, cfg.MeshH = MeshDims(c.Cores)
+		}
+		cfg.MeshPerHop = c.MeshPerHop
+		cfg.MeshLinkOccupancy = c.MeshLinkOccupancy
 	}
 	if c.Shards > 1 {
 		cfg.ShardOfL1 = make([]int, 2*c.Cores)

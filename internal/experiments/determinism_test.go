@@ -34,6 +34,8 @@ func TestParallelReportsMatchSequential(t *testing.T) {
 		{"moesi", false, func() string { return MOESIStudy(32, 1) }},
 		{"snoop", false, func() string { return SnoopStudy(32) }},
 		{"kernels", false, func() string { return KernelStudy(64) }},
+		{"scale", false, Scale},
+		{"scale-attack", false, func() string { return ScaleAttack(64) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

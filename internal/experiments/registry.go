@@ -184,6 +184,10 @@ var registry = []Experiment{
 		run: func(p Params) string { return Overhead(p.Cores) }},
 	{Name: "arbitration", Title: "phase-priority arbitration study", uses: usesBits,
 		run: func(p Params) string { return Arbitration(p.Bits / 4) }},
+	{Name: "scale", Title: "machine-scaling study: mesh + two-level directory",
+		run: func(Params) string { return Scale() }},
+	{Name: "scale-attack", Title: "covert channel vs machine scale", uses: usesBits,
+		run: func(p Params) string { return ScaleAttack(p.Bits / 8) }},
 }
 
 // Registry returns every experiment in report order. The slice is

@@ -14,6 +14,7 @@ func TestRegistryNamesCompleteAndUnique(t *testing.T) {
 		"fig7", "fig8", "fig9", "fig10a", "fig10b", "ablation", "traffic",
 		"futurework", "moesi", "snoop", "multiprogram", "lru", "prefetch",
 		"numa", "kernels", "sweep", "msi", "overhead", "arbitration",
+		"scale", "scale-attack",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v\nwant %v", got, want)

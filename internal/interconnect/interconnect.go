@@ -176,3 +176,18 @@ func (x *Crossbar) AvgQueueing() float64 {
 	}
 	return float64(x.QueuedCycles) / float64(x.Messages)
 }
+
+// MessageCount returns the number of messages admitted so far. The atomic
+// load pairs with the routed SendEvent path's atomic add; on the
+// sequential paths it is equivalent to a plain read.
+func (x *Crossbar) MessageCount() uint64 { return atomic.LoadUint64(&x.Messages) }
+
+// MinLatency returns the unloaded src -> dst traversal latency: the base
+// latency plus the NUMA distance, with no port queueing.
+func (x *Crossbar) MinLatency(src, dst int) sim.Cycle {
+	lat := x.cfg.Latency
+	if x.cfg.Distance != nil {
+		lat += x.cfg.Distance(src, dst)
+	}
+	return lat
+}

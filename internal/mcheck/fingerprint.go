@@ -111,6 +111,16 @@ func (c *checker) fingerprint(r *runner) fp {
 		emit(uint64(addr))
 		emit(uint64(n))
 	})
+
+	// Cluster hubs (two-level configurations only): exact local records,
+	// outstanding ack aggregations, in-flight up-request counts. All of
+	// it decides future filtering and acking behaviour.
+	r.sys.ForEachHubState(func(hub int, addr cache.Addr, record uint64, pending, upReqs int) {
+		emit(0x4855420000000000 | uint64(hub))
+		emit(uint64(addr))
+		emit(record)
+		emit(uint64(pending)<<32 | uint64(upReqs))
+	})
 	for i := 0; i < r.sys.NumBanks(); i++ {
 		r.sys.BankArray(i).AppendFingerprint(emit)
 	}
@@ -156,6 +166,7 @@ func emitMsg(emit func(uint64), m coherence.Msg) {
 	emit(uint64(m.Addr))
 	emit(uint64(m.Kind)<<32 | uint64(uint8(int8(m.Src)))<<24 |
 		uint64(uint8(int8(m.Requestor)))<<16 | uint64(m.Served)<<8 |
+		b2u(m.ClusterLast)<<6 |
 		b2u(m.WP)<<5 | b2u(m.Dirty)<<4 | b2u(m.FromWB)<<3 |
 		b2u(m.Excl)<<2 | b2u(m.Owned)<<1 | b2u(m.MakeForward))
 	emit(m.Data)

@@ -69,6 +69,11 @@ type Config struct {
 	Lines int // distinct block addresses accessed; default 1
 	Depth int // total accesses injected along any path; default 4
 
+	// Clusters > 1 checks the two-level directory: the cores partition
+	// into per-cluster hubs and the home tracks sharer clusters. Must
+	// divide Cores. 0 or 1 checks the flat directory.
+	Clusters int
+
 	// MaxOutstanding bounds the in-flight accesses per core, so MSHR
 	// merging is exercised without unbounded pipelining. Default 2.
 	MaxOutstanding int
@@ -129,6 +134,9 @@ func (c *Config) fill() error {
 	if c.Cores < 1 || c.Cores > maxCores {
 		return fmt.Errorf("mcheck: Cores %d out of range [1,%d]", c.Cores, maxCores)
 	}
+	if c.Clusters > 1 && c.Cores%c.Clusters != 0 {
+		return fmt.Errorf("mcheck: Cores %d not divisible into %d clusters", c.Cores, c.Clusters)
+	}
 	if c.Lines < 1 || c.Lines > 8 {
 		return fmt.Errorf("mcheck: Lines %d out of range [1,8]", c.Lines)
 	}
@@ -180,7 +188,8 @@ func (c *Config) sysConfig() coherence.SystemConfig {
 			Name: "mc-llc", SizeBytes: blockBytes * c.LLCBlocks,
 			Ways: c.LLCBlocks, BlockSize: blockBytes,
 		},
-		Banks: 1,
+		Banks:    1,
+		Clusters: c.Clusters,
 		Timing: coherence.Timing{
 			L1Tag: 1, Hop: 2, LLCTag: 3, RemoteL1Service: 4, RecallPenalty: 5,
 		},

@@ -10,10 +10,16 @@
 #   5. SIGTERM and assert a clean graceful drain (exit 0, cache footer).
 #
 # Needs only a POSIX shell, curl, and grep/sed — no jq.
+#
+# SERVE_E2E_ADDR overrides the listen address (default 127.0.0.1:0, an
+# ephemeral port). With a fixed port the script fails fast — with a
+# message naming the port — if something else already holds it, instead
+# of timing out against the wrong server.
 set -eu
 
 WORKDIR=$(mktemp -d)
 LOG="$WORKDIR/serve.log"
+LISTEN=${SERVE_E2E_ADDR:-127.0.0.1:0}
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
 fail() {
@@ -25,17 +31,28 @@ fail() {
 
 go build -o "$WORKDIR/swiftdir-serve" ./cmd/swiftdir-serve
 
-"$WORKDIR/swiftdir-serve" -addr 127.0.0.1:0 -cachedir "$WORKDIR/cache" \
+"$WORKDIR/swiftdir-serve" -addr "$LISTEN" -cachedir "$WORKDIR/cache" \
     -workers 2 -j 2 2>"$LOG" &
 SERVER_PID=$!
+
+# bind_failed — true once the server log shows the port was taken.
+bind_failed() {
+    grep -q 'address already in use' "$LOG" 2>/dev/null
+}
 
 # The server logs "listening on 127.0.0.1:<port>" once bound.
 BASE=""
 i=0
 while [ $i -lt 100 ]; do
+    if bind_failed; then
+        fail "port already bound: $LISTEN is in use — free it, or set SERVE_E2E_ADDR to another port (127.0.0.1:0 picks a free one)"
+    fi
     ADDR=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$LOG" | head -n 1)
     if [ -n "$ADDR" ]; then BASE="http://$ADDR"; break; fi
-    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        bind_failed && fail "port already bound: $LISTEN is in use — free it, or set SERVE_E2E_ADDR to another port (127.0.0.1:0 picks a free one)"
+        fail "server exited during startup"
+    fi
     i=$((i + 1))
     sleep 0.1
 done
