@@ -50,7 +50,7 @@ BENCHDATE   := $(shell date +%Y-%m-%d)$(BENCHTAG)
 # with  make benchdiff BENCHBASE=BENCH_2026-08-05.json
 BENCHBASE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check build test vet race bench bench-smoke benchdiff bench-gate serve serve-e2e fuzz fuzz-long soak mcheck proto-verify cover staticcheck
+.PHONY: check build test vet race bench bench-smoke benchdiff bench-gate serve serve-e2e fuzz fuzz-long soak chaos mcheck proto-verify cover staticcheck
 
 check: vet test race
 
@@ -140,6 +140,20 @@ soak:
 	$(GO) run -race ./cmd/swiftdir-sim -soak -bench '$(SOAK_BENCHES)' \
 		-scale 0.05 -plans $(SOAK_PLANS) -planseed $(SOAK_SEED) \
 		-bundledir '$(SOAK_ARTIFACTS)'
+
+# Chaos sweep on the scaled machine under the race detector: the
+# CHAOS_CORES-core mesh/two-level topology swept under the scaled plan
+# generator — mesh per-link delay spikes, pinned-link storms, and
+# cluster-hub busy windows on top of the flat machine's fault classes —
+# with the watchdog armed and the same metamorphic oracle (timing faults
+# must move cycles only). Crash bundles land in SOAK_ARTIFACTS, carry
+# the scaled topology in replay.json, and reproduce at any shard count
+# with `swiftdir-sim -replay <bundle>`.
+CHAOS_CORES ?= 64
+chaos:
+	$(GO) run -race ./cmd/swiftdir-sim -soak -soakscaled -soakcores $(CHAOS_CORES) \
+		-bench '$(SOAK_BENCHES)' -scale 0.02 -plans $(SOAK_PLANS) \
+		-planseed $(SOAK_SEED) -bundledir '$(SOAK_ARTIFACTS)'
 
 fuzz-long:
 	$(GO) test -run=^$$ -fuzz=$(FUZZTARGET) -fuzztime=$(FUZZTIME_LONG) $(FUZZPKG)

@@ -9,6 +9,7 @@
 //
 //	swiftdir-serve [-addr host:port] [-cachedir dir] [-cachemem n]
 //	               [-workers n] [-queue n] [-j n] [-shards n]
+//	               [-job-timeout d] [-bundledir dir]
 //
 // Quickstart:
 //
@@ -22,7 +23,18 @@
 // SIGTERM/SIGINT drain gracefully: intake stops (healthz flips to 503 so
 // a load balancer rotates the instance out), queued jobs finish, cache
 // hits keep being served to the end, and the cache accounting footer is
-// printed to stderr on the way out.
+// printed to stderr on the way out. If the -drainwait budget expires
+// first, in-flight simulations are aborted mid-run via their cancel
+// tokens; aborted jobs fail with a typed cancellation and never reach
+// the cache.
+//
+// Deadlines: -job-timeout bounds every compute (0 = unbounded); a
+// request's "timeout_ms" spec field overrides it per job. A run that
+// exceeds its deadline — or whose client disconnects — aborts at the
+// next simulated event and the request fails 504 (deadline) or 499
+// (client gone) with {"kind":"cancelled"}. Diverging runs (simulator
+// panics) fail 500 with {"kind":"diverged"} and, when -bundledir is
+// set, a replayable crash bundle.
 package main
 
 import (
@@ -63,7 +75,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 64, "bounded job queue depth (back-pressure beyond it)")
 	jobs := fs.Int("j", 0, "concurrent simulation jobs per experiment (0 = $SWIFTDIR_JOBS, else NumCPU)")
 	shards := fs.Int("shards", 0, "event-engine shards per machine, 1..64 (0 = $SWIFTDIR_SHARDS, else 1)")
-	drainWait := fs.Duration("drainwait", 30*time.Second, "graceful-drain budget on SIGTERM")
+	drainWait := fs.Duration("drainwait", 30*time.Second, "graceful-drain budget on SIGTERM (past it, in-flight jobs abort)")
+	jobTimeout := fs.Duration("job-timeout", 0, "default per-job compute deadline (0 = unbounded; timeout_ms in a spec overrides)")
+	bundleDir := fs.String("bundledir", "", "directory for crash bundles of diverging runs (empty = disabled)")
 	var pf prof.Flags
 	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +116,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Cache:      cache,
 		Workers:    *workers,
 		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		BundleDir:  *bundleDir,
 		Logf:       logf,
 	})
 

@@ -26,7 +26,12 @@
 // asserts the architectural results are byte-identical across plans; a
 // failing run is captured as a crash bundle under -bundledir, and
 // -replay re-executes a bundle's replay.json to reproduce the recorded
-// failure exactly.
+// failure exactly. -soakscaled moves the sweep onto the scaled machine
+// (-soakcores cores, mesh interconnect, two-level directory past 32
+// cores) and draws from the scaled plan generator, which adds mesh
+// per-link delay spikes, pinned-link storms, and cluster-hub busy
+// windows to the flat machine's fault classes; bundles carry the scaled
+// topology and replay on it at any shard count.
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/interconnect"
 	"repro/internal/prof"
 	"repro/internal/soak"
 	"repro/internal/stats"
@@ -60,6 +66,8 @@ func main() {
 	shards := flag.Int("shards", 0, "event-engine shards per machine, 1..64 (0 = $SWIFTDIR_SHARDS, else 1); results are byte-identical at every value")
 	verbose := flag.Bool("v", true, "print hierarchy statistics")
 	soakFlag := flag.Bool("soak", false, "fault-injection soak sweep over -bench (see package doc)")
+	soakScaled := flag.Bool("soakscaled", false, "run -soak on the scaled machine (mesh + two-level directory) with mesh/hub fault classes")
+	soakCores := flag.Int("soakcores", 64, "core count for -soakscaled")
 	plansN := flag.Int("plans", 8, "fault plans per -soak benchmark (plan 0 is the no-fault control)")
 	planSeed := flag.Uint64("planseed", 1, "seed for -soak plan generation")
 	bundleDir := flag.String("bundledir", "soak-bundles", "crash-bundle directory for -soak failures")
@@ -132,7 +140,7 @@ func main() {
 
 	if *soakFlag {
 		runSoak(strings.Split(*bench, ","), *protoName, workload.CPUKind(*cpuKind),
-			*scale, *plansN, *planSeed, *bundleDir)
+			*scale, *plansN, *planSeed, *bundleDir, *soakScaled, *soakCores)
 		return
 	}
 
@@ -199,9 +207,17 @@ func printShardFooters() {
 // plans with the watchdog armed and fails loudly if any plan crashes or
 // moves an architectural result.
 func runSoak(names []string, protoName string, kind workload.CPUKind,
-	scale float64, plansN int, planSeed uint64, bundleDir string) {
-	plans := fault.RandomPlans(plansN, planSeed)
-	fmt.Printf("soak: %d plans (seed %d), watchdog %+v, bundles -> %s\n",
+	scale float64, plansN int, planSeed uint64, bundleDir string, scaled bool, cores int) {
+	var plans []fault.Plan
+	if scaled {
+		w, h := core.MeshDims(cores)
+		plans = fault.RandomScaledPlans(plansN, planSeed, interconnect.MeshLinks(w, h))
+		fmt.Printf("soak: scaled machine (%d cores, %dx%d mesh), ", cores, w, h)
+	} else {
+		plans = fault.RandomPlans(plansN, planSeed)
+		fmt.Print("soak: ")
+	}
+	fmt.Printf("%d plans (seed %d), watchdog %+v, bundles -> %s\n",
 		len(plans), planSeed, soak.DefaultWatchdog(), bundleDir)
 	failed := false
 	for _, name := range names {
@@ -211,7 +227,11 @@ func runSoak(names []string, protoName string, kind workload.CPUKind,
 			Protocol:  protoName,
 			CPU:       kind,
 			Scale:     scale,
+			Scaled:    scaled,
 			Watchdog:  soak.DefaultWatchdog(),
+		}
+		if scaled {
+			base.Cores = cores
 		}
 		res := soak.Sweep(base, plans, bundleDir, 0)
 		for _, po := range res.Outcomes {

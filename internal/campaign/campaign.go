@@ -19,6 +19,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -234,6 +235,62 @@ func runPanicHook(hook func(*PanicError), pe *PanicError) (err error) {
 	}()
 	hook(pe)
 	return nil
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done, jobs
+// not yet picked up by a worker are skipped — their Result carries the
+// context's cause as Err and a zero Wall — while jobs already running
+// finish (or abort themselves, when their machines carry a cancel
+// token). Submission order of the results is unchanged, so a cancelled
+// campaign still reads like a partial prefix of the full grid.
+func RunCtx[T any](ctx context.Context, workers int, jobs []Job[T]) ([]Result[T], stats.CampaignSummary) {
+	if ctx == nil || ctx.Done() == nil {
+		return Run(workers, jobs)
+	}
+	guarded := make([]Job[T], len(jobs))
+	for i, j := range jobs {
+		run := j.Run
+		guarded[i] = Job[T]{
+			Name:    j.Name,
+			OnPanic: j.OnPanic,
+			Run: func() (T, error) {
+				if err := ctx.Err(); err != nil {
+					var zero T
+					if cause := context.Cause(ctx); cause != nil {
+						err = cause
+					}
+					return zero, fmt.Errorf("skipped: %w", err)
+				}
+				return run()
+			},
+		}
+	}
+	return Run(workers, guarded)
+}
+
+// CollectCtx is Collect with RunCtx's cancellation semantics.
+func CollectCtx[T any](ctx context.Context, workers int, jobs []Job[T]) ([]T, error) {
+	results, _ := RunCtx(ctx, workers, jobs)
+	values := make([]T, len(results))
+	var errs []error
+	for i, r := range results {
+		values[i] = r.Value
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("job %q: %w", r.Name, r.Err))
+		}
+	}
+	return values, errors.Join(errs...)
+}
+
+// MustCollectCtx is CollectCtx under the experiments' panic-on-error
+// convention: a cancelled campaign panics with the joined per-job
+// errors, which the frontends' recover fences classify.
+func MustCollectCtx[T any](ctx context.Context, workers int, jobs []Job[T]) []T {
+	values, err := CollectCtx(ctx, workers, jobs)
+	if err != nil {
+		panic(err)
+	}
+	return values
 }
 
 // Collect runs jobs and returns just the values in submission order.

@@ -47,10 +47,29 @@ type hub struct {
 	// empty" undecidable at the hub, turning eviction filtering
 	// conservative (see the type comment).
 	upReqs map[cache.Addr]int
+
+	// direct re-enters dispatch after an injected busy window without
+	// consulting the injector again (see Handle).
+	direct hubDirect
+
+	// faultFree is the injected-busy-window release ledger: no message may
+	// dispatch before it. Serializing delayed messages behind it keeps the
+	// hub's input FIFO — a message that drew no delay cannot overtake an
+	// earlier one still parked, which would reorder a cluster's writeback
+	// against its own follow-up request and break the blocking protocol.
+	faultFree sim.Cycle
 }
 
+// hubDirect is the hub's second handler identity: a delayed message is
+// rescheduled onto it so the busy-window roll happens exactly once per
+// message — a never-closing storm window must delay each message once,
+// not orbit it forever.
+type hubDirect struct{ h *hub }
+
+func (d *hubDirect) Handle(p sim.Payload) { d.h.dispatch(p) }
+
 func newHub(id int, sys *System) *hub {
-	return &hub{
+	h := &hub{
 		id:      id,
 		sys:     sys,
 		engine:  sys.engineForHub(id),
@@ -58,6 +77,8 @@ func newHub(id int, sys *System) *hub {
 		pending: make(map[cache.Addr]int, 16),
 		upReqs:  make(map[cache.Addr]int, 32),
 	}
+	h.direct = hubDirect{h: h}
+	return h
 }
 
 // base returns the cluster's first global L1 id.
@@ -70,8 +91,34 @@ func (h *hub) localBit(l1 int) uint64 { return 1 << uint(l1-h.base()) }
 func (h *hub) port() int { return h.sys.hubPort(h.id) }
 
 // Handle dispatches the hub's payload events (see the op constants in
-// message.go).
+// message.go). With a fault injector attached, each message first rolls
+// the hub busy-window class: a nonzero draw parks the message until the
+// hub is free again and re-enters through the direct handler, modeling a
+// transiently busy hub that queues its input. The faultFree ledger makes
+// the delay FIFO-preserving: later messages — even ones drawing no delay
+// of their own — release no earlier than everything parked before them,
+// and the engine's (cycle, insertion-order) tie-break keeps same-cycle
+// releases in arrival order. That matters for correctness, not just
+// fidelity: a cluster's request overtaking its own earlier writeback
+// through the hub would present the home directory with an owner
+// re-requesting a block it still holds.
 func (h *hub) Handle(p sim.Payload) {
+	if f := h.sys.faults; f != nil {
+		now := h.engine.Now()
+		release := now + f.HubDelay(h.id, now)
+		if release < h.faultFree {
+			release = h.faultFree
+		}
+		if release > now {
+			h.faultFree = release
+			h.engine.ScheduleEvent(release-now, &h.direct, p)
+			return
+		}
+	}
+	h.dispatch(p)
+}
+
+func (h *hub) dispatch(p sim.Payload) {
 	switch p.Op {
 	case opHubUp:
 		h.up(p)

@@ -103,11 +103,13 @@ type SystemConfig struct {
 	ShardOfL1 []int
 
 	// Faults, if non-nil, threads the fault injector through the timing
-	// layers: extra crossbar occupancy per message, extra bank-local
-	// service latency per response, and extra DRAM queueing delay per
-	// request. All injected delays are protocol-legal timing perturbation;
-	// with Faults nil every hook is a single nil check and the system is
-	// byte-identical to one built without this field.
+	// layers: extra crossbar occupancy per message (or, on a mesh, extra
+	// hold time per directed link), extra bank-local service latency per
+	// response, transient cluster-hub busy windows, and extra DRAM
+	// queueing delay per request. All injected delays are protocol-legal
+	// timing perturbation; with Faults nil every hook is a single nil
+	// check and the system is byte-identical to one built without this
+	// field.
 	Faults *fault.Injector
 }
 
@@ -147,9 +149,6 @@ func (c SystemConfig) Validate() error {
 		}
 		if c.Timing.SocketCores > 0 || c.Timing.JitterMax > 0 || c.Timing.LinkOccupancy > 0 {
 			return fmt.Errorf("coherence: mesh topology is incompatible with crossbar occupancy, jitter, and socket distance (use MeshLinkOccupancy)")
-		}
-		if c.Faults != nil {
-			return fmt.Errorf("coherence: mesh topology does not support fault injection")
 		}
 		if c.Shards > 1 && c.MeshLinkOccupancy > 0 {
 			return fmt.Errorf("coherence: a link-occupancy mesh cannot be sharded (per-link FIFO state is engine-global)")
@@ -374,7 +373,20 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			LinkOccupancy: cfg.MeshLinkOccupancy,
 			RouterOf:      routerOf,
 		}
-		if s.sh != nil && mcfg.LinkOccupancy == 0 {
+		if cfg.Faults != nil {
+			// Mesh fault wiring mirrors the crossbar branch below: the
+			// per-directed-link hook replaces the crossbar's per-message
+			// Extra, and the DRAM/bank/hub hooks are topology-independent.
+			// A non-nil LinkExtra disqualifies the Route fast path, so a
+			// faulted mesh always runs sequential stepping and the
+			// injector's draw order is the global message order.
+			s.faults = cfg.Faults
+			mcfg.LinkExtra = cfg.Faults.MeshDelay
+			s.Mem.Extra = cfg.Faults.DRAMDelay
+			cfg.Faults.Attach(s.Eng)
+			cfg.Faults.Diagnose = s.DumpState
+		}
+		if s.sh != nil && mcfg.LinkOccupancy == 0 && mcfg.LinkExtra == nil {
 			// Pure-latency mesh on a sharded engine: deliver each message
 			// directly onto the destination's home shard with its full
 			// distance-dependent latency. Every latency is at least the hop
@@ -668,6 +680,18 @@ func (s *System) ArmWatchdog(cfg sim.WatchdogConfig, trip func(sim.TripInfo)) {
 		return
 	}
 	s.Eng.ArmWatchdog(cfg, trip)
+}
+
+// ArmCancel arms a cooperative cancellation token on every engine the
+// system drives: once the token fires, the next executed event aborts the
+// run through trip, which receives the same merged pending dump a
+// watchdog trip would.
+func (s *System) ArmCancel(c *sim.Cancel, trip func(sim.CancelInfo)) {
+	if s.sh != nil {
+		s.sh.ArmCancel(c, trip)
+		return
+	}
+	s.Eng.ArmCancel(c, trip)
 }
 
 // sideUnpin is the DeferOp opcode for a deferred pin release (see unpin).

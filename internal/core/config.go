@@ -140,6 +140,13 @@ type Config struct {
 	// *fault.Violation carrying the full pending-event and transient-state
 	// dump. Runtime-only, like Faults.
 	Watchdog sim.WatchdogConfig
+
+	// Cancel, if non-nil, arms cooperative cancellation on the machine's
+	// engines: once the token fires (from any goroutine), the next
+	// executed event aborts the run with a *fault.Violation of kind
+	// "cancelled" carrying the full pending-event dump. Runtime-only,
+	// like Faults.
+	Cancel *sim.Cancel
 }
 
 // MeshDims returns the default near-square mesh for cores tiles:

@@ -49,6 +49,18 @@ func NewMachine(cfg Config) (*Machine, error) {
 			})
 		})
 	}
+	if cfg.Cancel != nil {
+		sys.ArmCancel(cfg.Cancel, func(ci sim.CancelInfo) {
+			panic(&fault.Violation{
+				Kind:      fault.KindCancelled,
+				Cycle:     uint64(ci.Now),
+				Component: "cancel",
+				Msg: fmt.Sprintf("run cancelled: %s (%d events executed, %d pending)",
+					ci.Reason, ci.Executed, ci.Pending),
+				Dump: "-- cancellation pending snapshot --\n" + ci.PendingDump + sys.DumpState(),
+			})
+		})
+	}
 	pm := mmu.NewPhysMem(0)
 	return &Machine{
 		Cfg: cfg,

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -97,7 +98,12 @@ type Fig6Data struct {
 // Fig6 measures coherence-request latencies: SwiftDir's Load_WP of shared
 // data against MESI's Load of S-state data (both LLC-served, ~17 cycles),
 // plus MESI's E-state path for contrast.
-func Fig6(samples int) Fig6Data {
+func Fig6(samples int) Fig6Data { return Fig6Ctx(nil, samples) }
+
+// Fig6Ctx is Fig6 with a cooperative cancellation token armed on its
+// machines; a nil token is Fig6 exactly. A fired token aborts the
+// measurement loop mid-simulation with a "cancelled" violation.
+func Fig6Ctx(c *sim.Cancel, samples int) Fig6Data {
 	d := Fig6Data{
 		LoadWP: &stats.Histogram{},
 		LoadS:  &stats.Histogram{},
@@ -106,7 +112,9 @@ func Fig6(samples int) Fig6Data {
 
 	// SwiftDir: every cross-core load of write-protected shared data.
 	{
-		m := core.MustNewMachine(core.DefaultConfig(2, coherence.SwiftDir))
+		cfg := core.DefaultConfig(2, coherence.SwiftDir)
+		cfg.Cancel = c
+		m := core.MustNewMachine(cfg)
 		proc := m.NewProcess()
 		c0, c1 := proc.AttachContext(0), proc.AttachContext(1)
 		lib := mmu.NewFile("fig6.so", 6)
@@ -122,7 +130,9 @@ func Fig6(samples int) Fig6Data {
 	}
 	// MESI: S-state loads (two prior sharers) and E-state loads.
 	{
-		m := core.MustNewMachine(core.DefaultConfig(4, coherence.MESI))
+		cfg := core.DefaultConfig(4, coherence.MESI)
+		cfg.Cancel = c
+		m := core.MustNewMachine(cfg)
 		proc := m.NewProcess()
 		c0, c1, c2 := proc.AttachContext(0), proc.AttachContext(1), proc.AttachContext(2)
 		lib := mmu.NewFile("fig6-mesi.so", 7)
@@ -163,7 +173,11 @@ func Fig6(samples int) Fig6Data {
 // rather than a point mass. The security conclusion is unchanged: the
 // Load_WP and Load(S) distributions coincide; only MESI's E-state path is
 // shifted.
-func Fig6Jitter(samples int) Fig6Data {
+func Fig6Jitter(samples int) Fig6Data { return Fig6JitterCtx(nil, samples) }
+
+// Fig6JitterCtx is Fig6Jitter with a cooperative cancellation token
+// armed on its machines; a nil token is Fig6Jitter exactly.
+func Fig6JitterCtx(c *sim.Cancel, samples int) Fig6Data {
 	d := Fig6Data{
 		LoadWP: &stats.Histogram{},
 		LoadS:  &stats.Histogram{},
@@ -172,6 +186,7 @@ func Fig6Jitter(samples int) Fig6Data {
 	measure := func(p coherence.Policy, wp bool, h *stats.Histogram, makeShared bool) {
 		cfg := core.DefaultConfig(4, p)
 		cfg.Timing.LinkOccupancy = 2
+		cfg.Cancel = c
 		m := core.MustNewMachine(cfg)
 		proc := m.NewProcess()
 		lib := mmu.NewFile("fig6j.so", 0x616)
@@ -218,6 +233,7 @@ func Fig6Jitter(samples int) Fig6Data {
 	measureWP := func(h *stats.Histogram) {
 		cfg := core.DefaultConfig(4, coherence.SwiftDir)
 		cfg.Timing.LinkOccupancy = 2
+		cfg.Cancel = c
 		m := core.MustNewMachine(cfg)
 		proc := m.NewProcess()
 		lib := mmu.NewFile("fig6j-wp.so", 0x617)
@@ -264,6 +280,14 @@ func Fig6Jitter(samples int) Fig6Data {
 // report concatenates the per-protocol chunks in the paper's protocol
 // order, so the output is identical at any worker count.
 func Security(bits, trials int) (results []attack.Result, sides []attack.SideResult, rendered string) {
+	return SecurityCtx(context.Background(), nil, bits, trials)
+}
+
+// SecurityCtx is Security with end-to-end cancellation: the token is
+// armed on every attack machine (mid-simulation abort) and ctx gates the
+// campaign grid (jobs not yet started are skipped once it fires). A
+// background ctx with a nil token is Security exactly.
+func SecurityCtx(ctx context.Context, c *sim.Cancel, bits, trials int) (results []attack.Result, sides []attack.SideResult, rendered string) {
 	var b strings.Builder
 	b.WriteString("Security: E/S coherence timing-channel attacks (§V-A)\n\n")
 	b.WriteString("Covert channel (sender modulates E/S, receiver times loads):\n")
@@ -277,7 +301,9 @@ func Security(bits, trials int) (results []attack.Result, sides []attack.SideRes
 		covertJobs = append(covertJobs, campaign.Job[covertOut]{
 			Name: "security/covert/" + p.Name(),
 			Run: func() (covertOut, error) {
-				ch, err := attack.NewChannel(core.DefaultConfig(4, p), bits)
+				cfg := core.DefaultConfig(4, p)
+				cfg.Cancel = c
+				ch, err := attack.NewChannel(cfg, bits)
 				if err != nil {
 					return covertOut{}, err
 				}
@@ -296,7 +322,7 @@ func Security(bits, trials int) (results []attack.Result, sides []attack.SideRes
 			},
 		})
 	}
-	for _, out := range campaign.MustCollect(0, covertJobs) {
+	for _, out := range campaign.MustCollectCtx(ctx, 0, covertJobs) {
 		results = append(results, out.res)
 		b.WriteString(out.text)
 	}
@@ -307,7 +333,9 @@ func Security(bits, trials int) (results []attack.Result, sides []attack.SideRes
 		textJobs = append(textJobs, campaign.Job[string]{
 			Name: "security/textchannel/" + p.Name(),
 			Run: func() (string, error) {
-				tc, err := attack.NewTextChannel(core.DefaultConfig(4, p), bits/4)
+				cfg := core.DefaultConfig(4, p)
+				cfg.Cancel = c
+				tc, err := attack.NewTextChannel(cfg, bits/4)
 				if err != nil {
 					return "", err
 				}
@@ -319,7 +347,7 @@ func Security(bits, trials int) (results []attack.Result, sides []attack.SideRes
 			},
 		})
 	}
-	for _, line := range campaign.MustCollect(0, textJobs) {
+	for _, line := range campaign.MustCollectCtx(ctx, 0, textJobs) {
 		b.WriteString(line)
 	}
 
@@ -329,7 +357,9 @@ func Security(bits, trials int) (results []attack.Result, sides []attack.SideRes
 		sideJobs = append(sideJobs, campaign.Job[attack.SideResult]{
 			Name: "security/side/" + p.Name(),
 			Run: func() (attack.SideResult, error) {
-				sc, err := attack.NewSideChannel(core.DefaultConfig(4, p), trials)
+				cfg := core.DefaultConfig(4, p)
+				cfg.Cancel = c
+				sc, err := attack.NewSideChannel(cfg, trials)
 				if err != nil {
 					return attack.SideResult{}, err
 				}
@@ -337,7 +367,7 @@ func Security(bits, trials int) (results []attack.Result, sides []attack.SideRes
 			},
 		})
 	}
-	for _, r := range campaign.MustCollect(0, sideJobs) {
+	for _, r := range campaign.MustCollectCtx(ctx, 0, sideJobs) {
 		sides = append(sides, r)
 		b.WriteString("  " + r.Describe() + "\n")
 	}
@@ -359,6 +389,12 @@ type SuiteRow struct {
 // whole grid fans out over the campaign pool; normalization happens
 // after collection, on results in submission order.
 func runSuite(profiles []workload.Profile, kind workload.CPUKind, useIPC bool, scale float64) []SuiteRow {
+	return runSuiteCtx(context.Background(), nil, profiles, kind, useIPC, scale)
+}
+
+// runSuiteCtx is runSuite with end-to-end cancellation: the token is
+// armed on every benchmark machine and ctx gates the campaign grid.
+func runSuiteCtx(ctx context.Context, c *sim.Cancel, profiles []workload.Profile, kind workload.CPUKind, useIPC bool, scale float64) []SuiteRow {
 	var jobs []campaign.Job[float64]
 	for _, p := range profiles {
 		sp := p.Scale(scale)
@@ -366,7 +402,10 @@ func runSuite(profiles []workload.Profile, kind workload.CPUKind, useIPC bool, s
 			jobs = append(jobs, campaign.Job[float64]{
 				Name: p.Name + "/" + proto.Name(),
 				Run: func() (float64, error) {
-					r := workload.MustRun(sp, proto, kind)
+					r, err := workload.RunCancel(sp, proto, kind, c)
+					if err != nil {
+						return 0, err
+					}
 					if useIPC {
 						return r.IPC, nil
 					}
@@ -375,7 +414,7 @@ func runSuite(profiles []workload.Profile, kind workload.CPUKind, useIPC bool, s
 			})
 		}
 	}
-	metrics := campaign.MustCollect(0, jobs)
+	metrics := campaign.MustCollectCtx(ctx, 0, jobs)
 
 	var rows []SuiteRow
 	for i, p := range profiles {
@@ -404,8 +443,11 @@ func renderSuite(title, metric string, rows []SuiteRow) string {
 
 // Fig7 reproduces the single-threaded SPEC comparison (normalized IPC,
 // higher is better). scale shrinks instruction counts for quick runs.
-func Fig7(scale float64) ([]SuiteRow, string) {
-	rows := runSuite(workload.SPEC2017(), workload.DerivO3CPU, true, scale)
+func Fig7(scale float64) ([]SuiteRow, string) { return Fig7Ctx(context.Background(), nil, scale) }
+
+// Fig7Ctx is Fig7 with end-to-end cancellation (see runSuiteCtx).
+func Fig7Ctx(ctx context.Context, c *sim.Cancel, scale float64) ([]SuiteRow, string) {
+	rows := runSuiteCtx(ctx, c, workload.SPEC2017(), workload.DerivO3CPU, true, scale)
 	return rows, renderSuite(
 		"Figure 7: Single-threaded SPEC CPU 2017 - normalized IPC (higher is better)",
 		"IPC", rows)
@@ -413,8 +455,11 @@ func Fig7(scale float64) ([]SuiteRow, string) {
 
 // Fig8 reproduces the multi-threaded PARSEC comparison (normalized ROI
 // execution time, lower is better).
-func Fig8(scale float64) ([]SuiteRow, string) {
-	rows := runSuite(workload.PARSEC3(), workload.DerivO3CPU, false, scale)
+func Fig8(scale float64) ([]SuiteRow, string) { return Fig8Ctx(context.Background(), nil, scale) }
+
+// Fig8Ctx is Fig8 with end-to-end cancellation (see runSuiteCtx).
+func Fig8Ctx(ctx context.Context, c *sim.Cancel, scale float64) ([]SuiteRow, string) {
+	rows := runSuiteCtx(ctx, c, workload.PARSEC3(), workload.DerivO3CPU, false, scale)
 	return rows, renderSuite(
 		"Figure 8: Multi-threaded PARSEC 3.0 - normalized ROI execution time (lower is better)",
 		"execution time", rows)
@@ -426,13 +471,18 @@ var Fig9Amounts = []int{1000, 2000, 3000, 4000, 5000}
 // Fig9 reproduces the read-only shared-data sweep (normalized execution
 // time, lower is better).
 func Fig9(amounts []int) ([]SuiteRow, string) {
+	return Fig9Ctx(context.Background(), nil, amounts)
+}
+
+// Fig9Ctx is Fig9 with end-to-end cancellation (see runSuiteCtx).
+func Fig9Ctx(ctx context.Context, c *sim.Cancel, amounts []int) ([]SuiteRow, string) {
 	var jobs []campaign.Job[float64]
 	for _, n := range amounts {
 		for _, proto := range protocols {
 			jobs = append(jobs, campaign.Job[float64]{
 				Name: fmt.Sprintf("fig9/%d/%s", n, proto.Name()),
 				Run: func() (float64, error) {
-					r, err := workload.RunReadOnly(n, proto, workload.DerivO3CPU)
+					r, err := workload.RunReadOnlyCancel(n, proto, workload.DerivO3CPU, c)
 					if err != nil {
 						return 0, err
 					}
@@ -441,7 +491,7 @@ func Fig9(amounts []int) ([]SuiteRow, string) {
 			})
 		}
 	}
-	metrics := campaign.MustCollect(0, jobs)
+	metrics := campaign.MustCollectCtx(ctx, 0, jobs)
 
 	var rows []SuiteRow
 	for i, n := range amounts {
@@ -462,6 +512,11 @@ func Fig9(amounts []int) ([]SuiteRow, string) {
 // CPU model (normalized execution time, lower is better). The paper's
 // Figure 10(a) uses TimingSimpleCPU and 10(b) DerivO3CPU.
 func Fig10(kind workload.CPUKind, passes int) ([]SuiteRow, string) {
+	return Fig10Ctx(context.Background(), nil, kind, passes)
+}
+
+// Fig10Ctx is Fig10 with end-to-end cancellation (see runSuiteCtx).
+func Fig10Ctx(ctx context.Context, c *sim.Cancel, kind workload.CPUKind, passes int) ([]SuiteRow, string) {
 	apps := workload.WARApps()
 	var jobs []campaign.Job[float64]
 	for _, app := range apps {
@@ -469,7 +524,7 @@ func Fig10(kind workload.CPUKind, passes int) ([]SuiteRow, string) {
 			jobs = append(jobs, campaign.Job[float64]{
 				Name: fmt.Sprintf("fig10/%s/%s", app.Name, proto.Name()),
 				Run: func() (float64, error) {
-					r, err := workload.RunWAR(app, proto, kind, passes)
+					r, err := workload.RunWARCancel(app, proto, kind, passes, c)
 					if err != nil {
 						return 0, err
 					}
@@ -478,7 +533,7 @@ func Fig10(kind workload.CPUKind, passes int) ([]SuiteRow, string) {
 			})
 		}
 	}
-	metrics := campaign.MustCollect(0, jobs)
+	metrics := campaign.MustCollectCtx(ctx, 0, jobs)
 
 	var rows []SuiteRow
 	for i, app := range apps {

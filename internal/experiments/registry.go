@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 	"strings"
 
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -66,6 +68,15 @@ type Experiment struct {
 	Title string // one-line description for listings
 	uses  paramUse
 	run   func(Params) string
+
+	// runCtx, when set, is the cancellation-aware variant: it receives
+	// the caller's context plus a cancel token already bound to it, and
+	// arms the token on every machine it builds (core.Config.Cancel), so
+	// a fired context aborts the simulations mid-run with a typed
+	// "cancelled" violation. Experiments without runCtx run to
+	// completion once started; their results stay valid, the caller just
+	// stops waiting.
+	runCtx func(ctx context.Context, c *sim.Cancel, p Params) string
 }
 
 // Normalize canonicalizes p for this experiment: fields the experiment
@@ -134,6 +145,23 @@ func (e Experiment) Run(p Params) string {
 	return e.run(e.Normalize(p))
 }
 
+// RunCtx is Run with end-to-end cancellation: when ctx can be cancelled
+// and the experiment is cancellation-aware, a fired context aborts the
+// underlying simulations at their next executed event — surfacing as a
+// panic with a *fault.Violation of kind "cancelled" (the package's
+// divergence convention, so existing recover fences classify it). The
+// rendered report of an uncancelled RunCtx is byte-identical to Run's:
+// the token rides the engines' existing watchdog check and injects no
+// events of its own.
+func (e Experiment) RunCtx(ctx context.Context, p Params) string {
+	if e.runCtx == nil || ctx == nil || ctx.Done() == nil {
+		return e.run(e.Normalize(p))
+	}
+	c, stop := sim.CancelFromContext(ctx)
+	defer stop()
+	return e.runCtx(ctx, c, e.Normalize(p))
+}
+
 // registry lists every experiment in report order — the order
 // `swiftdir-bench -exp all` prints and the only dispatch table: the
 // bench CLI, the HTTP server, and the cache key derivation all read it.
@@ -144,21 +172,41 @@ var registry = []Experiment{
 	{Name: "fig4", Title: "Figure 4: directory organizations", run: func(Params) string { return Fig4() }},
 	{Name: "fig5", Title: "Figure 5: cache architectures", run: func(Params) string { return Fig5() }},
 	{Name: "fig6", Title: "Figure 6: coherence-request latency CDF", uses: usesSamples,
-		run: func(p Params) string { return Fig6(p.Samples).Rendered }},
+		run:    func(p Params) string { return Fig6(p.Samples).Rendered },
+		runCtx: func(_ context.Context, c *sim.Cancel, p Params) string { return Fig6Ctx(c, p.Samples).Rendered }},
 	{Name: "fig6jitter", Title: "Figure 6 on a contended interconnect", uses: usesSamples,
-		run: func(p Params) string { return Fig6Jitter(p.Samples / 4).Rendered }},
+		run:    func(p Params) string { return Fig6Jitter(p.Samples / 4).Rendered },
+		runCtx: func(_ context.Context, c *sim.Cancel, p Params) string { return Fig6JitterCtx(c, p.Samples/4).Rendered }},
 	{Name: "security", Title: "covert/side-channel attack suite", uses: usesBits | usesTrials,
-		run: func(p Params) string { _, _, s := Security(p.Bits, p.Trials); return s }},
+		run: func(p Params) string { _, _, s := Security(p.Bits, p.Trials); return s },
+		runCtx: func(ctx context.Context, c *sim.Cancel, p Params) string {
+			_, _, s := SecurityCtx(ctx, c, p.Bits, p.Trials)
+			return s
+		}},
 	{Name: "fig7", Title: "Figure 7: SPEC 2017 normalized IPC", uses: usesScale,
-		run: func(p Params) string { _, s := Fig7(p.Scale); return s }},
+		run:    func(p Params) string { _, s := Fig7(p.Scale); return s },
+		runCtx: func(ctx context.Context, c *sim.Cancel, p Params) string { _, s := Fig7Ctx(ctx, c, p.Scale); return s }},
 	{Name: "fig8", Title: "Figure 8: PARSEC 3.0 normalized execution time", uses: usesScale,
-		run: func(p Params) string { _, s := Fig8(p.Scale); return s }},
+		run:    func(p Params) string { _, s := Fig8(p.Scale); return s },
+		runCtx: func(ctx context.Context, c *sim.Cancel, p Params) string { _, s := Fig8Ctx(ctx, c, p.Scale); return s }},
 	{Name: "fig9", Title: "Figure 9: read-only shared-data sweep", uses: usesAmounts,
-		run: func(p Params) string { _, s := Fig9(p.Amounts); return s }},
+		run: func(p Params) string { _, s := Fig9(p.Amounts); return s },
+		runCtx: func(ctx context.Context, c *sim.Cancel, p Params) string {
+			_, s := Fig9Ctx(ctx, c, p.Amounts)
+			return s
+		}},
 	{Name: "fig10a", Title: "Figure 10(a): WAR apps, TimingSimpleCPU", uses: usesPasses,
-		run: func(p Params) string { _, s := Fig10(workload.TimingSimpleCPU, p.Passes); return s }},
+		run: func(p Params) string { _, s := Fig10(workload.TimingSimpleCPU, p.Passes); return s },
+		runCtx: func(ctx context.Context, c *sim.Cancel, p Params) string {
+			_, s := Fig10Ctx(ctx, c, workload.TimingSimpleCPU, p.Passes)
+			return s
+		}},
 	{Name: "fig10b", Title: "Figure 10(b): WAR apps, DerivO3CPU", uses: usesPasses,
-		run: func(p Params) string { _, s := Fig10(workload.DerivO3CPU, p.Passes); return s }},
+		run: func(p Params) string { _, s := Fig10(workload.DerivO3CPU, p.Passes); return s },
+		runCtx: func(ctx context.Context, c *sim.Cancel, p Params) string {
+			_, s := Fig10Ctx(ctx, c, workload.DerivO3CPU, p.Passes)
+			return s
+		}},
 	{Name: "ablation", Title: "E_wp and WAR ablations", uses: usesBits | usesPasses,
 		run: func(p Params) string { return AblationEwp(p.Bits) + "\n" + AblationWAR(p.Passes) }},
 	{Name: "traffic", Title: "interconnect message breakdown", run: func(Params) string { return Traffic() }},

@@ -72,7 +72,7 @@ func WriteBundle(root string, spec BundleSpec) (string, error) {
 		}{BundleStackFile, spec.Stack})
 	}
 	for _, f := range files {
-		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, 0o644); err != nil {
+		if err := writeFileAtomic(filepath.Join(dir, f.name), f.data); err != nil {
 			return "", err
 		}
 	}
@@ -80,6 +80,36 @@ func WriteBundle(root string, spec BundleSpec) (string, error) {
 		return "", err
 	}
 	return dir, nil
+}
+
+// writeFileAtomic writes data to path via a temp file + rename in the
+// same directory (the pattern internal/resultcache uses), so a crash
+// mid-dump leaves either the previous file or none — never a torn
+// replay.json that `swiftdir-sim -replay` then chokes on.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // ReadBundleViolation loads a bundle's violation record; replay tests use

@@ -9,6 +9,8 @@ type InjectorStats struct {
 	LinkFaults  uint64
 	BankFaults  uint64
 	DRAMFaults  uint64
+	MeshFaults  uint64 // per-directed-link mesh spikes/storms
+	HubFaults   uint64 // cluster-hub busy windows
 	ExtraCycles uint64 // total injected delay across all classes
 }
 
@@ -27,6 +29,8 @@ type Injector struct {
 	link *sim.RNG
 	bank *sim.RNG
 	dram *sim.RNG
+	mesh *sim.RNG
+	hub  *sim.RNG
 
 	failed    bool // FailAt already fired
 	hangArmed bool // HangAt wedge already scheduled
@@ -46,11 +50,16 @@ func NewInjector(plan Plan) (*Injector, error) {
 		return nil, err
 	}
 	base := sim.NewRNG(plan.Seed ^ 0xFA17)
+	// Fork order is load-bearing: link, bank, dram predate the mesh and
+	// hub streams, which are appended after so plans written before the
+	// scaled classes existed replay with the exact same perturbation.
 	return &Injector{
 		plan: plan,
 		link: base.Fork(),
 		bank: base.Fork(),
 		dram: base.Fork(),
+		mesh: base.Fork(),
+		hub:  base.Fork(),
 	}, nil
 }
 
@@ -140,4 +149,36 @@ func (in *Injector) BankDelay(now sim.Cycle) sim.Cycle {
 func (in *Injector) DRAMDelay(now sim.Cycle, addr uint64, write bool) sim.Cycle {
 	in.force(now)
 	return in.draw(in.dram, now, in.plan.DRAMStallProb, in.plan.DRAMStallMax, in.plan.DRAMStorms, &in.Stats.DRAMFaults)
+}
+
+// MeshDelay is the mesh hook: extra occupancy on one directed link (the
+// mesh's router*4+dir id) as a message traverses it. It is shaped to
+// match interconnect.MeshConfig.LinkExtra. Storms may be pinned to a
+// link subset, so the storm path checks the link id before forcing the
+// maximum; the probabilistic path draws per traversal from the mesh
+// stream.
+func (in *Injector) MeshDelay(link int, now sim.Cycle) sim.Cycle {
+	in.force(now)
+	for _, s := range in.plan.MeshStorms {
+		if s.Contains(uint64(now)) && s.appliesTo(link) {
+			in.Stats.MeshFaults++
+			in.Stats.ExtraCycles += in.plan.MeshSpikeMax
+			return sim.Cycle(in.plan.MeshSpikeMax)
+		}
+	}
+	if p := in.plan.MeshSpikeProb; p > 0 && in.mesh.Bool(p) {
+		d := 1 + in.mesh.Uint64n(in.plan.MeshSpikeMax)
+		in.Stats.MeshFaults++
+		in.Stats.ExtraCycles += d
+		return sim.Cycle(d)
+	}
+	return 0
+}
+
+// HubDelay is the cluster-hub hook: extra local service latency before
+// the hub forwards a message (a transient busy window at the two-level
+// directory's aggregation point).
+func (in *Injector) HubDelay(hub int, now sim.Cycle) sim.Cycle {
+	in.force(now)
+	return in.draw(in.hub, now, in.plan.HubBusyProb, in.plan.HubBusyMax, in.plan.HubStorms, &in.Stats.HubFaults)
 }

@@ -20,6 +20,28 @@ func (w Window) Contains(c uint64) bool {
 	return c >= w.Start && (w.End == 0 || c < w.End)
 }
 
+// MeshStorm is a storm window optionally pinned to specific directed
+// mesh links (router*4 + direction indexes, the mesh's own link ids).
+// An empty Links slice storms every link — the mesh analogue of a plain
+// Window.
+type MeshStorm struct {
+	Window
+	Links []int `json:"links,omitempty"`
+}
+
+// appliesTo reports whether the storm covers directed link li.
+func (s MeshStorm) appliesTo(li int) bool {
+	if len(s.Links) == 0 {
+		return true
+	}
+	for _, l := range s.Links {
+		if l == li {
+			return true
+		}
+	}
+	return false
+}
+
 // maxExtra bounds any single injected delay. Keeping spikes far below the
 // watchdog's cycle budget guarantees a fault plan can slow the simulation
 // but never wedge it — an injected delay is always finite, so every
@@ -59,6 +81,22 @@ type Plan struct {
 	DRAMStallMax  uint64   `json:"dram_stall_max,omitempty"`
 	DRAMStorms    []Window `json:"dram_storms,omitempty"`
 
+	// Mesh faults add extra occupancy on individual directed mesh links
+	// (spikes per link traversal, or unconditionally during MeshStorms,
+	// each of which may be pinned to a set of directed links). They flow
+	// through the mesh's per-link bookkeeping, so XY-route FIFO order is
+	// preserved. Ignored on crossbar topologies.
+	MeshSpikeProb float64     `json:"mesh_spike_prob,omitempty"`
+	MeshSpikeMax  uint64      `json:"mesh_spike_max,omitempty"`
+	MeshStorms    []MeshStorm `json:"mesh_storms,omitempty"`
+
+	// Hub faults extend a cluster hub's local service latency before it
+	// forwards a message (a transient busy window at the two-level
+	// directory's aggregation point). Ignored on flat-directory configs.
+	HubBusyProb float64  `json:"hub_busy_prob,omitempty"`
+	HubBusyMax  uint64   `json:"hub_busy_max,omitempty"`
+	HubStorms   []Window `json:"hub_storms,omitempty"`
+
 	FailAt uint64 `json:"fail_at,omitempty"`
 	HangAt uint64 `json:"hang_at,omitempty"`
 }
@@ -68,6 +106,8 @@ func (p Plan) Zero() bool {
 	return p.LinkSpikeProb == 0 && len(p.LinkStorms) == 0 &&
 		p.BankBusyProb == 0 && len(p.BankStorms) == 0 &&
 		p.DRAMStallProb == 0 && len(p.DRAMStorms) == 0 &&
+		p.MeshSpikeProb == 0 && len(p.MeshStorms) == 0 &&
+		p.HubBusyProb == 0 && len(p.HubStorms) == 0 &&
 		p.FailAt == 0 && p.HangAt == 0
 }
 
@@ -80,6 +120,8 @@ func (p Plan) Validate() error {
 		{"link_spike_prob", p.LinkSpikeProb},
 		{"bank_busy_prob", p.BankBusyProb},
 		{"dram_stall_prob", p.DRAMStallProb},
+		{"mesh_spike_prob", p.MeshSpikeProb},
+		{"hub_busy_prob", p.HubBusyProb},
 	} {
 		if f.v < 0 || f.v > 1 {
 			return fmt.Errorf("fault: plan %q: %s = %v out of [0,1]", p.Name, f.name, f.v)
@@ -92,6 +134,8 @@ func (p Plan) Validate() error {
 		{"link_spike_max", p.LinkSpikeMax},
 		{"bank_busy_max", p.BankBusyMax},
 		{"dram_stall_max", p.DRAMStallMax},
+		{"mesh_spike_max", p.MeshSpikeMax},
+		{"hub_busy_max", p.HubBusyMax},
 	} {
 		if m.v > maxExtra {
 			return fmt.Errorf("fault: plan %q: %s = %d exceeds bound %d", p.Name, m.name, m.v, maxExtra)
@@ -115,10 +159,32 @@ func (p Plan) Validate() error {
 	if len(p.DRAMStorms) > 0 && p.DRAMStallMax == 0 {
 		return fmt.Errorf("fault: plan %q: dram_storms without dram_stall_max", p.Name)
 	}
-	for _, ws := range [][]Window{p.LinkStorms, p.BankStorms, p.DRAMStorms} {
+	if p.MeshSpikeProb > 0 && p.MeshSpikeMax == 0 {
+		return fmt.Errorf("fault: plan %q: mesh_spike_prob without mesh_spike_max", p.Name)
+	}
+	if len(p.MeshStorms) > 0 && p.MeshSpikeMax == 0 {
+		return fmt.Errorf("fault: plan %q: mesh_storms without mesh_spike_max", p.Name)
+	}
+	if p.HubBusyProb > 0 && p.HubBusyMax == 0 {
+		return fmt.Errorf("fault: plan %q: hub_busy_prob without hub_busy_max", p.Name)
+	}
+	if len(p.HubStorms) > 0 && p.HubBusyMax == 0 {
+		return fmt.Errorf("fault: plan %q: hub_storms without hub_busy_max", p.Name)
+	}
+	for _, ws := range [][]Window{p.LinkStorms, p.BankStorms, p.DRAMStorms, p.HubStorms} {
 		for _, w := range ws {
 			if w.End != 0 && w.End <= w.Start {
 				return fmt.Errorf("fault: plan %q: empty storm window [%d,%d)", p.Name, w.Start, w.End)
+			}
+		}
+	}
+	for _, s := range p.MeshStorms {
+		if s.End != 0 && s.End <= s.Start {
+			return fmt.Errorf("fault: plan %q: empty storm window [%d,%d)", p.Name, s.Start, s.End)
+		}
+		for _, l := range s.Links {
+			if l < 0 {
+				return fmt.Errorf("fault: plan %q: negative mesh storm link %d", p.Name, l)
 			}
 		}
 	}
@@ -138,13 +204,15 @@ func LoadPlan(path string) (Plan, error) {
 	return p, p.Validate()
 }
 
-// SavePlan writes a plan as indented JSON.
+// SavePlan writes a plan as indented JSON. The write is atomic (temp
+// file + rename) so a crash mid-save never leaves a torn plan.json that
+// a later replay chokes on.
 func SavePlan(path string, p Plan) error {
 	data, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeFileAtomic(path, append(data, '\n'))
 }
 
 // RandomPlans derives n distinct fault plans from a seed for a soak
@@ -196,6 +264,71 @@ func RandomPlans(n int, seed uint64) []Plan {
 		if p.Zero() {
 			p.LinkSpikeProb = 0.05
 			p.LinkSpikeMax = 1 + rng.Uint64n(16)
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+// RandomScaledPlans derives n fault plans targeting the scaled machine's
+// layers — directed mesh links and cluster hubs — plus a DRAM class so
+// the sweep still crosses the memory boundary. meshLinks is the number
+// of directed links in the target mesh (W*H*4); storms pinned to a link
+// subset draw their ids from it, and 0 disables pinning. Plan 0 is the
+// no-fault control, and the same (n, seed, meshLinks) always yields the
+// same plans. Kept separate from RandomPlans so existing sweeps remain
+// byte-compatible.
+func RandomScaledPlans(n int, seed uint64, meshLinks int) []Plan {
+	plans := make([]Plan, 0, n)
+	plans = append(plans, Plan{Name: "no-fault", Seed: seed})
+	rng := sim.NewRNG(seed | 1)
+	for i := 1; i < n; i++ {
+		p := Plan{
+			Name: fmt.Sprintf("scaled-%02d", i),
+			Seed: rng.Uint64(),
+		}
+		if rng.Bool(0.7) {
+			p.MeshSpikeProb = 0.01 + rng.Float64()*0.15
+			p.MeshSpikeMax = 1 + rng.Uint64n(32)
+		}
+		if rng.Bool(0.6) {
+			p.HubBusyProb = 0.01 + rng.Float64()*0.10
+			p.HubBusyMax = 1 + rng.Uint64n(24)
+		}
+		if rng.Bool(0.4) {
+			start := rng.Uint64n(200_000)
+			s := MeshStorm{Window: Window{
+				Start: start, End: start + 1_000 + rng.Uint64n(20_000),
+			}}
+			if meshLinks > 0 && rng.Bool(0.5) {
+				// Pin the storm to a handful of directed links: the
+				// asymmetric case a whole-fabric storm cannot exercise.
+				k := int(1 + rng.Uint64n(4))
+				for j := 0; j < k; j++ {
+					s.Links = append(s.Links, int(rng.Uint64n(uint64(meshLinks))))
+				}
+			}
+			p.MeshStorms = append(p.MeshStorms, s)
+			if p.MeshSpikeMax == 0 {
+				p.MeshSpikeMax = 1 + rng.Uint64n(32)
+			}
+		}
+		if rng.Bool(0.3) {
+			start := rng.Uint64n(200_000)
+			p.HubStorms = append(p.HubStorms, Window{
+				Start: start, End: start + 1_000 + rng.Uint64n(30_000),
+			})
+			if p.HubBusyMax == 0 {
+				p.HubBusyMax = 1 + rng.Uint64n(24)
+			}
+		}
+		if rng.Bool(0.3) {
+			p.DRAMStallProb = 0.02 + rng.Float64()*0.20
+			p.DRAMStallMax = 1 + rng.Uint64n(200)
+		}
+		if p.Zero() {
+			p.MeshSpikeProb = 0.05
+			p.MeshSpikeMax = 1 + rng.Uint64n(16)
 		}
 		plans = append(plans, p)
 	}

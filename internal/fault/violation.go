@@ -40,6 +40,11 @@ const (
 	// KindPanic: a captured panic whose value was not already a Violation —
 	// an untyped failure wrapped so the bundle pipeline can still record it.
 	KindPanic Kind = "panic"
+	// KindCancelled: the run was aborted cooperatively — a client hung up,
+	// a deadline expired, or a drain requested the stop. Not a simulator
+	// failure: the result is simply incomplete, which is exactly why it
+	// must never reach the result cache.
+	KindCancelled Kind = "cancelled"
 )
 
 // Violation is a contained simulator failure: instead of a bare

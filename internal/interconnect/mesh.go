@@ -30,12 +30,23 @@ type MeshConfig struct {
 	// ports evenly across the routers in port order.
 	RouterOf []int
 
+	// LinkExtra, if non-nil, returns extra hold cycles for one directed
+	// link (router*4+dir) as a message crosses it at now — the mesh's
+	// fault-injection hook, consulted once per link on the XY route. Like
+	// the crossbar's Extra, the injected cycles flow through the per-link
+	// bookkeeping, so a latency spike congests exactly one directed link
+	// and per-link FIFO order is preserved: a perturbed mesh is still a
+	// legal mesh. Any non-nil hook routes every message through the
+	// bookkeeping even at zero occupancy, so the hook's draw sequence is
+	// a deterministic function of the message sequence.
+	LinkExtra func(link int, now sim.Cycle) sim.Cycle
+
 	// Route, if non-nil, takes over event delivery exactly like the
 	// crossbar hook: SendEvent hands it (src, dst, latency, handler,
 	// payload) — with the mesh's full distance-dependent latency — and
 	// performs no scheduling of its own. Only legal on a pure-latency
-	// mesh (LinkOccupancy == 0): link occupancy is shared bookkeeping
-	// that per-shard delivery cannot serialize.
+	// mesh (LinkOccupancy == 0, no LinkExtra): link state is shared
+	// bookkeeping that per-shard delivery cannot serialize.
 	Route func(src, dst int, lat sim.Cycle, h sim.Handler, p sim.Payload)
 }
 
@@ -60,8 +71,8 @@ func (c MeshConfig) Validate() error {
 			}
 		}
 	}
-	if c.Route != nil && c.LinkOccupancy > 0 {
-		return fmt.Errorf("interconnect: Route requires a pure-latency mesh (no link occupancy)")
+	if c.Route != nil && (c.LinkOccupancy > 0 || c.LinkExtra != nil) {
+		return fmt.Errorf("interconnect: Route requires a pure-latency mesh (no link occupancy or extra hook)")
 	}
 	return nil
 }
@@ -75,6 +86,11 @@ const (
 	linkNorth
 	linkDirs
 )
+
+// MeshLinks returns the number of directed link ids a W x H mesh uses
+// (router*4 + direction) — the id space MeshConfig.LinkExtra is keyed by
+// and fault plans pin storms to.
+func MeshLinks(w, h int) int { return w * h * linkDirs }
 
 // Mesh is a W x H 2D mesh of routers with XY dimension-order routing:
 // a message first travels along X to its destination column, then along
@@ -112,7 +128,7 @@ func NewMesh(eng *sim.Engine, cfg MeshConfig) (*Mesh, error) {
 			m.routerOf[p] = p * cfg.W * cfg.H / cfg.Ports
 		}
 	}
-	if cfg.LinkOccupancy > 0 {
+	if cfg.LinkOccupancy > 0 || cfg.LinkExtra != nil {
 		m.txFreeAt = make([]sim.Cycle, cfg.Ports)
 		m.rxFreeAt = make([]sim.Cycle, cfg.Ports)
 		m.linkFreeAt = make([]sim.Cycle, cfg.W*cfg.H*linkDirs)
@@ -159,7 +175,7 @@ func (m *Mesh) admit(src, dst int) sim.Cycle {
 	m.HopsTotal += uint64(d)
 	lat := m.cfg.Latency + m.cfg.PerHop*sim.Cycle(d)
 	occ := m.cfg.LinkOccupancy
-	if occ == 0 {
+	if occ == 0 && m.cfg.LinkExtra == nil {
 		return now + lat
 	}
 	if d == 0 {
@@ -201,7 +217,11 @@ func (m *Mesh) admit(src, dst int) sim.Cycle {
 		if m.linkFreeAt[li] > t {
 			t = m.linkFreeAt[li]
 		}
-		m.linkFreeAt[li] = t + occ
+		hold := occ
+		if f := m.cfg.LinkExtra; f != nil {
+			hold += f(li, t)
+		}
+		m.linkFreeAt[li] = t + hold
 		t += m.cfg.PerHop
 	}
 	for y != dy {
@@ -216,7 +236,11 @@ func (m *Mesh) admit(src, dst int) sim.Cycle {
 		if m.linkFreeAt[li] > t {
 			t = m.linkFreeAt[li]
 		}
-		m.linkFreeAt[li] = t + occ
+		hold := occ
+		if f := m.cfg.LinkExtra; f != nil {
+			hold += f(li, t)
+		}
+		m.linkFreeAt[li] = t + hold
 		t += m.cfg.PerHop
 	}
 	if m.rxFreeAt[dst] > t {

@@ -1,0 +1,553 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"errors"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/resultcache"
+)
+
+// simulatedRun builds a fake runner with the real simulator's abort
+// contract: it "executes" up to total events, checking the context
+// between events, and a fired context unwinds as a KindCancelled
+// violation that the server's classifier (the same code path runRegistry
+// uses) turns into a typed *CancelledError. events accumulates the
+// per-run executed counts, exposing how far each run got.
+func simulatedRun(srv **Server, events *atomic.Int64, total int, step time.Duration) func(context.Context, resultcache.Key) (*resultcache.Entry, error) {
+	return func(ctx context.Context, key resultcache.Key) (e *resultcache.Entry, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = (*srv).classifyPanic(ctx, key, p)
+			}
+		}()
+		n := 0
+		for ; n < total; n++ {
+			select {
+			case <-ctx.Done():
+				events.Add(int64(n))
+				panic(&fault.Violation{
+					Kind: fault.KindCancelled, Component: "cancel",
+					Msg: fmt.Sprintf("run cancelled: %v (%d events executed)", context.Cause(ctx), n),
+				})
+			default:
+			}
+			time.Sleep(step)
+		}
+		events.Add(int64(n))
+		return &resultcache.Entry{
+			Report: []byte(fmt.Sprintf("golden report for %s after %d events\n", key.Experiment, n)),
+		}, nil
+	}
+}
+
+// The headline acceptance test: a run with timeout_ms is aborted
+// mid-simulation (strictly fewer events executed than the uncancelled
+// run), fails with a typed "cancelled" error, is never cached — and the
+// identical spec submitted afterwards is an honest miss that runs to
+// byte-identical golden completion.
+func TestRunTimeoutAbortsMidSimulationAndNeverPoisonsCache(t *testing.T) {
+	var srv *Server
+	var events atomic.Int64
+	const total = 400
+	s, st := newTestServer(t, Config{
+		Run: simulatedRun(&srv, &events, total, time.Millisecond),
+	}, nil)
+	srv = s
+	h := s.Handler()
+
+	w := postJSON(h, "/v1/run", Spec{Experiment: "table5", TimeoutMS: 40})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out run: %d %s, want 504", w.Code, w.Body)
+	}
+	var body struct{ Error, Kind string }
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Kind != "cancelled" || !strings.Contains(body.Error, "deadline") {
+		t.Errorf("failure body = %+v, want kind=cancelled with the deadline cause", body)
+	}
+	aborted := events.Load()
+	if aborted == 0 || aborted >= total {
+		t.Errorf("cancelled run executed %d events, want 0 < n < %d", aborted, total)
+	}
+	if s.cancelled.Load() != 1 {
+		t.Errorf("cancelled counter = %d, want 1", s.cancelled.Load())
+	}
+
+	// The retry without a deadline is a miss (nothing was cached) and
+	// runs all the way.
+	events.Store(0)
+	w2 := postJSON(h, "/v1/run", Spec{Experiment: "table5"})
+	if w2.Code != http.StatusOK || w2.Header().Get("X-Swiftdir-Cache") != "miss" {
+		t.Fatalf("retry: %d cache=%q, want 200 miss", w2.Code, w2.Header().Get("X-Swiftdir-Cache"))
+	}
+	want := fmt.Sprintf("golden report for table5 after %d events\n", total)
+	if w2.Body.String() != want {
+		t.Errorf("retry body = %q, want the golden completion %q", w2.Body, want)
+	}
+	if events.Load() != total {
+		t.Errorf("retry executed %d events, want the full %d", events.Load(), total)
+	}
+
+	// And the third request is a hit on the completed entry.
+	w3 := postJSON(h, "/v1/run", Spec{Experiment: "table5"})
+	if w3.Code != http.StatusOK || w3.Header().Get("X-Swiftdir-Cache") != "hit" {
+		t.Fatalf("third request: %d cache=%q, want 200 hit", w3.Code, w3.Header().Get("X-Swiftdir-Cache"))
+	}
+	if w3.Body.String() != want {
+		t.Error("cached body differs from the computed one")
+	}
+	if snap := st.Snapshot(); snap.Hits != 1 {
+		t.Errorf("hits = %d, want exactly the third request", snap.Hits)
+	}
+}
+
+// A client that disconnects mid-run aborts the compute: 499 with
+// kind=cancelled, and nothing is cached.
+func TestRunClientDisconnectAborts(t *testing.T) {
+	var srv *Server
+	started := make(chan struct{}, 1)
+	s, _ := newTestServer(t, Config{
+		Run: func(ctx context.Context, key resultcache.Key) (e *resultcache.Entry, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = srv.classifyPanic(ctx, key, p)
+				}
+			}()
+			started <- struct{}{}
+			<-ctx.Done()
+			panic(&fault.Violation{Kind: fault.KindCancelled, Component: "cancel", Msg: "run cancelled"})
+		},
+	}, nil)
+	srv = s
+	h := s.Handler()
+
+	reqCtx, hangUp := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/run",
+		strings.NewReader(`{"experiment":"overhead"}`)).WithContext(reqCtx)
+	w := httptest.NewRecorder()
+	go func() {
+		<-started
+		hangUp()
+	}()
+	h.ServeHTTP(w, req)
+	if w.Code != statusClientClosedRequest {
+		t.Fatalf("disconnected run: %d %s, want 499", w.Code, w.Body)
+	}
+	var body struct{ Kind string }
+	json.Unmarshal(w.Body.Bytes(), &body)
+	if body.Kind != "cancelled" {
+		t.Errorf("kind = %q, want cancelled", body.Kind)
+	}
+	if _, ok := s.cache.Get(mustKeyID(t, "overhead")); ok {
+		t.Error("aborted run was cached")
+	}
+}
+
+func mustKeyID(t *testing.T, exp string) resultcache.ID {
+	t.Helper()
+	key, err := resultcache.NewKey(exp, experiments.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key.ID()
+}
+
+// Singleflight waiters share the leader's outcome — including its
+// cancellation. When the leader's deadline fires, every deduped waiter
+// observes the same typed cancellation, and the next identical request
+// is a fresh miss that completes.
+func TestSingleflightWaitersObserveLeaderCancellation(t *testing.T) {
+	var srv *Server
+	var starts atomic.Int64
+	release := make(chan struct{})
+	s, st := newTestServer(t, Config{
+		QueueDepth: 16,
+		Run: func(ctx context.Context, key resultcache.Key) (e *resultcache.Entry, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = srv.classifyPanic(ctx, key, p)
+				}
+			}()
+			starts.Add(1)
+			select {
+			case <-ctx.Done():
+				panic(&fault.Violation{Kind: fault.KindCancelled, Component: "cancel",
+					Msg: "run cancelled: " + context.Cause(ctx).Error()})
+			case <-release:
+				return &resultcache.Entry{Report: []byte("late but complete\n")}, nil
+			}
+		},
+	}, nil)
+	srv = s
+	h := s.Handler()
+
+	const waiters = 3
+	var wg sync.WaitGroup
+	recs := make([]*httptest.ResponseRecorder, waiters+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The leader carries the only deadline.
+		recs[0] = postJSON(h, "/v1/run", Spec{Experiment: "traffic", TimeoutMS: 250})
+	}()
+	waitFor(t, func() bool { return starts.Load() == 1 })
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = postJSON(h, "/v1/run", Spec{Experiment: "traffic"})
+		}(i)
+	}
+	waitFor(t, func() bool { return st.Dedups.Load() >= waiters })
+	// Everyone is aboard; now the leader's deadline fires.
+	wg.Wait()
+
+	for i, w := range recs {
+		if w.Code != http.StatusGatewayTimeout {
+			t.Errorf("request %d: %d %s, want the leader's 504", i, w.Code, w.Body)
+		}
+		var body struct{ Kind string }
+		json.Unmarshal(w.Body.Bytes(), &body)
+		if body.Kind != "cancelled" {
+			t.Errorf("request %d kind = %q", i, body.Kind)
+		}
+	}
+	if got := starts.Load(); got != 1 {
+		t.Fatalf("underlying runs = %d, want 1 (waiters shared the leader)", got)
+	}
+
+	// The flight is gone and nothing was cached: a retry is a miss that
+	// runs to completion once the runner can finish.
+	close(release)
+	w := postJSON(h, "/v1/run", Spec{Experiment: "traffic"})
+	if w.Code != http.StatusOK || w.Header().Get("X-Swiftdir-Cache") != "miss" {
+		t.Fatalf("post-cancellation retry: %d cache=%q, want 200 miss",
+			w.Code, w.Header().Get("X-Swiftdir-Cache"))
+	}
+	if w.Body.String() != "late but complete\n" {
+		t.Errorf("retry body = %q", w.Body)
+	}
+}
+
+// A diverging run (panic that is not a cancellation) fails as a typed
+// 500 with kind=diverged and a crash bundle on disk, is never cached,
+// and leaves the worker pool healthy for the next job.
+func TestDivergingRunWritesBundleAndPoolSurvives(t *testing.T) {
+	var srv *Server
+	dir := t.TempDir()
+	s, _ := newTestServer(t, Config{
+		Workers:   1,
+		BundleDir: dir,
+		Run: func(ctx context.Context, key resultcache.Key) (e *resultcache.Entry, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = srv.classifyPanic(ctx, key, p)
+				}
+			}()
+			if key.Experiment == "sweep" {
+				panic(&fault.Violation{Kind: fault.KindProtocol, Cycle: 4242,
+					Component: "bank 3", Msg: "stale owner", Dump: "-- dump --"})
+			}
+			return &resultcache.Entry{Report: []byte("healthy report\n")}, nil
+		},
+	}, nil)
+	srv = s
+	h := s.Handler()
+
+	// Batch: the diverging job first, a healthy one behind it on the same
+	// single worker.
+	w := postJSON(h, "/v1/batch", map[string]any{
+		"specs": []Spec{{Experiment: "sweep"}, {Experiment: "table5"}},
+	})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("batch: %d %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Jobs []struct{ ID string }
+	}
+	json.Unmarshal(w.Body.Bytes(), &resp)
+
+	var diverged jobStatus
+	waitFor(t, func() bool {
+		json.Unmarshal(get(h, "/v1/jobs/"+resp.Jobs[0].ID).Body.Bytes(), &diverged)
+		return diverged.State == stateFailed || diverged.State == stateDone
+	})
+	if diverged.State != stateFailed || !strings.Contains(diverged.Error, "stale owner") {
+		t.Fatalf("diverging job = %+v", diverged)
+	}
+
+	rw := get(h, "/v1/jobs/"+resp.Jobs[0].ID+"/report")
+	if rw.Code != http.StatusInternalServerError {
+		t.Fatalf("diverged report: %d, want 500", rw.Code)
+	}
+	var body struct{ Error, Kind, Bundle string }
+	if err := json.Unmarshal(rw.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Kind != "diverged" || body.Bundle == "" {
+		t.Fatalf("failure body = %+v, want kind=diverged with a bundle reference", body)
+	}
+	v, err := fault.ReadBundleViolation(body.Bundle)
+	if err != nil {
+		t.Fatalf("referenced bundle unreadable: %v", err)
+	}
+	if v.Kind != fault.KindProtocol || v.Cycle != 4242 || v.Msg != "stale owner" {
+		t.Errorf("bundled violation = %+v", v)
+	}
+
+	// The same worker then serves the healthy job: the panic was
+	// contained, not fatal to the pool.
+	var healthy jobStatus
+	waitFor(t, func() bool {
+		json.Unmarshal(get(h, "/v1/jobs/"+resp.Jobs[1].ID).Body.Bytes(), &healthy)
+		return healthy.State == stateDone || healthy.State == stateFailed
+	})
+	if healthy.State != stateDone {
+		t.Fatalf("healthy job after divergence = %+v", healthy)
+	}
+}
+
+// classifyPanic unit coverage: the cancellation/divergence split, the
+// wrapping of plain panics as KindPanic bundles, and the rule that a
+// violation unwinding through an already-dead context is the
+// cancellation itself, not a divergence.
+func TestClassifyPanic(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newTestServer(t, Config{BundleDir: dir}, nil)
+	key, err := resultcache.NewKey("fig9", experiments.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := context.Background()
+
+	var ce *CancelledError
+	var de *DivergedError
+
+	err = s.classifyPanic(bg, key, &fault.Violation{Kind: fault.KindCancelled, Msg: "run cancelled: drain"})
+	if !errors.As(err, &ce) || ce.Detail != "run cancelled: drain" {
+		t.Errorf("cancelled violation → %v", err)
+	}
+
+	dead, cancel := context.WithCancelCause(bg)
+	cancel(fmt.Errorf("client went away"))
+	err = s.classifyPanic(dead, key, "incidental panic during teardown")
+	if !errors.As(err, &ce) || !strings.Contains(ce.Error(), "client went away") {
+		t.Errorf("panic under dead context → %v, want cancellation with the context cause", err)
+	}
+
+	err = s.classifyPanic(bg, key, &fault.Violation{Kind: fault.KindProtocol, Msg: "bad state"})
+	if !errors.As(err, &de) || de.Bundle == "" {
+		t.Fatalf("protocol violation → %v, want divergence with a bundle", err)
+	}
+
+	err = s.classifyPanic(bg, key, "boom")
+	if !errors.As(err, &de) || de.Bundle == "" {
+		t.Fatalf("plain panic → %v, want divergence with a bundle", err)
+	}
+	v, rerr := fault.ReadBundleViolation(de.Bundle)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if v.Kind != fault.KindPanic || v.Msg != "boom" {
+		t.Errorf("plain panic bundled as %+v, want KindPanic", v)
+	}
+}
+
+// A batch job with timeout_ms is aborted by the worker's own deadline —
+// no client connection involved — and reports 504 kind=cancelled.
+func TestBatchJobTimeoutMS(t *testing.T) {
+	var srv *Server
+	s, _ := newTestServer(t, Config{
+		Workers: 1,
+		Run: func(ctx context.Context, key resultcache.Key) (e *resultcache.Entry, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = srv.classifyPanic(ctx, key, p)
+				}
+			}()
+			<-ctx.Done()
+			panic(&fault.Violation{Kind: fault.KindCancelled, Component: "cancel",
+				Msg: "run cancelled: " + context.Cause(ctx).Error()})
+		},
+	}, nil)
+	srv = s
+	h := s.Handler()
+
+	w := postJSON(h, "/v1/batch", map[string]any{
+		"specs": []Spec{{Experiment: "fig8", TimeoutMS: 30}},
+	})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("batch: %d %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Jobs []struct{ ID string }
+	}
+	json.Unmarshal(w.Body.Bytes(), &resp)
+
+	var st jobStatus
+	waitFor(t, func() bool {
+		json.Unmarshal(get(h, "/v1/jobs/"+resp.Jobs[0].ID).Body.Bytes(), &st)
+		return st.State == stateFailed || st.State == stateDone
+	})
+	if st.State != stateFailed || !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("timed-out batch job = %+v", st)
+	}
+	rw := get(h, "/v1/jobs/"+resp.Jobs[0].ID+"/report")
+	if rw.Code != http.StatusGatewayTimeout {
+		t.Errorf("timed-out job report: %d, want 504", rw.Code)
+	}
+	if s.cancelled.Load() != 1 {
+		t.Errorf("cancelled counter = %d, want 1", s.cancelled.Load())
+	}
+}
+
+// Drain past its grace period force-aborts in-flight jobs instead of
+// leaving workers wedged behind them; the aborted jobs fail typed and
+// uncached.
+func TestDrainForceAbortsInFlightJobs(t *testing.T) {
+	var srv *Server
+	started := make(chan struct{}, 1)
+	s, _ := newTestServer(t, Config{
+		Workers: 1,
+		Run: func(ctx context.Context, key resultcache.Key) (e *resultcache.Entry, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = srv.classifyPanic(ctx, key, p)
+				}
+			}()
+			started <- struct{}{}
+			<-ctx.Done() // no deadline: only the drain can end this
+			panic(&fault.Violation{Kind: fault.KindCancelled, Component: "cancel",
+				Msg: "run cancelled: " + context.Cause(ctx).Error()})
+		},
+	}, nil)
+	srv = s
+	h := s.Handler()
+
+	w := postJSON(h, "/v1/batch", map[string]any{"specs": []Spec{{Experiment: "fig7"}}})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("batch: %d %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Jobs []struct{ ID string }
+	}
+	json.Unmarshal(w.Body.Bytes(), &resp)
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil || !strings.Contains(err.Error(), "in-flight jobs aborted") {
+		t.Fatalf("force drain returned %v, want the aborted-jobs error", err)
+	}
+
+	var st jobStatus
+	json.Unmarshal(get(h, "/v1/jobs/"+resp.Jobs[0].ID).Body.Bytes(), &st)
+	if st.State != stateFailed || !strings.Contains(st.Error, "draining") {
+		t.Errorf("force-aborted job = %+v, want failed with the drain cause", st)
+	}
+	if s.cancelled.Load() != 1 {
+		t.Errorf("cancelled counter = %d, want 1", s.cancelled.Load())
+	}
+}
+
+// The cancellation stress test CI runs under -race: many concurrent
+// synchronous runs, half of them deadlined, against one server. The
+// server must stay coherent — every deadlined request fails typed, every
+// healthy request completes, the cancelled counter balances exactly, and
+// afterwards the cache holds only completed entries.
+func TestCancellationStress(t *testing.T) {
+	var srv *Server
+	var healed atomic.Bool
+	s, st := newTestServer(t, Config{
+		Workers:    4,
+		QueueDepth: 64,
+		Run: func(ctx context.Context, key resultcache.Key) (e *resultcache.Entry, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = srv.classifyPanic(ctx, key, p)
+				}
+			}()
+			if strings.HasPrefix(key.Experiment, "fig") && !healed.Load() {
+				<-ctx.Done() // deadlined cohort: runs until its timeout fires
+				panic(&fault.Violation{Kind: fault.KindCancelled, Component: "cancel",
+					Msg: "run cancelled: " + context.Cause(ctx).Error()})
+			}
+			return &resultcache.Entry{Report: []byte("ok " + key.Experiment + "\n")}, nil
+		},
+	}, nil)
+	srv = s
+	h := s.Handler()
+
+	doomed := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	healthy := []string{"table5", "table4", "overhead", "traffic", "sweep", "security"}
+	var wg sync.WaitGroup
+	codes := make([]int, len(doomed)+len(healthy))
+	for i, exp := range doomed {
+		wg.Add(1)
+		go func(i int, exp string) {
+			defer wg.Done()
+			codes[i] = postJSON(h, "/v1/run", Spec{Experiment: exp, TimeoutMS: 25}).Code
+		}(i, exp)
+	}
+	for i, exp := range healthy {
+		wg.Add(1)
+		go func(i int, exp string) {
+			defer wg.Done()
+			codes[len(doomed)+i] = postJSON(h, "/v1/run", Spec{Experiment: exp}).Code
+		}(i, exp)
+	}
+	wg.Wait()
+
+	for i, code := range codes {
+		want := http.StatusGatewayTimeout
+		if i >= len(doomed) {
+			want = http.StatusOK
+		}
+		if code != want {
+			t.Errorf("request %d: %d, want %d", i, code, want)
+		}
+	}
+	if got := s.cancelled.Load(); got != int64(len(doomed)) {
+		t.Errorf("cancelled counter = %d, want %d", got, len(doomed))
+	}
+	for _, exp := range doomed {
+		if _, ok := s.cache.Get(mustKeyID(t, exp)); ok {
+			t.Errorf("cancelled run %s poisoned the cache", exp)
+		}
+	}
+	for _, exp := range healthy {
+		if _, ok := s.cache.Get(mustKeyID(t, exp)); !ok {
+			t.Errorf("completed run %s missing from the cache", exp)
+		}
+	}
+	if snap := st.Snapshot(); snap.Runs != uint64(len(doomed)+len(healthy)) {
+		t.Errorf("underlying runs = %d, want %d", snap.Runs, len(doomed)+len(healthy))
+	}
+
+	// The server is still fully serviceable: the doomed cohort retried
+	// without deadlines (and a healed runner) are honest misses.
+	healed.Store(true)
+	for _, exp := range doomed {
+		w := postJSON(h, "/v1/run", Spec{Experiment: exp})
+		if w.Code != http.StatusOK || w.Header().Get("X-Swiftdir-Cache") != "miss" {
+			t.Errorf("healed retry %s: %d cache=%q, want 200 miss",
+				exp, w.Code, w.Header().Get("X-Swiftdir-Cache"))
+		}
+	}
+	if w := get(h, "/statsz"); w.Code != http.StatusOK {
+		t.Errorf("statsz after stress: %d", w.Code)
+	}
+}

@@ -21,20 +21,22 @@ const (
 // published, so readers that observe stateDone may read them without the
 // lock the way handleJobReport does.
 type job struct {
-	id  string
-	key resultcache.Key
+	id        string
+	key       resultcache.Key
+	timeoutMS int64 // the spec's timeout_ms, applied when a worker picks it up
 
 	mu      sync.Mutex
 	state   string
 	source  string // hit | miss | dedup, set at finish
 	wall    time.Duration
+	err     error
 	errText string
 	entry   *resultcache.Entry
 	changed chan struct{} // closed and replaced on every transition
 }
 
-func newJob(id string, key resultcache.Key) *job {
-	return &job{id: id, key: key, state: stateQueued, changed: make(chan struct{})}
+func newJob(id string, key resultcache.Key, timeoutMS int64) *job {
+	return &job{id: id, key: key, timeoutMS: timeoutMS, state: stateQueued, changed: make(chan struct{})}
 }
 
 // transition publishes a state change and wakes every watcher.
@@ -54,7 +56,7 @@ func (j *job) finish(e *resultcache.Entry, source string, wall time.Duration, er
 	j.transition(func() {
 		j.entry, j.source, j.wall = e, source, wall
 		if err != nil {
-			j.state, j.errText = stateFailed, err.Error()
+			j.state, j.err, j.errText = stateFailed, err, err.Error()
 			return
 		}
 		j.state = stateDone

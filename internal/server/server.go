@@ -34,6 +34,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -45,6 +46,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/resultcache"
 	"repro/internal/stats"
 )
@@ -55,6 +57,14 @@ import (
 type Spec struct {
 	Experiment string             `json:"experiment"`
 	Params     experiments.Params `json:"params"`
+
+	// TimeoutMS, when positive, bounds this request's compute time in
+	// milliseconds; past it the run is aborted mid-simulation and the
+	// request fails with a typed "cancelled" error. It is a request
+	// attribute, not an experiment knob: it does not participate in the
+	// cache key, so a timed-out spec retried without the deadline is the
+	// same cache entry.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Config wires a Server.
@@ -70,7 +80,19 @@ type Config struct {
 	// (default 64).
 	QueueDepth int
 	// Run overrides the experiment runner (tests). nil runs the registry.
-	Run func(key resultcache.Key) (*resultcache.Entry, error)
+	// The context is cancelled when the client disconnects, the job's
+	// deadline passes, or the server force-drains; a run that returns on
+	// cancellation must return a non-nil error so the result cache is
+	// never populated with a partial report.
+	Run func(ctx context.Context, key resultcache.Key) (*resultcache.Entry, error)
+	// JobTimeout, when positive, is the default per-job compute deadline
+	// (the -job-timeout flag); a spec's timeout_ms overrides it per
+	// request.
+	JobTimeout time.Duration
+	// BundleDir, when set, receives a crash bundle for every diverging
+	// run (fault.WriteBundle); the failure response references the
+	// bundle directory.
+	BundleDir string
 	// Logf receives operational warnings (default stderr).
 	Logf func(format string, args ...any)
 }
@@ -81,8 +103,18 @@ type Server struct {
 	cache  *resultcache.Cache
 	flight *resultcache.Flight
 	stats  *stats.CacheStats
-	run    func(key resultcache.Key) (*resultcache.Entry, error)
+	run    func(ctx context.Context, key resultcache.Key) (*resultcache.Entry, error)
 	logf   func(string, ...any)
+
+	jobTimeout time.Duration
+	bundleDir  string
+	cancelled  atomic.Int64 // runs aborted by deadline/disconnect/drain
+
+	// baseCtx parents every compute; Drain cancels it once its own
+	// context expires, aborting in-flight simulations instead of leaving
+	// workers wedged behind a long run.
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
 
 	workers    int
 	queueDepth int
@@ -116,12 +148,17 @@ func New(cfg Config) *Server {
 			fmt.Fprintf(os.Stderr, "swiftdir-serve: "+format+"\n", args...)
 		}
 	}
+	baseCtx, baseCancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		cache:      cfg.Cache,
 		flight:     resultcache.NewFlight(cfg.Cache.Stats()),
 		stats:      cfg.Cache.Stats(),
 		run:        cfg.Run,
 		logf:       cfg.Logf,
+		jobTimeout: cfg.JobTimeout,
+		bundleDir:  cfg.BundleDir,
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
 		workers:    cfg.Workers,
 		queueDepth: cfg.QueueDepth,
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -149,7 +186,13 @@ var (
 // admit, when non-nil, is consulted after a cache miss and before any
 // compute — the hook synchronous requests use for back-pressure, so a
 // hit is always served even on a saturated or draining server.
-func (s *Server) resolve(key resultcache.Key, admit func() error) (e *resultcache.Entry, source string, err error) {
+// A cancelled run (ctx fired mid-simulation) returns a *CancelledError
+// and never reaches the cache: Put happens only on a nil-error compute,
+// so a later identical request is an honest miss that runs to
+// completion. Singleflight waiters share the leader's outcome by
+// construction — if the leader's context aborts the run, every waiter
+// observes that cancellation rather than a bogus entry.
+func (s *Server) resolve(ctx context.Context, key resultcache.Key, admit func() error) (e *resultcache.Entry, source string, err error) {
 	id := key.ID()
 	s.stats.Inflight.Add(1)
 	defer s.stats.Inflight.Add(-1)
@@ -163,8 +206,12 @@ func (s *Server) resolve(key resultcache.Key, admit func() error) (e *resultcach
 		defer s.syncWait.Add(-1)
 	}
 	e, shared, err := s.flight.Do(id, func() (*resultcache.Entry, error) {
-		ent, err := s.run(key)
+		ent, err := s.run(ctx, key)
 		if err != nil {
+			var ce *CancelledError
+			if errors.As(err, &ce) {
+				s.cancelled.Add(1)
+			}
 			return nil, err
 		}
 		ent.Key = key
@@ -175,6 +222,25 @@ func (s *Server) resolve(key resultcache.Key, admit func() error) (e *resultcach
 		return e, "dedup", err
 	}
 	return e, "miss", err
+}
+
+// jobCtx derives one compute's context: parented on the server's
+// lifetime (force-drain aborts it), joined to the caller's context
+// (client disconnect aborts it), bounded by the per-request deadline
+// (timeout_ms, else the -job-timeout default).
+func (s *Server) jobCtx(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(parent)
+	stop := context.AfterFunc(s.baseCtx, func() { cancel(context.Cause(s.baseCtx)) })
+	timeout := s.jobTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout <= 0 {
+		return ctx, func() { stop(); cancel(nil) }
+	}
+	tctx, tcancel := context.WithTimeoutCause(ctx, timeout,
+		fmt.Errorf("job deadline (%v) exceeded: %w", timeout, context.DeadlineExceeded))
+	return tctx, func() { tcancel(); stop(); cancel(nil) }
 }
 
 // admitSync is the synchronous-compute gate: refuse while draining, and
@@ -191,12 +257,96 @@ func (s *Server) admitSync() error {
 	return nil
 }
 
+// CancelledError reports a run aborted by its context: client
+// disconnect, per-job deadline, or server drain. It is never cached.
+type CancelledError struct {
+	Experiment string
+	Cause      error  // context cause (deadline, disconnect, drain)
+	Detail     string // the simulator's own cancellation report, if any
+}
+
+func (e *CancelledError) Error() string {
+	msg := fmt.Sprintf("experiment %s cancelled", e.Experiment)
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	if e.Detail != "" {
+		msg += " (" + e.Detail + ")"
+	}
+	return msg
+}
+
+// DivergedError reports a diverging simulation (panic or protocol
+// violation), referencing the crash bundle when one was written.
+type DivergedError struct {
+	Experiment string
+	Msg        string
+	Bundle     string // bundle directory, "" when none was written
+}
+
+func (e *DivergedError) Error() string {
+	msg := fmt.Sprintf("experiment %s diverged: %s", e.Experiment, e.Msg)
+	if e.Bundle != "" {
+		msg += " (crash bundle: " + e.Bundle + ")"
+	}
+	return msg
+}
+
+// writeBundle persists a crash bundle for a diverging run and returns
+// its directory ("" when bundling is disabled or fails — bundle I/O
+// must never mask the original failure).
+func (s *Server) writeBundle(key resultcache.Key, v *fault.Violation, stack []byte) string {
+	if s.bundleDir == "" {
+		return ""
+	}
+	dir, err := fault.WriteBundle(s.bundleDir, fault.BundleSpec{
+		Violation: v,
+		Plan:      fault.Plan{Name: "serve-" + key.Experiment},
+		Stack:     stack,
+	})
+	if err != nil {
+		s.logf("crash bundle for %s failed: %v", key.Experiment, err)
+		return ""
+	}
+	return dir
+}
+
+// classifyPanic turns a recovered run panic into a typed error. A panic
+// that unwinds while the context is already done is the cancellation
+// itself (the engines abort with a "cancelled" violation that campaign
+// layers may re-wrap); everything else is a divergence that gets a
+// crash bundle.
+func (s *Server) classifyPanic(ctx context.Context, key resultcache.Key, p any) error {
+	v, isViolation := p.(*fault.Violation)
+	if (isViolation && v.Kind == fault.KindCancelled) || ctx.Err() != nil {
+		ce := &CancelledError{Experiment: key.Experiment, Cause: context.Cause(ctx)}
+		if isViolation {
+			ce.Detail = v.Msg
+		}
+		return ce
+	}
+	if !isViolation {
+		// A plain panic still gets a typed bundle so the failure is
+		// replay-triageable like any other violation.
+		v = &fault.Violation{
+			Kind:      fault.KindPanic,
+			Component: "server",
+			Msg:       fmt.Sprint(p),
+		}
+	}
+	return &DivergedError{
+		Experiment: key.Experiment,
+		Msg:        fmt.Sprint(p),
+		Bundle:     s.writeBundle(key, v, nil),
+	}
+}
+
 // runRegistry executes one experiment through the shared registry,
 // capturing the report plus the accounting footers as the sidecar. A
 // diverging simulation (panic) is returned as an error. Footer
 // attribution is best-effort when runs overlap — the footers are
 // informational; only the report bytes are the deterministic artifact.
-func (s *Server) runRegistry(key resultcache.Key) (*resultcache.Entry, error) {
+func (s *Server) runRegistry(ctx context.Context, key resultcache.Key) (*resultcache.Entry, error) {
 	exp, ok := experiments.Lookup(key.Experiment)
 	if !ok {
 		return nil, &experiments.UnknownExperimentError{Name: key.Experiment}
@@ -205,10 +355,10 @@ func (s *Server) runRegistry(key resultcache.Key) (*resultcache.Entry, error) {
 	report, err := func() (r string, err error) {
 		defer func() {
 			if p := recover(); p != nil {
-				err = fmt.Errorf("experiment %s diverged: %v", key.Experiment, p)
+				err = s.classifyPanic(ctx, key, p)
 			}
 		}()
-		return exp.Run(key.Params), nil
+		return exp.RunCtx(ctx, key.Params), nil
 	}()
 	wall := time.Since(start)
 	var side strings.Builder
@@ -242,7 +392,9 @@ func (s *Server) worker() {
 		s.mu.Unlock()
 		j.setRunning()
 		start := time.Now()
-		e, source, err := s.resolve(j.key, nil)
+		ctx, cancel := s.jobCtx(context.Background(), j.timeoutMS)
+		e, source, err := s.resolve(ctx, j.key, nil)
+		cancel()
 		j.finish(e, source, time.Since(start), err)
 	}
 }
@@ -266,7 +418,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("server: drain timed out with work in progress")
+		// The grace period is over: abort in-flight simulations (their
+		// machines carry cancel tokens parented on baseCtx) and wait for
+		// the workers to unwind. Aborted jobs fail with a typed
+		// cancellation and are never cached.
+		s.baseCancel(fmt.Errorf("server draining: %w", context.Cause(ctx)))
+		<-done
+		return fmt.Errorf("server: drain deadline hit; in-flight jobs aborted")
 	}
 }
 
@@ -323,8 +481,52 @@ func writeEntry(w http.ResponseWriter, e *resultcache.Entry, source string, wall
 	w.Write(e.Report)
 }
 
+// statusClientClosedRequest is nginx's 499: the client went away before
+// the response; our compute was aborted on its behalf.
+const statusClientClosedRequest = 499
+
+// writeFailure emits the typed JSON error body for a failed compute:
+// "kind" distinguishes cancellation from divergence, and diverged
+// responses reference their crash bundle when one was written.
+func writeFailure(w http.ResponseWriter, code int, kind, bundle string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body := map[string]string{"error": err.Error(), "kind": kind}
+	if bundle != "" {
+		body["bundle"] = bundle
+	}
+	json.NewEncoder(w).Encode(body)
+}
+
+// writeResolveErr maps a resolve failure to its HTTP response. Shared by
+// the synchronous path and the batch report endpoint so a given failure
+// reads the same either way.
+func (s *Server) writeResolveErr(w http.ResponseWriter, err error) {
+	var ce *CancelledError
+	var de *DivergedError
+	switch {
+	case err == errDraining:
+		httpError(w, http.StatusServiceUnavailable, "draining")
+	case err == errBusy:
+		// Back-pressure, not failure: tell well-behaved clients when to
+		// come back (scripts/serve-e2e.sh honors this).
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "compute queue full (%d in flight); retry later", s.queueDepth)
+	case errors.As(err, &ce):
+		code := statusClientClosedRequest
+		if errors.Is(ce.Cause, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		writeFailure(w, code, "cancelled", "", ce)
+	case errors.As(err, &de):
+		writeFailure(w, http.StatusInternalServerError, "diverged", de.Bundle, de)
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	_, key, err := decodeSpec(r)
+	spec, key, err := decodeSpec(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -332,18 +534,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// Cache hits are always served, even while draining or saturated —
 	// they cost microseconds. Fresh computes go through admitSync so a
 	// traffic spike degrades to 429, not an unbounded goroutine pile.
+	// The compute context carries the client connection (disconnect
+	// aborts the run mid-simulation), the request deadline, and the
+	// server lifetime.
 	start := time.Now()
-	e, source, err := s.resolve(key, s.admitSync)
-	switch {
-	case err == errDraining:
-		httpError(w, http.StatusServiceUnavailable, "draining")
-	case err == errBusy:
-		httpError(w, http.StatusTooManyRequests, "compute queue full (%d in flight); retry later", s.queueDepth)
-	case err != nil:
-		httpError(w, http.StatusInternalServerError, "%v", err)
-	default:
-		writeEntry(w, e, source, time.Since(start))
+	ctx, cancel := s.jobCtx(r.Context(), spec.TimeoutMS)
+	defer cancel()
+	e, source, err := s.resolve(ctx, key, s.admitSync)
+	if err != nil {
+		s.writeResolveErr(w, err)
+		return
 	}
+	writeEntry(w, e, source, time.Since(start))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -391,6 +593,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.queued+len(req.Specs) > s.queueDepth {
 		free := s.queueDepth - s.queued
 		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "queue full (%d slots free, batch needs %d); retry later", free, len(req.Specs))
 		return
 	}
@@ -399,7 +602,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	batch := make([]*job, len(req.Specs))
 	for i, key := range keys {
 		s.nextJob++
-		j := newJob(fmt.Sprintf("j%d", s.nextJob), key)
+		j := newJob(fmt.Sprintf("j%d", s.nextJob), key, req.Specs[i].TimeoutMS)
 		s.jobs[j.id] = j
 		batch[i] = j
 		resp.Jobs = append(resp.Jobs, jobRef{ID: j.id, Experiment: key.Experiment, Key: key.ID().String()})
@@ -444,7 +647,7 @@ func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
 	case stateDone:
 		writeEntry(w, j.entry, j.source, j.wall)
 	case stateFailed:
-		httpError(w, http.StatusInternalServerError, "%s", st.Error)
+		s.writeResolveErr(w, j.err)
 	default:
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
@@ -520,6 +723,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		QueueDepth int                 `json:"queue_depth"`
 		Workers    int                 `json:"workers"`
 		Jobs       int                 `json:"jobs"`
+		Cancelled  int64               `json:"cancelled"`
 		Draining   bool                `json:"draining"`
 		UptimeSec  float64             `json:"uptime_sec"`
 	}{
@@ -528,6 +732,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		QueueDepth: s.queueDepth,
 		Workers:    s.workers,
 		Jobs:       jobsTotal,
+		Cancelled:  s.cancelled.Load(),
 		Draining:   s.draining.Load(),
 		UptimeSec:  time.Since(s.started).Seconds(),
 	}

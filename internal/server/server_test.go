@@ -32,7 +32,7 @@ func newTestServer(t *testing.T, cfg Config, runs *atomic.Int64) (*Server, *stat
 		cfg.Logf = discardLog
 	}
 	if cfg.Run == nil {
-		cfg.Run = func(key resultcache.Key) (*resultcache.Entry, error) {
+		cfg.Run = func(_ context.Context, key resultcache.Key) (*resultcache.Entry, error) {
 			if runs != nil {
 				runs.Add(1)
 			}
@@ -149,7 +149,7 @@ func TestRunRejectsUnknownExperimentAndBadJSON(t *testing.T) {
 
 func TestRunnerErrorIs500(t *testing.T) {
 	s, _ := newTestServer(t, Config{
-		Run: func(resultcache.Key) (*resultcache.Entry, error) {
+		Run: func(context.Context, resultcache.Key) (*resultcache.Entry, error) {
 			return nil, fmt.Errorf("model diverged")
 		},
 	}, nil)
@@ -166,7 +166,7 @@ func TestConcurrentIdenticalRunsDedup(t *testing.T) {
 	release := make(chan struct{})
 	s, st := newTestServer(t, Config{
 		QueueDepth: 64,
-		Run: func(key resultcache.Key) (*resultcache.Entry, error) {
+		Run: func(_ context.Context, key resultcache.Key) (*resultcache.Entry, error) {
 			runs.Add(1)
 			<-release
 			return &resultcache.Entry{Report: []byte("shared report")}, nil
@@ -320,7 +320,7 @@ func TestBatchBackpressure(t *testing.T) {
 	s, _ := newTestServer(t, Config{
 		Workers:    1,
 		QueueDepth: 2,
-		Run: func(key resultcache.Key) (*resultcache.Entry, error) {
+		Run: func(_ context.Context, key resultcache.Key) (*resultcache.Entry, error) {
 			<-release
 			return &resultcache.Entry{Report: []byte("r")}, nil
 		},
@@ -349,7 +349,7 @@ func TestRunBackpressureAndHitExemption(t *testing.T) {
 	var once sync.Once
 	s, _ := newTestServer(t, Config{
 		QueueDepth: 1,
-		Run: func(key resultcache.Key) (*resultcache.Entry, error) {
+		Run: func(_ context.Context, key resultcache.Key) (*resultcache.Entry, error) {
 			if key.Experiment == "overhead" {
 				<-release
 			}

@@ -139,10 +139,12 @@ type shardState struct {
 	sideOps []sideOp
 
 	// Worker-side failure capture, consumed by the driver at the barrier.
-	panicked bool
-	panicVal any
-	tripInfo TripInfo
-	tripped  bool
+	panicked   bool
+	panicVal   any
+	tripInfo   TripInfo
+	tripped    bool
+	cancelInfo CancelInfo
+	cancelled  bool
 }
 
 // shardTripMark is the sentinel panic a shard watchdog raises so the
@@ -167,6 +169,9 @@ type Sharded struct {
 	wdCfg           WatchdogConfig
 	wdTrip          func(TripInfo)
 	progressGlobals uint64 // globalsRun at the last progress mark (stepping accounting)
+
+	cxl     *Cancel          // armed cancellation token (see cancel.go)
+	cxlTrip func(CancelInfo) // combined cancel trip
 }
 
 // NewSharded builds a sharded engine with the given shard count and
@@ -551,25 +556,39 @@ func (sh *Sharded) mergeAndCommit() {
 }
 
 // checkPanics surfaces worker failures on the driver goroutine: watchdog
-// trips become one combined trip with every shard's dump; any other panic
-// (protocol violations, lookahead violations) re-panics verbatim, lowest
-// shard first for determinism.
+// trips become one combined trip with every shard's dump, cancellation
+// marks become one combined cancel trip; any other panic (protocol
+// violations, lookahead violations) re-panics verbatim, lowest shard
+// first for determinism. When shards raise both in one epoch the cancel
+// wins — the caller that requested the abort is going away, so the
+// livelock diagnostic has no reader.
 func (sh *Sharded) checkPanics() {
-	tripped := -1
+	tripped, cancelled := -1, -1
 	for i, e := range sh.shards {
 		ss := e.ss
 		if !ss.panicked {
 			continue
 		}
-		if _, isTrip := ss.panicVal.(shardTripMark); !isTrip {
+		switch ss.panicVal.(type) {
+		case shardTripMark:
+			ss.panicked, ss.panicVal = false, nil
+			if tripped < 0 {
+				tripped = i
+			}
+		case shardCancelMark:
+			ss.panicked, ss.panicVal = false, nil
+			if cancelled < 0 {
+				cancelled = i
+			}
+		default:
 			v := ss.panicVal
 			ss.panicked, ss.panicVal = false, nil
 			panic(v)
 		}
-		ss.panicked, ss.panicVal = false, nil
-		if tripped < 0 {
-			tripped = i
-		}
+	}
+	if cancelled >= 0 {
+		sh.fireCancelAll(sh.shards[cancelled].ss.cancelInfo)
+		return
 	}
 	if tripped >= 0 {
 		sh.fireTrip(sh.shards[tripped].ss.tripInfo)
@@ -645,7 +664,9 @@ func (sh *Sharded) broadcastProgress(marks []uint64) {
 // all shards' pending events (live queues, merge buffers, global queue).
 func (sh *Sharded) fireTrip(src TripInfo) {
 	for _, e := range sh.shards {
-		e.wd = nil
+		// DisarmWatchdog, not a bare nil store: an armed cancellation
+		// token must survive the budget trip on a budget-less frame.
+		e.DisarmWatchdog()
 	}
 	trip := sh.wdTrip
 	sh.wdCfg, sh.wdTrip = WatchdogConfig{}, nil

@@ -39,12 +39,18 @@ type TripInfo struct {
 }
 
 // watchdog is the armed detector. lastCycle/lastEvents snapshot the
-// engine counters at the most recent progress mark.
+// engine counters at the most recent progress mark. The frame also
+// carries the armed cancellation token (see cancel.go), so the
+// per-event check site stays a single nil test whether zero, one, or
+// both mechanisms are armed.
 type watchdog struct {
 	cfg        WatchdogConfig
 	trip       func(TripInfo)
 	lastCycle  Cycle
 	lastEvents uint64
+
+	cancel     *Cancel
+	cancelTrip func(CancelInfo)
 }
 
 // ArmWatchdog installs a liveness watchdog: if the engine executes
@@ -55,17 +61,30 @@ type watchdog struct {
 // any existing watchdog.
 func (e *Engine) ArmWatchdog(cfg WatchdogConfig, trip func(TripInfo)) {
 	if !cfg.Enabled() {
-		e.wd = nil
+		e.DisarmWatchdog()
 		return
 	}
 	if trip == nil {
 		panic("sim: ArmWatchdog with nil trip callback")
 	}
-	e.wd = &watchdog{cfg: cfg, trip: trip, lastCycle: e.now, lastEvents: e.executed}
+	next := &watchdog{cfg: cfg, trip: trip, lastCycle: e.now, lastEvents: e.executed}
+	if old := e.wd; old != nil {
+		// An armed cancellation token rides the frame; re-arming the
+		// watchdog must not drop it.
+		next.cancel, next.cancelTrip = old.cancel, old.cancelTrip
+	}
+	e.wd = next
 }
 
-// DisarmWatchdog removes the watchdog, if any.
-func (e *Engine) DisarmWatchdog() { e.wd = nil }
+// DisarmWatchdog removes the watchdog, if any. An armed cancellation
+// token survives on a budget-less frame.
+func (e *Engine) DisarmWatchdog() {
+	if wd := e.wd; wd != nil && wd.cancel != nil {
+		wd.cfg, wd.trip = WatchdogConfig{}, nil
+		return
+	}
+	e.wd = nil
+}
 
 // Progress marks forward progress — a core retired an operation, so the
 // run is not wedged. It resets the watchdog's event and cycle budgets.
@@ -92,9 +111,14 @@ func (e *Engine) Progress() {
 	}
 }
 
-// checkWatchdog runs after each executed event while a watchdog is armed.
+// checkWatchdog runs after each executed event while a watchdog frame is
+// armed: first the cancellation flag (one atomic load), then the budget.
 func (e *Engine) checkWatchdog() {
 	wd := e.wd
+	if wd.cancel != nil && wd.cancel.Requested() {
+		e.fireCancel(wd)
+		return
+	}
 	events := e.executed - wd.lastEvents
 	cycles := e.now - wd.lastCycle
 	if ss := e.ss; ss != nil && !ss.inEpoch {
@@ -114,7 +138,13 @@ func (e *Engine) checkWatchdog() {
 		(wd.cfg.MaxCycles == 0 || cycles < wd.cfg.MaxCycles) {
 		return
 	}
-	e.wd = nil // disarm before the callback: a non-panicking trip must not re-fire
+	// Disarm before the callback: a non-panicking trip must not re-fire.
+	// An armed cancellation token stays live on a budget-less frame.
+	e.wd = nil
+	if wd.cancel != nil {
+		e.wd = &watchdog{lastCycle: e.now, lastEvents: e.executed,
+			cancel: wd.cancel, cancelTrip: wd.cancelTrip}
+	}
 	wd.trip(TripInfo{
 		Now:                 e.now,
 		LastProgress:        wd.lastCycle,

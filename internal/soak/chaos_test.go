@@ -1,0 +1,121 @@
+package soak
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/interconnect"
+)
+
+// scaledChaosBase is the 64-core mesh/two-level machine the chaos sweep
+// targets: big enough that the mesh has 256 directed links and the
+// directory runs two-level (8 hubs), small enough that a scaled-down
+// benchmark sweep stays test-suite friendly.
+func scaledChaosBase(proto string) Spec {
+	return Spec{
+		Benchmark: "dedup", // 4 threads, heavy sharing: real cross-tile traffic
+		Protocol:  proto,
+		CPU:       "DerivO3CPU",
+		Scale:     0.02,
+		Scaled:    true,
+		Cores:     64,
+		Watchdog:  DefaultWatchdog(),
+	}
+}
+
+// The scaled-machine chaos property: mesh link spikes, pinned-link
+// storms, and cluster-hub busy windows perturb timing on layers the flat
+// Table V machine does not even have — and still must leave the
+// architectural projection byte-identical to the no-fault control, for
+// every protocol. This is the metamorphic oracle of the original sweep,
+// re-run where the new fault classes actually bite.
+func TestScaledChaosSweepMetamorphic(t *testing.T) {
+	w, h := core.MeshDims(64)
+	plans := fault.RandomScaledPlans(8, 0xC4A0, interconnect.MeshLinks(w, h))
+	if plans[0].Name != "no-fault" {
+		t.Fatalf("plan 0 is %q, want the no-fault control", plans[0].Name)
+	}
+	// The generator must actually cover the new classes, or the sweep
+	// silently degenerates into a DRAM-only soak.
+	var mesh, hub int
+	for _, p := range plans[1:] {
+		if p.MeshSpikeProb > 0 || len(p.MeshStorms) > 0 {
+			mesh++
+		}
+		if p.HubBusyProb > 0 || len(p.HubStorms) > 0 {
+			hub++
+		}
+	}
+	if mesh == 0 || hub == 0 {
+		t.Fatalf("scaled plans exercise mesh=%d hub=%d classes; want both > 0", mesh, hub)
+	}
+	for _, proto := range []string{"MESI", "S-MESI", "SwiftDir"} {
+		t.Run(proto, func(t *testing.T) {
+			res := Sweep(scaledChaosBase(proto), plans, t.TempDir(), 0)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			control := res.Outcomes[0].Result
+			if control.Instrs == 0 || control.MemImageHash == "" {
+				t.Fatalf("empty control projection: %+v", control)
+			}
+		})
+	}
+}
+
+// A failure recorded on the scaled machine at shards=4 must replay
+// byte-identically at shards=1: the replay spec now carries the scaled
+// topology, and mesh-faulted systems always run sequential stepping, so
+// the injector's draw order is the global message order at every shard
+// count.
+func TestScaledBundleReplaysAcrossShardCounts(t *testing.T) {
+	dir := t.TempDir()
+	plans := []fault.Plan{
+		{Name: "scaled-forced", Seed: 11, FailAt: 2_000,
+			MeshSpikeProb: 0.05, MeshSpikeMax: 8,
+			HubBusyProb: 0.05, HubBusyMax: 8},
+	}
+	base := scaledChaosBase("SwiftDir")
+
+	campaign.SetShards(4)
+	res := Sweep(base, plans, dir, 1)
+	campaign.SetShards(0)
+	if res.Err == nil {
+		t.Fatal("forced plan did not fail the sweep")
+	}
+	po := res.Outcomes[0]
+	if po.Bundle == "" {
+		t.Fatalf("no bundle for forced plan; outcome err: %v", po.Err)
+	}
+	recorded, err := fault.ReadBundleViolation(po.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded.Kind != fault.KindForced {
+		t.Fatalf("bundled violation kind %q, want forced", recorded.Kind)
+	}
+
+	campaign.SetShards(1)
+	defer campaign.SetShards(0)
+	out, err := Replay(po.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatalf("sequential replay did not reproduce the violation (err=%v)", out.Err)
+	}
+	if !out.Spec.Scaled || out.Spec.Cores != 64 {
+		t.Fatalf("replay spec lost the scaled topology: %+v", out.Spec)
+	}
+	if out.Violation.Kind != recorded.Kind || out.Violation.Cycle != recorded.Cycle ||
+		out.Violation.Msg != recorded.Msg || out.Violation.Component != recorded.Component {
+		t.Errorf("sequential replay differs from sharded recording:\n  bundled:  %s\n  replayed: %s",
+			recorded.Error(), out.Violation.Error())
+	}
+	if out.Violation.Dump != recorded.Dump {
+		t.Errorf("replayed diagnostic is not byte-identical (%d vs %d bytes)",
+			len(out.Violation.Dump), len(recorded.Dump))
+	}
+}

@@ -33,6 +33,16 @@ type Spec struct {
 	Scale     float64            `json:"scale,omitempty"` // instruction-budget scale, 0 = 1.0
 	Plan      fault.Plan         `json:"plan"`
 	Watchdog  sim.WatchdogConfig `json:"watchdog"`
+
+	// Scaled builds the machine with core.DefaultScaledConfig — 2D mesh
+	// interconnect plus a two-level directory past 32 cores — instead of
+	// the Table V crossbar, so mesh- and hub-class fault plans have the
+	// layers they target. Cores overrides the profile-derived core count
+	// (it must cover the benchmark's threads); both serialize into
+	// replay.json, so a bundle recorded on the scaled machine replays on
+	// the scaled machine.
+	Scaled bool `json:"scaled,omitempty"`
+	Cores  int  `json:"cores,omitempty"`
 }
 
 // DefaultWatchdog bounds a soak run generously: a healthy benchmark marks
@@ -98,7 +108,18 @@ func (s Spec) machineConfig(p workload.Profile) (core.Config, error) {
 	for cores < p.Threads {
 		cores *= 2
 	}
-	cfg := core.DefaultConfig(cores, proto)
+	if s.Cores > 0 {
+		if s.Cores < p.Threads {
+			return core.Config{}, fmt.Errorf("soak: %d cores cannot run %d threads", s.Cores, p.Threads)
+		}
+		cores = s.Cores
+	}
+	var cfg core.Config
+	if s.Scaled {
+		cfg = core.DefaultScaledConfig(cores, proto)
+	} else {
+		cfg = core.DefaultConfig(cores, proto)
+	}
 	cfg.Watchdog = s.Watchdog
 	if !s.Plan.Zero() {
 		inj, err := fault.NewInjector(s.Plan)

@@ -17,10 +17,18 @@ import (
 // re-access loads hit E-state blocks and take the three-hop path; under
 // S-MESI and SwiftDir they are served from the LLC.
 func RunReadOnly(amount int, protocol coherence.Policy, kind CPUKind) (Result, error) {
+	return RunReadOnlyCancel(amount, protocol, kind, nil)
+}
+
+// RunReadOnlyCancel is RunReadOnly with a cooperative cancellation token
+// armed on the machine; a nil token is RunReadOnly exactly.
+func RunReadOnlyCancel(amount int, protocol coherence.Policy, kind CPUKind, c *sim.Cancel) (Result, error) {
 	if amount <= 0 {
 		return Result{}, fmt.Errorf("workload: non-positive shared-data amount %d", amount)
 	}
-	m, err := core.NewMachine(shardedDefault(core.DefaultConfig(2, protocol)))
+	cfg := shardedDefault(core.DefaultConfig(2, protocol))
+	cfg.Cancel = c
+	m, err := core.NewMachine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -160,10 +168,18 @@ const WARArrayKB = 64
 // RunWAR executes one Figure 10 application: a warm pass (cold misses)
 // followed by `passes` measured passes, single-threaded.
 func RunWAR(app WARApp, protocol coherence.Policy, kind CPUKind, passes int) (Result, error) {
+	return RunWARCancel(app, protocol, kind, passes, nil)
+}
+
+// RunWARCancel is RunWAR with a cooperative cancellation token armed on
+// the machine; a nil token is RunWAR exactly.
+func RunWARCancel(app WARApp, protocol coherence.Policy, kind CPUKind, passes int, tok *sim.Cancel) (Result, error) {
 	if passes <= 0 {
 		return Result{}, fmt.Errorf("workload: non-positive pass count")
 	}
-	m, err := core.NewMachine(shardedDefault(core.DefaultConfig(1, protocol)))
+	cfg := shardedDefault(core.DefaultConfig(1, protocol))
+	cfg.Cancel = tok
+	m, err := core.NewMachine(cfg)
 	if err != nil {
 		return Result{}, err
 	}

@@ -86,11 +86,19 @@ type Result struct {
 // 0..Threads-1 of a machine sized to the thread count (min 1 core,
 // rounded up to a power of two), mirroring the paper's setup.
 func Run(p Profile, protocol coherence.Policy, kind CPUKind) (Result, error) {
+	return RunCancel(p, protocol, kind, nil)
+}
+
+// RunCancel is Run with a cooperative cancellation token armed on the
+// machine; a nil token is Run exactly.
+func RunCancel(p Profile, protocol coherence.Policy, kind CPUKind, c *sim.Cancel) (Result, error) {
 	cores := 1
 	for cores < p.Threads {
 		cores *= 2
 	}
-	r, _, err := RunDetailed(p, core.DefaultConfig(cores, protocol), kind)
+	cfg := core.DefaultConfig(cores, protocol)
+	cfg.Cancel = c
+	r, _, err := RunDetailed(p, cfg, kind)
 	return r, err
 }
 

@@ -3,7 +3,9 @@
 # against a real server process (the `make serve-e2e` / CI "serve" job):
 #
 #   1. boot swiftdir-serve on a loopback port with a disk cache;
-#   2. submit a 3-experiment batch, wait for every job, save the reports;
+#   2. submit a 3-experiment batch, wait for every job, save the reports
+#      (submissions retry with jittered backoff, honoring the server's
+#      Retry-After header on 429 back-pressure);
 #   3. submit the identical batch again and assert every job resolves as
 #      a cache hit with byte-identical report bytes;
 #   4. cross-check /statsz (exactly 3 underlying runs, 0 corrupt);
@@ -60,9 +62,40 @@ done
 
 BATCH='{"specs":[{"experiment":"table5"},{"experiment":"overhead"},{"experiment":"traffic"}]}'
 
+# post_retry <url> <data> — POST with a jittered-backoff retry loop. A
+# 429 is back-pressure, not failure: the server names its comeback time
+# in the Retry-After header, and we sleep that long plus a sub-second
+# jitter (keyed off the attempt and PID, so parallel clients do not
+# re-stampede in lockstep) before retrying. Echoes the response body.
+post_retry() {
+    attempt=0
+    while :; do
+        HDRS="$WORKDIR/hdrs.$$"
+        BODY="$WORKDIR/body.$$"
+        CODE=$(curl -s -D "$HDRS" -o "$BODY" -w '%{http_code}' -XPOST "$1" -d "$2") || CODE=000
+        case "$CODE" in
+        200 | 202)
+            cat "$BODY"
+            return 0
+            ;;
+        429)
+            attempt=$((attempt + 1))
+            [ "$attempt" -lt 8 ] || { echo "still 429 after $attempt attempts" >&2; return 1; }
+            RA=$(sed -n 's/^[Rr]etry-[Aa]fter:[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$HDRS" | head -n 1)
+            [ -n "$RA" ] || RA=1
+            sleep "$RA.$(((attempt * 7 + $$) % 10))"
+            ;;
+        *)
+            echo "HTTP $CODE: $(cat "$BODY" 2>/dev/null)" >&2
+            return 1
+            ;;
+        esac
+    done
+}
+
 # submit_batch <pass> — posts the batch and echoes the job ids in order.
 submit_batch() {
-    OUT=$(curl -sf -XPOST "$BASE/v1/batch" -d "$BATCH") \
+    OUT=$(post_retry "$BASE/v1/batch" "$BATCH") \
         || fail "pass $1: batch submission failed"
     IDS=$(printf '%s' "$OUT" | grep -o '"id":"[^"]*"' | sed 's/"id":"\(.*\)"/\1/')
     [ "$(printf '%s\n' $IDS | wc -l)" -eq 3 ] || fail "pass $1: want 3 jobs, got: $OUT"
